@@ -1,0 +1,455 @@
+(* Benchmark and figure-reproduction harness.
+
+   With no arguments, reproduces every experiment in DESIGN.md's index:
+   the seven figures of Section VII (F1a..F3c), the timing claim (T1),
+   the headline-claims summary (T2), the tightness example (X1) and the
+   two ablations (A1, A2). Pass experiment ids to run a subset, e.g.:
+
+     dune exec bench/main.exe -- fig2a timing
+
+   AA_TRIALS overrides the number of random trials per sweep point
+   (default 300; the paper uses 1000 — expect a few minutes per
+   beta-sweep figure at that setting). *)
+
+open Aa_numerics
+open Aa_core
+open Aa_workload
+open Aa_experiments
+
+let trials =
+  match Sys.getenv_opt "AA_TRIALS" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 300)
+  | None -> 300
+
+let seed = 42
+let line fmt = Format.printf (fmt ^^ "@.")
+
+let heading title =
+  line "";
+  line "==============================================================";
+  line "%s" title;
+  line "=============================================================="
+
+let now () = Unix.gettimeofday ()
+
+(* ---------- figures F1a .. F3c ---------- *)
+
+(* Set AA_CSV_DIR to also write each series as <id>.csv for plotting,
+   and AA_SVG_DIR to render each figure as an SVG image. *)
+let csv_dir = Sys.getenv_opt "AA_CSV_DIR"
+let svg_dir = Sys.getenv_opt "AA_SVG_DIR"
+
+let write_svg (s : Run.series) =
+  match svg_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (s.id ^ ".svg") in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Svg.render (Svg.of_series s)));
+      line "(svg: %s)" path
+
+let write_csv (s : Run.series) =
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (s.id ^ ".csv") in
+      Out_channel.with_open_text path (fun oc ->
+          Printf.fprintf oc "%s,vs_so,vs_uu,vs_ur,vs_ru,vs_rr,worst_vs_so,algo1_vs_so\n"
+            s.xlabel;
+          List.iter
+            (fun (p : Run.point) ->
+              Printf.fprintf oc "%g,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n" p.x p.mean.vs_so
+                p.mean.vs_uu p.mean.vs_ur p.mean.vs_ru p.mean.vs_rr p.worst_vs_so
+                p.algo1_vs_so)
+            s.points);
+      line "(csv: %s)" path
+
+let run_figure (spec : Figures.spec) =
+  heading
+    (Printf.sprintf "%s [%s] — %s (trials=%d)" spec.id spec.paper spec.description trials);
+  let t0 = now () in
+  let series = spec.run ~trials ~seed in
+  Format.printf "%a@." Run.pp_series series;
+  line "(%.1f s)" (now () -. t0);
+  write_csv series;
+  write_svg series;
+  series
+
+(* ---------- T1: timing ---------- *)
+
+let timing_instance ~threads =
+  let rng = Rng.create ~seed:1 () in
+  Gen.instance rng ~servers:8 ~capacity:1000.0 ~threads Gen.Uniform
+
+let bechamel_timing () =
+  heading
+    "T1 — running time (paper: unoptimized Matlab Algorithm 2 took 0.02 s at m=8, n=100, \
+     C=1000)";
+  let open Bechamel in
+  let inst100 = timing_instance ~threads:100 in
+  let inst1000 = timing_instance ~threads:1000 in
+  let lin100 = Linearized.make inst100 in
+  let lin1000 = Linearized.make inst1000 in
+  let tests =
+    [
+      Test.make ~name:"algo2-pipeline-n100" (Staged.stage (fun () -> Algo2.solve inst100));
+      Test.make ~name:"algo2-assign-only-n100"
+        (Staged.stage (fun () -> Algo2.solve ~linearized:lin100 inst100));
+      Test.make ~name:"algo1-pipeline-n100" (Staged.stage (fun () -> Algo1.solve inst100));
+      Test.make ~name:"superopt-n100" (Staged.stage (fun () -> Superopt.compute inst100));
+      Test.make ~name:"uu-n100" (Staged.stage (fun () -> Heuristics.uu inst100));
+      Test.make ~name:"algo2-pipeline-n1000" (Staged.stage (fun () -> Algo2.solve inst1000));
+      Test.make ~name:"algo2-assign-only-n1000"
+        (Staged.stage (fun () -> Algo2.solve ~linearized:lin1000 inst1000));
+      (* allocator substrate scaling: the three single-pool algorithms on
+         one 100-thread pool *)
+      (let plcs = Instance.to_plc inst100 in
+       Test.make ~name:"alloc-plc-greedy-n100"
+         (Staged.stage (fun () -> Aa_alloc.Plc_greedy.allocate ~budget:8000.0 plcs)));
+      (let us = inst100.utilities in
+       Test.make ~name:"alloc-waterfill-n100"
+         (Staged.stage (fun () -> Aa_alloc.Waterfill.allocate ~budget:8000.0 us)));
+      (let us = inst100.utilities in
+       Test.make ~name:"alloc-fox-B8000-n100"
+         (Staged.stage (fun () -> Aa_alloc.Fox.allocate ~budget:8000 ~unit_size:1.0 us)));
+      (let us = inst100.utilities in
+       Test.make ~name:"alloc-galil-B8000-n100"
+         (Staged.stage (fun () -> Aa_alloc.Galil.allocate ~budget:8000 ~unit_size:1.0 us)));
+    ]
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let stats = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> line "%-26s %12.3f us/run" name (est /. 1000.0)
+          | Some _ | None -> line "%-26s (no estimate)" name)
+        stats)
+    tests;
+  line "";
+  line "note: the paper's 0.02 s Matlab figure is the full algo2 pipeline at n=100;";
+  line "anything well under 20,000 us/run reproduces the 'runs quickly' claim."
+
+(* ---------- T2: headline claims ---------- *)
+
+let claims all_series =
+  heading "T2 — headline claims of the paper vs this reproduction";
+  let worst_mean_vs_so = ref 1.0 in
+  let worst_where = ref "" in
+  List.iter
+    (fun (s : Run.series) ->
+      List.iter
+        (fun (p : Run.point) ->
+          if p.mean.vs_so < !worst_mean_vs_so then begin
+            worst_mean_vs_so := p.mean.vs_so;
+            worst_where := Printf.sprintf "%s at %s=%g" s.id s.xlabel p.x
+          end)
+        s.points)
+    all_series;
+  line "worst mean Algo2/SO ratio over all sweeps: %.4f (%s)" !worst_mean_vs_so !worst_where;
+  line "paper: >= 0.99 on average for all types, dipping to 0.975 at discrete gamma=0.75";
+  (match List.find_opt (fun (s : Run.series) -> s.id = "fig2a") all_series with
+  | Some s ->
+      let last = List.nth s.points (List.length s.points - 1) in
+      line
+        "power-law alpha=2 at beta=15: Algo2/UU = %.2fx, /RU = %.2fx, /UR = %.2fx, /RR = %.2fx"
+        last.mean.vs_uu last.mean.vs_ru last.mean.vs_ur last.mean.vs_rr;
+      line "paper: 3.9x better than UU and RU; 5.7x better than UR and RR"
+  | None -> line "(fig2a not run; skipping the 5.7x check)");
+  let violations =
+    List.fold_left
+      (fun acc (s : Run.series) ->
+        List.fold_left (fun acc (p : Run.point) -> acc + p.guarantee_violations) acc s.points)
+      0 all_series
+  in
+  line "guarantee violations (Algo2 below alpha * F^) across all trials: %d (must be 0)"
+    violations
+
+(* ---------- X1: tightness ---------- *)
+
+let tightness () =
+  heading "X1 — Theorem V.17 tightness example";
+  let inst = Tightness.instance () in
+  let u2 = Assignment.utility inst (Algo2.solve inst) in
+  let u1 = Assignment.utility inst (Algo1.solve inst) in
+  let opt = (Exact.solve inst).utility in
+  line "Algorithm 2 utility: %.4f   Algorithm 1 utility: %.4f" u2 u1;
+  line "optimal utility:     %.4f" opt;
+  line "ratio: %.4f (expected 5/6 = %.4f; proven bound alpha = %.4f)" (u2 /. opt)
+    Tightness.expected_ratio Bounds.alpha
+
+(* ---------- A1: algorithm-2 design ablation ---------- *)
+
+let ablation () =
+  heading "A1 — ablation: Algorithm 2 design choices (power law alpha=2, beta=15, m=8)";
+  let trials = max 50 (trials / 4) in
+  let variants =
+    [
+      ("paper + per-server refill (as in experiments)", true, `Max_remaining, true);
+      ("paper pseudocode verbatim (no refill)", true, `Max_remaining, false);
+      ("no tail slope re-sort (line 2 dropped)", false, `Max_remaining, true);
+      ("min-remaining server rule", true, `Min_remaining, true);
+      ("round-robin server rule", true, `Round_robin, true);
+    ]
+  in
+  let master = Rng.create ~seed () in
+  let accs = List.map (fun v -> (v, Stats.Online.create ())) variants in
+  for _ = 1 to trials do
+    let rng = Rng.split master in
+    let inst =
+      Gen.instance rng ~servers:8 ~capacity:1000.0 ~threads:120 (Gen.Power_law { alpha = 2.0 })
+    in
+    let lin = Linearized.make inst in
+    let fhat = lin.superopt.utility in
+    List.iter
+      (fun ((_, tail_resort, server_rule, refill), acc) ->
+        let a = Algo2.solve ~linearized:lin ~tail_resort ~server_rule inst in
+        let a = if refill then Refine.per_server inst a else a in
+        Stats.Online.add acc (Assignment.utility inst a /. fhat))
+      accs
+  done;
+  line "%-50s %10s %10s" "variant" "mean/SO" "min/SO";
+  List.iter
+    (fun ((name, _, _, _), acc) ->
+      line "%-50s %10.4f %10.4f" name (Stats.Online.mean acc) (Stats.Online.min acc))
+    accs;
+  line "";
+  line "super-optimal padding (Lemma V.3 'sum = mC') vs minimal chat:";
+  let acc_pad = Stats.Online.create () and acc_min = Stats.Online.create () in
+  let master = Rng.create ~seed () in
+  for _ = 1 to trials do
+    let rng = Rng.split master in
+    let inst =
+      Gen.instance rng ~servers:8 ~capacity:1000.0 ~threads:120 (Gen.Power_law { alpha = 2.0 })
+    in
+    let so_pad = Superopt.compute ~exhaust:true inst in
+    let so_min = Superopt.compute ~exhaust:false inst in
+    let score (so : Superopt.t) =
+      let lin = Linearized.of_superopt inst so in
+      Assignment.utility inst (Algo2.solve ~linearized:lin inst) /. so.utility
+    in
+    Stats.Online.add acc_pad (score so_pad);
+    Stats.Online.add acc_min (score so_min)
+  done;
+  line "%-50s %10.4f" "padded (paper)" (Stats.Online.mean acc_pad);
+  line "%-50s %10.4f" "minimal" (Stats.Online.mean acc_min)
+
+(* ---------- A2: PLC resolution ablation ---------- *)
+
+let resolution () =
+  heading "A2 — ablation: PCHIP sampling resolution of the generator";
+  let trials = max 50 (trials / 4) in
+  List.iter
+    (fun res ->
+      let master = Rng.create ~seed () in
+      let acc = Stats.Online.create () in
+      let t0 = now () in
+      for _ = 1 to trials do
+        let rng = Rng.split master in
+        let inst =
+          Gen.instance ~resolution:res rng ~servers:8 ~capacity:1000.0 ~threads:40 Gen.Uniform
+        in
+        let lin = Linearized.make inst in
+        let a = Algo2.solve ~linearized:lin inst in
+        Stats.Online.add acc (Assignment.utility inst a /. lin.superopt.utility)
+      done;
+      line "resolution %4d: mean Algo2/SO = %.5f  (%.2f s for %d trials)" res
+        (Stats.Online.mean acc) (now () -. t0) trials)
+    [ 8; 16; 32; 64; 128; 256 ]
+
+(* ---------- A3: beyond Algorithm 2 ---------- *)
+
+let beyond () =
+  heading
+    "A3 — beyond Algorithm 2: local search and sampled placements (power law alpha=2, \
+     beta=5, m=8)";
+  let trials = min 60 (max 30 (trials / 10)) in
+  let acc_a2 = Stats.Online.create () in
+  let acc_ls = Stats.Online.create () in
+  let acc_s30 = Stats.Online.create () in
+  let acc_s300 = Stats.Online.create () in
+  let time_a2 = ref 0.0 and time_ls = ref 0.0 and time_s300 = ref 0.0 in
+  let master = Rng.create ~seed () in
+  for _ = 1 to trials do
+    let rng = Rng.split master in
+    let inst =
+      Gen.instance rng ~servers:8 ~capacity:1000.0 ~threads:40 (Gen.Power_law { alpha = 2.0 })
+    in
+    let lin = Linearized.make inst in
+    let fhat = lin.superopt.utility in
+    let t0 = now () in
+    let a2 = Refine.per_server inst (Algo2.solve ~linearized:lin inst) in
+    time_a2 := !time_a2 +. (now () -. t0);
+    let t0 = now () in
+    let ls, _ = Local_search.improve inst a2 in
+    time_ls := !time_ls +. (now () -. t0);
+    let s30 = Heuristics.best_of_random ~rng ~tries:30 inst in
+    let t0 = now () in
+    let s300 = Heuristics.best_of_random ~rng ~tries:300 inst in
+    time_s300 := !time_s300 +. (now () -. t0);
+    Stats.Online.add acc_a2 (Assignment.utility inst a2 /. fhat);
+    Stats.Online.add acc_ls (Assignment.utility inst ls /. fhat);
+    Stats.Online.add acc_s30 (Assignment.utility inst s30 /. fhat);
+    Stats.Online.add acc_s300 (Assignment.utility inst s300 /. fhat)
+  done;
+  let per x = 1000.0 *. !x /. float_of_int trials in
+  line "%-42s %10s %10s %12s" "method" "mean/SO" "min/SO" "ms/instance";
+  line "%-42s %10.4f %10.4f %12.2f" "Algorithm 2 + refill"
+    (Stats.Online.mean acc_a2) (Stats.Online.min acc_a2) (per time_a2);
+  line "%-42s %10.4f %10.4f %12.2f" "  + local search (moves and swaps)"
+    (Stats.Online.mean acc_ls) (Stats.Online.min acc_ls) (per time_ls);
+  line "%-42s %10.4f %10.4f %12s" "best of 30 random placements (§II [8])"
+    (Stats.Online.mean acc_s30) (Stats.Online.min acc_s30) "-";
+  line "%-42s %10.4f %10.4f %12.2f" "best of 300 random placements"
+    (Stats.Online.mean acc_s300) (Stats.Online.min acc_s300) (per time_s300)
+
+(* ---------- E1: heterogeneous-server extension ---------- *)
+
+let hetero () =
+  heading
+    "E1 — extension: heterogeneous servers (m=8, total capacity 8000, uniform workload, \
+     n=40)";
+  let trials = max 50 (trials / 4) in
+  line "capacity skew s: capacities proportional to [1, s] alternating; s=1 is the paper's";
+  line "homogeneous setting. ratio = generalized Algo2 utility / pooled bound F^.";
+  line "%-8s %12s %12s %12s" "skew" "vs_SO" "vs_heteroUU" "worst_vs_SO";
+  List.iter
+    (fun skew ->
+      let master = Rng.create ~seed () in
+      let acc = Stats.Online.create () in
+      let acc_uu = Stats.Online.create () in
+      for _ = 1 to trials do
+        let rng = Rng.split master in
+        (* alternating small/large servers, normalized to total 8000 *)
+        let raw = Array.init 8 (fun j -> if j mod 2 = 0 then 1.0 else skew) in
+        let scale = 8000.0 /. Array.fold_left ( +. ) 0.0 raw in
+        let capacities = Array.map (fun c -> c *. scale) raw in
+        let cmax = Array.fold_left Float.max capacities.(0) capacities in
+        let us = Array.init 40 (fun _ -> Gen.utility rng ~cap:cmax Gen.Uniform) in
+        let t = Hetero.create ~capacities us in
+        let so = (Hetero.superopt t).utility in
+        let u = Hetero.utility_of t (Refine.hetero t (Hetero.solve t)) in
+        let uu = Hetero.utility_of t (Hetero.uu t) in
+        Stats.Online.add acc (u /. so);
+        Stats.Online.add acc_uu (u /. uu)
+      done;
+      line "%-8g %12.4f %12.4f %12.4f" skew (Stats.Online.mean acc)
+        (Stats.Online.mean acc_uu) (Stats.Online.min acc))
+    [ 1.0; 2.0; 4.0; 8.0 ]
+
+(* ---------- E2: online extension ---------- *)
+
+let online () =
+  heading "E2 — extension: online arrivals (m=8, C=1000, uniform workload)";
+  let trials = max 50 (trials / 4) in
+  line "threads arrive in random order, placed immediately, no migration;";
+  line "intra-server re-allocation allowed. ratio = online / offline Algo2.";
+  line "%-8s %14s %14s" "beta" "online/offline" "online/SO";
+  List.iter
+    (fun beta ->
+      let master = Rng.create ~seed () in
+      let acc = Stats.Online.create () in
+      let acc_so = Stats.Online.create () in
+      for _ = 1 to trials do
+        let rng = Rng.split master in
+        let inst =
+          Gen.instance rng ~servers:8 ~capacity:1000.0 ~threads:(8 * beta) Gen.Uniform
+        in
+        let lin = Linearized.make inst in
+        let offline = Assignment.utility inst (Algo2.solve ~linearized:lin inst) in
+        let online_a = Online.solve_sequence ~servers:8 ~capacity:1000.0 inst.utilities in
+        let online_u = Assignment.utility inst online_a in
+        Stats.Online.add acc (online_u /. offline);
+        Stats.Online.add acc_so (online_u /. lin.superopt.utility)
+      done;
+      line "%-8d %14.4f %14.4f" beta (Stats.Online.mean acc) (Stats.Online.mean acc_so))
+    [ 1; 2; 5; 10; 15 ]
+
+(* ---------- E3: multi-resource extension ---------- *)
+
+let multires () =
+  heading "E3 — extension: multiple resource types (m=4, C_r=100 each, n=24)";
+  let trials = max 50 (trials / 4) in
+  line "R resource types; demands drawn per thread per resource; ratios against";
+  line "the per-resource-relaxation upper bound (a loose bound for R > 1).";
+  line "%-10s %12s %12s" "resources" "solve/bound" "rr/bound";
+  List.iter
+    (fun nr ->
+      let master = Rng.create ~seed () in
+      let acc = Stats.Online.create () in
+      let acc_rr = Stats.Online.create () in
+      for _ = 1 to trials do
+        let rng = Rng.split master in
+        let capacities = Array.make nr 100.0 in
+        let threads =
+          Array.init 24 (fun _ ->
+              let demand =
+                Array.init nr (fun _ -> Rng.uniform rng ~lo:0.05 ~hi:2.0)
+              in
+              let rc =
+                Array.to_seqi demand
+                |> Seq.filter_map (fun (r, d) ->
+                       if d > 0.0 then Some (capacities.(r) /. d) else None)
+                |> Seq.fold_left Float.min Float.infinity
+              in
+              {
+                Multires.rate_utility =
+                  Aa_utility.Utility.Shapes.power ~cap:rc
+                    ~coeff:(Rng.uniform rng ~lo:0.5 ~hi:4.0)
+                    ~beta:(Rng.uniform rng ~lo:0.3 ~hi:0.95);
+                demand;
+              })
+        in
+        let t = Multires.create ~servers:4 ~capacities threads in
+        let s = Multires.solve t in
+        let rr = Multires.round_robin t in
+        Stats.Online.add acc (s.total /. s.bound);
+        Stats.Online.add acc_rr (rr.total /. rr.bound)
+      done;
+      line "%-10d %12.4f %12.4f" nr (Stats.Online.mean acc) (Stats.Online.mean acc_rr))
+    [ 1; 2; 3; 4 ]
+
+(* ---------- driver ---------- *)
+
+let all_ids = [ "fig1a"; "fig1b"; "fig2a"; "fig2b"; "fig3a"; "fig3b"; "fig3c" ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    if args = [] then
+      all_ids
+      @ [ "tightness"; "timing"; "ablation"; "resolution"; "beyond"; "hetero"; "online"; "multires"; "claims" ]
+    else args
+  in
+  let series = ref [] in
+  let want id = List.mem id args in
+  List.iter
+    (fun id ->
+      if want id then
+        match Figures.find id with
+        | Some spec -> series := run_figure spec :: !series
+        | None -> ())
+    all_ids;
+  if want "tightness" then tightness ();
+  if want "timing" then bechamel_timing ();
+  if want "ablation" then ablation ();
+  if want "resolution" then resolution ();
+  if want "beyond" then beyond ();
+  if want "hetero" then hetero ();
+  if want "online" then online ();
+  if want "multires" then multires ();
+  if want "claims" then claims (List.rev !series);
+  line "";
+  line "done."

@@ -1,0 +1,1 @@
+examples/cache_partitioning.ml: Aa_core Aa_numerics Aa_sim Aa_workload Algo2 Array Assignment Cache Format Heuristics Instance Multicore Printf Rng String Superopt

@@ -1,0 +1,1 @@
+examples/cloud_provider.ml: Aa_core Aa_numerics Aa_utility Aa_workload Algo1 Algo2 Array Assignment Cloud Format Heuristics Instance Rng Superopt Utility

@@ -1,0 +1,1 @@
+examples/elastic_datacenter.ml: Aa_core Aa_numerics Aa_workload Algo2 Array Assignment Exact Format Gen Hetero Online Rng Superopt Tightness

@@ -1,0 +1,1 @@
+examples/measured_partitioning.ml: Aa_core Aa_numerics Aa_sim Aa_utility Algo2 Array Bounds Float Format Instance Linearized Llcache Profiler Refine Rng Trace

@@ -1,0 +1,1 @@
+examples/measured_partitioning.mli:

@@ -1,0 +1,1 @@
+examples/multi_resource.ml: Aa_core Aa_numerics Aa_utility Array Float Format List Multires Printf Rng Seq String Utility

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aa_core Aa_numerics Aa_utility Algo2 Array Assignment Bounds Exact Format Instance List Solver Superopt Utility

@@ -1,0 +1,1 @@
+examples/web_hosting.ml: Aa_core Aa_numerics Aa_sim Algo2 Array Assignment Format Heuristics Hosting Instance Rng

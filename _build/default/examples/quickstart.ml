@@ -1,0 +1,63 @@
+(* Quickstart: define utilities, build an AA instance, run the paper's
+   algorithms and check the result against the exact optimum.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Aa_utility
+open Aa_core
+
+let () =
+  (* Two servers with 10 units of resource each, five threads with
+     different concave utility shapes. *)
+  let cap = 10.0 in
+  let utilities =
+    [|
+      (* a thread that loves its first units of resource *)
+      Utility.Shapes.power ~cap ~coeff:4.0 ~beta:0.5;
+      (* a logarithmic thread *)
+      Utility.Shapes.log_utility ~cap ~coeff:3.0 ~rate:1.0;
+      (* saturating: near its peak after ~4 units *)
+      Utility.Shapes.saturating ~cap ~limit:8.0 ~halfway:2.0;
+      (* wants exactly 6 units, nothing more *)
+      Utility.Shapes.capped_linear ~cap ~slope:1.5 ~knee:6.0;
+      (* linear: every unit worth the same *)
+      Utility.Shapes.linear ~cap ~slope:0.8;
+    |]
+  in
+  let inst = Instance.create ~servers:2 ~capacity:cap utilities in
+  Format.printf "%a@.@." Instance.pp inst;
+
+  (* The super-optimal allocation pools all resources (Definition V.1):
+     its utility upper-bounds any real assignment. *)
+  let so = Superopt.compute inst in
+  Format.printf "super-optimal utility (upper bound) F^ = %.4f@." so.utility;
+  Array.iteri (fun i c -> Format.printf "  thread %d: c^_%d = %.3f@." i i c) so.chat;
+
+  (* Algorithm 2: the paper's fast 0.828-approximation. *)
+  let a2 = Algo2.solve inst in
+  let cert = Bounds.certify inst so a2 in
+  Format.printf "@.Algorithm 2 assignment:@.%a" Assignment.pp a2;
+  Format.printf "utility = %.4f (%.2f%% of the upper bound; guarantee alpha = %.4f: %s)@."
+    cert.achieved (100.0 *. cert.ratio) Bounds.alpha
+    (if cert.meets_guarantee then "met" else "VIOLATED");
+
+  (* This instance is small enough to solve exactly. *)
+  let exact = Exact.solve inst in
+  Format.printf "@.exact optimum F* = %.4f; Algorithm 2 achieved %.2f%% of it@."
+    exact.utility
+    (100.0 *. cert.achieved /. exact.utility);
+
+  (* Feasibility is checkable for any assignment. *)
+  (match Assignment.check inst a2 with
+  | Ok () -> Format.printf "assignment is feasible@."
+  | Error e -> Format.printf "INFEASIBLE: %s@." e);
+
+  (* Compare against the four baseline heuristics of Section VII. *)
+  let rng = Aa_numerics.Rng.create ~seed:7 () in
+  Format.printf "@.baseline heuristics:@.";
+  List.iter
+    (fun algo ->
+      let a = Solver.solve ~rng algo inst in
+      Format.printf "  %-6s utility = %.4f@." (Solver.name algo)
+        (Assignment.utility inst a))
+    [ Solver.Uu; Solver.Ur; Solver.Ru; Solver.Rr ]

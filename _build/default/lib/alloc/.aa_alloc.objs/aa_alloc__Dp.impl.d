@@ -1,0 +1,1 @@
+lib/alloc/dp.ml: Aa_utility Array Float Utility

@@ -1,0 +1,1 @@
+lib/alloc/dp.mli: Aa_utility

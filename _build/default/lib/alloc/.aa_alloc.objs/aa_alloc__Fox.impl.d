@@ -1,0 +1,1 @@
+lib/alloc/fox.ml: Aa_numerics Aa_utility Array Float Fun Heap Util Utility

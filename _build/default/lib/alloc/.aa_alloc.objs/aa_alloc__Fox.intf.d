@@ -1,0 +1,1 @@
+lib/alloc/fox.mli: Aa_utility

@@ -1,0 +1,1 @@
+lib/alloc/galil.ml: Aa_numerics Aa_utility Array Float Fox Fun Root Util Utility

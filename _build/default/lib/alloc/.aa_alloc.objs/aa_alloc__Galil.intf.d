@@ -1,0 +1,1 @@
+lib/alloc/galil.mli: Aa_utility

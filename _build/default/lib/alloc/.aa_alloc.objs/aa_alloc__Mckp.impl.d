@@ -1,0 +1,1 @@
+lib/alloc/mckp.ml: Aa_numerics Aa_utility Array Float List Option Utility

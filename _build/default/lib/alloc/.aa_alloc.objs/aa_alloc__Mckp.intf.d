@@ -1,0 +1,1 @@
+lib/alloc/mckp.mli: Aa_utility

@@ -1,0 +1,1 @@
+lib/alloc/plc_greedy.ml: Aa_numerics Aa_utility Array Float Fun Plc Util

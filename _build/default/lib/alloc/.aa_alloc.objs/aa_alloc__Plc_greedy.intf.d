@@ -1,0 +1,1 @@
+lib/alloc/plc_greedy.mli: Aa_utility

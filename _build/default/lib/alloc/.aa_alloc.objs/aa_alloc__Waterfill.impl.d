@@ -1,0 +1,1 @@
+lib/alloc/waterfill.ml: Aa_numerics Aa_utility Array Float Fun Root Util Utility

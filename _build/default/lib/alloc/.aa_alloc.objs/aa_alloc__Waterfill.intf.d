@@ -1,0 +1,1 @@
+lib/alloc/waterfill.mli: Aa_utility

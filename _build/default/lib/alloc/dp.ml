@@ -1,0 +1,51 @@
+open Aa_utility
+
+type result = { alloc : int array; utility : float }
+
+let allocate_values ~budget values =
+  if budget < 0 then invalid_arg "Dp.allocate_values: negative budget";
+  let n = Array.length values in
+  Array.iter
+    (fun row -> if Array.length row = 0 then invalid_arg "Dp.allocate_values: empty row")
+    values;
+  let value i u =
+    let row = values.(i) in
+    row.(min u (Array.length row - 1))
+  in
+  (* best.(b) = max utility using the first i threads and b units;
+     choice.(i).(b) = units granted to thread i in that optimum. *)
+  let best = Array.make (budget + 1) 0.0 in
+  let choice = Array.make_matrix n (budget + 1) 0 in
+  for i = 0 to n - 1 do
+    let prev = Array.copy best in
+    for b = 0 to budget do
+      let top = ref (prev.(b) +. value i 0) in
+      choice.(i).(b) <- 0;
+      for u = 1 to b do
+        let cand = prev.(b - u) +. value i u in
+        if cand > !top then begin
+          top := cand;
+          choice.(i).(b) <- u
+        end
+      done;
+      best.(b) <- !top
+    done
+  done;
+  let alloc = Array.make n 0 in
+  let b = ref budget in
+  for i = n - 1 downto 0 do
+    alloc.(i) <- choice.(i).(!b);
+    b := !b - alloc.(i)
+  done;
+  { alloc; utility = best.(budget) }
+
+let allocate ~budget ~unit_size fs =
+  if not (unit_size > 0.0) then invalid_arg "Dp.allocate: unit_size must be positive";
+  let values =
+    Array.map
+      (fun f ->
+        Array.init (budget + 1) (fun u ->
+            Utility.eval f (Float.min (float_of_int u *. unit_size) (Utility.cap f))))
+      fs
+  in
+  allocate_values ~budget values

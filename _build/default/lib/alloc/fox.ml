@@ -1,0 +1,45 @@
+open Aa_numerics
+open Aa_utility
+
+type result = { alloc : int array; utility : float }
+
+let utility_of_units ~unit_size f units =
+  Utility.eval f (Float.min (float_of_int units *. unit_size) (Utility.cap f))
+
+let max_units ~unit_size f = int_of_float (Float.ceil (Utility.cap f /. unit_size))
+
+(* Heap entries: (marginal gain of the next unit, thread, units held).
+   Larger gain first; ties by thread index for determinism. *)
+let cmp (g1, t1, _) (g2, t2, _) =
+  match compare (g1 : float) g2 with 0 -> compare t2 t1 | c -> c
+
+let allocate ~budget ~unit_size fs =
+  if budget < 0 then invalid_arg "Fox.allocate: negative budget";
+  if not (unit_size > 0.0) then invalid_arg "Fox.allocate: unit_size must be positive";
+  let n = Array.length fs in
+  let alloc = Array.make n 0 in
+  let heap = Heap.Poly.create ~cmp in
+  let marginal i units =
+    utility_of_units ~unit_size fs.(i) (units + 1) -. utility_of_units ~unit_size fs.(i) units
+  in
+  for i = 0 to n - 1 do
+    if max_units ~unit_size fs.(i) > 0 then Heap.Poly.push heap (marginal i 0, i, 0)
+  done;
+  let remaining = ref budget in
+  while !remaining > 0 && not (Heap.Poly.is_empty heap) do
+    let gain, i, units = Heap.Poly.pop heap in
+    if units <> alloc.(i) then () (* stale entry: drop *)
+    else begin
+      ignore gain;
+      alloc.(i) <- units + 1;
+      decr remaining;
+      if alloc.(i) < max_units ~unit_size fs.(i) then
+        Heap.Poly.push heap (marginal i alloc.(i), i, alloc.(i))
+    end
+  done;
+  let utility =
+    Util.sum_by
+      (fun i -> utility_of_units ~unit_size fs.(i) alloc.(i))
+      (Array.init n Fun.id)
+  in
+  { alloc; utility }

@@ -1,0 +1,23 @@
+(** Fox's greedy algorithm for discrete single-pool allocation.
+
+    The resource comes in [budget] indivisible units; thread [i]'s utility
+    is [Utility.eval f_i] at integer allocations. For concave utilities,
+    repeatedly granting one unit to the thread with the largest marginal
+    gain is optimal (Fox 1966, reference [12] of the paper). A binary heap
+    brings the cost to [O(budget * log n)] — the [O(nC)] bound quoted in
+    the paper is for the naive scan. *)
+
+type result = {
+  alloc : int array;  (** units granted to each thread *)
+  utility : float;
+}
+
+val allocate : budget:int -> unit_size:float -> Aa_utility.Utility.t array -> result
+(** [allocate ~budget ~unit_size fs] distributes [budget] units, each
+    worth [unit_size] resource, to maximize total utility; thread [i]
+    receives at most [ceil (cap f_i / unit_size)] units and its utility
+    is evaluated at [min (units * unit_size) (cap f_i)]. Requires
+    [budget >= 0], [unit_size > 0]. *)
+
+val utility_of_units : unit_size:float -> Aa_utility.Utility.t -> int -> float
+(** Utility of holding a given number of units. *)

@@ -1,0 +1,65 @@
+open Aa_numerics
+open Aa_utility
+
+type result = { alloc : int array; utility : float; lambda : float }
+
+let allocate ?(iters = 100) ~budget ~unit_size fs =
+  if budget < 0 then invalid_arg "Galil.allocate: negative budget";
+  if not (unit_size > 0.0) then invalid_arg "Galil.allocate: unit_size must be positive";
+  let n = Array.length fs in
+  let value i u = Fox.utility_of_units ~unit_size fs.(i) u in
+  let max_units i = int_of_float (Float.ceil (Utility.cap fs.(i) /. unit_size)) in
+  (* Marginal gain of thread i's u-th unit (1-based); nonincreasing in u. *)
+  let marginal i u = value i u -. value i (u - 1) in
+  (* Units demanded at price lambda: the largest u with marginal u >= lambda. *)
+  let demand i lambda =
+    let hi = max_units i in
+    if hi = 0 || marginal i 1 < lambda then 0
+    else if marginal i hi >= lambda then hi
+    else Root.bisect_int ~f:(fun u -> marginal i (u + 1) < lambda) ~lo:1 ~hi:(hi - 1)
+  in
+  let total_demand lambda =
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      acc := !acc + demand i lambda
+    done;
+    !acc
+  in
+  let all_units = total_demand 0.0 in
+  if all_units <= budget then begin
+    let alloc = Array.init n max_units in
+    let utility = Util.sum_by (fun i -> value i alloc.(i)) (Array.init n Fun.id) in
+    { alloc; utility; lambda = 0.0 }
+  end
+  else begin
+    (* Bracket and bisect the clearing price. *)
+    let hi = ref 1.0 in
+    let tries = ref 0 in
+    while total_demand !hi > budget && !tries < 200 do
+      hi := !hi *. 2.0;
+      incr tries
+    done;
+    let lambda =
+      Root.bisect ~iters
+        ~f:(fun l -> float_of_int (total_demand l) -. float_of_int budget)
+        ~lo:0.0 ~hi:!hi ()
+    in
+    (* Demands just above the clearing price fit in the budget; the gap is
+       filled by units whose marginal sits on the plateau at [lambda]. *)
+    let price_above = (lambda *. (1.0 +. 1e-9)) +. 1e-300 in
+    let price_below = Float.max 0.0 (lambda *. (1.0 -. 1e-9)) in
+    let alloc = Array.init n (fun i -> demand i price_above) in
+    let used = Array.fold_left ( + ) 0 alloc in
+    let remaining = ref (budget - used) in
+    let i = ref 0 in
+    while !remaining > 0 && !i < n do
+      let target = demand !i price_below in
+      while !remaining > 0 && alloc.(!i) < target do
+        alloc.(!i) <- alloc.(!i) + 1;
+        decr remaining
+      done;
+      incr i
+    done;
+    let utility = Util.sum_by (fun i -> value i alloc.(i)) (Array.init n Fun.id) in
+    { alloc; utility; lambda }
+  end

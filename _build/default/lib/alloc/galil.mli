@@ -1,0 +1,18 @@
+(** Galil-style discrete allocation by binary search on the marginal
+    price (reference [16] of the paper).
+
+    Solves the same discrete problem as {!Fox} but in
+    [O(n (log budget)(log precision))] instead of [O(budget log n)]:
+    bisect the marginal price [λ]; each thread's demand at a price is
+    found by binary search over its (nonincreasing) marginal gains; the
+    residual plateau at the critical price is granted unit-by-unit. This
+    is the [O(n (log mC)^2)]-flavor primitive that makes Algorithm 2's
+    overall bound possible. *)
+
+type result = { alloc : int array; utility : float; lambda : float }
+
+val allocate :
+  ?iters:int -> budget:int -> unit_size:float -> Aa_utility.Utility.t array -> result
+(** Same contract as {!Fox.allocate}; [iters] (default 100) bounds the
+    price bisection. For concave utilities the result utility equals
+    Fox's (allocations may differ within plateau ties). *)

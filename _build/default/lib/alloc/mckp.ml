@@ -1,0 +1,185 @@
+open Aa_utility
+
+type item = { weight : int; value : float }
+type klass = item list
+type solution = { choice : (int * float) array; weight : int; value : float }
+
+let validate ~budget classes =
+  if budget < 0 then invalid_arg "Mckp: negative budget";
+  Array.iter
+    (List.iter (fun (it : item) ->
+         if it.weight < 0 then invalid_arg "Mckp: negative weight";
+         if it.value < 0.0 then invalid_arg "Mckp: negative value"))
+    classes
+
+(* Items at or under budget, with the implicit (0,0) choice. *)
+let usable ~budget klass =
+  ({ weight = 0; value = 0.0 } : item)
+  :: List.filter (fun (it : item) -> it.weight <= budget) klass
+
+let dp ~budget classes =
+  validate ~budget classes;
+  let n = Array.length classes in
+  let best = Array.make (budget + 1) 0.0 in
+  let pick = Array.make_matrix n (budget + 1) (0, 0.0) in
+  for i = 0 to n - 1 do
+    let items = usable ~budget classes.(i) in
+    let prev = Array.copy best in
+    for b = 0 to budget do
+      best.(b) <- Float.neg_infinity;
+      List.iter
+        (fun (it : item) ->
+          if it.weight <= b then begin
+            let cand = prev.(b - it.weight) +. it.value in
+            if cand > best.(b) then begin
+              best.(b) <- cand;
+              pick.(i).(b) <- (it.weight, it.value)
+            end
+          end)
+        items
+    done
+  done;
+  let choice = Array.make n (0, 0.0) in
+  let b = ref budget in
+  for i = n - 1 downto 0 do
+    choice.(i) <- pick.(i).(!b);
+    b := !b - fst choice.(i)
+  done;
+  let weight = Array.fold_left (fun acc (w, _) -> acc + w) 0 choice in
+  { choice; weight; value = best.(budget) }
+
+(* LP-dominance pruning: sort by weight; drop dominated items (heavier
+   but not more valuable); drop LP-dominated items (below the upper hull
+   of (weight, value)), leaving strictly decreasing incremental ratios. *)
+let hull klass =
+  let items =
+    List.sort
+      (fun (a : item) (b : item) -> compare (a.weight, a.value) (b.weight, b.value))
+      klass
+  in
+  let undominated =
+    List.fold_left
+      (fun (acc : item list) (it : item) ->
+        match acc with
+        (* same weight: the later item has the larger value (sort order) *)
+        | prev :: rest when it.weight = prev.weight -> it :: rest
+        | prev :: _ when it.value <= prev.value -> acc
+        | _ -> it :: acc)
+      [] items
+    |> List.rev
+  in
+  let ratio (a : item) (b : item) = (b.value -. a.value) /. float_of_int (b.weight - a.weight) in
+  (* Already-concave classes (the AA case) are kept verbatim: pruning
+     near-collinear points on float noise would coarsen the weight steps
+     and cost the greedy its exactness on concave complete classes. *)
+  let already_concave =
+    let rec check = function
+      | a :: (b :: c :: _ as tail) ->
+          let r1 = ratio a b and r2 = ratio b c in
+          r2 <= r1 +. (1e-9 *. Float.max 1.0 (Float.abs r1)) && check tail
+      | _ -> true
+    in
+    check undominated
+  in
+  if already_concave then undominated
+  else
+    (* upper hull over (weight, value); the weight-0 base element comes
+       from [usable]'s implicit item (possibly upgraded to a real
+       weight-0 item during deduplication), so the fold must NOT seed
+       another one *)
+    List.fold_left
+      (fun (acc : item list) (it : item) ->
+        let rec pop : item list -> item list = function
+          | b :: a :: rest when ratio a b <= ratio b it -> pop (a :: rest)
+          | stack -> stack
+        in
+        it :: pop acc)
+      [] undominated
+    |> List.rev
+
+let greedy ~budget classes =
+  validate ~budget classes;
+  let n = Array.length classes in
+  let hulls = Array.map (fun k -> Array.of_list (hull (usable ~budget k))) classes in
+  (* level.(i): index into hulls.(i) currently chosen (0 = nothing).
+     Classic pointer greedy: repeatedly advance, over all still-open
+     classes, the one whose next increment has the best value/weight
+     ratio; a class whose next increment does not fit is closed (later
+     increments only cost more, since levels are cumulative). Immune to
+     float noise in ratio ties, unlike a global pre-sort of steps. *)
+  let level = Array.make n 0 in
+  let open_class = Array.make n true in
+  let remaining = ref budget in
+  let next_ratio i =
+    let k = level.(i) + 1 in
+    if (not open_class.(i)) || k >= Array.length hulls.(i) then None
+    else begin
+      let dw = hulls.(i).(k).weight - hulls.(i).(k - 1).weight in
+      let dv = hulls.(i).(k).value -. hulls.(i).(k - 1).value in
+      Some (dv /. float_of_int dw, dw)
+    end
+  in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let best = ref None in
+    for i = 0 to n - 1 do
+      match next_ratio i with
+      | None -> ()
+      | Some (r, dw) -> (
+          match !best with
+          | Some (r', _, _) when r' >= r -> ()
+          | _ -> best := Some (r, i, dw))
+    done;
+    match !best with
+    | None -> ()
+    | Some (_, i, dw) ->
+        if dw <= !remaining then begin
+          level.(i) <- level.(i) + 1;
+          remaining := !remaining - dw;
+          progress := true
+        end
+        else begin
+          open_class.(i) <- false;
+          progress := true
+        end
+  done;
+  let value_of lv = Array.mapi (fun i k -> hulls.(i).(k).value) lv in
+  let greedy_value = Aa_numerics.Util.kahan_sum (value_of level) in
+  (* 1/2-approximation safeguard: compare against the best single item *)
+  let best_single = ref None in
+  Array.iteri
+    (fun i k ->
+      List.iter
+        (fun (it : item) ->
+          if it.weight <= budget then
+            match !best_single with
+            | Some (_, _, v) when v >= it.value -> ()
+            | _ -> best_single := Some (i, it, it.value))
+        k)
+    classes;
+  let use_single =
+    match !best_single with Some (_, _, v) when v > greedy_value -> true | _ -> false
+  in
+  let choice =
+    if use_single then begin
+      let i0, it, _ = Option.get !best_single in
+      Array.init n (fun i -> if i = i0 then (it.weight, it.value) else (0, 0.0))
+    end
+    else Array.mapi (fun i k -> (hulls.(i).(k).weight, hulls.(i).(k).value)) level
+  in
+  let weight = Array.fold_left (fun acc (w, _) -> acc + w) 0 choice in
+  let value = Aa_numerics.Util.kahan_sum (Array.map snd choice) in
+  { choice; weight; value }
+
+let of_utility ~steps u =
+  if steps < 1 then invalid_arg "Mckp.of_utility: steps must be >= 1";
+  let cap = Utility.cap u in
+  List.init steps (fun k ->
+      let w = k + 1 in
+      ({ weight = w; value = Utility.eval u (cap *. float_of_int w /. float_of_int steps) }
+        : item))
+
+let best_of_utilities ~solver ~steps us =
+  let classes = Array.map (of_utility ~steps) us in
+  solver ~budget:steps classes

@@ -1,0 +1,50 @@
+(** Multiple-choice knapsack (MCKP), the discrete relative of
+    single-server AA (paper §II): one item is picked from every class
+    subject to a weight budget, maximizing total value. A utility
+    function discretized at a grid of allocations is exactly a class, so
+    MCKP solvers double as single-server AA solvers and cross-check the
+    continuous allocators.
+
+    Two solvers: exact DP ([O(total_items * budget)]) and the classic
+    greedy over LP-dominance-pruned incremental items (Kellerer [17] /
+    Gens–Levner [18]) — a 1/2-approximation in general and {e optimal}
+    when every class is concave (incremental ratios nonincreasing), which
+    is the case for classes derived from concave utilities. *)
+
+type item = { weight : int; value : float }
+(** Weights are nonnegative integers; values nonnegative. *)
+
+type klass = item list
+(** One choice set. An implicit [(0, 0.)] "take nothing" item is always
+    available, so empty classes are allowed. *)
+
+type solution = {
+  choice : (int * float) array;
+      (** per class, the chosen (weight, value); (0, 0.) when nothing *)
+  weight : int;
+  value : float;
+}
+
+val dp : budget:int -> klass array -> solution
+(** Exact optimum. Requires [budget >= 0] and item weights within
+    [[0, budget]] (heavier items are ignored). *)
+
+val greedy : budget:int -> klass array -> solution
+(** Dominance-pruned greedy. Optimal for classes that are concave {e and
+    complete} (an item at every weight step — the condition the paper
+    highlights in §II: "the ratios … in each item class is concave and
+    there are items for every weight"), as produced by {!of_utility};
+    at least half the optimum in general (the classic bound, restored by
+    comparing with the best single item). *)
+
+val of_utility : steps:int -> Aa_utility.Utility.t -> klass
+(** Discretize a utility at [steps] evenly spaced allocations
+    (weight [k] = [k/steps] of the domain), yielding a concave class. *)
+
+val best_of_utilities :
+  solver:(budget:int -> klass array -> solution) ->
+  steps:int ->
+  Aa_utility.Utility.t array ->
+  solution
+(** Single-server AA through the MCKP lens: discretize every utility with
+    a shared grid of [steps] weights spanning one server, then solve. *)

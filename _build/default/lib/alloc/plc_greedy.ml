@@ -1,0 +1,59 @@
+open Aa_numerics
+open Aa_utility
+
+type result = { alloc : float array; utility : float; lambda : float }
+
+type piece = { thread : int; len : float; slope : float }
+
+let total_utility fs alloc =
+  if Array.length fs <> Array.length alloc then
+    invalid_arg "Plc_greedy.total_utility: length mismatch";
+  Util.sum_by (fun i -> Plc.eval fs.(i) alloc.(i)) (Array.init (Array.length fs) Fun.id)
+
+let allocate ?(exhaust = true) ~budget fs =
+  if budget < 0.0 then invalid_arg "Plc_greedy.allocate: negative budget";
+  let n = Array.length fs in
+  let pieces = ref [] in
+  for i = 0 to n - 1 do
+    Array.iter
+      (fun (s : Plc.segment) ->
+        if s.slope > 0.0 then
+          pieces := { thread = i; len = s.x1 -. s.x0; slope = s.slope } :: !pieces)
+      (Plc.segments fs.(i))
+  done;
+  let pieces = Array.of_list !pieces in
+  (* Highest slope first; ties resolved by thread index for determinism.
+     Within one thread slopes strictly decrease, so this order also fills
+     each thread's segments left to right. *)
+  Array.sort
+    (fun a b ->
+      match compare b.slope a.slope with 0 -> compare a.thread b.thread | c -> c)
+    pieces;
+  let alloc = Array.make n 0.0 in
+  let remaining = ref budget in
+  let lambda = ref 0.0 in
+  (try
+     Array.iter
+       (fun p ->
+         if !remaining <= 0.0 then raise Exit;
+         let take = Float.min p.len !remaining in
+         alloc.(p.thread) <- alloc.(p.thread) +. take;
+         remaining := !remaining -. take;
+         if take > 0.0 then lambda := p.slope)
+       pieces
+   with Exit -> ());
+  if exhaust && !remaining > 0.0 then begin
+    (* Hand out the leftover on flat regions, in index order. *)
+    let i = ref 0 in
+    while !remaining > 0.0 && !i < n do
+      let headroom = Plc.cap fs.(!i) -. alloc.(!i) in
+      let take = Float.min headroom !remaining in
+      if take > 0.0 then begin
+        alloc.(!i) <- alloc.(!i) +. take;
+        remaining := !remaining -. take
+      end;
+      incr i
+    done
+  end;
+  let lambda = if !remaining > 0.0 then 0.0 else !lambda in
+  { alloc; utility = total_utility fs alloc; lambda }

@@ -1,0 +1,33 @@
+(** Exact single-pool allocation for piecewise-linear concave utilities.
+
+    Solves [max sum_i f_i(c_i)] subject to [sum_i c_i <= budget] and
+    [0 <= c_i <= cap f_i], for PLC utilities, by pouring the budget into
+    linear segments in order of decreasing slope (the continuous analogue
+    of Fox's greedy, and exact here because each segment's marginal value
+    is constant). Runs in [O(S log S)] for [S] total segments.
+
+    This is the engine behind the paper's super-optimal allocation
+    (Definition V.1) in all experiments. *)
+
+type result = {
+  alloc : float array;  (** optimal allocation per thread *)
+  utility : float;  (** achieved total utility *)
+  lambda : float;
+      (** marginal price: slope of the last (partially) filled positive
+          segment; [0] when the budget covers every useful segment *)
+}
+
+val allocate : ?exhaust:bool -> budget:float -> Aa_utility.Plc.t array -> result
+(** [allocate ~budget fs] returns an optimal allocation.
+
+    [exhaust] (default [true]) controls what happens to budget left over
+    after all positive-slope segments are filled: when true it is handed
+    out on flat segments (in thread-index order) so that the whole budget
+    is used whenever [sum_i cap >= budget] — matching Lemma V.3's
+    [sum ĉ_i = mC]; when false allocations are minimal. The achieved
+    utility is identical either way.
+
+    Requires [budget >= 0]. *)
+
+val total_utility : Aa_utility.Plc.t array -> float array -> float
+(** [total_utility fs alloc] = compensated [sum_i f_i(alloc.(i))]. *)

@@ -1,0 +1,57 @@
+open Aa_numerics
+open Aa_utility
+
+type result = { alloc : float array; utility : float; lambda : float }
+
+let total fs alloc =
+  Util.sum_by (fun i -> Utility.eval fs.(i) alloc.(i)) (Array.init (Array.length fs) Fun.id)
+
+let allocate ?(iters = 200) ~budget fs =
+  if budget < 0.0 then invalid_arg "Waterfill.allocate: negative budget";
+  let n = Array.length fs in
+  let caps = Array.map Utility.cap fs in
+  let cap_sum = Util.kahan_sum caps in
+  if cap_sum <= budget then
+    (* Budget is not binding: everyone gets their cap. *)
+    { alloc = caps; utility = total fs caps; lambda = 0.0 }
+  else begin
+    let demand_sum lambda = Util.sum_by (fun f -> Utility.demand f lambda) fs in
+    (* Bracket the clearing price: demand_sum 0 = cap_sum > budget, and
+       demand_sum is nonincreasing, so double until demand falls below. *)
+    let hi = ref 1.0 in
+    let tries = ref 0 in
+    while demand_sum !hi > budget && !tries < 200 do
+      hi := !hi *. 2.0;
+      incr tries
+    done;
+    let lambda =
+      Root.bisect ~iters ~f:(fun l -> demand_sum l -. budget) ~lo:0.0 ~hi:!hi ()
+    in
+    (* Resolve the plateau: start from demands at a price just above the
+       clearing point (which fit the budget), then pour the leftover
+       toward demands at a price just below it, in index order. *)
+    let price_above = (lambda *. (1.0 +. 1e-12)) +. 1e-300 in
+    let price_below = Float.max 0.0 (lambda *. (1.0 -. 1e-12)) in
+    let alloc = Array.map (fun f -> Utility.demand f price_above) fs in
+    let used = Util.kahan_sum alloc in
+    let remaining = ref (Float.max 0.0 (budget -. used)) in
+    let i = ref 0 in
+    while !remaining > 0.0 && !i < n do
+      let want = Utility.demand fs.(!i) price_below in
+      let take = Float.min (Float.max 0.0 (want -. alloc.(!i))) !remaining in
+      alloc.(!i) <- alloc.(!i) +. take;
+      remaining := !remaining -. take;
+      incr i
+    done;
+    (* Any residual (numeric) slack: fill toward caps. *)
+    let i = ref 0 in
+    while !remaining > 1e-9 *. budget && !i < n do
+      let take = Float.min (caps.(!i) -. alloc.(!i)) !remaining in
+      if take > 0.0 then begin
+        alloc.(!i) <- alloc.(!i) +. take;
+        remaining := !remaining -. take
+      end;
+      incr i
+    done;
+    { alloc; utility = total fs alloc; lambda }
+  end

@@ -1,0 +1,21 @@
+(** Continuous water-filling allocation for arbitrary concave utilities.
+
+    Implements the classic equal-marginal-value characterization behind
+    Galil's [O(n (log C)^2)] single-server algorithm, generalized to any
+    {!Aa_utility.Utility.t}: find a price [λ] such that when every thread
+    takes [demand λ] (the largest allocation whose marginal value still
+    exceeds [λ]) the budget is met, then resolve ties on the marginal
+    plateau. Exact for smooth strictly-concave utilities up to bisection
+    precision; for PLC utilities prefer {!Plc_greedy}, which is exact. *)
+
+type result = {
+  alloc : float array;
+  utility : float;
+  lambda : float;  (** clearing price found by bisection *)
+}
+
+val allocate : ?iters:int -> budget:float -> Aa_utility.Utility.t array -> result
+(** [allocate ~budget fs] computes a water-filling allocation using
+    [iters] bisection steps (default 200). The returned allocation is
+    feasible ([sum <= budget], [0 <= c_i <= cap]) and saturates the
+    budget whenever [sum_i cap_i >= budget]. Requires [budget >= 0]. *)

@@ -1,0 +1,1 @@
+lib/core/algo1.ml: Array Assignment Instance Linearized

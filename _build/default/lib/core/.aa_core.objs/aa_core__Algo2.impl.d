@@ -1,0 +1,1 @@
+lib/core/algo2.ml: Aa_numerics Array Assignment Float Fun Heap Instance Linearized

@@ -1,0 +1,1 @@
+lib/core/algo2.mli: Assignment Instance Linearized

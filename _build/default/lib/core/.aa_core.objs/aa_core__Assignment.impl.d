@@ -1,0 +1,1 @@
+lib/core/assignment.ml: Aa_numerics Aa_utility Array Float Format Fun Instance Printf Util Utility

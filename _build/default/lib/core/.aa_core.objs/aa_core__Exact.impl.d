@@ -1,0 +1,1 @@
+lib/core/exact.ml: Aa_alloc Array Assignment Float Instance Plc_greedy Printf

@@ -1,0 +1,1 @@
+lib/core/hetero.ml: Aa_alloc Aa_numerics Aa_utility Array Assignment Exact Float Fun Heap Instance Plc Plc_greedy Printf Util Utility

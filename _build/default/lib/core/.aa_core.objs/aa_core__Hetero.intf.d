@@ -1,0 +1,1 @@
+lib/core/hetero.mli: Aa_utility Assignment Instance

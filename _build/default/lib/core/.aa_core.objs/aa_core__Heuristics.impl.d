@@ -1,0 +1,1 @@
+lib/core/heuristics.ml: Aa_alloc Aa_numerics Array Assignment Instance Rng

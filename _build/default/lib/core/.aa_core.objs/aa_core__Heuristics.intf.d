@@ -1,0 +1,1 @@
+lib/core/heuristics.mli: Aa_numerics Assignment Instance

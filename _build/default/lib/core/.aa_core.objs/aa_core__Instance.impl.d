@@ -1,0 +1,1 @@
+lib/core/instance.ml: Aa_numerics Aa_utility Array Format Printf Util Utility

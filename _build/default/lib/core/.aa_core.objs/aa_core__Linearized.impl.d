@@ -1,0 +1,1 @@
+lib/core/linearized.ml: Aa_numerics Aa_utility Array Float Instance Plc Superopt Util

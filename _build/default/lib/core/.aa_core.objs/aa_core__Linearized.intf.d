@@ -1,0 +1,1 @@
+lib/core/linearized.mli: Aa_utility Instance Superopt

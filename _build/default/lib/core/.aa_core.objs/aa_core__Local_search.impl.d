@@ -1,0 +1,1 @@
+lib/core/local_search.ml: Aa_alloc Aa_numerics Array Assignment Float Instance List Plc_greedy

@@ -1,0 +1,1 @@
+lib/core/multires.ml: Aa_alloc Aa_numerics Aa_utility Array Float Fun List Plc Plc_greedy Printf Util Utility

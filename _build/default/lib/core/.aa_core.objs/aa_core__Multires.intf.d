@@ -1,0 +1,1 @@
+lib/core/multires.mli: Aa_utility

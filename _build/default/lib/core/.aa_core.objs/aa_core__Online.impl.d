@@ -1,0 +1,1 @@
+lib/core/online.ml: Aa_alloc Aa_numerics Aa_utility Array Assignment Dynvec Float Instance List Plc Plc_greedy Util Utility

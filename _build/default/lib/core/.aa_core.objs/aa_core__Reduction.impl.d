@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Aa_numerics Aa_utility Array Exact Float Instance Plc Util Utility

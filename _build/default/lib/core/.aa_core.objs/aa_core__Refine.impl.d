@@ -1,0 +1,1 @@
+lib/core/refine.ml: Aa_alloc Aa_utility Array Assignment Hetero Instance Plc_greedy

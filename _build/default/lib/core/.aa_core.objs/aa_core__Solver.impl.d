@@ -1,0 +1,1 @@
+lib/core/solver.ml: Aa_numerics Algo1 Algo2 Heuristics Rng String

@@ -1,0 +1,1 @@
+lib/core/solver.mli: Aa_numerics Assignment Instance Linearized

@@ -1,0 +1,1 @@
+lib/core/superopt.ml: Aa_alloc Aa_utility Instance Plc_greedy Waterfill

@@ -1,0 +1,1 @@
+lib/core/superopt.mli: Aa_utility Instance

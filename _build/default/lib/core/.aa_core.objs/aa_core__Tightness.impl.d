@@ -1,0 +1,1 @@
+lib/core/tightness.ml: Aa_utility Instance Plc Utility

@@ -1,0 +1,1 @@
+lib/core/tightness.mli: Instance

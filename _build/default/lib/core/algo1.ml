@@ -1,0 +1,71 @@
+let solve ?linearized (inst : Instance.t) =
+  let lin = match linearized with Some l -> l | None -> Linearized.make inst in
+  let n = Instance.n_threads inst in
+  let m = inst.servers in
+  let remaining = Array.make m inst.capacity in
+  let unassigned = Array.make n true in
+  let server = Array.make n (-1) in
+  let alloc = Array.make n 0.0 in
+  for _ = 1 to n do
+    (* U: unassigned threads that fit their super-optimal allocation on
+       some server. Pick the one with the greatest linearized peak. *)
+    let best_full = ref None in
+    for i = 0 to n - 1 do
+      if unassigned.(i) then begin
+        let th = lin.threads.(i) in
+        for j = 0 to m - 1 do
+          if remaining.(j) >= th.chat then begin
+            let better =
+              match !best_full with
+              | None -> true
+              | Some (i', j', _) ->
+                  let p' = lin.threads.(i').peak in
+                  th.peak > p'
+                  || (th.peak = p'
+                     && (remaining.(j) > remaining.(j')
+                        || (remaining.(j) = remaining.(j') && (i, j) < (i', j'))))
+            in
+            if better then best_full := Some (i, j, th.chat)
+          end
+        done
+      end
+    done;
+    let pick =
+      match !best_full with
+      | Some _ as p -> p
+      | None ->
+          (* No thread fits fully: give some thread all the remaining
+             resource of the server where it is worth the most. *)
+          let best = ref None in
+          for i = 0 to n - 1 do
+            if unassigned.(i) then begin
+              let th = lin.threads.(i) in
+              for j = 0 to m - 1 do
+                let v = Linearized.g_value th remaining.(j) in
+                let better =
+                  match !best with
+                  | None -> true
+                  | Some (i', j', _) ->
+                      let v' =
+                        Linearized.g_value lin.threads.(i') remaining.(j')
+                      in
+                      v > v'
+                      || (v = v'
+                         && (remaining.(j) > remaining.(j')
+                            || (remaining.(j) = remaining.(j') && (i, j) < (i', j'))))
+                in
+                if better then best := Some (i, j, remaining.(j))
+              done
+            end
+          done;
+          !best
+    in
+    match pick with
+    | None -> assert false (* there is always an unassigned thread in the loop *)
+    | Some (i, j, c) ->
+        unassigned.(i) <- false;
+        server.(i) <- j;
+        alloc.(i) <- c;
+        remaining.(j) <- remaining.(j) -. c
+  done;
+  Assignment.make ~server ~alloc

@@ -1,0 +1,17 @@
+(** Algorithm 1 (Section V-B): the [O(m n² + n (log mC)²)]
+    [2(√2−1)]-approximation.
+
+    Repeatedly: if some unassigned thread fits its super-optimal
+    allocation [ĉ_i] on some server (the pair set [U]), assign — among
+    those — the thread with the greatest linearized utility [g_i(ĉ_i)];
+    otherwise assign the (thread, server) pair with the greatest utility
+    [g_i(C_j)] from a server's remaining resource, granting all of it.
+
+    Ties are broken deterministically: larger remaining capacity first,
+    then smaller thread/server index. *)
+
+val solve : ?linearized:Linearized.t -> Instance.t -> Assignment.t
+(** Runs the full pipeline (super-optimal allocation, linearization,
+    greedy assignment). Pass [linearized] to reuse a precomputed
+    linearization. The assignment allocates every thread
+    [min ĉ_i (remaining)] on its chosen server. *)

@@ -1,0 +1,58 @@
+open Aa_numerics
+
+type server_rule = [ `Max_remaining | `Min_remaining | `Round_robin ]
+
+let order ?(tail_resort = true) (lin : Linearized.t) =
+  let n = Array.length lin.threads in
+  let m = lin.instance.servers in
+  let idx = Array.init n Fun.id in
+  let by_peak a b =
+    let pa = lin.threads.(a).peak and pb = lin.threads.(b).peak in
+    match compare pb pa with 0 -> compare a b | c -> c
+  in
+  Array.sort by_peak idx;
+  if tail_resort && n > m then begin
+    let tail = Array.sub idx m (n - m) in
+    let by_slope a b =
+      let sa = lin.threads.(a).slope and sb = lin.threads.(b).slope in
+      match compare sb sa with 0 -> compare a b | c -> c
+    in
+    Array.sort by_slope tail;
+    Array.blit tail 0 idx m (n - m)
+  end;
+  idx
+
+let solve ?linearized ?tail_resort ?(server_rule = `Max_remaining) (inst : Instance.t) =
+  let lin = match linearized with Some l -> l | None -> Linearized.make inst in
+  let n = Instance.n_threads inst in
+  let m = inst.servers in
+  let idx = order ?tail_resort lin in
+  let server = Array.make n (-1) in
+  let alloc = Array.make n 0.0 in
+  let heap = Heap.Indexed.create (Array.make m inst.capacity) in
+  let rr = ref 0 in
+  Array.iter
+    (fun i ->
+      let j =
+        match server_rule with
+        | `Max_remaining -> Heap.Indexed.max_element heap
+        | `Min_remaining ->
+            (* linear scan: ablations need no heap support *)
+            let best = ref 0 in
+            for k = 1 to m - 1 do
+              if Heap.Indexed.priority heap k < Heap.Indexed.priority heap !best then
+                best := k
+            done;
+            !best
+        | `Round_robin ->
+            let j = !rr mod m in
+            incr rr;
+            j
+      in
+      let available = Heap.Indexed.priority heap j in
+      let c = Float.min lin.threads.(i).chat available in
+      server.(i) <- j;
+      alloc.(i) <- c;
+      Heap.Indexed.update heap j (available -. c))
+    idx;
+  Assignment.make ~server ~alloc

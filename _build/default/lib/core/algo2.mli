@@ -1,0 +1,29 @@
+(** Algorithm 2 (Section VI): the faster [O(n (log mC)²)]
+    [2(√2−1)]-approximation.
+
+    Threads are sorted by nonincreasing linearized peak [g_i(ĉ_i)]; the
+    tail beyond the first [m] is re-sorted by nonincreasing ramp slope
+    [g_i(ĉ_i)/ĉ_i]. Threads are then assigned in this order, each to the
+    server with the most remaining resource (a max-heap), receiving
+    [min ĉ_i (remaining)]. *)
+
+type server_rule =
+  [ `Max_remaining  (** the paper's rule *)
+  | `Min_remaining  (** ablation: worst-fit inverted *)
+  | `Round_robin  (** ablation: ignore remaining resource *) ]
+
+val solve :
+  ?linearized:Linearized.t ->
+  ?tail_resort:bool ->
+  ?server_rule:server_rule ->
+  Instance.t ->
+  Assignment.t
+(** [solve inst] runs the full pipeline. [tail_resort] (default true)
+    applies line 2 of the pseudocode — disabling it is the A1 ablation.
+    [server_rule] (default [`Max_remaining]) selects the server choice
+    rule; only the default carries the approximation guarantee. *)
+
+val order : ?tail_resort:bool -> Linearized.t -> int array
+(** The assignment order used by [solve] (exposed for tests): thread
+    indices sorted by peak, tail re-sorted by slope. Deterministic;
+    ties broken by original index. *)

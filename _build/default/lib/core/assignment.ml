@@ -1,0 +1,61 @@
+open Aa_numerics
+open Aa_utility
+
+type t = { server : int array; alloc : float array }
+
+let make ~server ~alloc =
+  if Array.length server <> Array.length alloc then
+    invalid_arg "Assignment.make: server/alloc length mismatch";
+  if Array.length server = 0 then invalid_arg "Assignment.make: empty assignment";
+  { server; alloc }
+
+let n_threads t = Array.length t.server
+
+let server_load (inst : Instance.t) t =
+  let load = Array.make inst.servers 0.0 in
+  Array.iteri (fun i j -> load.(j) <- load.(j) +. t.alloc.(i)) t.server;
+  load
+
+let check ?(eps = 1e-9) (inst : Instance.t) t =
+  let n = Instance.n_threads inst in
+  if n_threads t <> n then
+    Error (Printf.sprintf "assignment covers %d threads, instance has %d" (n_threads t) n)
+  else begin
+    let bad_server =
+      Array.exists (fun j -> j < 0 || j >= inst.servers) t.server
+    in
+    let bad_alloc = Array.exists (fun c -> c < 0.0 || Float.is_nan c) t.alloc in
+    if bad_server then Error "server index out of range"
+    else if bad_alloc then Error "negative or NaN allocation"
+    else begin
+      let load = server_load inst t in
+      let slack = eps *. inst.capacity *. float_of_int n in
+      let over = ref None in
+      Array.iteri
+        (fun j l -> if l > inst.capacity +. slack && !over = None then over := Some (j, l))
+        load;
+      match !over with
+      | Some (j, l) ->
+          Error (Printf.sprintf "server %d overloaded: %.12g > capacity %.12g" j l inst.capacity)
+      | None -> Ok ()
+    end
+  end
+
+let utility (inst : Instance.t) t =
+  Util.sum_by
+    (fun i -> Utility.eval inst.utilities.(i) t.alloc.(i))
+    (Array.init (n_threads t) Fun.id)
+
+let threads_on t j =
+  let out = ref [] in
+  for i = n_threads t - 1 downto 0 do
+    if t.server.(i) = j then out := i :: !out
+  done;
+  !out
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i j -> Format.fprintf ppf "thread %d -> server %d, alloc %.6g@," i j t.alloc.(i))
+    t.server;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** A solution to an AA instance: the server each thread runs on, and the
+    resource it is allocated there (the paper's vector
+    [(r_1, c_1), …, (r_n, c_n)]). *)
+
+type t = {
+  server : int array;  (** [server.(i)]: index in [[0, m-1]] of thread i's server *)
+  alloc : float array;  (** [alloc.(i)]: resource allocated to thread i *)
+}
+
+val make : server:int array -> alloc:float array -> t
+(** Requires the arrays to have equal nonzero length. *)
+
+val n_threads : t -> int
+
+val check : ?eps:float -> Instance.t -> t -> (unit, string) result
+(** Feasibility: one entry per thread, server indices in range,
+    allocations nonnegative, and each server's total allocation at most
+    [capacity] (within [eps] relative slack, default 1e-9 — allocations
+    produced by float arithmetic may overshoot by rounding only). *)
+
+val utility : Instance.t -> t -> float
+(** Total utility [sum_i f_i(c_i)] of the assignment. *)
+
+val server_load : Instance.t -> t -> float array
+(** Resource in use on each server. *)
+
+val threads_on : t -> int -> int list
+(** Threads assigned to the given server, in increasing index order. *)
+
+val pp : Format.formatter -> t -> unit

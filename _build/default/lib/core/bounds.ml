@@ -1,0 +1,13 @@
+let alpha = 2.0 *. (sqrt 2.0 -. 1.0)
+
+type certificate = {
+  achieved : float;
+  superopt : float;
+  ratio : float;
+  meets_guarantee : bool;
+}
+
+let certify inst (so : Superopt.t) assignment =
+  let achieved = Assignment.utility inst assignment in
+  let ratio = if so.utility > 0.0 then achieved /. so.utility else 1.0 in
+  { achieved; superopt = so.utility; ratio; meets_guarantee = ratio >= alpha -. 1e-9 }

@@ -1,0 +1,17 @@
+(** Approximation constants and per-run certificates. *)
+
+val alpha : float
+(** The proven approximation ratio [2(√2 − 1) ≈ 0.8284] (Theorems V.16
+    and VI.1). *)
+
+type certificate = {
+  achieved : float;  (** utility of the assignment under the true utilities *)
+  superopt : float;  (** F̂, the super-optimal upper bound on F* *)
+  ratio : float;  (** achieved / superopt, a lower bound on achieved / F* *)
+  meets_guarantee : bool;  (** ratio >= alpha (up to 1e-9 slack) *)
+}
+
+val certify : Instance.t -> Superopt.t -> Assignment.t -> certificate
+(** Checks an assignment against the paper's guarantee. Because
+    [F* <= F̂], [ratio >= alpha] certifies [achieved >= alpha * F*]
+    without knowing [F*]. *)

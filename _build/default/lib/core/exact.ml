@@ -1,0 +1,83 @@
+open Aa_alloc
+
+let max_threads = 16
+
+type result = { assignment : Assignment.t; utility : float }
+
+let solve ?samples (inst : Instance.t) =
+  let n = Instance.n_threads inst in
+  if n > max_threads then
+    invalid_arg
+      (Printf.sprintf "Exact.solve: %d threads exceeds the limit of %d" n max_threads);
+  let m = inst.servers in
+  let plc = Instance.to_plc ?samples inst in
+  let full = (1 lsl n) - 1 in
+  (* Optimal pooled utility of a thread group within one server. *)
+  let group_value = Array.make (full + 1) Float.nan in
+  let group_alloc = Array.make (full + 1) [||] in
+  let members mask =
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then out := i :: !out
+    done;
+    Array.of_list !out
+  in
+  let value_of mask =
+    if Float.is_nan group_value.(mask) then begin
+      let ids = members mask in
+      let fs = Array.map (fun i -> plc.(i)) ids in
+      let r = Plc_greedy.allocate ~exhaust:false ~budget:inst.capacity fs in
+      group_value.(mask) <- r.utility;
+      group_alloc.(mask) <- r.alloc
+    end;
+    group_value.(mask)
+  in
+  (* dp.(k).(mask): best utility covering [mask] with at most k servers;
+     choice.(k).(mask): the group given its own server in that optimum. *)
+  let servers_needed = min m n in
+  let dp = Array.make_matrix (servers_needed + 1) (full + 1) Float.neg_infinity in
+  let choice = Array.make_matrix (servers_needed + 1) (full + 1) 0 in
+  for k = 0 to servers_needed do
+    dp.(k).(0) <- 0.0
+  done;
+  for k = 1 to servers_needed do
+    for mask = 1 to full do
+      (* Force the group to contain the lowest thread of [mask] so each
+         partition is enumerated once. *)
+      let low = mask land -mask in
+      let rest = mask lxor low in
+      (* iterate over submasks s of rest; group = s | low *)
+      let s = ref rest in
+      let continue = ref true in
+      while !continue do
+        let group = !s lor low in
+        let cand = value_of group +. dp.(k - 1).(mask lxor group) in
+        if cand > dp.(k).(mask) then begin
+          dp.(k).(mask) <- cand;
+          choice.(k).(mask) <- group
+        end;
+        if !s = 0 then continue := false else s := (!s - 1) land rest
+      done
+    done
+  done;
+  (* Reconstruct. *)
+  let server = Array.make n (-1) in
+  let alloc = Array.make n 0.0 in
+  let rec rebuild k mask next_server =
+    if mask <> 0 then begin
+      let group = choice.(k).(mask) in
+      ignore (value_of group);
+      let ids = members group in
+      Array.iteri
+        (fun pos i ->
+          server.(i) <- next_server;
+          alloc.(i) <- group_alloc.(group).(pos))
+        ids;
+      rebuild (k - 1) (mask lxor group) (next_server + 1)
+    end
+  in
+  rebuild servers_needed full 0;
+  (* Threads in no group (can't happen: dp covers full) default to 0 on
+     server 0; guard anyway. *)
+  Array.iteri (fun i j -> if j < 0 then server.(i) <- 0) server;
+  { assignment = Assignment.make ~server ~alloc; utility = dp.(servers_needed).(full) }

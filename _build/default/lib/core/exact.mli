@@ -1,0 +1,25 @@
+(** Exact AA solver for small instances.
+
+    AA is NP-hard even for two servers (Theorem IV.1), so this solver is
+    exponential: it runs a dynamic program over subsets of threads —
+    servers are homogeneous, so a solution is a partition of the threads
+    into at most [m] groups, each group allocated optimally (and exactly,
+    via {!Aa_alloc.Plc_greedy}) within one server's capacity. [O(3^n)]
+    subset-pair enumeration; guarded to [n <= max_threads].
+
+    Used to validate the approximation algorithms and to make the
+    NP-hardness reduction executable. *)
+
+val max_threads : int
+(** Hard limit (16) on instance size accepted by [solve]. *)
+
+type result = {
+  assignment : Assignment.t;
+  utility : float;  (** true optimum F* of the instance *)
+}
+
+val solve : ?samples:int -> Instance.t -> result
+(** [solve inst] computes an optimal assignment. [samples] controls
+    smooth-to-PLC conversion (exact for PLC utilities). Raises
+    [Invalid_argument] when the instance has more than [max_threads]
+    threads. *)

@@ -1,0 +1,71 @@
+open Aa_numerics
+
+let round_robin n m = Array.init n (fun i -> i mod m)
+let random_servers ~rng n m = Array.init n (fun _ -> Rng.int rng m)
+
+(* Divide each server's capacity among its assigned threads with the
+   given splitter (k -> fractions summing to 1). *)
+let allocate_shares (inst : Instance.t) server split =
+  let n = Array.length server in
+  let alloc = Array.make n 0.0 in
+  for j = 0 to inst.servers - 1 do
+    let members = ref [] in
+    for i = n - 1 downto 0 do
+      if server.(i) = j then members := i :: !members
+    done;
+    let members = Array.of_list !members in
+    let k = Array.length members in
+    if k > 0 then begin
+      let fracs = split k in
+      Array.iteri (fun idx i -> alloc.(i) <- inst.capacity *. fracs.(idx)) members
+    end
+  done;
+  alloc
+
+let equal_split k = Array.make k (1.0 /. float_of_int k)
+
+let solve_with (inst : Instance.t) ~place ~split =
+  let n = Instance.n_threads inst in
+  let server = place n inst.servers in
+  let alloc = allocate_shares inst server split in
+  Assignment.make ~server ~alloc
+
+let uu inst = solve_with inst ~place:round_robin ~split:equal_split
+
+let ur ~rng inst =
+  solve_with inst ~place:round_robin ~split:(fun k -> Rng.simplex rng k)
+
+let ru ~rng inst =
+  solve_with inst ~place:(random_servers ~rng) ~split:equal_split
+
+let rr ~rng inst =
+  solve_with inst ~place:(random_servers ~rng) ~split:(fun k -> Rng.simplex rng k)
+
+let best_of_random ?samples ~rng ~tries (inst : Instance.t) =
+  if tries < 1 then invalid_arg "Heuristics.best_of_random: tries must be >= 1";
+  let n = Instance.n_threads inst in
+  let plcs = Instance.to_plc ?samples inst in
+  let best = ref None in
+  for _ = 1 to tries do
+    let server = random_servers ~rng n inst.servers in
+    let alloc = Array.make n 0.0 in
+    let total = ref 0.0 in
+    for j = 0 to inst.servers - 1 do
+      let ids = ref [] in
+      for i = n - 1 downto 0 do
+        if server.(i) = j then ids := i :: !ids
+      done;
+      match !ids with
+      | [] -> ()
+      | ids ->
+          let ids = Array.of_list ids in
+          let fs = Array.map (fun i -> plcs.(i)) ids in
+          let r = Aa_alloc.Plc_greedy.allocate ~exhaust:false ~budget:inst.capacity fs in
+          Array.iteri (fun pos i -> alloc.(i) <- r.alloc.(pos)) ids;
+          total := !total +. r.utility
+    done;
+    match !best with
+    | Some (v, _) when v >= !total -> ()
+    | _ -> best := Some (!total, Assignment.make ~server ~alloc)
+  done;
+  match !best with Some (_, a) -> a | None -> assert false

@@ -1,0 +1,27 @@
+(** The four baseline heuristics of Section VII.
+
+    Naming is [assignment]-[allocation]: the first letter says how threads
+    are placed on servers (Uniform round-robin or Random), the second how
+    each server's capacity is divided among its threads (Uniform equal
+    shares or Random shares from a uniform simplex point). *)
+
+val uu : Instance.t -> Assignment.t
+(** Round-robin placement, equal shares. Deterministic. *)
+
+val ur : rng:Aa_numerics.Rng.t -> Instance.t -> Assignment.t
+(** Round-robin placement, random shares. *)
+
+val ru : rng:Aa_numerics.Rng.t -> Instance.t -> Assignment.t
+(** Uniform-random placement, equal shares. *)
+
+val rr : rng:Aa_numerics.Rng.t -> Instance.t -> Assignment.t
+(** Uniform-random placement, random shares. *)
+
+val best_of_random :
+  ?samples:int -> rng:Aa_numerics.Rng.t -> tries:int -> Instance.t -> Assignment.t
+(** The statistical-sampling approach of Radojković et al. (paper §II,
+    reference [8]): draw [tries] uniform-random placements, allocate each
+    server optimally ({!Aa_alloc.Plc_greedy}), keep the best. No
+    guarantee; quality improves slowly with [tries] (the sample must get
+    lucky on placement), which is exactly the contrast with Algorithm 2
+    the related-work section draws. *)

@@ -1,0 +1,26 @@
+open Aa_numerics
+open Aa_utility
+
+type t = { servers : int; capacity : float; utilities : Utility.t array }
+
+let create ~servers ~capacity utilities =
+  if servers < 1 then invalid_arg "Instance.create: need at least one server";
+  if not (capacity > 0.0) then invalid_arg "Instance.create: capacity must be positive";
+  if Array.length utilities = 0 then invalid_arg "Instance.create: no threads";
+  Array.iteri
+    (fun i f ->
+      if not (Util.approx_equal ~eps:1e-9 (Utility.cap f) capacity) then
+        invalid_arg
+          (Printf.sprintf
+             "Instance.create: thread %d has domain cap %g, expected capacity %g" i
+             (Utility.cap f) capacity))
+    utilities;
+  { servers; capacity; utilities }
+
+let n_threads t = Array.length t.utilities
+let beta t = float_of_int (n_threads t) /. float_of_int t.servers
+let to_plc ?samples t = Array.map (Utility.to_plc ?samples) t.utilities
+
+let pp ppf t =
+  Format.fprintf ppf "AA instance: m=%d servers, C=%g, n=%d threads (β=%.2f)" t.servers
+    t.capacity (n_threads t) (beta t)

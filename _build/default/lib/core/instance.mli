@@ -1,0 +1,27 @@
+(** An AA problem instance (paper Section III): [servers] homogeneous
+    servers with [capacity] resource each, and one utility function per
+    thread, every one defined on [[0, capacity]]. *)
+
+type t = private {
+  servers : int;
+  capacity : float;
+  utilities : Aa_utility.Utility.t array;
+}
+
+val create :
+  servers:int -> capacity:float -> Aa_utility.Utility.t array -> t
+(** Validates: [servers >= 1], [capacity > 0], at least one thread, and
+    every utility's domain cap equals [capacity] (within 1e-9 relative).
+    Raises [Invalid_argument] otherwise. *)
+
+val n_threads : t -> int
+
+val beta : t -> float
+(** Average threads per server, the paper's sweep parameter
+    [β = n / m]. *)
+
+val to_plc : ?samples:int -> t -> Aa_utility.Plc.t array
+(** Every utility as an exact PLC function (identity on PLC utilities;
+    smooth ones are sampled — see {!Aa_utility.Utility.to_plc}). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+open Aa_numerics
+open Aa_utility
+
+type thread = { index : int; chat : float; peak : float; slope : float; g : Plc.t }
+type t = { instance : Instance.t; superopt : Superopt.t; threads : thread array }
+
+let of_superopt (inst : Instance.t) (so : Superopt.t) =
+  let threads =
+    Array.mapi
+      (fun i chat ->
+        (* float accumulation in the pooled allocator can overshoot the
+           domain cap by an ulp; the theory has chat in [0, C] *)
+        let chat = Util.clamp ~lo:0.0 ~hi:inst.capacity chat in
+        let peak = Plc.eval so.plc.(i) chat in
+        let slope =
+          if chat > 0.0 then peak /. chat
+          else if peak > 0.0 then Float.infinity
+          else 0.0
+        in
+        let g =
+          if chat = 0.0 then Plc.constant ~cap:inst.capacity peak
+          else Plc.two_piece ~cap:inst.capacity ~peak ~chat
+        in
+        { index = i; chat; peak; slope; g })
+      so.chat
+  in
+  { instance = inst; superopt = so; threads }
+
+let make ?samples ?exhaust inst = of_superopt inst (Superopt.compute ?samples ?exhaust inst)
+let g_value th x = Plc.eval th.g x
+let superoptimal_utility t = Util.sum_by (fun th -> th.peak) t.threads

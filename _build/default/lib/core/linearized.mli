@@ -1,0 +1,37 @@
+(** The linearized problem of Section V-A.
+
+    Each concave utility [f_i] is replaced by the two-piece function
+    [g_i(x) = (x / ĉ_i) · f_i(ĉ_i)] for [x <= ĉ_i], constant afterwards,
+    where [ĉ_i] is the thread's super-optimal allocation. [g_i] minorizes
+    [f_i] (Lemma V.4) and agrees with it at [ĉ_i], so an [α]-approximate
+    solution of the linearized instance is [α]-approximate for the
+    original (Theorem V.16). *)
+
+type thread = {
+  index : int;
+  chat : float;  (** super-optimal allocation ĉ_i *)
+  peak : float;  (** g_i(ĉ_i) = f_i(ĉ_i) *)
+  slope : float;
+      (** peak / ĉ_i, the ramp slope; [infinity] when [ĉ_i = 0] with
+          positive peak, [0] when the peak is 0 *)
+  g : Aa_utility.Plc.t;  (** the linearized utility *)
+}
+
+type t = {
+  instance : Instance.t;
+  superopt : Superopt.t;
+  threads : thread array;  (** in original thread order *)
+}
+
+val make : ?samples:int -> ?exhaust:bool -> Instance.t -> t
+(** Computes the super-optimal allocation and linearizes every thread. *)
+
+val of_superopt : Instance.t -> Superopt.t -> t
+(** Linearize against an already-computed super-optimal allocation. *)
+
+val g_value : thread -> float -> float
+(** [g_value th x]: the linearized utility of allocating [x]. *)
+
+val superoptimal_utility : t -> float
+(** [F̂] of the linearized instance = [sum_i peak_i] (equals the concave
+    instance's super-optimal utility by construction). *)

@@ -1,0 +1,111 @@
+open Aa_alloc
+
+type stats = { rounds : int; moves : int; swaps : int; initial : float; final : float }
+
+(* Exact pooled value of one server's thread set. *)
+let server_value ~plcs ~capacity members =
+  match members with
+  | [] -> 0.0
+  | _ ->
+      let fs = Array.of_list (List.map (fun i -> plcs.(i)) members) in
+      (Plc_greedy.allocate ~exhaust:false ~budget:capacity fs).utility
+
+let improve ?samples ?(max_rounds = 50) ?(enable_swaps = true) (inst : Instance.t)
+    (a : Assignment.t) =
+  let n = Instance.n_threads inst in
+  let m = inst.servers in
+  let plcs = Instance.to_plc ?samples inst in
+  let server = Array.copy a.server in
+  let members = Array.make m [] in
+  Array.iteri (fun i j -> members.(j) <- i :: members.(j)) server;
+  let value = Array.init m (fun j -> server_value ~plcs ~capacity:inst.capacity members.(j)) in
+  let total () = Aa_numerics.Util.kahan_sum value in
+  let initial = total () in
+  let moves = ref 0 and swaps = ref 0 and rounds = ref 0 in
+  let improved = ref true in
+  while !improved && !rounds < max_rounds do
+    incr rounds;
+    improved := false;
+    (* best single-thread move *)
+    let apply_best_move () =
+      let best = ref None in
+      for i = 0 to n - 1 do
+        let j1 = server.(i) in
+        let without = List.filter (fun k -> k <> i) members.(j1) in
+        let v1_without = server_value ~plcs ~capacity:inst.capacity without in
+        for j2 = 0 to m - 1 do
+          if j2 <> j1 then begin
+            let v2_with = server_value ~plcs ~capacity:inst.capacity (i :: members.(j2)) in
+            let delta = v1_without +. v2_with -. value.(j1) -. value.(j2) in
+            match !best with
+            | Some (d, _, _, _, _) when d >= delta -> ()
+            | _ ->
+                if delta > 1e-9 *. Float.max 1.0 (total ()) then
+                  best := Some (delta, i, j2, v1_without, v2_with)
+          end
+        done
+      done;
+      match !best with
+      | None -> false
+      | Some (_, i, j2, v1_without, v2_with) ->
+          let j1 = server.(i) in
+          members.(j1) <- List.filter (fun k -> k <> i) members.(j1);
+          members.(j2) <- i :: members.(j2);
+          server.(i) <- j2;
+          value.(j1) <- v1_without;
+          value.(j2) <- v2_with;
+          incr moves;
+          true
+    in
+    let apply_best_swap () =
+      if not enable_swaps then false
+      else begin
+        let best = ref None in
+        for i1 = 0 to n - 1 do
+          for i2 = i1 + 1 to n - 1 do
+            let j1 = server.(i1) and j2 = server.(i2) in
+            if j1 <> j2 then begin
+              let m1 = i2 :: List.filter (fun k -> k <> i1) members.(j1) in
+              let m2 = i1 :: List.filter (fun k -> k <> i2) members.(j2) in
+              let v1 = server_value ~plcs ~capacity:inst.capacity m1 in
+              let v2 = server_value ~plcs ~capacity:inst.capacity m2 in
+              let delta = v1 +. v2 -. value.(j1) -. value.(j2) in
+              match !best with
+              | Some (d, _, _, _, _) when d >= delta -> ()
+              | _ ->
+                  if delta > 1e-9 *. Float.max 1.0 (total ()) then
+                    best := Some (delta, i1, i2, v1, v2)
+            end
+          done
+        done;
+        match !best with
+        | None -> false
+        | Some (_, i1, i2, v1, v2) ->
+            let j1 = server.(i1) and j2 = server.(i2) in
+            members.(j1) <- i2 :: List.filter (fun k -> k <> i1) members.(j1);
+            members.(j2) <- i1 :: List.filter (fun k -> k <> i2) members.(j2);
+            server.(i1) <- j2;
+            server.(i2) <- j1;
+            value.(j1) <- v1;
+            value.(j2) <- v2;
+            incr swaps;
+            true
+      end
+    in
+    if apply_best_move () then improved := true
+    else if apply_best_swap () then improved := true
+  done;
+  (* materialize allocations per server *)
+  let alloc = Array.make n 0.0 in
+  for j = 0 to m - 1 do
+    match members.(j) with
+    | [] -> ()
+    | ms ->
+        let ms = Array.of_list ms in
+        let fs = Array.map (fun i -> plcs.(i)) ms in
+        let r = Plc_greedy.allocate ~exhaust:false ~budget:inst.capacity fs in
+        Array.iteri (fun pos i -> alloc.(i) <- r.alloc.(pos)) ms
+  done;
+  let result = Assignment.make ~server ~alloc in
+  ( result,
+    { rounds = !rounds; moves = !moves; swaps = !swaps; initial; final = total () } )

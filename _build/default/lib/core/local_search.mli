@@ -1,0 +1,36 @@
+(** Hill-climbing post-optimizer over thread placements.
+
+    Starting from any assignment, repeatedly apply the best improving
+    {e move} (reassign one thread to another server) or {e swap}
+    (exchange the servers of two threads), evaluating every candidate
+    with exact per-server re-allocation ({!Aa_alloc.Plc_greedy}). This is
+    the standard practical upgrade on top of a constructive algorithm:
+    it cannot leave the [α] guarantee (utility never decreases) and it
+    closes gaps the greedy order locks in — e.g. it repairs the
+    tightness instance of Theorem V.17 from 5/6 to the optimum.
+
+    Cost: a full round is [O(n·m + n²)] candidate evaluations, each a
+    per-server water-filling; intended for moderate [n] or as an offline
+    polish. *)
+
+type stats = {
+  rounds : int;
+  moves : int;  (** single-thread reassignments applied *)
+  swaps : int;  (** pairwise exchanges applied *)
+  initial : float;
+  final : float;
+}
+
+val improve :
+  ?samples:int ->
+  ?max_rounds:int ->
+  ?enable_swaps:bool ->
+  Instance.t ->
+  Assignment.t ->
+  Assignment.t * stats
+(** [improve inst a] hill-climbs from [a] (placement only; allocations
+    are recomputed) until a local optimum or [max_rounds] (default 50)
+    rounds. [enable_swaps] (default true) also tries pairwise swaps —
+    needed to escape placements where no single move helps (the
+    tightness instance). The result is feasible and its utility is at
+    least that of [Refine.per_server inst a]. *)

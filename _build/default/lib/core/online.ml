@@ -1,0 +1,123 @@
+open Aa_numerics
+open Aa_utility
+open Aa_alloc
+
+type resident = { thread : int; mutable plc : Plc.t; mutable alloc : float }
+
+type t = {
+  m : int;
+  c : float;
+  mutable n : int; (* admitted threads *)
+  residents : resident list array; (* per server, newest first *)
+  values : float array; (* current optimal value of each server *)
+  utilities : Utility.t Dynvec.t;
+  servers_of : int Dynvec.t; (* admission order -> server *)
+  departed : bool Dynvec.t;
+}
+
+let create ~servers ~capacity =
+  if servers < 1 then invalid_arg "Online.create: need at least one server";
+  if not (capacity > 0.0) then invalid_arg "Online.create: capacity must be positive";
+  {
+    m = servers;
+    c = capacity;
+    n = 0;
+    residents = Array.make servers [];
+    values = Array.make servers 0.0;
+    utilities = Dynvec.create ();
+    servers_of = Dynvec.create ();
+    departed = Dynvec.create ();
+  }
+
+let servers t = t.m
+let capacity t = t.c
+let n_admitted t = t.n
+
+let is_active t i = i >= 0 && i < t.n && not (Dynvec.get t.departed i)
+
+let n_active t =
+  let k = ref 0 in
+  Dynvec.iter (fun d -> if not d then incr k) t.departed;
+  !k
+
+(* Optimal division of server j's capacity among the given residents;
+   commits the allocations and the server value. *)
+let commit t j residents =
+  match residents with
+  | [] ->
+      t.residents.(j) <- [];
+      t.values.(j) <- 0.0
+  | rs ->
+      let plcs = Array.of_list (List.map (fun r -> r.plc) rs) in
+      let res = Plc_greedy.allocate ~exhaust:false ~budget:t.c plcs in
+      List.iteri (fun k r -> r.alloc <- res.alloc.(k)) rs;
+      t.residents.(j) <- rs;
+      t.values.(j) <- res.utility
+
+let admit ?samples t u =
+  if not (Util.approx_equal ~eps:1e-9 (Utility.cap u) t.c) then
+    invalid_arg "Online.admit: utility domain cap must equal the server capacity";
+  let p = Utility.to_plc ?samples u in
+  (* marginal gain of placing the newcomer on each server *)
+  let best = ref (-1) in
+  let best_gain = ref Float.neg_infinity in
+  for j = 0 to t.m - 1 do
+    let plcs = Array.of_list (p :: List.map (fun r -> r.plc) t.residents.(j)) in
+    let v = (Plc_greedy.allocate ~exhaust:false ~budget:t.c plcs).utility in
+    let gain = v -. t.values.(j) in
+    let emptier =
+      match !best with
+      | -1 -> true
+      | b -> List.length t.residents.(j) < List.length t.residents.(b)
+    in
+    if gain > !best_gain +. 1e-12 || (Util.approx_equal ~eps:1e-12 gain !best_gain && emptier)
+    then begin
+      best := j;
+      best_gain := gain
+    end
+  done;
+  let j = !best in
+  let resident = { thread = t.n; plc = p; alloc = 0.0 } in
+  commit t j (resident :: t.residents.(j));
+  Dynvec.push t.utilities u;
+  Dynvec.push t.servers_of j;
+  Dynvec.push t.departed false;
+  t.n <- t.n + 1;
+  j
+
+let depart t i =
+  if not (is_active t i) then invalid_arg "Online.depart: unknown or departed thread";
+  let j = Dynvec.get t.servers_of i in
+  Dynvec.set t.departed i true;
+  commit t j (List.filter (fun r -> r.thread <> i) t.residents.(j))
+
+let update_utility ?samples t i u =
+  if not (is_active t i) then invalid_arg "Online.update_utility: unknown or departed thread";
+  if not (Util.approx_equal ~eps:1e-9 (Utility.cap u) t.c) then
+    invalid_arg "Online.update_utility: utility domain cap must equal the server capacity";
+  let j = Dynvec.get t.servers_of i in
+  Dynvec.set t.utilities i u;
+  List.iter
+    (fun r -> if r.thread = i then r.plc <- Utility.to_plc ?samples u)
+    t.residents.(j);
+  commit t j t.residents.(j)
+
+let assignment t =
+  if t.n = 0 then invalid_arg "Online.assignment: no threads admitted";
+  let server = Array.init t.n (Dynvec.get t.servers_of) in
+  let alloc = Array.make t.n 0.0 in
+  Array.iteri
+    (fun j _ -> List.iter (fun r -> alloc.(r.thread) <- r.alloc) t.residents.(j))
+    t.residents;
+  Assignment.make ~server ~alloc
+
+let instance t =
+  if t.n = 0 then invalid_arg "Online.instance: no threads admitted";
+  Instance.create ~servers:t.m ~capacity:t.c (Array.init t.n (Dynvec.get t.utilities))
+
+let total_utility t = Util.kahan_sum t.values
+
+let solve_sequence ?samples ~servers ~capacity us =
+  let t = create ~servers ~capacity in
+  Array.iter (fun u -> ignore (admit ?samples t u)) us;
+  assignment t

@@ -1,0 +1,68 @@
+(** Online AA (the paper's second future-work item, §VIII): threads
+    arrive one at a time and must be placed immediately, without
+    migration. Within a server, resources may be re-divided among the
+    threads already there (cache partitions and VM sizes can be adjusted
+    in place; moving a thread cannot).
+
+    The policy is marginal-gain greedy: for each server, compute the
+    optimal (water-filling) value of its resident threads with and
+    without the newcomer, and place the thread where the increase is
+    largest — ties to the emptier server. Each admission costs
+    [O(m · S log S)] where [S] bounds a server's total PLC segments.
+
+    There is no constant competitive ratio for this problem (an
+    adversary can fill servers with low-value threads first); the bench's
+    [online] experiment measures the empirical gap to offline
+    Algorithm 2. *)
+
+type t
+
+val create : servers:int -> capacity:float -> t
+
+val servers : t -> int
+val capacity : t -> float
+val n_admitted : t -> int
+
+val admit : ?samples:int -> t -> Aa_utility.Utility.t -> int
+(** Places one thread, returning the chosen server. The thread's utility
+    must have domain cap equal to the server capacity. Allocations of
+    the chosen server's resident threads are re-optimized. *)
+
+val depart : t -> int -> unit
+(** [depart t i] removes the thread admitted [i]-th (0-based); its
+    server's capacity is re-divided among the remaining residents.
+    Raises [Invalid_argument] for unknown or already-departed threads.
+    Departed threads keep their historical server in {!assignment} but
+    hold 0 resources and contribute nothing to {!total_utility}. *)
+
+val update_utility : ?samples:int -> t -> int -> Aa_utility.Utility.t -> unit
+(** [update_utility t i u] replaces thread [i]'s utility — the paper's
+    "utility functions … may change over time; integrate online
+    performance measurements" (§VIII). The thread stays on its server
+    (no migration); that server's allocations are re-optimized under the
+    new curve. Raises for unknown/departed threads or cap mismatch. *)
+
+val n_active : t -> int
+(** Admitted and not departed. *)
+
+val is_active : t -> int -> bool
+
+val assignment : t -> Assignment.t
+(** Current assignment of all admitted threads, in admission order.
+    Raises [Invalid_argument] if nothing was admitted. *)
+
+val instance : t -> Instance.t
+(** The offline instance formed by the admitted threads (for comparing
+    against offline algorithms). Raises if nothing was admitted. *)
+
+val total_utility : t -> float
+(** Utility of the current assignment. *)
+
+val solve_sequence :
+  ?samples:int ->
+  servers:int ->
+  capacity:float ->
+  Aa_utility.Utility.t array ->
+  Assignment.t
+(** Convenience: admit the whole array in order and return the final
+    assignment. *)

@@ -1,0 +1,25 @@
+open Aa_numerics
+open Aa_utility
+
+let target numbers = Util.kahan_sum numbers
+
+let instance numbers =
+  if Array.length numbers < 2 then invalid_arg "Reduction.instance: need >= 2 numbers";
+  Array.iter
+    (fun c -> if not (c > 0.0) then invalid_arg "Reduction.instance: numbers must be positive")
+    numbers;
+  let capacity = target numbers /. 2.0 in
+  let utilities =
+    Array.map
+      (fun c ->
+        (* f_i(x) = min x c_i, truncated to the server capacity. *)
+        Utility.of_plc
+          (Plc.capped_linear ~cap:capacity ~slope:1.0 ~knee:(Float.min c capacity)))
+      numbers
+  in
+  Instance.create ~servers:2 ~capacity utilities
+
+let partition_exists ?(eps = 1e-9) numbers =
+  let inst = instance numbers in
+  let r = Exact.solve inst in
+  Util.approx_equal ~eps r.utility (target numbers)

@@ -1,0 +1,18 @@
+(** The Partition → AA reduction of Theorem IV.1, executable.
+
+    Given numbers [c_1 … c_n], build an AA instance with two servers of
+    capacity [C = (Σ c_i) / 2] and threads with utilities
+    [f_i(x) = min x c_i]. The numbers admit an equal-sum partition iff
+    the AA optimum equals [Σ c_i]. *)
+
+val instance : float array -> Instance.t
+(** The reduced instance. Requires at least two positive numbers. *)
+
+val target : float array -> float
+(** [Σ c_i], the utility achieved exactly when a partition exists. *)
+
+val partition_exists : ?eps:float -> float array -> bool
+(** Decides Partition by solving the reduced AA instance exactly
+    ({!Exact.solve} — exponential, as it must be unless P = NP).
+    [eps] (default 1e-9) is the relative tolerance for comparing the
+    optimum with the target. Requires [Array.length <= Exact.max_threads]. *)

@@ -1,0 +1,28 @@
+open Aa_alloc
+
+let redivide ~plcs ~capacity_of ~servers (a : Assignment.t) =
+  let n = Assignment.n_threads a in
+  let alloc = Array.make n 0.0 in
+  for j = 0 to servers - 1 do
+    let ids = ref [] in
+    for i = n - 1 downto 0 do
+      if a.server.(i) = j then ids := i :: !ids
+    done;
+    match !ids with
+    | [] -> ()
+    | ids ->
+        let ids = Array.of_list ids in
+        let fs = Array.map (fun i -> plcs.(i)) ids in
+        let r = Plc_greedy.allocate ~exhaust:false ~budget:(capacity_of j) fs in
+        Array.iteri (fun pos i -> alloc.(i) <- r.alloc.(pos)) ids
+  done;
+  Assignment.make ~server:(Array.copy a.server) ~alloc
+
+let per_server ?samples (inst : Instance.t) a =
+  redivide ~plcs:(Instance.to_plc ?samples inst)
+    ~capacity_of:(fun _ -> inst.capacity)
+    ~servers:inst.servers a
+
+let hetero ?samples (t : Hetero.t) a =
+  let plcs = Array.map (Aa_utility.Utility.to_plc ?samples) t.utilities in
+  redivide ~plcs ~capacity_of:(fun j -> t.capacities.(j)) ~servers:(Hetero.n_servers t) a

@@ -1,0 +1,23 @@
+(** Per-server re-allocation post-pass.
+
+    Algorithms 1 and 2 allocate each thread [min ĉ_i (remaining)], which
+    can strand resource on a server even when its threads' utilities are
+    still increasing, and can leave a truncated thread with less than its
+    server-local optimal share. Re-dividing each server's capacity
+    optimally among its assigned threads (placement unchanged) never
+    decreases utility, costs one water-filling per server, and preserves
+    the [α] guarantee.
+
+    The paper's pseudocode omits this step, but its experimental ratios
+    (≥ 0.99 of the super-optimal bound) are only reached with it — see
+    EXPERIMENTS.md and the A1 ablation. The experiment driver applies it
+    to Algorithm 1/2 outputs; the UU/UR/RU/RR baselines are {e not}
+    refined, since their allocation rule is the thing being compared. *)
+
+val per_server : ?samples:int -> Instance.t -> Assignment.t -> Assignment.t
+(** [per_server inst a] keeps [a]'s placement and replaces each server's
+    allocations with an optimal division of its full capacity among its
+    threads ({!Aa_alloc.Plc_greedy}). *)
+
+val hetero : ?samples:int -> Hetero.t -> Assignment.t -> Assignment.t
+(** Same for heterogeneous instances. *)

@@ -1,0 +1,37 @@
+open Aa_numerics
+
+type algo = Algo1 | Algo2 | Uu | Ur | Ru | Rr
+
+let all = [ Algo1; Algo2; Uu; Ur; Ru; Rr ]
+
+let name = function
+  | Algo1 -> "Algo1"
+  | Algo2 -> "Algo2"
+  | Uu -> "UU"
+  | Ur -> "UR"
+  | Ru -> "RU"
+  | Rr -> "RR"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "algo1" -> Some Algo1
+  | "algo2" -> Some Algo2
+  | "uu" -> Some Uu
+  | "ur" -> Some Ur
+  | "ru" -> Some Ru
+  | "rr" -> Some Rr
+  | _ -> None
+
+let is_randomized = function
+  | Algo1 | Algo2 | Uu -> false
+  | Ur | Ru | Rr -> true
+
+let solve ?rng ?linearized algo inst =
+  let rng = match rng with Some r -> r | None -> Rng.create () in
+  match algo with
+  | Algo1 -> Algo1.solve ?linearized inst
+  | Algo2 -> Algo2.solve ?linearized inst
+  | Uu -> Heuristics.uu inst
+  | Ur -> Heuristics.ur ~rng inst
+  | Ru -> Heuristics.ru ~rng inst
+  | Rr -> Heuristics.rr ~rng inst

@@ -1,0 +1,27 @@
+(** Umbrella entry point: one function to run any of the paper's
+    algorithms or baselines on an instance. *)
+
+type algo =
+  | Algo1  (** Section V greedy, [O(mn² + n (log mC)²)] *)
+  | Algo2  (** Section VI heap algorithm, [O(n (log mC)²)] *)
+  | Uu  (** round-robin placement, equal shares *)
+  | Ur  (** round-robin placement, random shares *)
+  | Ru  (** random placement, equal shares *)
+  | Rr  (** random placement, random shares *)
+
+val all : algo list
+(** Every algorithm, in the order above. *)
+
+val name : algo -> string
+(** Short display name ("Algo1", "UU", …). *)
+
+val of_name : string -> algo option
+(** Inverse of [name], case-insensitive. *)
+
+val is_randomized : algo -> bool
+
+val solve : ?rng:Aa_numerics.Rng.t -> ?linearized:Linearized.t -> algo -> Instance.t -> Assignment.t
+(** Runs the chosen algorithm. [rng] is required by the randomized
+    heuristics (defaults to a fresh seed-42 generator). [linearized]
+    lets Algo1/Algo2 reuse a precomputed linearization; others ignore
+    it. *)

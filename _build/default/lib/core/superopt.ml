@@ -1,0 +1,19 @@
+open Aa_alloc
+
+type t = {
+  chat : float array;
+  utility : float;
+  lambda : float;
+  plc : Aa_utility.Plc.t array;
+}
+
+let budget (inst : Instance.t) = float_of_int inst.servers *. inst.capacity
+
+let compute ?samples ?exhaust (inst : Instance.t) =
+  let plc = Instance.to_plc ?samples inst in
+  let r = Plc_greedy.allocate ?exhaust ~budget:(budget inst) plc in
+  { chat = r.alloc; utility = r.utility; lambda = r.lambda; plc }
+
+let compute_waterfill ?iters (inst : Instance.t) =
+  let r = Waterfill.allocate ?iters ~budget:(budget inst) inst.utilities in
+  { chat = r.alloc; utility = r.utility; lambda = r.lambda; plc = Instance.to_plc inst }

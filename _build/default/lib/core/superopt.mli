@@ -1,0 +1,35 @@
+(** The super-optimal allocation (Definition V.1): the best possible
+    division of the {e pooled} resource [m * C] among all threads,
+    ignoring server boundaries. Its utility [F̂] upper-bounds the optimal
+    assignment utility [F*] (Lemma V.2), and its per-thread allocations
+    [ĉ_i] drive the linearization of Section V-A. *)
+
+type t = {
+  chat : float array;  (** super-optimal allocation ĉ_i, in [[0, C]] *)
+  utility : float;  (** F̂ — upper bound on any assignment's utility *)
+  lambda : float;  (** clearing marginal price *)
+  plc : Aa_utility.Plc.t array;
+      (** the exact PLC forms of the instance utilities used to compute
+          the allocation (reused by the algorithms downstream) *)
+}
+
+val compute : ?samples:int -> ?exhaust:bool -> Instance.t -> t
+(** Computes a super-optimal allocation exactly via
+    {!Aa_alloc.Plc_greedy} on the PLC forms of the utilities
+    ([samples] controls smooth-to-PLC conversion, default 64).
+
+    For instances whose utilities are already PLC the result is the exact
+    F̂. For smooth utilities it is the exact F̂ of their PLC minorants,
+    which {e underestimates} the true F̂ by at most the sampling error —
+    so a certificate ratio computed against it can marginally exceed 1.
+    Use {!compute_waterfill} when a numerically tight bound on smooth
+    utilities matters more than exactness.
+
+    [exhaust] (default true) pads allocations along flat segments so that
+    [sum ĉ_i = min (m * C) (n * C)] (Lemma V.3); with [false],
+    allocations are minimal. Utility is unaffected. *)
+
+val compute_waterfill : ?iters:int -> Instance.t -> t
+(** Same quantity computed by continuous water-filling directly on the
+    (possibly smooth) utilities — used to cross-check the PLC path and
+    in the resolution ablation. *)

@@ -1,0 +1,12 @@
+open Aa_utility
+
+let instance () =
+  let cap = 1.0 in
+  let f_steep () = Plc.capped_linear ~cap ~slope:2.0 ~knee:0.5 in
+  let f_linear = Plc.capped_linear ~cap ~slope:1.0 ~knee:cap in
+  Instance.create ~servers:2 ~capacity:cap
+    [| Utility.of_plc (f_steep ()); Utility.of_plc (f_steep ()); Utility.of_plc f_linear |]
+
+let optimal_utility = 3.0
+let algorithm_utility = 2.5
+let expected_ratio = algorithm_utility /. optimal_utility

@@ -1,0 +1,16 @@
+(** The tightness example of Theorem V.17: an instance where Algorithms 1
+    and 2 achieve exactly 5/6 of the optimal utility, showing the
+    [2(√2−1) ≈ 0.828] analysis is nearly tight. *)
+
+val instance : unit -> Instance.t
+(** Two servers with one unit of resource; threads 1 and 2 rise with
+    slope 2 to utility 1 at x = 1/2; thread 3 is linear with slope 1. *)
+
+val optimal_utility : float
+(** 3: threads 1 and 2 share one server, thread 3 gets the other. *)
+
+val algorithm_utility : float
+(** 5/2: the greedy order spreads threads 1 and 2 across both servers. *)
+
+val expected_ratio : float
+(** 5/6 ≈ 0.833, just above the proven bound [2(√2−1) ≈ 0.828]. *)

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Aa_workload Float Gen List Run String

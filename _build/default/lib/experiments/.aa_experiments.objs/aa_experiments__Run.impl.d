@@ -1,0 +1,1 @@
+lib/experiments/run.ml: Aa_core Aa_numerics Algo1 Algo2 Assignment Bounds Float Format Instance Linearized List Refine Rng Solver Stats

@@ -1,0 +1,1 @@
+lib/experiments/run.mli: Aa_core Aa_numerics Format

@@ -1,0 +1,1 @@
+lib/experiments/svg.ml: Array Buffer Float List Printf Run String

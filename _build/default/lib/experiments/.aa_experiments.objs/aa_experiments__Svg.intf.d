@@ -1,0 +1,1 @@
+lib/experiments/svg.mli: Run

@@ -1,0 +1,99 @@
+open Aa_workload
+
+type spec = {
+  id : string;
+  paper : string;
+  description : string;
+  run : trials:int -> seed:int -> Run.series;
+}
+
+let servers = 8
+let capacity = 1000.0
+
+let betas = List.init 15 (fun i -> float_of_int (i + 1))
+
+let build_beta dist ~x rng =
+  let threads = int_of_float (Float.round (x *. float_of_int servers)) in
+  Gen.instance rng ~servers ~capacity ~threads dist
+
+let beta_series dist ~id ~paper ~description =
+  {
+    id;
+    paper;
+    description;
+    run =
+      (fun ~trials ~seed ->
+        Run.run_series ~trials ~seed ~id ~title:description ~xlabel:"beta" ~xs:betas
+          (build_beta dist));
+  }
+
+let fig1a =
+  beta_series Gen.Uniform ~id:"fig1a" ~paper:"Fig. 1(a)"
+    ~description:"uniform distribution, ratio vs beta"
+
+let fig1b =
+  beta_series
+    (Gen.Normal { mu = 1.0; sigma = 1.0 })
+    ~id:"fig1b" ~paper:"Fig. 1(b)" ~description:"normal(1,1) distribution, ratio vs beta"
+
+let fig2a =
+  beta_series
+    (Gen.Power_law { alpha = 2.0 })
+    ~id:"fig2a" ~paper:"Fig. 2(a)" ~description:"power law (alpha=2), ratio vs beta"
+
+let fig2b =
+  {
+    id = "fig2b";
+    paper = "Fig. 2(b)";
+    description = "power law at beta=5, ratio vs alpha";
+    run =
+      (fun ~trials ~seed ->
+        let xs = [ 1.5; 2.0; 2.5; 3.0; 3.5; 4.0 ] in
+        Run.run_series ~trials ~seed ~id:"fig2b" ~title:"power law at beta=5, ratio vs alpha"
+          ~xlabel:"alpha" ~xs
+          (fun ~x rng ->
+            Gen.instance rng ~servers ~capacity ~threads:(5 * servers)
+              (Gen.Power_law { alpha = x })));
+  }
+
+let fig3a =
+  beta_series
+    (Gen.Discrete { gamma = 0.85; theta = 5.0 })
+    ~id:"fig3a" ~paper:"Fig. 3(a)"
+    ~description:"discrete (gamma=0.85, theta=5), ratio vs beta"
+
+let fig3b =
+  {
+    id = "fig3b";
+    paper = "Fig. 3(b)";
+    description = "discrete (theta=5) at beta=5, ratio vs gamma";
+    run =
+      (fun ~trials ~seed ->
+        let xs = List.init 10 (fun i -> 0.05 +. (0.1 *. float_of_int i)) in
+        Run.run_series ~trials ~seed ~id:"fig3b"
+          ~title:"discrete (theta=5) at beta=5, ratio vs gamma" ~xlabel:"gamma" ~xs
+          (fun ~x rng ->
+            Gen.instance rng ~servers ~capacity ~threads:(5 * servers)
+              (Gen.Discrete { gamma = x; theta = 5.0 })));
+  }
+
+let fig3c =
+  {
+    id = "fig3c";
+    paper = "Fig. 3 (theta sweep)";
+    description = "discrete (gamma=0.85) at beta=5, ratio vs theta";
+    run =
+      (fun ~trials ~seed ->
+        let xs = [ 1.0; 2.0; 4.0; 6.0; 8.0; 10.0; 15.0; 20.0 ] in
+        Run.run_series ~trials ~seed ~id:"fig3c"
+          ~title:"discrete (gamma=0.85) at beta=5, ratio vs theta" ~xlabel:"theta" ~xs
+          (fun ~x rng ->
+            Gen.instance rng ~servers ~capacity ~threads:(5 * servers)
+              (Gen.Discrete { gamma = 0.85; theta = x })));
+  }
+
+let all = [ fig1a; fig1b; fig2a; fig2b; fig3a; fig3b; fig3c ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun s -> String.lowercase_ascii s.id = id) all

@@ -1,0 +1,43 @@
+(** One entry per figure of the paper's evaluation (Section VII), per the
+    experiment index in DESIGN.md. All use [m = 8] servers and
+    [C = 1000], as in the paper. *)
+
+type spec = {
+  id : string;  (** DESIGN.md id: "fig1a" … "fig3c" *)
+  paper : string;  (** the paper's figure label *)
+  description : string;
+  run : trials:int -> seed:int -> Run.series;
+}
+
+val servers : int
+(** 8, the paper's fixed server count. *)
+
+val capacity : float
+(** 1000, the paper's per-server resource. *)
+
+val fig1a : spec
+(** Uniform distribution, sweep β = n/m in 1..15. *)
+
+val fig1b : spec
+(** Normal(1,1) distribution, sweep β. *)
+
+val fig2a : spec
+(** Power law with α = 2, sweep β. *)
+
+val fig2b : spec
+(** Power law with β = 5, sweep α in 1.5..4. *)
+
+val fig3a : spec
+(** Discrete(γ = 0.85, θ = 5), sweep β. *)
+
+val fig3b : spec
+(** Discrete(θ = 5), β = 5, sweep γ in 0.05..0.95. *)
+
+val fig3c : spec
+(** Discrete(γ = 0.85), β = 5, sweep θ in 1..20. *)
+
+val all : spec list
+(** The seven figures, in paper order. *)
+
+val find : string -> spec option
+(** Look up by id, case-insensitive. *)

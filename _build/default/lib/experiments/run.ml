@@ -1,0 +1,113 @@
+open Aa_numerics
+open Aa_core
+
+type ratios = { vs_so : float; vs_uu : float; vs_ur : float; vs_ru : float; vs_rr : float }
+
+type point = {
+  x : float;
+  mean : ratios;
+  ci95 : ratios;
+  worst_vs_so : float;
+  algo1_vs_so : float;
+  guarantee_violations : int;
+  trials : int;
+}
+
+type series = { id : string; title : string; xlabel : string; points : point list }
+
+(* One trial: returns the ratios plus Algorithm 1's own ratio. Algorithm
+   1/2 outputs get the per-server re-allocation polish (see Refine);
+   heuristics keep their own allocation rule. *)
+let trial ~rng ~run_algo1 (inst : Instance.t) =
+  let lin = Linearized.make inst in
+  let fhat = lin.superopt.utility in
+  let score a = Assignment.utility inst (Refine.per_server inst a) in
+  let a2 = score (Algo2.solve ~linearized:lin inst) in
+  let a1 = if run_algo1 then score (Algo1.solve ~linearized:lin inst) else Float.nan in
+  let value algo = Assignment.utility inst (Solver.solve ~rng ~linearized:lin algo inst) in
+  let uu = value Solver.Uu in
+  let ur = value Solver.Ur in
+  let ru = value Solver.Ru in
+  let rr = value Solver.Rr in
+  let safe_div a b = if b > 0.0 then a /. b else 1.0 in
+  ( {
+      vs_so = safe_div a2 fhat;
+      vs_uu = safe_div a2 uu;
+      vs_ur = safe_div a2 ur;
+      vs_ru = safe_div a2 ru;
+      vs_rr = safe_div a2 rr;
+    },
+    safe_div a1 fhat )
+
+let run_series ?(trials = 1000) ?(seed = 42) ?(run_algo1 = true) ~id ~title ~xlabel ~xs
+    build =
+  let master = Rng.create ~seed () in
+  let points =
+    List.map
+      (fun x ->
+        let acc_so = Stats.Online.create () in
+        let acc_uu = Stats.Online.create () in
+        let acc_ur = Stats.Online.create () in
+        let acc_ru = Stats.Online.create () in
+        let acc_rr = Stats.Online.create () in
+        let acc_a1 = Stats.Online.create () in
+        let violations = ref 0 in
+        let point_rng = Rng.split master in
+        for _ = 1 to trials do
+          let rng = Rng.split point_rng in
+          let inst = build ~x rng in
+          let run_algo1 = run_algo1 && Instance.n_threads inst <= 400 in
+          let r, a1 = trial ~rng ~run_algo1 inst in
+          Stats.Online.add acc_so r.vs_so;
+          Stats.Online.add acc_uu r.vs_uu;
+          Stats.Online.add acc_ur r.vs_ur;
+          Stats.Online.add acc_ru r.vs_ru;
+          Stats.Online.add acc_rr r.vs_rr;
+          if not (Float.is_nan a1) then Stats.Online.add acc_a1 a1;
+          if r.vs_so < Bounds.alpha -. 1e-9 then incr violations
+        done;
+        let mean =
+          {
+            vs_so = Stats.Online.mean acc_so;
+            vs_uu = Stats.Online.mean acc_uu;
+            vs_ur = Stats.Online.mean acc_ur;
+            vs_ru = Stats.Online.mean acc_ru;
+            vs_rr = Stats.Online.mean acc_rr;
+          }
+        in
+        let half acc = (Stats.Online.summary acc).Stats.ci95 in
+        let ci95 =
+          {
+            vs_so = half acc_so;
+            vs_uu = half acc_uu;
+            vs_ur = half acc_ur;
+            vs_ru = half acc_ru;
+            vs_rr = half acc_rr;
+          }
+        in
+        {
+          x;
+          mean;
+          ci95;
+          worst_vs_so = Stats.Online.min acc_so;
+          algo1_vs_so =
+            (if Stats.Online.count acc_a1 > 0 then Stats.Online.mean acc_a1 else Float.nan);
+          guarantee_violations = !violations;
+          trials;
+        })
+      xs
+  in
+  { id; title; xlabel; points }
+
+let pp_series ppf s =
+  Format.fprintf ppf "@[<v># %s — %s@," s.id s.title;
+  Format.fprintf ppf "# ratios are Algo2 utility / comparator utility (mean over trials)@,";
+  Format.fprintf ppf "%-8s %10s %10s %10s %10s %10s %12s %10s %6s@," s.xlabel "vs_SO"
+    "vs_UU" "vs_UR" "vs_RU" "vs_RR" "worst_vs_SO" "Algo1_SO" "viol";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%-8g %10.4f %10.4f %10.4f %10.4f %10.4f %12.4f %10.4f %6d@,"
+        p.x p.mean.vs_so p.mean.vs_uu p.mean.vs_ur p.mean.vs_ru p.mean.vs_rr
+        p.worst_vs_so p.algo1_vs_so p.guarantee_violations)
+    s.points;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,56 @@
+(** Experiment driver reproducing the paper's Section VII methodology.
+
+    Every trial draws a fresh random instance, solves it with Algorithm 2
+    and with the four heuristics, computes the super-optimal utility F̂,
+    and records the per-trial utility ratios Algorithm 2 / other. Points
+    on a sweep report the mean ratio over all trials (the quantity the
+    paper plots), its 95% confidence half-width, and guarantee
+    diagnostics. Trials use split RNG streams, so results are
+    reproducible for a given seed and independent of trial order. *)
+
+type ratios = {
+  vs_so : float;  (** Algo2 / F̂ — at most 1, paper reports >= 0.99 *)
+  vs_uu : float;
+  vs_ur : float;
+  vs_ru : float;
+  vs_rr : float;
+}
+
+type point = {
+  x : float;  (** sweep coordinate (β, α, γ or θ) *)
+  mean : ratios;
+  ci95 : ratios;
+  worst_vs_so : float;  (** minimum Algo2/F̂ ratio seen in any trial *)
+  algo1_vs_so : float;
+      (** mean Algorithm 1 / F̂ ratio (the paper evaluates only Algorithm
+          2; we track Algorithm 1 to confirm they coincide in quality) *)
+  guarantee_violations : int;
+      (** trials where Algo2 fell below α·F̂ — must be 0 *)
+  trials : int;
+}
+
+type series = {
+  id : string;  (** experiment id from DESIGN.md, e.g. "fig1a" *)
+  title : string;
+  xlabel : string;
+  points : point list;
+}
+
+val run_series :
+  ?trials:int ->
+  ?seed:int ->
+  ?run_algo1:bool ->
+  id:string ->
+  title:string ->
+  xlabel:string ->
+  xs:float list ->
+  (x:float -> Aa_numerics.Rng.t -> Aa_core.Instance.t) ->
+  series
+(** [run_series ~xs build] sweeps [xs], running [trials] (default 1000,
+    the paper's count) per point. [run_algo1] (default true) also scores
+    Algorithm 1 against F̂ (skipped automatically above 400 threads where
+    its O(mn²) scan dominates). *)
+
+val pp_series : Format.formatter -> series -> unit
+(** Table rendering: one row per sweep point, one column per
+    comparator — the data behind the corresponding paper figure. *)

@@ -1,0 +1,150 @@
+type series = { label : string; points : (float * float) list }
+
+type chart = {
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  series : series list;
+  width : int;
+  height : int;
+  y_from_zero : bool;
+}
+
+let default ~title ~xlabel ~ylabel series =
+  { title; xlabel; ylabel; series; width = 640; height = 420; y_from_zero = false }
+
+(* categorical palette, dark-on-white *)
+let colors = [| "#1668a8"; "#c8501e"; "#2b8a3e"; "#8a2be2"; "#b8860b"; "#c2185b" |]
+
+let nice_ticks ~lo ~hi count =
+  if not (lo < hi) then invalid_arg "Svg.nice_ticks: need lo < hi";
+  let count = max 2 count in
+  let raw_step = (hi -. lo) /. float_of_int count in
+  let mag = 10.0 ** Float.floor (log10 raw_step) in
+  let norm = raw_step /. mag in
+  let step = (if norm < 1.5 then 1.0 else if norm < 3.5 then 2.0 else if norm < 7.5 then 5.0 else 10.0) *. mag in
+  let first = Float.ceil (lo /. step) *. step in
+  let rec go acc t =
+    (* the tiny slack only absorbs float error, never adds a tick past hi *)
+    if t > hi +. (1e-9 *. step) then List.rev acc
+    else go ((if Float.abs t < 1e-12 *. step then 0.0 else t) :: acc) (t +. step)
+  in
+  go [] first
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render c =
+  let all_points = List.concat_map (fun s -> s.points) c.series in
+  if all_points = [] then invalid_arg "Svg.render: no data points";
+  let xs = List.map fst all_points and ys = List.map snd all_points in
+  let xmin = List.fold_left Float.min (List.hd xs) xs in
+  let xmax = List.fold_left Float.max (List.hd xs) xs in
+  let ymin0 = List.fold_left Float.min (List.hd ys) ys in
+  let ymax0 = List.fold_left Float.max (List.hd ys) ys in
+  let ymin = if c.y_from_zero then 0.0 else ymin0 in
+  (* pad degenerate ranges so projection stays finite *)
+  let xmin, xmax = if xmax > xmin then (xmin, xmax) else (xmin -. 1.0, xmax +. 1.0) in
+  let ymin, ymax =
+    if ymax0 > ymin then (ymin, ymax0) else (ymin -. 1.0, ymax0 +. 1.0)
+  in
+  let pad = 0.04 *. (ymax -. ymin) in
+  let ymin = (if c.y_from_zero then 0.0 else ymin -. pad) and ymax = ymax +. pad in
+  let left = 62 and right = 160 and top = 40 and bottom = 48 in
+  let pw = float_of_int (c.width - left - right) in
+  let ph = float_of_int (c.height - top - bottom) in
+  let px x = float_of_int left +. (pw *. (x -. xmin) /. (xmax -. xmin)) in
+  let py y = float_of_int top +. (ph *. (1.0 -. ((y -. ymin) /. (ymax -. ymin)))) in
+  let buf = Buffer.create 8192 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d \
+     %d\" font-family=\"sans-serif\">\n"
+    c.width c.height c.width c.height;
+  out "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" c.width c.height;
+  out "<text x=\"%d\" y=\"22\" font-size=\"15\" font-weight=\"bold\">%s</text>\n" left
+    (escape c.title);
+  (* gridlines + ticks *)
+  List.iter
+    (fun t ->
+      let y = py t in
+      out "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" stroke=\"#ddd\"/>\n" left y
+        (c.width - right) y;
+      out "<text x=\"%d\" y=\"%.1f\" font-size=\"11\" text-anchor=\"end\">%g</text>\n"
+        (left - 6) (y +. 4.0) t)
+    (nice_ticks ~lo:ymin ~hi:ymax 6);
+  List.iter
+    (fun t ->
+      let x = px t in
+      out "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" stroke=\"#eee\"/>\n" x top x
+        (c.height - bottom);
+      out
+        "<text x=\"%.1f\" y=\"%d\" font-size=\"11\" text-anchor=\"middle\">%g</text>\n" x
+        (c.height - bottom + 16) t)
+    (nice_ticks ~lo:xmin ~hi:xmax 8);
+  (* axes *)
+  out
+    "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"black\" stroke-width=\"1.2\"/>\n"
+    left (c.height - bottom) (c.width - right) (c.height - bottom);
+  out
+    "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"black\" stroke-width=\"1.2\"/>\n"
+    left top left (c.height - bottom);
+  out
+    "<text x=\"%d\" y=\"%d\" font-size=\"12\" text-anchor=\"middle\">%s</text>\n"
+    (left + (int_of_float pw / 2))
+    (c.height - 10) (escape c.xlabel);
+  out
+    "<text x=\"16\" y=\"%d\" font-size=\"12\" text-anchor=\"middle\" transform=\"rotate(-90 \
+     16 %d)\">%s</text>\n"
+    (top + (int_of_float ph / 2))
+    (top + (int_of_float ph / 2))
+    (escape c.ylabel);
+  (* series *)
+  List.iteri
+    (fun k s ->
+      let color = colors.(k mod Array.length colors) in
+      let pts = List.sort compare s.points in
+      let path =
+        String.concat " " (List.map (fun (x, y) -> Printf.sprintf "%.1f,%.1f" (px x) (py y)) pts)
+      in
+      if path <> "" then
+        out "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"1.8\"/>\n"
+          path color;
+      List.iter
+        (fun (x, y) ->
+          out "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.6\" fill=\"%s\"/>\n" (px x) (py y) color)
+        pts;
+      (* legend entry *)
+      let ly = top + 8 + (k * 18) in
+      out "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"%s\" stroke-width=\"2\"/>\n"
+        (c.width - right + 12)
+        ly
+        (c.width - right + 34)
+        ly color;
+      out "<text x=\"%d\" y=\"%d\" font-size=\"11\">%s</text>\n"
+        (c.width - right + 40)
+        (ly + 4) (escape s.label))
+    c.series;
+  out "</svg>\n";
+  Buffer.contents buf
+
+let of_series (s : Run.series) =
+  let pick f = List.map (fun (p : Run.point) -> (p.x, f p.mean)) s.points in
+  default ~title:(s.id ^ " — " ^ s.title) ~xlabel:s.xlabel ~ylabel:"Algo2 / comparator"
+    [
+      { label = "vs SO"; points = pick (fun r -> r.vs_so) };
+      { label = "vs UU"; points = pick (fun r -> r.vs_uu) };
+      { label = "vs UR"; points = pick (fun r -> r.vs_ur) };
+      { label = "vs RU"; points = pick (fun r -> r.vs_ru) };
+      { label = "vs RR"; points = pick (fun r -> r.vs_rr) };
+    ]

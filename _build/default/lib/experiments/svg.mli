@@ -1,0 +1,38 @@
+(** Self-contained SVG line charts — regenerate the paper's figures as
+    images, with no plotting dependency.
+
+    Produces a single-[<svg>] document with axes, ticks, gridlines, one
+    polyline per series, point markers and a legend. Layout follows the
+    paper's figures: the x axis is the sweep parameter, the y axis the
+    utility ratio. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;  (** (x, y), any order *)
+}
+
+type chart = {
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  series : series list;
+  width : int;  (** pixels *)
+  height : int;
+  y_from_zero : bool;
+      (** force the y axis to start at 0 rather than the data minimum *)
+}
+
+val default : title:string -> xlabel:string -> ylabel:string -> series list -> chart
+(** 640 x 420, y axis from the data range. *)
+
+val render : chart -> string
+(** The SVG document as a string. Raises [Invalid_argument] when no
+    series has at least one point. *)
+
+val of_series : Run.series -> chart
+(** Chart with one line per comparator (vs SO, UU, UR, RU, RR), matching
+    the paper's figure layout. *)
+
+val nice_ticks : lo:float -> hi:float -> int -> float list
+(** Round tick positions covering [[lo, hi]] with about the requested
+    count (exposed for tests). Requires [lo < hi]. *)

@@ -1,0 +1,1 @@
+lib/io/format_text.ml: Aa_core Aa_utility Array Assignment Buffer In_channel Instance List Out_channel Plc Printf Result String Utility

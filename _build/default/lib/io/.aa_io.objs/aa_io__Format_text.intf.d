@@ -1,0 +1,1 @@
+lib/io/format_text.mli: Aa_core

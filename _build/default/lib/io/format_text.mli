@@ -1,0 +1,38 @@
+(** Plain-text serialization of AA instances and solutions.
+
+    Instance format (line-oriented; [#] starts a comment):
+    {v
+    servers 4
+    capacity 8.0
+    thread plc 0 0 2.5 1 8 1.5      # breakpoints: x y pairs
+    thread power 4.0 0.5            # coeff beta
+    thread log 3.0 1.0              # coeff rate
+    thread saturating 8.0 2.0       # limit halfway
+    thread expsat 8.0 0.5           # limit rate
+    thread capped 1.5 6.0           # slope knee
+    thread linear 0.8               # slope
+    v}
+
+    Solution format: one [assign <thread> <server> <alloc>] line per
+    thread.
+
+    Smooth utilities print as their closed-form spec, so instances
+    written by {!print_instance} round-trip exactly. *)
+
+val parse_instance : string -> (Aa_core.Instance.t, string) result
+(** Parse the text of an instance file. Errors carry a line number. *)
+
+val print_instance : Aa_core.Instance.t -> string
+(** Render an instance in the format above. PLC utilities print their
+    breakpoints; smooth shapes print their constructor when the utility
+    was built by {!Aa_utility.Utility.Shapes} (recognized by name),
+    otherwise they are converted to PLC breakpoints. *)
+
+val parse_assignment : string -> (Aa_core.Assignment.t, string) result
+val print_assignment : Aa_core.Assignment.t -> string
+
+val load_instance : string -> (Aa_core.Instance.t, string) result
+(** Read and parse a file. *)
+
+val save : string -> string -> (unit, string) result
+(** [save path contents] writes a file, reporting system errors. *)

@@ -1,0 +1,1 @@
+lib/numerics/pchip.ml: Array Float Util

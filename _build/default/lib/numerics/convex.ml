@@ -1,0 +1,75 @@
+let dedup_sorted pts =
+  (* keep the max y among points with equal x; pts sorted by x *)
+  let out = ref [] in
+  Array.iter
+    (fun (x, y) ->
+      match !out with
+      | (x', y') :: rest when x' = x -> out := (x, Float.max y y') :: rest
+      | _ -> out := (x, y) :: !out)
+    pts;
+  Array.of_list (List.rev !out)
+
+let sort_by_x pts =
+  let a = Array.copy pts in
+  Array.sort (fun (x1, _) (x2, _) -> compare x1 x2) a;
+  a
+
+(* cross product of (b - a) x (c - a); > 0 means c is above line ab,
+   i.e. keeping b would make the chain convex from below. *)
+let cross (ax, ay) (bx, by) (cx, cy) =
+  ((bx -. ax) *. (cy -. ay)) -. ((by -. ay) *. (cx -. ax))
+
+let upper_envelope pts =
+  if Array.length pts = 0 then invalid_arg "Convex.upper_envelope: no points";
+  let pts = dedup_sorted (sort_by_x pts) in
+  let n = Array.length pts in
+  if n <= 2 then pts
+  else begin
+    (* Andrew's monotone chain, keeping the hull that lies above the data:
+       pop the middle point whenever it is at or below the chord. *)
+    let stack = Array.make n pts.(0) in
+    let top = ref 0 in
+    for i = 1 to n - 1 do
+      while !top >= 1 && cross stack.(!top - 1) stack.(!top) pts.(i) >= 0.0 do
+        decr top
+      done;
+      incr top;
+      stack.(!top) <- pts.(i)
+    done;
+    Array.sub stack 0 (!top + 1)
+  end
+
+let slopes pts =
+  let n = Array.length pts in
+  Array.init (max 0 (n - 1)) (fun i ->
+      let x0, y0 = pts.(i) and x1, y1 = pts.(i + 1) in
+      (y1 -. y0) /. (x1 -. x0))
+
+let is_concave ?(eps = 1e-9) pts =
+  let s = slopes pts in
+  let ok = ref true in
+  for i = 1 to Array.length s - 1 do
+    let tol = eps *. Float.max 1.0 (Float.max (Float.abs s.(i - 1)) (Float.abs s.(i))) in
+    if s.(i) > s.(i - 1) +. tol then ok := false
+  done;
+  !ok
+
+let is_nondecreasing ?(eps = 1e-9) pts =
+  let ok = ref true in
+  for i = 1 to Array.length pts - 1 do
+    let _, y0 = pts.(i - 1) and _, y1 = pts.(i) in
+    if y1 < y0 -. eps then ok := false
+  done;
+  !ok
+
+let max_concavity_violation pts =
+  let s = slopes pts in
+  if Array.length s < 2 then Float.neg_infinity
+  else begin
+    let worst = ref Float.neg_infinity in
+    for i = 1 to Array.length s - 1 do
+      let v = s.(i) -. s.(i - 1) in
+      if v > !worst then worst := v
+    done;
+    !worst
+  end

@@ -1,0 +1,20 @@
+(** Upper concave envelopes and shape checks on sampled functions. *)
+
+val upper_envelope : (float * float) array -> (float * float) array
+(** [upper_envelope pts] is the upper concave envelope (upper convex hull)
+    of the points, returned sorted by strictly increasing x. Points sharing
+    an x keep only the largest y. The result always contains the leftmost
+    and rightmost x. Requires at least one point. *)
+
+val is_concave : ?eps:float -> (float * float) array -> bool
+(** Whether the piecewise-linear interpolant of the (x-sorted) points has
+    nonincreasing slopes, up to tolerance [eps] (default 1e-9) relative to
+    the magnitude of the slopes involved. *)
+
+val is_nondecreasing : ?eps:float -> (float * float) array -> bool
+(** Whether y never decreases (up to [eps]) as x increases. *)
+
+val max_concavity_violation : (float * float) array -> float
+(** Largest slope increase between consecutive segments; [<= 0] means the
+    sampled function is concave. Returns [neg_infinity] for fewer than
+    three points. *)

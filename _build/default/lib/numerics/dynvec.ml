@@ -1,0 +1,32 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length t = t.len
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let ncap = if cap = 0 then 8 else 2 * cap in
+    let ndata = Array.make ncap x in
+    Array.blit t.data 0 ndata 0 t.len;
+    t.data <- ndata
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let check t i = if i < 0 || i >= t.len then invalid_arg "Dynvec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i x =
+  check t i;
+  t.data.(i) <- x
+
+let to_array t = Array.sub t.data 0 t.len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done

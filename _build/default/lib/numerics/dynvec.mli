@@ -1,0 +1,18 @@
+(** Minimal growable vector (OCaml 5.2's [Dynarray] arrives after the
+    5.1 toolchain this project targets). Amortized O(1) [push]. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] when out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val to_array : 'a t -> 'a array
+(** Fresh array of the current contents. *)
+
+val iter : ('a -> unit) -> 'a t -> unit

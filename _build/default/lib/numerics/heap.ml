@@ -1,0 +1,129 @@
+module Poly = struct
+  type 'a t = { mutable data : 'a array; mutable len : int; cmp : 'a -> 'a -> int }
+
+  let create ~cmp = { data = [||]; len = 0; cmp }
+  let length t = t.len
+  let is_empty t = t.len = 0
+
+  let grow t x =
+    let cap = Array.length t.data in
+    if t.len = cap then begin
+      let ncap = if cap = 0 then 8 else 2 * cap in
+      let ndata = Array.make ncap x in
+      Array.blit t.data 0 ndata 0 t.len;
+      t.data <- ndata
+    end
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if t.cmp t.data.(i) t.data.(parent) > 0 then begin
+        let tmp = t.data.(i) in
+        t.data.(i) <- t.data.(parent);
+        t.data.(parent) <- tmp;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let largest = ref i in
+    if l < t.len && t.cmp t.data.(l) t.data.(!largest) > 0 then largest := l;
+    if r < t.len && t.cmp t.data.(r) t.data.(!largest) > 0 then largest := r;
+    if !largest <> i then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(!largest);
+      t.data.(!largest) <- tmp;
+      sift_down t !largest
+    end
+
+  let push t x =
+    grow t x;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1;
+    sift_up t (t.len - 1)
+
+  let peek t =
+    if t.len = 0 then raise Not_found;
+    t.data.(0)
+
+  let pop t =
+    if t.len = 0 then raise Not_found;
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    top
+
+  let of_array ~cmp a =
+    let t = { data = Array.copy a; len = Array.length a; cmp } in
+    for i = (t.len / 2) - 1 downto 0 do
+      sift_down t i
+    done;
+    t
+end
+
+module Indexed = struct
+  type t = {
+    prio : float array; (* priority of each element *)
+    heap : int array; (* heap positions -> elements *)
+    pos : int array; (* elements -> heap positions *)
+    n : int;
+  }
+
+  (* Element a beats element b when its priority is higher, or equal with a
+     smaller index: makes consumers (Algorithm 2) deterministic. *)
+  let beats t a b = t.prio.(a) > t.prio.(b) || (t.prio.(a) = t.prio.(b) && a < b)
+
+  let swap t i j =
+    let a = t.heap.(i) and b = t.heap.(j) in
+    t.heap.(i) <- b;
+    t.heap.(j) <- a;
+    t.pos.(b) <- i;
+    t.pos.(a) <- j
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if beats t t.heap.(i) t.heap.(parent) then begin
+        swap t i parent;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let best = ref i in
+    if l < t.n && beats t t.heap.(l) t.heap.(!best) then best := l;
+    if r < t.n && beats t t.heap.(r) t.heap.(!best) then best := r;
+    if !best <> i then begin
+      swap t i !best;
+      sift_down t !best
+    end
+
+  let create prios =
+    let n = Array.length prios in
+    let t =
+      { prio = Array.copy prios; heap = Array.init n (fun i -> i); pos = Array.init n (fun i -> i); n }
+    in
+    for i = (n / 2) - 1 downto 0 do
+      sift_down t i
+    done;
+    t
+
+  let size t = t.n
+
+  let max_element t =
+    if t.n = 0 then raise Not_found;
+    t.heap.(0)
+
+  let priority t e = t.prio.(e)
+
+  let update t e p =
+    let old = t.prio.(e) in
+    t.prio.(e) <- p;
+    let i = t.pos.(e) in
+    if p > old then sift_up t i else sift_down t i
+end

@@ -1,0 +1,107 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64, used for seeding and splitting: a single 64-bit state is
+   enough to produce well-distributed initial states for xoshiro. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_seed64 seed64 =
+  let state = ref seed64 in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let create ?(seed = 42) () = of_seed64 (Int64.of_int seed)
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_seed64 (bits64 t)
+
+(* Uniform in [0, 1): use the top 53 bits. *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float t b =
+  if not (b > 0.0) then invalid_arg "Rng.float: bound must be positive";
+  unit_float t *. b
+
+let uniform t ~lo ~hi =
+  if not (lo < hi) then invalid_arg "Rng.uniform: need lo < hi";
+  lo +. (unit_float t *. (hi -. lo))
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is < 2^-40 for n < 2^23. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (bits64 t) 1) (Int64.of_int n))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let rec normal t ~mu ~sigma =
+  let u = uniform t ~lo:(-1.0) ~hi:1.0 in
+  let v = uniform t ~lo:(-1.0) ~hi:1.0 in
+  let s = (u *. u) +. (v *. v) in
+  if s >= 1.0 || s = 0.0 then normal t ~mu ~sigma
+  else mu +. (sigma *. u *. sqrt (-2.0 *. log s /. s))
+
+let rec truncated_normal t ~mu ~sigma ~lo =
+  let x = normal t ~mu ~sigma in
+  if x >= lo then x else truncated_normal t ~mu ~sigma ~lo
+
+let exponential t ~rate =
+  if not (rate > 0.0) then invalid_arg "Rng.exponential: rate must be positive";
+  -.log1p (-.unit_float t) /. rate
+
+let power_law t ~alpha ~xmin =
+  if not (alpha > 1.0) then invalid_arg "Rng.power_law: need alpha > 1";
+  if not (xmin > 0.0) then invalid_arg "Rng.power_law: need xmin > 0";
+  (* Inverse CDF of the Pareto density alpha' x^-(alpha) on [xmin, inf). *)
+  let u = unit_float t in
+  xmin *. ((1.0 -. u) ** (-1.0 /. (alpha -. 1.0)))
+
+let two_point t ~gamma ~lo ~hi = if unit_float t < gamma then lo else hi
+
+let simplex t k =
+  if k < 1 then invalid_arg "Rng.simplex: need k >= 1";
+  if k = 1 then [| 1.0 |]
+  else begin
+    (* Spacings between k-1 sorted uniforms on [0,1]. *)
+    let cuts = Array.init (k - 1) (fun _ -> unit_float t) in
+    Array.sort compare cuts;
+    let parts = Array.make k 0.0 in
+    parts.(0) <- cuts.(0);
+    for i = 1 to k - 2 do
+      parts.(i) <- cuts.(i) -. cuts.(i - 1)
+    done;
+    parts.(k - 1) <- 1.0 -. cuts.(k - 2);
+    parts
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

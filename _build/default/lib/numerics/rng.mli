@@ -1,0 +1,61 @@
+(** Deterministic, splittable pseudo-random number generation.
+
+    The generator is xoshiro256++ (Blackman–Vigna). Experiments in this
+    repository never use OCaml's global [Random] state: every consumer
+    receives an explicit [Rng.t], and identical seeds reproduce identical
+    experiment tables bit-for-bit. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] builds a generator from a 63-bit seed (default 42).
+    The seed is expanded with splitmix64, so nearby seeds give unrelated
+    streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. Used to give
+    each trial of an experiment its own stream so that per-trial work is
+    order-independent. *)
+
+val bits64 : t -> int64
+(** Next raw 64 random bits. *)
+
+val float : t -> float -> float
+(** [float t b] is uniform in [[0, b)]. Requires [b > 0]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [[lo, hi)]. Requires [lo < hi]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [[0, n-1]]. Requires [0 < n]. *)
+
+val bool : t -> bool
+
+val normal : t -> mu:float -> sigma:float -> float
+(** Gaussian via the Marsaglia polar method. *)
+
+val truncated_normal : t -> mu:float -> sigma:float -> lo:float -> float
+(** Gaussian conditioned on the result being [>= lo], by rejection. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential with rate [rate > 0]. *)
+
+val power_law : t -> alpha:float -> xmin:float -> float
+(** Pareto-type power law on [[xmin, ∞)] with density proportional to
+    [x^-alpha]. Requires [alpha > 1] and [xmin > 0]. *)
+
+val two_point : t -> gamma:float -> lo:float -> hi:float -> float
+(** [lo] with probability [gamma], else [hi]. *)
+
+val simplex : t -> int -> float array
+(** [simplex t k] is a uniform random point on the [k-1]-simplex: [k]
+    nonnegative values summing to 1 (Dirichlet(1,…,1)), used by the
+    random-allocation heuristics. Requires [k >= 1]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

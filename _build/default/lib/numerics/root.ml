@@ -1,0 +1,20 @@
+let bisect ?(iters = 200) ~f ~lo ~hi () =
+  if not (lo <= hi) then invalid_arg "Root.bisect: need lo <= hi";
+  let lo = ref lo and hi = ref hi in
+  for _ = 1 to iters do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if f mid >= 0.0 then lo := mid else hi := mid
+  done;
+  0.5 *. (!lo +. !hi)
+
+let bisect_int ~f ~lo ~hi =
+  if lo > hi then invalid_arg "Root.bisect_int: need lo <= hi";
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    if f mid then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let fixed_budget ~demand ~budget ~max_price =
+  bisect ~f:(fun price -> demand price -. budget) ~lo:0.0 ~hi:max_price ()

@@ -1,0 +1,21 @@
+(** Root bracketing and bisection on monotone functions, the numeric
+    engine behind water-filling (finding the common marginal value λ). *)
+
+val bisect :
+  ?iters:int -> f:(float -> float) -> lo:float -> hi:float -> unit -> float
+(** [bisect ~f ~lo ~hi ()] finds [x] in [[lo, hi]] with [f x = 0] assuming
+    [f] is nonincreasing with [f lo >= 0 >= f hi] (the water-filling
+    orientation: excess demand decreases as the price rises). Performs
+    [iters] (default 200) halvings, enough to resolve any double-precision
+    bracket, and returns the midpoint of the final bracket. *)
+
+val bisect_int : f:(int -> bool) -> lo:int -> hi:int -> int
+(** [bisect_int ~f ~lo ~hi] returns the smallest [x] in [[lo, hi]] with
+    [f x = true], assuming [f] is monotone (false then true) and
+    [f hi = true]. Requires [lo <= hi]. *)
+
+val fixed_budget :
+  demand:(float -> float) -> budget:float -> max_price:float -> float
+(** [fixed_budget ~demand ~budget ~max_price] finds a price [λ >= 0] such
+    that [demand λ = budget], where [demand] is nonincreasing in [λ],
+    [demand 0 >= budget] and [demand max_price <= budget]. *)

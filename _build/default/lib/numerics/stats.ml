@@ -1,0 +1,115 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  ci95 : float;
+}
+
+let mean a =
+  if Array.length a = 0 then invalid_arg "Stats.mean: empty array";
+  Util.kahan_sum a /. float_of_int (Array.length a)
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Util.sum_by (fun x -> (x -. m) *. (x -. m)) a in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev a = sqrt (variance a)
+
+let quantile a q =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.quantile: empty array";
+  if not (0.0 <= q && q <= 1.0) then invalid_arg "Stats.quantile: q outside [0,1]";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let k = int_of_float (Float.floor pos) in
+  if k >= n - 1 then sorted.(n - 1)
+  else begin
+    let frac = pos -. float_of_int k in
+    (sorted.(k) *. (1.0 -. frac)) +. (sorted.(k + 1) *. frac)
+  end
+
+let median a = quantile a 0.5
+
+let geometric_mean a =
+  if Array.length a = 0 then invalid_arg "Stats.geometric_mean: empty array";
+  let logs =
+    Array.map
+      (fun x ->
+        if x <= 0.0 then invalid_arg "Stats.geometric_mean: nonpositive element";
+        log x)
+      a
+  in
+  exp (mean logs)
+
+let summarize a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.summarize: empty array";
+  let sd = stddev a in
+  {
+    n;
+    mean = mean a;
+    stddev = sd;
+    min = Array.fold_left Float.min a.(0) a;
+    max = Array.fold_left Float.max a.(0) a;
+    ci95 = 1.96 *. sd /. sqrt (float_of_int n);
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.6g ±%.2g sd=%.3g min=%.6g max=%.6g" s.n s.mean
+    s.ci95 s.stddev s.min s.max
+
+module Online = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min = Float.infinity; max = Float.neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+
+  let mean t =
+    if t.count = 0 then invalid_arg "Stats.Online.mean: no samples";
+    t.mean
+
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+  let stddev t = sqrt (variance t)
+
+  let min t =
+    if t.count = 0 then invalid_arg "Stats.Online.min: no samples";
+    t.min
+
+  let max t =
+    if t.count = 0 then invalid_arg "Stats.Online.max: no samples";
+    t.max
+
+  let summary t =
+    {
+      n = t.count;
+      mean = mean t;
+      stddev = stddev t;
+      min = t.min;
+      max = t.max;
+      ci95 = 1.96 *. stddev t /. sqrt (float_of_int t.count);
+    }
+end

@@ -1,0 +1,47 @@
+(** Summary statistics for experiment reporting. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  ci95 : float;  (** half-width of the 95% normal confidence interval *)
+}
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; 0 for arrays of length < 2. *)
+
+val stddev : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile a q] for [q] in [[0,1]], linear interpolation between order
+    statistics. Does not modify [a]. *)
+
+val median : float array -> float
+
+val geometric_mean : float array -> float
+(** Requires all elements positive. *)
+
+val summarize : float array -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Streaming (Welford) accumulator, used by long experiment sweeps to
+    avoid retaining every trial. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val summary : t -> summary
+end

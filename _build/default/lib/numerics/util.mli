@@ -1,0 +1,35 @@
+(** Small numeric helpers shared across the library. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] is [x] restricted to the interval [[lo, hi]].
+    Requires [lo <= hi]. *)
+
+val approx_equal : ?eps:float -> float -> float -> bool
+(** [approx_equal ?eps a b] holds when [a] and [b] differ by at most [eps]
+    in absolute terms, or by [eps] relative to the larger magnitude.
+    [eps] defaults to [1e-9]. *)
+
+val kahan_sum : float array -> float
+(** Compensated (Kahan) summation, stable for long sums of small terms. *)
+
+val sum_by : ('a -> float) -> 'a array -> float
+(** [sum_by f a] is the compensated sum of [f a.(i)] over all elements. *)
+
+val linspace : float -> float -> int -> float array
+(** [linspace a b k] is [k] evenly spaced points from [a] to [b]
+    inclusive. Requires [k >= 2]. *)
+
+val logspace : float -> float -> int -> float array
+(** [logspace a b k] is [k] logarithmically spaced points from [a] to [b]
+    inclusive. Requires [0 < a <= b] and [k >= 2]. *)
+
+val argmax : ('a -> float) -> 'a array -> int
+(** Index of the first element maximizing [f]. Raises [Invalid_argument]
+    on an empty array. *)
+
+val float_down : float -> float
+(** Largest representable float strictly below the argument (predecessor);
+    identity on infinities and nan. *)
+
+val is_sorted_strict : float array -> bool
+(** Whether the array is strictly increasing. *)

@@ -1,0 +1,1 @@
+lib/sim/hosting.ml: Aa_core Aa_numerics Aa_utility Array Float Plc Queue Rng Util Utility

@@ -1,0 +1,1 @@
+lib/sim/hosting.mli: Aa_core Aa_numerics Aa_utility

@@ -1,0 +1,1 @@
+lib/sim/llcache.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/sim/multicore.ml: Aa_core Aa_numerics Aa_workload Array Cache Rng Util

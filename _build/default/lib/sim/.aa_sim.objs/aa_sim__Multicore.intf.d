@@ -1,0 +1,1 @@
+lib/sim/multicore.mli: Aa_core Aa_numerics Aa_workload

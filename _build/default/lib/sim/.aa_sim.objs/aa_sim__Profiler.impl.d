@@ -1,0 +1,1 @@
+lib/sim/profiler.ml: Aa_utility Array Float Llcache

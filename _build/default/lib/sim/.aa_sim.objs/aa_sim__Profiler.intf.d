@@ -1,0 +1,1 @@
+lib/sim/profiler.mli: Aa_utility Trace

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Aa_numerics Array Rng Root

@@ -1,0 +1,86 @@
+open Aa_numerics
+open Aa_utility
+
+type service = { label : string; arrival_rate : float; work : float; revenue : float }
+
+let utility ~cap s =
+  if not (s.arrival_rate > 0.0 && s.work > 0.0 && s.revenue >= 0.0) then
+    invalid_arg "Hosting.utility: service parameters must be positive";
+  (* Revenue rate = revenue * min(arrival, c / work): capped linear with
+     slope revenue/work and knee arrival*work. *)
+  let knee = Float.min cap (s.arrival_rate *. s.work) in
+  Utility.of_plc (Plc.capped_linear ~cap ~slope:(s.revenue /. s.work) ~knee)
+
+let instance ~machines ~capacity services =
+  Aa_core.Instance.create ~servers:machines ~capacity
+    (Array.map (fun s -> utility ~cap:capacity s) services)
+
+type stats = {
+  label : string;
+  arrived : int;
+  completed : int;
+  throughput : float;
+  revenue_rate : float;
+  mean_latency : float;
+  predicted_revenue_rate : float;
+}
+
+type result = { services : stats array; total_revenue_rate : float; predicted_total : float }
+
+(* One M/M/1 station simulated in isolation (stations do not interact
+   once allocations are fixed). Event loop with two pending times. *)
+let simulate_service ~rng ~duration (s : service) ~alloc =
+  let mu = alloc /. s.work in
+  let next_arrival = ref (Rng.exponential rng ~rate:s.arrival_rate) in
+  let queue = Queue.create () in
+  let next_departure = ref Float.infinity in
+  let now = ref 0.0 in
+  let arrived = ref 0 and completed = ref 0 in
+  let latency_sum = ref 0.0 in
+  let schedule_departure () =
+    if (not (Queue.is_empty queue)) && !next_departure = Float.infinity && mu > 0.0 then
+      next_departure := !now +. Rng.exponential rng ~rate:mu
+  in
+  while Float.min !next_arrival !next_departure <= duration do
+    if !next_arrival <= !next_departure then begin
+      now := !next_arrival;
+      incr arrived;
+      Queue.push !now queue;
+      next_arrival := !now +. Rng.exponential rng ~rate:s.arrival_rate;
+      schedule_departure ()
+    end
+    else begin
+      now := !next_departure;
+      let entered = Queue.pop queue in
+      incr completed;
+      latency_sum := !latency_sum +. (!now -. entered);
+      next_departure := Float.infinity;
+      schedule_departure ()
+    end
+  done;
+  let throughput = float_of_int !completed /. duration in
+  {
+    label = s.label;
+    arrived = !arrived;
+    completed = !completed;
+    throughput;
+    revenue_rate = throughput *. s.revenue;
+    mean_latency =
+      (if !completed = 0 then Float.nan else !latency_sum /. float_of_int !completed);
+    predicted_revenue_rate = s.revenue *. Float.min s.arrival_rate mu;
+  }
+
+let simulate ~rng ~duration ~services (assignment : Aa_core.Assignment.t) =
+  if not (duration > 0.0) then invalid_arg "Hosting.simulate: duration must be positive";
+  let n = Aa_core.Assignment.n_threads assignment in
+  if Array.length services <> n then
+    invalid_arg "Hosting.simulate: one service per assigned thread required";
+  let stats =
+    Array.init n (fun i ->
+        simulate_service ~rng ~duration services.(i) ~alloc:assignment.alloc.(i))
+  in
+  {
+    services = stats;
+    total_revenue_rate = Util.sum_by (fun s -> s.revenue_rate) stats;
+    predicted_total = Util.sum_by (fun s -> s.predicted_revenue_rate) stats;
+  }

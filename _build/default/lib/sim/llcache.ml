@@ -1,0 +1,51 @@
+(* Per set we keep the resident tags as an LRU stack: head = most
+   recently used. Sets are small (<= ways elements), so list surgery is
+   cheaper and simpler than a doubly-linked intrusive structure. *)
+
+type t = {
+  sets : int;
+  ways : int;
+  lru : int list array; (* resident tags, most recent first *)
+  mutable n_accesses : int;
+  mutable n_hits : int;
+}
+
+let create ~sets ~ways =
+  if sets <= 0 || ways <= 0 then invalid_arg "Llcache.create: sets and ways must be positive";
+  { sets; ways; lru = Array.make sets []; n_accesses = 0; n_hits = 0 }
+
+let sets t = t.sets
+let ways t = t.ways
+let capacity_lines t = t.sets * t.ways
+
+let access t addr =
+  let addr = abs addr in
+  let set = addr mod t.sets in
+  let tag = addr / t.sets in
+  t.n_accesses <- t.n_accesses + 1;
+  let resident = t.lru.(set) in
+  let hit = List.mem tag resident in
+  if hit then begin
+    t.n_hits <- t.n_hits + 1;
+    t.lru.(set) <- tag :: List.filter (fun x -> x <> tag) resident
+  end
+  else begin
+    let resident = tag :: resident in
+    t.lru.(set) <-
+      (if List.length resident > t.ways then List.filteri (fun i _ -> i < t.ways) resident
+       else resident)
+  end;
+  hit
+
+type stats = { accesses : int; hits : int; misses : int }
+
+let stats t =
+  { accesses = t.n_accesses; hits = t.n_hits; misses = t.n_accesses - t.n_hits }
+
+let reset_stats t =
+  t.n_accesses <- 0;
+  t.n_hits <- 0
+
+let miss_rate t =
+  if t.n_accesses = 0 then Float.nan
+  else float_of_int (t.n_accesses - t.n_hits) /. float_of_int t.n_accesses

@@ -1,0 +1,32 @@
+(** Trace-driven set-associative LRU cache with way-partitioning — the
+    mechanism behind shared-cache partitioning on multicores (Qureshi &
+    Patt's UCP, the paper's reference [4]). A thread bound to a
+    partition of [k] ways behaves exactly as if it had a private cache
+    of [k * sets] lines, which is what lets the AA model treat cache as
+    a divisible per-thread resource.
+
+    Addresses are in units of cache lines; the set index is the address
+    modulo [sets] and the rest is the tag. *)
+
+type t
+
+val create : sets:int -> ways:int -> t
+(** A cache (or cache partition) with the given geometry. Requires both
+    positive. *)
+
+val sets : t -> int
+val ways : t -> int
+
+val capacity_lines : t -> int
+(** [sets * ways]. *)
+
+val access : t -> int -> bool
+(** [access t addr] performs one load; returns [true] on hit. LRU
+    replacement within the set. *)
+
+type stats = { accesses : int; hits : int; misses : int }
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val miss_rate : t -> float
+(** Misses per access since the last reset; [nan] with no accesses. *)

@@ -1,0 +1,59 @@
+open Aa_numerics
+open Aa_workload
+
+type thread_result = {
+  label : string;
+  core : int;
+  cache : float;
+  instructions : int;
+  misses : int;
+  achieved_ipc : float;
+  predicted_ipc : float;
+}
+
+type result = {
+  threads : thread_result array;
+  total_throughput : float;
+  predicted_throughput : float;
+}
+
+let run_thread ~rng ~cycles (p : Cache.profile) ~core ~cache =
+  let miss_prob = Cache.mpki p cache /. 1000.0 in
+  let budget = float_of_int cycles in
+  let used = ref 0.0 in
+  let instructions = ref 0 in
+  let misses = ref 0 in
+  while !used < budget do
+    let miss = Rng.float rng 1.0 < miss_prob in
+    let cost = p.base_cpi +. (if miss then p.miss_penalty else 0.0) in
+    used := !used +. cost;
+    if !used <= budget then begin
+      incr instructions;
+      if miss then incr misses
+    end
+  done;
+  {
+    label = p.label;
+    core;
+    cache;
+    instructions = !instructions;
+    misses = !misses;
+    achieved_ipc = float_of_int !instructions /. budget;
+    predicted_ipc = Cache.ipc p cache;
+  }
+
+let run ~rng ~cycles ~profiles (assignment : Aa_core.Assignment.t) =
+  if cycles <= 0 then invalid_arg "Multicore.run: cycles must be positive";
+  let n = Aa_core.Assignment.n_threads assignment in
+  if Array.length profiles <> n then
+    invalid_arg "Multicore.run: one profile per assigned thread required";
+  let threads =
+    Array.init n (fun i ->
+        run_thread ~rng ~cycles profiles.(i) ~core:assignment.server.(i)
+          ~cache:assignment.alloc.(i))
+  in
+  {
+    threads;
+    total_throughput = Util.sum_by (fun t -> t.achieved_ipc) threads;
+    predicted_throughput = Util.sum_by (fun t -> t.predicted_ipc) threads;
+  }

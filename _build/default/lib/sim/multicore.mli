@@ -1,0 +1,38 @@
+(** Stochastic multicore execution simulator.
+
+    Validates end-to-end that utilities derived from miss-rate curves
+    ({!Aa_workload.Cache}) translate into real throughput once an AA
+    assignment is enacted: every thread executes instructions whose cost
+    is [base_cpi] cycles plus a miss penalty drawn per-instruction with
+    probability [mpki/1000], with the miss rate determined by the cache
+    partition the assignment gave the thread. Cores are independent once
+    partitions are fixed (partitioned LLC, one thread per partition), so
+    measured IPC should converge to the model's prediction — except where
+    the concave-envelope repair chorded over a convex region of the IPC
+    curve, a gap the simulator makes visible. *)
+
+type thread_result = {
+  label : string;
+  core : int;
+  cache : float;  (** partition size the assignment granted *)
+  instructions : int;  (** instructions retired in the simulated window *)
+  misses : int;
+  achieved_ipc : float;
+  predicted_ipc : float;  (** model IPC at this partition size *)
+}
+
+type result = {
+  threads : thread_result array;
+  total_throughput : float;  (** sum of achieved IPC *)
+  predicted_throughput : float;
+}
+
+val run :
+  rng:Aa_numerics.Rng.t ->
+  cycles:int ->
+  profiles:Aa_workload.Cache.profile array ->
+  Aa_core.Assignment.t ->
+  result
+(** [run ~rng ~cycles ~profiles assignment] simulates every thread for a
+    window of [cycles] cycles under its assigned cache partition.
+    Requires one profile per assigned thread and [cycles > 0]. *)

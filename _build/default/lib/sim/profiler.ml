@@ -1,0 +1,48 @@
+type point = { ways : int; lines : int; miss_rate : float }
+
+let mrc ~trace ~sets ~max_ways ~warmup ~samples =
+  if max_ways < 1 then invalid_arg "Profiler.mrc: max_ways must be >= 1";
+  if samples < 1 then invalid_arg "Profiler.mrc: samples must be >= 1";
+  let measure ways =
+    let cache = Llcache.create ~sets ~ways in
+    let next = trace () in
+    for _ = 1 to warmup do
+      ignore (Llcache.access cache (next ()))
+    done;
+    Llcache.reset_stats cache;
+    for _ = 1 to samples do
+      ignore (Llcache.access cache (next ()))
+    done;
+    Llcache.miss_rate cache
+  in
+  Array.init (max_ways + 1) (fun ways ->
+      if ways = 0 then { ways = 0; lines = 0; miss_rate = 1.0 }
+      else { ways; lines = ways * sets; miss_rate = measure ways })
+
+let utility_of_mrc ~cache ~base_cpi ~miss_penalty ~accesses_per_kiloinstruction points =
+  if Array.length points < 2 then invalid_arg "Profiler.utility_of_mrc: need >= 2 points";
+  let max_lines =
+    Array.fold_left (fun acc p -> max acc p.lines) 0 points |> float_of_int
+  in
+  if max_lines <= 0.0 then invalid_arg "Profiler.utility_of_mrc: no nonzero partition";
+  let ipc miss_rate =
+    1.0
+    /. (base_cpi +. (accesses_per_kiloinstruction *. miss_rate *. miss_penalty /. 1000.0))
+  in
+  let pts =
+    Array.map
+      (fun p -> (cache *. float_of_int p.lines /. max_lines, ipc p.miss_rate))
+      points
+  in
+  Array.sort (fun (x1, _) (x2, _) -> compare x1 x2) pts;
+  (* LRU's stack property makes the true curve monotone; repair any
+     finite-sample noise with a running max so the utility model holds *)
+  let best = ref 0.0 in
+  let pts =
+    Array.map
+      (fun (x, y) ->
+        best := Float.max !best y;
+        (x, !best))
+      pts
+  in
+  Aa_utility.Sampled.of_points pts

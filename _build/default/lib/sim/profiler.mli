@@ -1,0 +1,35 @@
+(** Miss-rate-curve measurement, closing the loop the paper describes in
+    §II: "miss rate curves can be determined by running threads multiple
+    times using different cache allocations" (Qureshi & Patt's UMON).
+
+    A thread's trace is replayed against cache partitions of every
+    possible way count; the measured miss rates become an IPC utility
+    via {!Aa_utility.Sampled} (concave-envelope repaired), ready for the
+    AA algorithms. This is the measured-curve counterpart of the
+    analytic {!Aa_workload.Cache} model. *)
+
+type point = { ways : int; lines : int; miss_rate : float }
+
+val mrc :
+  trace:(unit -> Trace.t) ->
+  sets:int ->
+  max_ways:int ->
+  warmup:int ->
+  samples:int ->
+  point array
+(** [mrc ~trace ~sets ~max_ways ~warmup ~samples] replays a fresh trace
+    (one per partition size — [trace] must build identical generators)
+    against partitions of 1..max_ways ways, discarding [warmup] accesses
+    before counting [samples]. Also returns the ways-0 point (all
+    misses). *)
+
+val utility_of_mrc :
+  cache:float ->
+  base_cpi:float ->
+  miss_penalty:float ->
+  accesses_per_kiloinstruction:float ->
+  point array ->
+  Aa_utility.Utility.t
+(** Convert measured miss rates into an IPC-vs-cache utility on
+    [[0, cache]] (MB or any unit; points are scaled by [lines]):
+    [ipc = 1 / (base_cpi + apki * miss_rate * miss_penalty / 1000)]. *)

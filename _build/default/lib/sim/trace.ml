@@ -1,0 +1,43 @@
+open Aa_numerics
+
+type t = unit -> int
+
+let sequential ~stride () =
+  if stride < 1 then invalid_arg "Trace.sequential: stride must be >= 1";
+  let next = ref 0 in
+  fun () ->
+    let a = !next in
+    next := !next + stride;
+    a
+
+let working_set rng ~size =
+  if size < 1 then invalid_arg "Trace.working_set: size must be >= 1";
+  fun () -> Rng.int rng size
+
+let zipf rng ~alpha ~universe =
+  if not (alpha > 0.0) then invalid_arg "Trace.zipf: alpha must be positive";
+  if universe < 1 then invalid_arg "Trace.zipf: universe must be >= 1";
+  (* cumulative table; universes used in tests/examples are small enough
+     for O(universe) setup and O(log universe) sampling *)
+  let weights = Array.init universe (fun k -> 1.0 /. (float_of_int (k + 1) ** alpha)) in
+  let cdf = Array.make universe 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cdf.(i) <- !acc)
+    weights;
+  let total = !acc in
+  fun () ->
+    let u = Rng.float rng total in
+    (* first index with cdf >= u *)
+    Root.bisect_int ~f:(fun i -> cdf.(i) >= u) ~lo:0 ~hi:(universe - 1)
+
+let mixed rng ~hot ~cold ~hot_fraction =
+  if hot < 1 || cold < 1 then invalid_arg "Trace.mixed: hot and cold must be >= 1";
+  if not (0.0 <= hot_fraction && hot_fraction <= 1.0) then
+    invalid_arg "Trace.mixed: hot_fraction outside [0,1]";
+  fun () ->
+    if Rng.float rng 1.0 < hot_fraction then Rng.int rng hot else hot + Rng.int rng cold
+
+let take t k = Array.init k (fun _ -> t ())

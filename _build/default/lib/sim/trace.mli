@@ -1,0 +1,29 @@
+(** Synthetic memory-reference traces for driving {!Llcache}.
+
+    Each generator is a closure producing the next line address; all
+    randomness comes from an explicit {!Aa_numerics.Rng.t}, so traces
+    are reproducible. Addresses are in cache-line units. *)
+
+type t = unit -> int
+(** Next line address. *)
+
+val sequential : stride:int -> unit -> t
+(** Streaming access: 0, stride, 2*stride, … — no reuse, worst case for
+    any cache. Requires [stride >= 1]. *)
+
+val working_set : Aa_numerics.Rng.t -> size:int -> t
+(** Uniform references into a working set of [size] lines: miss rate
+    falls off a cliff once the partition holds the working set.
+    Requires [size >= 1]. *)
+
+val zipf : Aa_numerics.Rng.t -> alpha:float -> universe:int -> t
+(** Zipf-distributed references over [universe] lines (rank-[k] line has
+    probability ∝ 1/k^alpha): smooth, concave-ish miss-rate curves like
+    real workloads. Requires [alpha > 0] and [universe >= 1]. *)
+
+val mixed : Aa_numerics.Rng.t -> hot:int -> cold:int -> hot_fraction:float -> t
+(** Hot/cold mixture: with probability [hot_fraction] touch one of [hot]
+    lines, otherwise one of [cold] lines beyond them. *)
+
+val take : t -> int -> int array
+(** Materialize a prefix (for tests). *)

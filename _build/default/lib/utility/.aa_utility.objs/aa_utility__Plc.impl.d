@@ -1,0 +1,1 @@
+lib/utility/plc.ml: Aa_numerics Array Convex Float Format List Root Util

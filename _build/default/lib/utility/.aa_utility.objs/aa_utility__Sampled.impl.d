@@ -1,0 +1,1 @@
+lib/utility/sampled.ml: Aa_numerics Array Convex Float Pchip Plc Utility

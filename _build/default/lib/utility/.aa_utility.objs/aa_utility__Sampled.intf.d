@@ -1,0 +1,1 @@
+lib/utility/sampled.mli: Utility

@@ -1,0 +1,1 @@
+lib/utility/utility.ml: Aa_numerics Array Convex Float Format Plc Printf Root Util

@@ -1,0 +1,1 @@
+lib/utility/utility.mli: Format Plc

@@ -1,0 +1,180 @@
+open Aa_numerics
+
+type t = {
+  xs : float array; (* strictly increasing, xs.(0) = 0 *)
+  ys : float array; (* nonnegative, nondecreasing, concave *)
+}
+
+type segment = { x0 : float; x1 : float; y0 : float; slope : float }
+
+let seg_slope (x0, y0) (x1, y1) = (y1 -. y0) /. (x1 -. x0)
+
+(* Merge consecutive collinear segments so slopes end up strictly
+   decreasing; assumes points already concave, sorted, deduped. *)
+let canonicalize pts =
+  let n = Array.length pts in
+  if n <= 2 then pts
+  else begin
+    let out = ref [ pts.(0) ] in
+    for i = 1 to n - 1 do
+      let p = pts.(i) in
+      let rec drop_collinear () =
+        match !out with
+        | b :: a :: rest when Util.approx_equal ~eps:1e-12 (seg_slope a b) (seg_slope b p) ->
+            out := a :: rest;
+            drop_collinear ()
+        | _ -> ()
+      in
+      drop_collinear ();
+      out := p :: !out
+    done;
+    Array.of_list (List.rev !out)
+  end
+
+let validate pts =
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Plc.create: no points";
+  Array.iter
+    (fun (x, y) ->
+      if not (Float.is_finite x && Float.is_finite y) then
+        invalid_arg "Plc.create: non-finite coordinate")
+    pts;
+  let x0, _ = pts.(0) in
+  if x0 <> 0.0 then invalid_arg "Plc.create: domain must start at x = 0";
+  Array.iter
+    (fun (_, y) -> if y < 0.0 then invalid_arg "Plc.create: negative utility value")
+    pts;
+  if not (Convex.is_nondecreasing ~eps:1e-9 pts) then
+    invalid_arg "Plc.create: utility must be nondecreasing";
+  if not (Convex.is_concave ~eps:1e-9 pts) then
+    invalid_arg "Plc.create: utility must be concave"
+
+let sort_dedup pts =
+  let a = Array.copy pts in
+  Array.sort (fun (x1, _) (x2, _) -> compare x1 x2) a;
+  let out = ref [] in
+  Array.iter
+    (fun (x, y) ->
+      match !out with
+      | (x', y') :: rest when x' = x -> out := (x, Float.max y y') :: rest
+      | _ -> out := (x, y) :: !out)
+    a;
+  Array.of_list (List.rev !out)
+
+let create points =
+  let pts = sort_dedup points in
+  validate pts;
+  (* Repair sub-tolerance concavity noise exactly once. *)
+  let pts = if Convex.is_concave ~eps:0.0 pts then pts else Convex.upper_envelope pts in
+  let pts = canonicalize pts in
+  if Array.length pts < 2 then
+    invalid_arg "Plc.create: need at least two distinct points (or use constant)";
+  { xs = Array.map fst pts; ys = Array.map snd pts }
+
+let constant ~cap v =
+  if v < 0.0 then invalid_arg "Plc.constant: negative value";
+  if not (cap > 0.0) then invalid_arg "Plc.constant: cap must be positive";
+  { xs = [| 0.0; cap |]; ys = [| v; v |] }
+
+let capped_linear ~cap ~slope ~knee =
+  if not (0.0 <= knee && knee <= cap) then invalid_arg "Plc.capped_linear: knee outside [0, cap]";
+  if slope < 0.0 then invalid_arg "Plc.capped_linear: negative slope";
+  if knee = 0.0 || slope = 0.0 then constant ~cap 0.0
+  else if knee = cap then { xs = [| 0.0; cap |]; ys = [| 0.0; slope *. cap |] }
+  else { xs = [| 0.0; knee; cap |]; ys = [| 0.0; slope *. knee; slope *. knee |] }
+
+let two_piece ~cap ~peak ~chat =
+  if not (0.0 <= chat && chat <= cap) then invalid_arg "Plc.two_piece: chat outside [0, cap]";
+  if peak < 0.0 then invalid_arg "Plc.two_piece: negative peak";
+  if chat = 0.0 then constant ~cap peak
+  else if chat = cap then { xs = [| 0.0; cap |]; ys = [| 0.0; peak |] }
+  else { xs = [| 0.0; chat; cap |]; ys = [| 0.0; peak; peak |] }
+
+let cap t = t.xs.(Array.length t.xs - 1)
+
+let last t = Array.length t.xs - 1
+
+(* Largest k with xs.(k) <= x, for x within range. *)
+let interval t x =
+  let lo = ref 0 and hi = ref (last t) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if t.xs.(mid) <= x then lo := mid else hi := mid
+  done;
+  !lo
+
+let eval t x =
+  let x = Util.clamp ~lo:0.0 ~hi:(cap t) x in
+  if x = cap t then t.ys.(last t)
+  else begin
+    let k = interval t x in
+    let slope = seg_slope (t.xs.(k), t.ys.(k)) (t.xs.(k + 1), t.ys.(k + 1)) in
+    t.ys.(k) +. (slope *. (x -. t.xs.(k)))
+  end
+
+let peak t = t.ys.(last t)
+let max_slope t = seg_slope (t.xs.(0), t.ys.(0)) (t.xs.(1), t.ys.(1))
+
+let slope_right t x =
+  if x >= cap t then 0.0
+  else begin
+    let x = Float.max 0.0 x in
+    (* [interval] returns the segment to the right of a breakpoint hit *)
+    let k = interval t x in
+    seg_slope (t.xs.(k), t.ys.(k)) (t.xs.(k + 1), t.ys.(k + 1))
+  end
+
+let demand t lambda =
+  if lambda <= 0.0 then cap t
+  else begin
+    (* slopes strictly decrease with the segment index: binary-search the
+       first segment priced below lambda. *)
+    let k = last t in
+    let slope_of i = seg_slope (t.xs.(i), t.ys.(i)) (t.xs.(i + 1), t.ys.(i + 1)) in
+    if slope_of 0 < lambda then 0.0
+    else begin
+      let idx = Root.bisect_int ~f:(fun i -> i >= k || slope_of i < lambda) ~lo:0 ~hi:k in
+      (* idx = first segment with slope < lambda, or k if none *)
+      t.xs.(idx)
+    end
+  end
+
+let segments t =
+  Array.init (last t) (fun k ->
+      {
+        x0 = t.xs.(k);
+        x1 = t.xs.(k + 1);
+        y0 = t.ys.(k);
+        slope = seg_slope (t.xs.(k), t.ys.(k)) (t.xs.(k + 1), t.ys.(k + 1));
+      })
+
+let points t = Array.init (Array.length t.xs) (fun i -> (t.xs.(i), t.ys.(i)))
+
+let restrict t ~cap:c =
+  if not (0.0 < c && c <= cap t) then invalid_arg "Plc.restrict: cap outside (0, cap]";
+  let pts =
+    Array.to_list (points t)
+    |> List.filter (fun (x, _) -> x < c)
+    |> fun kept -> kept @ [ (c, eval t c) ]
+  in
+  create (Array.of_list pts)
+
+let scale t ~y =
+  if y < 0.0 then invalid_arg "Plc.scale: negative factor";
+  { xs = Array.copy t.xs; ys = Array.map (fun v -> v *. y) t.ys }
+
+let equal ?(eps = 1e-9) a b =
+  cap a = cap b
+  && begin
+       let xs = Array.append a.xs b.xs in
+       Array.for_all (fun x -> Util.approx_equal ~eps (eval a x) (eval b x)) xs
+     end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>plc[";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "(%g, %g)" x t.ys.(i))
+    t.xs;
+  Format.fprintf ppf "]@]"

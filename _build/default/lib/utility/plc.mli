@@ -1,0 +1,77 @@
+(** Piecewise-linear concave nondecreasing utility functions on [[0, cap]].
+
+    This is the exact, canonical representation used throughout the AA
+    algorithms: slopes are strictly decreasing across segments and every
+    query (value, slope, inverse slope) is answered exactly, which lets
+    the super-optimal allocation and the linearized problem of Lai et
+    al. §V be solved without numeric tolerance games.
+
+    Canonical form: breakpoints start at [x = 0], end at [x = cap],
+    consecutive collinear segments are merged, and all slopes are
+    [>= 0]. *)
+
+type t
+
+type segment = { x0 : float; x1 : float; y0 : float; slope : float }
+(** One linear piece: value [y0 + slope * (x - x0)] on [[x0, x1]]. *)
+
+val create : (float * float) array -> t
+(** [create points] builds the function interpolating [points]
+    (pairs [(x, y)], in any order; duplicate x keeps the larger y).
+    Requirements, checked and raising [Invalid_argument]:
+    the smallest x is [0]; y values are nonnegative and nondecreasing in
+    x; slopes are nonincreasing (concavity), within a 1e-9 relative
+    tolerance — tiny violations from float noise are repaired by taking
+    the upper concave envelope. *)
+
+val constant : cap:float -> float -> t
+(** [constant ~cap v] is the function identically [v >= 0] on [[0, cap]]. *)
+
+val capped_linear : cap:float -> slope:float -> knee:float -> t
+(** [capped_linear ~cap ~slope ~knee] rises with [slope] until [knee],
+    then is flat until [cap] — the utility family used by the paper's
+    NP-hardness reduction and tightness example. Requires
+    [0 <= knee <= cap] and [slope >= 0]. *)
+
+val two_piece : cap:float -> peak:float -> chat:float -> t
+(** [two_piece ~cap ~peak ~chat] is the linearization [g] of §V-A: it
+    climbs linearly from [(0, 0)] to [(chat, peak)] and is flat up to
+    [cap]. [chat = 0] yields the constant-[peak] function. *)
+
+val cap : t -> float
+val eval : t -> float -> float
+(** Arguments are clamped to [[0, cap]]. *)
+
+val peak : t -> float
+(** [eval t (cap t)] — the largest attainable utility. *)
+
+val max_slope : t -> float
+(** Slope of the first segment ([0] for constant functions). *)
+
+val slope_right : t -> float -> float
+(** Right derivative at [x] ([0] at and beyond [cap]). *)
+
+val demand : t -> float -> float
+(** [demand t lambda] is the largest [x] in [[0, cap]] whose right
+    derivative is at least [lambda] — the thread's resource demand at
+    marginal price [lambda]. [demand t 0.] = [cap]; nonincreasing in
+    [lambda]. For positive [lambda] the result is always a breakpoint. *)
+
+val segments : t -> segment array
+(** The linear pieces, in increasing x, slopes strictly decreasing. *)
+
+val points : t -> (float * float) array
+(** Breakpoints [(x, y)] in increasing x. *)
+
+val restrict : t -> cap:float -> t
+(** Restriction to a smaller domain [[0, cap]]. Requires
+    [0 < cap <= cap t]. *)
+
+val scale : t -> y:float -> t
+(** Pointwise multiplication of values by [y >= 0]. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Pointwise approximate equality (compared on the union of
+    breakpoints). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workload/cache.ml: Aa_core Aa_numerics Aa_utility Array Convex Float Plc Rng Util Utility

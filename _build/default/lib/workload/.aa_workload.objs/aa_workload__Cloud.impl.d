@@ -1,0 +1,1 @@
+lib/workload/cloud.ml: Aa_core Aa_numerics Aa_utility Array List Plc Rng Utility

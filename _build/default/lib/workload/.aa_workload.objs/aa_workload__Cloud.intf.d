@@ -1,0 +1,1 @@
+lib/workload/cloud.mli: Aa_core Aa_numerics Aa_utility

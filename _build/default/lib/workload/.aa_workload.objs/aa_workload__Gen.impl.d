@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Aa_core Aa_numerics Aa_utility Array Format Instance Rng Sampled

@@ -1,0 +1,56 @@
+(** Multicore cache-partitioning workloads — the paper's first motivating
+    application (§I): cores are servers, the shared last-level cache is
+    the resource, and a thread's utility is its instruction throughput as
+    a function of its cache partition, derived from a miss-rate curve.
+
+    Miss-rate curves follow the classic exponential working-set model:
+    [mpki(c) = floor + (peak - floor) * exp (-c / locality)], which is
+    convex decreasing, making IPC-based utilities concave increasing —
+    exactly the diminishing-returns shape the paper assumes (Qureshi &
+    Patt's UCP observations, reference [4]). *)
+
+type profile = {
+  label : string;
+  base_cpi : float;  (** cycles per instruction with no misses *)
+  mpki_peak : float;  (** misses per kilo-instruction with no cache *)
+  mpki_floor : float;  (** compulsory misses that never go away *)
+  locality : float;  (** cache needed to drop the miss rate by 1/e *)
+  miss_penalty : float;  (** cycles per miss *)
+}
+
+val mpki : profile -> float -> float
+(** Miss rate at a given cache allocation. *)
+
+val ipc : profile -> float -> float
+(** Instructions per cycle at a given cache allocation:
+    [1 / (base_cpi + mpki c * miss_penalty / 1000)]. *)
+
+val utility : ?resolution:int -> cache:float -> profile -> Aa_utility.Utility.t
+(** Thread utility = IPC as a function of cache, on [[0, cache]], made
+    concave via sampling + upper envelope. Note the raw IPC curve can be
+    S-shaped (convex at small allocations where misses dominate the CPI);
+    the envelope chords over that region, so the model may promise more
+    than the simulator delivers there — the cache-partitioning example
+    measures exactly this gap. *)
+
+val streaming : string -> profile
+(** Streams through memory: high compulsory misses, caching barely
+    helps. *)
+
+val cache_friendly : string -> profile
+(** Small working set: modest miss rate that vanishes quickly. *)
+
+val cache_hungry : string -> profile
+(** Large working set: huge gains from cache, saturating late. *)
+
+val random : Aa_numerics.Rng.t -> string -> profile
+(** A random mixture of the three behaviors. *)
+
+val instance :
+  ?resolution:int ->
+  cores:int ->
+  cache:float ->
+  profile array ->
+  Aa_core.Instance.t
+(** AA instance: [cores] servers with [cache] MB each, one thread per
+    profile. *)

@@ -1,0 +1,29 @@
+(** Cloud-provider workloads — the paper's third motivating application
+    (§I): physical machines are servers, virtual-machine instances are
+    threads, and a customer's utility function expresses willingness to
+    pay for an instance as a function of the resources backing it. The
+    provider maximizes total revenue. *)
+
+type tier = { size : float; price : float }
+(** A pricing tier: the customer pays up to [price] for [size] resource. *)
+
+val bid_curve : cap:float -> tier list -> Aa_utility.Utility.t
+(** Piecewise-linear concave willingness-to-pay built from tiers:
+    cumulative price as a function of cumulative size, tiers sorted by
+    decreasing unit price (enforced, raising [Invalid_argument] if the
+    tiers are not concave-compatible). *)
+
+val elastic : cap:float -> budget:float -> beta:float -> Aa_utility.Utility.t
+(** A scale-free customer: pays [budget * (x / cap) ** beta],
+    [beta ∈ (0, 1]] — smaller beta = more value from the first units. *)
+
+val random_customer : Aa_numerics.Rng.t -> cap:float -> Aa_utility.Utility.t
+(** Random mix of batch (elastic, low beta), interactive (saturating)
+    and reserved (capped-linear) customers. *)
+
+val instance :
+  Aa_numerics.Rng.t ->
+  machines:int ->
+  capacity:float ->
+  customers:int ->
+  Aa_core.Instance.t

@@ -1,0 +1,42 @@
+open Aa_numerics
+open Aa_utility
+open Aa_core
+
+type distribution =
+  | Uniform
+  | Normal of { mu : float; sigma : float }
+  | Power_law of { alpha : float }
+  | Discrete of { gamma : float; theta : float }
+
+let name = function
+  | Uniform -> "uniform"
+  | Normal _ -> "normal"
+  | Power_law _ -> "power-law"
+  | Discrete _ -> "discrete"
+
+let pp ppf = function
+  | Uniform -> Format.fprintf ppf "uniform(0,1)"
+  | Normal { mu; sigma } -> Format.fprintf ppf "normal(%g,%g)" mu sigma
+  | Power_law { alpha } -> Format.fprintf ppf "power-law(α=%g)" alpha
+  | Discrete { gamma; theta } -> Format.fprintf ppf "discrete(γ=%g,θ=%g)" gamma theta
+
+let draw rng = function
+  | Uniform -> Rng.float rng 1.0
+  | Normal { mu; sigma } -> Rng.truncated_normal rng ~mu ~sigma ~lo:0.0
+  | Power_law { alpha } -> Rng.power_law rng ~alpha ~xmin:1.0
+  | Discrete { gamma; theta } ->
+      if not (theta >= 1.0) then invalid_arg "Gen.draw: discrete needs theta >= 1";
+      Rng.two_point rng ~gamma ~lo:1.0 ~hi:theta
+
+let draw_pair rng dist =
+  let a = draw rng dist and b = draw rng dist in
+  if a >= b then (a, b) else (b, a)
+
+let utility ?resolution rng ~cap dist =
+  let v, w = draw_pair rng dist in
+  Sampled.of_points ?resolution [| (0.0, 0.0); (cap /. 2.0, v); (cap, v +. w) |]
+
+let instance ?resolution rng ~servers ~capacity ~threads dist =
+  if threads < 1 then invalid_arg "Gen.instance: need at least one thread";
+  let utilities = Array.init threads (fun _ -> utility ?resolution rng ~cap:capacity dist) in
+  Instance.create ~servers ~capacity utilities

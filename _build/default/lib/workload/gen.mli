@@ -1,0 +1,49 @@
+(** The paper's random workload generator (Section VII).
+
+    For each thread, two values [v >= w] are drawn from a chosen
+    distribution; the utility is the smooth concave interpolation of the
+    three anchor points [(0, 0)], [(C/2, v)], [(C, v + w)]. Because
+    [w <= v], the anchors have nonincreasing slopes, so the PCHIP
+    interpolant (after the {!Aa_utility.Sampled} concave-envelope repair)
+    is a valid nondecreasing concave utility.
+
+    The original text's anchor description is corrupted in our source;
+    [C/2] for the middle anchor is the unique natural reading that makes
+    every draw concave — see DESIGN.md §3. *)
+
+type distribution =
+  | Uniform  (** v, w ~ U(0, 1) *)
+  | Normal of { mu : float; sigma : float }
+      (** Gaussian truncated to nonnegative values; the paper uses
+          mu = 1, sigma = 1 *)
+  | Power_law of { alpha : float }
+      (** Pareto with density ∝ x^-alpha on [1, ∞); the paper's Fig. 2
+          uses alpha = 2 *)
+  | Discrete of { gamma : float; theta : float }
+      (** two-point: value 1 with probability gamma, else theta > 1
+          (the paper's ℓ = 1, h = θ, Fig. 3) *)
+
+val name : distribution -> string
+val pp : Format.formatter -> distribution -> unit
+
+val draw_pair : Aa_numerics.Rng.t -> distribution -> float * float
+(** Two draws ordered as [(v, w)] with [w <= v]. *)
+
+val utility :
+  ?resolution:int ->
+  Aa_numerics.Rng.t ->
+  cap:float ->
+  distribution ->
+  Aa_utility.Utility.t
+(** One random thread utility on [[0, cap]]. [resolution] is the PCHIP
+    sampling density of the concave repair (default 128). *)
+
+val instance :
+  ?resolution:int ->
+  Aa_numerics.Rng.t ->
+  servers:int ->
+  capacity:float ->
+  threads:int ->
+  distribution ->
+  Aa_core.Instance.t
+(** An AA instance with i.i.d. random utilities. *)

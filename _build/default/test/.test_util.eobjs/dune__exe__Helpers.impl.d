@@ -1,0 +1,1 @@
+test/helpers.ml: Aa_core Aa_numerics Aa_utility Alcotest Array Float Format List Plc QCheck2 QCheck_alcotest Rng String Util Utility

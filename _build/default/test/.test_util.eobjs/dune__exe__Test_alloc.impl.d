@@ -1,0 +1,1 @@
+test/test_alloc.ml: Aa_alloc Aa_numerics Aa_utility Alcotest Array Dp Float Fox Galil Helpers List Plc Plc_greedy Printf QCheck2 Rng Util Utility Waterfill

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Filename In_channel List Option Out_channel String Sys

@@ -1,0 +1,1 @@
+test/test_convex.ml: Aa_numerics Alcotest Array Convex Hashtbl Helpers QCheck2 Rng

@@ -1,0 +1,1 @@
+test/test_core.ml: Aa_core Aa_numerics Aa_utility Alcotest Algo2 Array Assignment Bounds Float Helpers Instance Linearized List Plc QCheck2 Rng Solver Superopt Util Utility

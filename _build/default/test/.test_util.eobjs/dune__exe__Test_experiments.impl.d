@@ -1,0 +1,1 @@
+test/test_experiments.ml: Aa_core Aa_experiments Alcotest Array Figures Format Helpers List Run String Svg

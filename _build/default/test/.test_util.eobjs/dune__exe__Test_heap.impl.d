@@ -1,0 +1,1 @@
+test/test_heap.ml: Aa_numerics Alcotest Array Heap Helpers List QCheck2 Rng

@@ -1,0 +1,1 @@
+test/test_hetero.ml: Aa_core Aa_numerics Aa_utility Aa_workload Alcotest Algo2 Array Assignment Float Helpers Hetero QCheck2 Rng Utility

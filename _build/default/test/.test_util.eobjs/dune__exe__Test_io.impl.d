@@ -1,0 +1,1 @@
+test/test_io.ml: Aa_core Aa_io Aa_numerics Aa_utility Alcotest Array Assignment Filename Format_text Fun Helpers Instance List Printf QCheck2 String Sys Utility

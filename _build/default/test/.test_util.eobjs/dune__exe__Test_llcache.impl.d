@@ -1,0 +1,1 @@
+test/test_llcache.ml: Aa_core Aa_numerics Aa_sim Aa_utility Alcotest Array Helpers Llcache Profiler QCheck2 Rng Trace

@@ -1,0 +1,1 @@
+test/test_local_search.ml: Aa_core Aa_numerics Aa_workload Alcotest Algo2 Assignment Exact Float Helpers Heuristics List Local_search QCheck2 Refine Rng Solver Tightness

@@ -1,0 +1,1 @@
+test/test_mckp.ml: Aa_alloc Aa_numerics Aa_utility Alcotest Array Helpers List Plc_greedy Printf QCheck2 Utility

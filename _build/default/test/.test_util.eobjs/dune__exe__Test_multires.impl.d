@@ -1,0 +1,1 @@
+test/test_multires.ml: Aa_core Aa_numerics Aa_utility Alcotest Algo2 Array Assignment Float Helpers Instance Multires Refine Rng Seq Superopt Utility

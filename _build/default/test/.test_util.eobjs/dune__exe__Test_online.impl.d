@@ -1,0 +1,1 @@
+test/test_online.ml: Aa_core Aa_numerics Aa_utility Aa_workload Alcotest Algo2 Array Assignment Float Helpers Instance List Online QCheck2 Rng Superopt Utility

@@ -1,0 +1,1 @@
+test/test_pchip.ml: Aa_numerics Alcotest Array Helpers List Pchip Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_plc.ml: Aa_numerics Aa_utility Alcotest Array Float Helpers List Plc QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_rng.ml: Aa_numerics Alcotest Array Fun Helpers Printf Rng Stats Util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Aa_core Aa_numerics Aa_sim Aa_utility Aa_workload Alcotest Algo2 Array Assignment Cache Float Helpers Hosting Multicore Rng

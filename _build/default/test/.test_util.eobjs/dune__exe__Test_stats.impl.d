@@ -1,0 +1,1 @@
+test/test_stats.ml: Aa_numerics Alcotest Array Helpers QCheck2 Rng Stats Util

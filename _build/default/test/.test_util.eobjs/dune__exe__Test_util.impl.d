@@ -1,0 +1,1 @@
+test/test_util.ml: Aa_numerics Alcotest Array Dynvec Float Fun Helpers Root Util

@@ -1,0 +1,1 @@
+test/test_utility.ml: Aa_numerics Aa_utility Alcotest Float Helpers List Plc QCheck2 Sampled Util Utility

@@ -1,0 +1,1 @@
+test/test_workload.ml: Aa_core Aa_numerics Aa_utility Aa_workload Alcotest Array Cache Cloud Gen Helpers Instance List Printf QCheck2 Rng Sampled Utility

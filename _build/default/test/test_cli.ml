@@ -1,0 +1,91 @@
+(* Integration tests for the `aa` command-line tool: drive the real
+   binary end to end (generate -> solve -> eval) through a shell. *)
+
+(* `dune runtest` runs tests from their build directory; `dune exec`
+   from the project root — accept either. *)
+let cli =
+  List.find_opt Sys.file_exists [ "../bin/aa_cli.exe"; "_build/default/bin/aa_cli.exe" ]
+  |> Option.value ~default:"../bin/aa_cli.exe"
+
+let run ?(expect = 0) args =
+  let cmd = Filename.quote_command cli args in
+  let code = Sys.command (cmd ^ " > cli_stdout.txt 2> cli_stderr.txt") in
+  if code <> expect then begin
+    let err = In_channel.with_open_text "cli_stderr.txt" In_channel.input_all in
+    Alcotest.failf "%s: exit %d (expected %d)\nstderr: %s" (String.concat " " args) code
+      expect err
+  end;
+  In_channel.with_open_text "cli_stdout.txt" In_channel.input_all
+
+let test_exists () =
+  if not (Sys.file_exists cli) then Alcotest.failf "CLI binary missing at %s" cli
+
+let test_generate_solve_eval () =
+  let _ =
+    run [ "generate"; "--dist"; "uniform"; "-n"; "6"; "-m"; "2"; "-C"; "10"; "-o"; "inst.aa" ]
+  in
+  Alcotest.(check bool) "instance written" true (Sys.file_exists "inst.aa");
+  List.iter
+    (fun algo ->
+      let _ = run [ "solve"; "--algo"; algo; "inst.aa"; "-o"; "sol.aa" ] in
+      let out = run [ "eval"; "inst.aa"; "sol.aa" ] in
+      let feasible =
+        String.length out >= 8 && String.sub out 0 8 = "feasible"
+      in
+      if not feasible then Alcotest.failf "%s: eval said %S" algo out)
+    [ "algo1"; "algo2"; "uu"; "ur"; "ru"; "rr"; "online"; "ls"; "exact" ]
+
+let test_solve_unknown_algo_fails () =
+  ignore (run ~expect:124 [ "solve"; "--algo"; "nope"; "inst.aa" ])
+
+let test_eval_rejects_corrupt_solution () =
+  Out_channel.with_open_text "bad.aa" (fun oc ->
+      Out_channel.output_string oc "assign 0 0 1e9\nassign 1 0 0\nassign 2 0 0\nassign 3 0 0\nassign 4 0 0\nassign 5 0 0\n");
+  ignore (run ~expect:1 [ "eval"; "inst.aa"; "bad.aa" ])
+
+let test_generate_all_distributions () =
+  List.iter
+    (fun dist ->
+      let out =
+        run
+          [ "generate"; "--dist"; dist; "-n"; "3"; "-m"; "2"; "-C"; "50"; "--seed"; "9" ]
+      in
+      if String.length out < 20 then Alcotest.failf "%s: output too short" dist)
+    [ "uniform"; "normal"; "powerlaw"; "discrete" ]
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  nn = 0 || scan 0
+
+let test_figures_lists () =
+  let out = run [ "figures" ] in
+  List.iter
+    (fun id ->
+      if not (contains out id) then Alcotest.failf "missing %s in figures output" id)
+    [ "fig1a"; "fig3c" ]
+
+let test_sweep_runs () =
+  let out = run [ "sweep"; "fig3b"; "--trials"; "2" ] in
+  if String.length out < 100 then Alcotest.fail "sweep output too short"
+
+let test_sweep_svg_export () =
+  let _ = run [ "sweep"; "fig3c"; "--trials"; "2"; "--svg"; "fig.svg" ] in
+  let doc = In_channel.with_open_text "fig.svg" In_channel.input_all in
+  Alcotest.(check bool) "svg written" true (contains doc "</svg>")
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "cli",
+        [
+          Alcotest.test_case "binary exists" `Quick test_exists;
+          Alcotest.test_case "generate/solve/eval" `Quick test_generate_solve_eval;
+          Alcotest.test_case "unknown algo" `Quick test_solve_unknown_algo_fails;
+          Alcotest.test_case "corrupt solution" `Quick test_eval_rejects_corrupt_solution;
+          Alcotest.test_case "all distributions" `Quick test_generate_all_distributions;
+          Alcotest.test_case "figures" `Quick test_figures_lists;
+          Alcotest.test_case "sweep" `Quick test_sweep_runs;
+          Alcotest.test_case "sweep svg" `Quick test_sweep_svg_export;
+        ] );
+    ]

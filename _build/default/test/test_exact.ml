@@ -1,0 +1,179 @@
+open Aa_numerics
+open Aa_utility
+open Aa_core
+
+(* ---------- exact solver ---------- *)
+
+let test_exact_single_server_equals_pooled () =
+  let cap = 10.0 in
+  let inst =
+    Instance.create ~servers:1 ~capacity:cap
+      [|
+        Utility.Shapes.capped_linear ~cap ~slope:2.0 ~knee:3.0;
+        Utility.Shapes.capped_linear ~cap ~slope:1.0 ~knee:5.0;
+      |]
+  in
+  let r = Exact.solve inst in
+  (* one server: optimum = optimal pooled allocation with budget C *)
+  let pooled =
+    Aa_alloc.Plc_greedy.allocate ~budget:cap (Instance.to_plc inst)
+  in
+  Helpers.check_float ~eps:1e-9 "pooled" pooled.utility r.utility
+
+let test_exact_separates_competing_threads () =
+  (* two steep threads + one linear: the known optimum groups the steep
+     pair (Theorem V.17's instance) *)
+  let inst = Tightness.instance () in
+  let r = Exact.solve inst in
+  Helpers.check_float ~eps:1e-9 "optimal utility 3" Tightness.optimal_utility r.utility;
+  (match Assignment.check inst r.assignment with Ok () -> () | Error e -> Alcotest.fail e);
+  (* threads 0 and 1 share a server; thread 2 is alone *)
+  let s0 = r.assignment.server.(0) and s1 = r.assignment.server.(1) in
+  let s2 = r.assignment.server.(2) in
+  Alcotest.(check bool) "steep pair together" true (s0 = s1);
+  Alcotest.(check bool) "linear alone" true (s2 <> s0)
+
+let test_exact_respects_server_count () =
+  let cap = 4.0 in
+  (* three threads that each want the whole server; two servers *)
+  let us = Array.make 3 (Utility.Shapes.capped_linear ~cap ~slope:1.0 ~knee:cap) in
+  let inst = Instance.create ~servers:2 ~capacity:cap us in
+  let r = Exact.solve inst in
+  (* best: two threads get 4.0 each... no — three threads, two servers:
+     one server holds two threads splitting 4, total 4 + 4 = 8 *)
+  Helpers.check_float ~eps:1e-9 "optimum" 8.0 r.utility
+
+let test_exact_more_servers_than_threads () =
+  let cap = 5.0 in
+  let us = Array.make 2 (Utility.Shapes.linear ~cap ~slope:1.0) in
+  let inst = Instance.create ~servers:4 ~capacity:cap us in
+  let r = Exact.solve inst in
+  Helpers.check_float "each alone at cap" 10.0 r.utility
+
+let test_exact_guard () =
+  let cap = 1.0 in
+  let us = Array.make (Exact.max_threads + 1) (Utility.Shapes.linear ~cap ~slope:1.0) in
+  let inst = Instance.create ~servers:2 ~capacity:cap us in
+  try
+    ignore (Exact.solve inst);
+    Alcotest.fail "guard did not trigger"
+  with Invalid_argument _ -> ()
+
+(* ---------- reduction (Theorem IV.1) ---------- *)
+
+let test_reduction_positive_cases () =
+  List.iter
+    (fun numbers ->
+      let numbers = Array.of_list numbers in
+      Alcotest.(check bool)
+        (Printf.sprintf "partitionable %s"
+           (String.concat "," (List.map string_of_float (Array.to_list numbers))))
+        true
+        (Reduction.partition_exists numbers))
+    [ [ 1.0; 1.0 ]; [ 1.0; 2.0; 3.0 ]; [ 2.0; 2.0; 2.0; 2.0 ]; [ 5.0; 3.0; 2.0; 4.0; 2.0 ] ]
+
+let test_reduction_negative_cases () =
+  List.iter
+    (fun numbers ->
+      let numbers = Array.of_list numbers in
+      Alcotest.(check bool) "not partitionable" false (Reduction.partition_exists numbers))
+    [ [ 1.0; 2.0 ]; [ 1.0; 1.0; 3.0 ]; [ 2.0; 3.0; 4.0 ]; [ 1.0; 5.0; 2.0 ] ]
+
+let test_reduction_instance_shape () =
+  let numbers = [| 3.0; 1.0; 2.0 |] in
+  let inst = Reduction.instance numbers in
+  Alcotest.(check int) "two servers" 2 inst.servers;
+  Helpers.check_float "capacity" 3.0 inst.capacity;
+  Helpers.check_float "target" 6.0 (Reduction.target numbers);
+  (* f_i(c_i) = c_i and flat beyond *)
+  Helpers.check_float "utility at own size" 1.0 (Utility.eval inst.utilities.(1) 1.0);
+  Helpers.check_float "flat beyond" 1.0 (Utility.eval inst.utilities.(1) 2.0)
+
+let prop_reduction_matches_bruteforce =
+  QCheck2.Test.make ~name:"reduction decides partition correctly" ~count:60
+    QCheck2.Gen.(list_size (int_range 2 8) (int_range 1 12))
+    (fun ints ->
+      let numbers = Array.of_list (List.map float_of_int ints) in
+      (* brute-force partition over subsets *)
+      let total = Array.fold_left ( +. ) 0.0 numbers in
+      let n = Array.length numbers in
+      let exists = ref false in
+      for mask = 0 to (1 lsl n) - 1 do
+        let s = ref 0.0 in
+        for i = 0 to n - 1 do
+          if mask land (1 lsl i) <> 0 then s := !s +. numbers.(i)
+        done;
+        if Float.abs ((2.0 *. !s) -. total) < 1e-9 then exists := true
+      done;
+      Reduction.partition_exists numbers = !exists)
+
+(* ---------- tightness (Theorem V.17) ---------- *)
+
+let test_tightness_algorithms_hit_5_6 () =
+  let inst = Tightness.instance () in
+  let u2 = Assignment.utility inst (Algo2.solve inst) in
+  Helpers.check_float ~eps:1e-9 "Algo2 = 5/2" Tightness.algorithm_utility u2;
+  let u1 = Assignment.utility inst (Algo1.solve inst) in
+  Helpers.check_float ~eps:1e-9 "Algo1 = 5/2" Tightness.algorithm_utility u1;
+  let opt = (Exact.solve inst).utility in
+  Helpers.check_float ~eps:1e-9 "optimal = 3" Tightness.optimal_utility opt;
+  Helpers.check_float ~eps:1e-9 "ratio 5/6" Tightness.expected_ratio (u2 /. opt);
+  (* the example sits above the proven bound *)
+  Helpers.check_ge "5/6 > alpha" Tightness.expected_ratio Bounds.alpha
+
+(* ---------- exact vs approximation on random instances ---------- *)
+
+let prop_exact_at_least_algo2 =
+  QCheck2.Test.make ~name:"OPT >= Algo2 and Algo2 >= alpha * OPT" ~count:60
+    ~print:Helpers.print_instance Helpers.gen_small_instance (fun inst ->
+      let inst = Helpers.plc_instance inst in
+      let opt = (Exact.solve inst).utility in
+      let u2 = Assignment.utility inst (Algo2.solve inst) in
+      let scale = Float.max 1.0 opt in
+      u2 <= opt +. (1e-6 *. scale) && u2 >= (Bounds.alpha *. opt) -. (1e-6 *. scale))
+
+let prop_exact_below_superopt =
+  QCheck2.Test.make ~name:"Lemma V.2: OPT <= F^" ~count:60 Helpers.gen_small_instance
+    (fun inst ->
+      let inst = Helpers.plc_instance inst in
+      let opt = (Exact.solve inst).utility in
+      let so = Superopt.compute inst in
+      opt <= so.utility +. (1e-6 *. Float.max 1.0 so.utility))
+
+let prop_exact_assignment_feasible_and_consistent =
+  QCheck2.Test.make ~name:"exact solver: assignment matches claimed utility" ~count:60
+    Helpers.gen_small_instance (fun inst ->
+      let inst = Helpers.plc_instance inst in
+      let r = Exact.solve inst in
+      match Assignment.check inst r.assignment with
+      | Error _ -> false
+      | Ok () ->
+          Util.approx_equal ~eps:1e-6 r.utility (Assignment.utility inst r.assignment))
+
+let () =
+  Alcotest.run "exact-and-hardness"
+    [
+      ( "exact",
+        [
+          Alcotest.test_case "single server pooled" `Quick test_exact_single_server_equals_pooled;
+          Alcotest.test_case "separates competitors" `Quick test_exact_separates_competing_threads;
+          Alcotest.test_case "server count" `Quick test_exact_respects_server_count;
+          Alcotest.test_case "more servers than threads" `Quick test_exact_more_servers_than_threads;
+          Alcotest.test_case "size guard" `Quick test_exact_guard;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "positive" `Quick test_reduction_positive_cases;
+          Alcotest.test_case "negative" `Quick test_reduction_negative_cases;
+          Alcotest.test_case "instance shape" `Quick test_reduction_instance_shape;
+        ] );
+      ( "tightness",
+        [ Alcotest.test_case "5/6 example" `Quick test_tightness_algorithms_hit_5_6 ] );
+      Helpers.qsuite "properties"
+        [
+          prop_reduction_matches_bruteforce;
+          prop_exact_at_least_algo2;
+          prop_exact_below_superopt;
+          prop_exact_assignment_feasible_and_consistent;
+        ];
+    ]

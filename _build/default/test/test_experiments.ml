@@ -1,0 +1,146 @@
+open Aa_experiments
+
+(* Small trial counts: these tests validate the harness mechanics and the
+   direction of every paper trend, not the published magnitudes (the
+   bench regenerates those with full trials). *)
+
+let run_fig id trials =
+  match Figures.find id with
+  | None -> Alcotest.failf "missing figure %s" id
+  | Some spec -> spec.run ~trials ~seed:42
+
+let test_all_figures_present () =
+  Alcotest.(check int) "seven figures" 7 (List.length Figures.all);
+  List.iter
+    (fun id ->
+      match Figures.find id with
+      | Some _ -> ()
+      | None -> Alcotest.failf "missing %s" id)
+    [ "fig1a"; "fig1b"; "fig2a"; "fig2b"; "fig3a"; "fig3b"; "fig3c" ]
+
+let test_find_case_insensitive () =
+  match Figures.find "FIG1A" with
+  | Some s -> Alcotest.(check string) "id" "fig1a" s.id
+  | None -> Alcotest.fail "case-insensitive lookup failed"
+
+let test_series_structure () =
+  let s = run_fig "fig1a" 5 in
+  Alcotest.(check int) "15 beta points" 15 (List.length s.points);
+  List.iter
+    (fun (p : Run.point) ->
+      Alcotest.(check int) "trials" 5 p.trials;
+      (* ratios vs SO are in (0, 1]; ratios vs heuristics >= ~1 *)
+      Helpers.check_le "vs SO <= 1" p.mean.vs_so 1.0001;
+      Helpers.check_ge "vs SO > alpha" p.mean.vs_so Aa_core.Bounds.alpha;
+      Alcotest.(check int) "no guarantee violations" 0 p.guarantee_violations)
+    s.points
+
+let test_reproducible_with_seed () =
+  let a = run_fig "fig3b" 3 in
+  let b = run_fig "fig3b" 3 in
+  List.iter2
+    (fun (p : Run.point) (q : Run.point) ->
+      Helpers.check_float "same mean vs SO" p.mean.vs_so q.mean.vs_so;
+      Helpers.check_float "same mean vs RR" p.mean.vs_rr q.mean.vs_rr)
+    a.points b.points
+
+let test_paper_trends_small () =
+  (* 30 trials is plenty to see the qualitative results of §VII *)
+  let s = run_fig "fig1a" 30 in
+  let points = Array.of_list s.points in
+  let first = points.(0) and last = points.(Array.length points - 1) in
+  (* Algorithm 2 is near-optimal everywhere *)
+  List.iter
+    (fun (p : Run.point) -> Helpers.check_ge "vs SO >= 0.97" p.mean.vs_so 0.97)
+    s.points;
+  (* UU is optimal at beta = 1 (paper) and degrades with beta *)
+  Helpers.check_le "UU optimal at beta 1" first.mean.vs_uu 1.01;
+  Helpers.check_ge "UU worse at beta 15" last.mean.vs_uu 1.05;
+  (* random allocation is worse than uniform allocation (paper §VII-A) *)
+  Helpers.check_ge "UR worse than UU at beta 15" last.mean.vs_ur (last.mean.vs_uu -. 0.02)
+
+let test_power_law_magnifies_gap () =
+  let uni = run_fig "fig1a" 20 in
+  let pl = run_fig "fig2a" 20 in
+  let last s = List.nth s.Run.points (List.length s.Run.points - 1) in
+  (* heavier tails -> heuristics do worse relative to Algo2 *)
+  Helpers.check_ge "power law gap bigger than uniform"
+    (last pl).mean.vs_rr
+    ((last uni).mean.vs_rr -. 0.05)
+
+let test_pp_series_renders () =
+  let s = run_fig "fig3c" 2 in
+  let text = Format.asprintf "%a" Run.pp_series s in
+  Alcotest.(check bool) "has header" true (String.length text > 100)
+
+(* ---------- SVG figure rendering ---------- *)
+
+let test_nice_ticks () =
+  let ticks = Svg.nice_ticks ~lo:0.0 ~hi:10.0 5 in
+  Alcotest.(check (list (float 1e-9))) "round steps" [ 0.0; 2.0; 4.0; 6.0; 8.0; 10.0 ] ticks;
+  let ticks = Svg.nice_ticks ~lo:0.93 ~hi:1.01 5 in
+  List.iter
+    (fun t ->
+      if t < 0.93 -. 1e-9 || t > 1.01 +. 1e-9 then Alcotest.failf "tick %g out of range" t)
+    ticks;
+  Alcotest.(check bool) "at least two ticks" true (List.length ticks >= 2)
+
+let test_svg_renders_well_formed () =
+  let chart =
+    Svg.default ~title:"t<&>\"" ~xlabel:"x" ~ylabel:"y"
+      [
+        { Svg.label = "a"; points = [ (1.0, 1.0); (2.0, 1.5); (3.0, 1.2) ] };
+        { Svg.label = "b"; points = [ (1.0, 2.0); (3.0, 0.5) ] };
+      ]
+  in
+  let doc = Svg.render chart in
+  Alcotest.(check bool) "opens svg" true (String.length doc > 100);
+  Alcotest.(check bool) "escaped title" true (not (Helpers.contains doc "t<&>"));
+  Alcotest.(check int) "one closing tag" 1 (Helpers.count_substring doc "</svg>");
+  Alcotest.(check int) "two polylines" 2 (Helpers.count_substring doc "<polyline")
+
+let test_svg_empty_rejected () =
+  let chart = Svg.default ~title:"t" ~xlabel:"x" ~ylabel:"y" [ { Svg.label = "a"; points = [] } ] in
+  Alcotest.check_raises "no data" (Invalid_argument "Svg.render: no data points") (fun () ->
+      ignore (Svg.render chart))
+
+let test_svg_degenerate_ranges () =
+  (* single point: ranges padded, no division by zero *)
+  let chart =
+    Svg.default ~title:"t" ~xlabel:"x" ~ylabel:"y"
+      [ { Svg.label = "a"; points = [ (2.0, 5.0) ] } ]
+  in
+  let doc = Svg.render chart in
+  Alcotest.(check bool) "renders" true (String.length doc > 100);
+  Alcotest.(check bool) "no nan" true (not (Helpers.contains doc "nan"))
+
+let test_svg_of_series () =
+  let s = run_fig "fig3c" 2 in
+  let doc = Svg.render (Svg.of_series s) in
+  Alcotest.(check bool) "mentions comparators" true (Helpers.contains doc "vs RR")
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "figures",
+        [
+          Alcotest.test_case "all present" `Quick test_all_figures_present;
+          Alcotest.test_case "find" `Quick test_find_case_insensitive;
+          Alcotest.test_case "series structure" `Quick test_series_structure;
+          Alcotest.test_case "reproducible" `Quick test_reproducible_with_seed;
+        ] );
+      ( "svg",
+        [
+          Alcotest.test_case "nice ticks" `Quick test_nice_ticks;
+          Alcotest.test_case "well formed" `Quick test_svg_renders_well_formed;
+          Alcotest.test_case "empty rejected" `Quick test_svg_empty_rejected;
+          Alcotest.test_case "degenerate ranges" `Quick test_svg_degenerate_ranges;
+          Alcotest.test_case "of_series" `Quick test_svg_of_series;
+        ] );
+      ( "trends",
+        [
+          Alcotest.test_case "uniform trends" `Slow test_paper_trends_small;
+          Alcotest.test_case "power law gap" `Slow test_power_law_magnifies_gap;
+          Alcotest.test_case "pp renders" `Quick test_pp_series_renders;
+        ] );
+    ]

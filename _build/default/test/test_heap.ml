@@ -1,0 +1,107 @@
+open Aa_numerics
+
+let int_cmp = (compare : int -> int -> int)
+
+let test_poly_basic () =
+  let h = Heap.Poly.create ~cmp:int_cmp in
+  Alcotest.(check bool) "empty" true (Heap.Poly.is_empty h);
+  List.iter (Heap.Poly.push h) [ 3; 1; 4; 1; 5; 9; 2; 6 ];
+  Alcotest.(check int) "length" 8 (Heap.Poly.length h);
+  Alcotest.(check int) "peek" 9 (Heap.Poly.peek h);
+  Alcotest.(check int) "pop max" 9 (Heap.Poly.pop h);
+  Alcotest.(check int) "next" 6 (Heap.Poly.pop h);
+  Alcotest.(check int) "length after" 6 (Heap.Poly.length h)
+
+let test_poly_sorts () =
+  let rng = Rng.create ~seed:5 () in
+  let a = Array.init 1000 (fun _ -> Rng.int rng 10_000) in
+  let h = Heap.Poly.of_array ~cmp:int_cmp a in
+  let out = Array.init 1000 (fun _ -> Heap.Poly.pop h) in
+  let expected = Array.copy a in
+  Array.sort (fun x y -> compare y x) expected;
+  Alcotest.(check (array int)) "heapsort descending" expected out
+
+let test_poly_empty_errors () =
+  let h = Heap.Poly.create ~cmp:int_cmp in
+  Alcotest.check_raises "pop" Not_found (fun () -> ignore (Heap.Poly.pop h));
+  Alcotest.check_raises "peek" Not_found (fun () -> ignore (Heap.Poly.peek h))
+
+let test_poly_min_heap_via_cmp () =
+  let h = Heap.Poly.create ~cmp:(fun a b -> int_cmp b a) in
+  List.iter (Heap.Poly.push h) [ 3; 1; 4 ];
+  Alcotest.(check int) "min first" 1 (Heap.Poly.pop h)
+
+let test_indexed_basic () =
+  let h = Heap.Indexed.create [| 5.0; 9.0; 2.0 |] in
+  Alcotest.(check int) "size" 3 (Heap.Indexed.size h);
+  Alcotest.(check int) "max" 1 (Heap.Indexed.max_element h);
+  Helpers.check_float "priority" 9.0 (Heap.Indexed.priority h 1);
+  Heap.Indexed.update h 1 1.0;
+  Alcotest.(check int) "new max" 0 (Heap.Indexed.max_element h);
+  Heap.Indexed.update h 2 100.0;
+  Alcotest.(check int) "raised" 2 (Heap.Indexed.max_element h)
+
+let test_indexed_ties_by_index () =
+  let h = Heap.Indexed.create [| 4.0; 4.0; 4.0 |] in
+  Alcotest.(check int) "lowest index wins" 0 (Heap.Indexed.max_element h);
+  Heap.Indexed.update h 0 3.0;
+  Alcotest.(check int) "next index" 1 (Heap.Indexed.max_element h)
+
+let test_indexed_empty () =
+  let h = Heap.Indexed.create [||] in
+  Alcotest.check_raises "max of empty" Not_found (fun () ->
+      ignore (Heap.Indexed.max_element h))
+
+(* Model check: drive the indexed heap with random updates and compare
+   the max element against a linear scan. *)
+let prop_indexed_model =
+  QCheck2.Test.make ~name:"indexed heap matches linear scan" ~count:200
+    QCheck2.Gen.(
+      let* n = int_range 1 12 in
+      let* prios = list_repeat n (float_range 0.0 100.0) in
+      let* updates = list_size (int_range 0 50) (pair (int_range 0 (n - 1)) (float_range 0.0 100.0)) in
+      return (prios, updates))
+    (fun (prios, updates) ->
+      let prios = Array.of_list prios in
+      let h = Heap.Indexed.create prios in
+      let model = Array.copy prios in
+      List.for_all
+        (fun (e, p) ->
+          Heap.Indexed.update h e p;
+          model.(e) <- p;
+          let best = ref 0 in
+          Array.iteri (fun i v -> if v > model.(!best) then best := i) model;
+          let hm = Heap.Indexed.max_element h in
+          model.(hm) = model.(!best))
+        updates)
+
+let prop_poly_sorted =
+  QCheck2.Test.make ~name:"poly heap drains in sorted order" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 100) (float_range (-50.0) 50.0))
+    (fun xs ->
+      let h = Heap.Poly.create ~cmp:compare in
+      List.iter (Heap.Poly.push h) xs;
+      let rec drain acc =
+        if Heap.Poly.is_empty h then List.rev acc else drain (Heap.Poly.pop h :: acc)
+      in
+      let out = drain [] in
+      out = List.sort (fun a b -> compare b a) xs)
+
+let () =
+  Alcotest.run "numerics-heap"
+    [
+      ( "poly",
+        [
+          Alcotest.test_case "basic" `Quick test_poly_basic;
+          Alcotest.test_case "heapsort" `Quick test_poly_sorts;
+          Alcotest.test_case "empty errors" `Quick test_poly_empty_errors;
+          Alcotest.test_case "custom order" `Quick test_poly_min_heap_via_cmp;
+        ] );
+      ( "indexed",
+        [
+          Alcotest.test_case "basic" `Quick test_indexed_basic;
+          Alcotest.test_case "ties" `Quick test_indexed_ties_by_index;
+          Alcotest.test_case "empty" `Quick test_indexed_empty;
+        ] );
+      Helpers.qsuite "properties" [ prop_indexed_model; prop_poly_sorted ];
+    ]

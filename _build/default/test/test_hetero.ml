@@ -1,0 +1,163 @@
+open Aa_numerics
+open Aa_utility
+open Aa_core
+
+let mk ~capacities utilities = Hetero.create ~capacities utilities
+
+let cap3 = [| 10.0; 5.0; 3.0 |]
+
+let us3 cmax =
+  [|
+    Utility.Shapes.capped_linear ~cap:cmax ~slope:2.0 ~knee:4.0;
+    Utility.Shapes.power ~cap:cmax ~coeff:2.0 ~beta:0.5;
+    Utility.Shapes.linear ~cap:cmax ~slope:0.5;
+    Utility.Shapes.saturating ~cap:cmax ~limit:5.0 ~halfway:2.0;
+  |]
+
+let test_create_and_accessors () =
+  let t = mk ~capacities:cap3 (us3 10.0) in
+  Alcotest.(check int) "servers" 3 (Hetero.n_servers t);
+  Alcotest.(check int) "threads" 4 (Hetero.n_threads t);
+  Helpers.check_float "total" 18.0 (Hetero.total_capacity t)
+
+let test_create_validation () =
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Hetero.create: capacities must be positive") (fun () ->
+      ignore (mk ~capacities:[| 10.0; 0.0 |] (us3 10.0)));
+  (try
+     ignore (mk ~capacities:cap3 (us3 5.0));
+     Alcotest.fail "wrong domain accepted"
+   with Invalid_argument _ -> ())
+
+let test_to_homogeneous () =
+  let t = mk ~capacities:[| 4.0; 4.0 |] (us3 4.0) in
+  (match Hetero.to_homogeneous t with
+  | Some inst ->
+      Alcotest.(check int) "servers" 2 inst.servers;
+      Helpers.check_float "capacity" 4.0 inst.capacity
+  | None -> Alcotest.fail "homogeneous not recognized");
+  match Hetero.to_homogeneous (mk ~capacities:cap3 (us3 10.0)) with
+  | Some _ -> Alcotest.fail "heterogeneous mistaken for homogeneous"
+  | None -> ()
+
+let test_superopt_upper_bound () =
+  let t = mk ~capacities:cap3 (us3 10.0) in
+  let so = Hetero.superopt t in
+  let a = Hetero.solve t in
+  (match Hetero.check t a with Ok () -> () | Error e -> Alcotest.fail e);
+  Helpers.check_le "achieved <= F^" (Hetero.utility_of t a) (so.utility +. 1e-9)
+
+let test_solve_matches_algo2_on_homogeneous () =
+  (* when capacities are equal the generalized solver must coincide in
+     value with Algorithm 2 *)
+  let rng = Rng.create ~seed:11 () in
+  for _ = 1 to 10 do
+    let trial = Rng.split rng in
+    let inst =
+      Aa_workload.Gen.instance trial ~servers:3 ~capacity:30.0 ~threads:9
+        Aa_workload.Gen.Uniform
+    in
+    let t = Hetero.create ~capacities:(Array.make 3 30.0) inst.utilities in
+    let a_h = Hetero.solve t in
+    let a_2 = Algo2.solve inst in
+    Helpers.check_float ~eps:1e-9 "same utility" (Assignment.utility inst a_2)
+      (Hetero.utility_of t a_h)
+  done
+
+let test_uu_capacity_aware () =
+  let t = mk ~capacities:[| 6.0; 3.0 |] (Array.make 3 (Utility.Shapes.linear ~cap:6.0 ~slope:1.0)) in
+  let a = Hetero.uu t in
+  (match Hetero.check t a with Ok () -> () | Error e -> Alcotest.fail e);
+  (* the capacity-6 server should take 2 of the 3 threads *)
+  let counts = Array.make 2 0 in
+  Array.iter (fun j -> counts.(j) <- counts.(j) + 1) a.server;
+  Alcotest.(check int) "big server takes two" 2 counts.(0)
+
+let test_exact_small () =
+  (* two servers 4 and 2; two threads each wanting 4: optimum puts one
+     per server: 4 + 2 = 6 *)
+  let cmax = 4.0 in
+  let us = Array.make 2 (Utility.Shapes.capped_linear ~cap:cmax ~slope:1.0 ~knee:4.0) in
+  let t = mk ~capacities:[| 4.0; 2.0 |] us in
+  let a, opt = Hetero.exact t in
+  Helpers.check_float ~eps:1e-9 "optimum" 6.0 opt;
+  (match Hetero.check t a with Ok () -> () | Error e -> Alcotest.fail e);
+  Helpers.check_float ~eps:1e-9 "assignment value" opt (Hetero.utility_of t a)
+
+let test_exact_prefers_big_server_for_hungry_thread () =
+  let cmax = 8.0 in
+  let us =
+    [|
+      Utility.Shapes.capped_linear ~cap:cmax ~slope:10.0 ~knee:8.0 (* hungry, valuable *);
+      Utility.Shapes.capped_linear ~cap:cmax ~slope:1.0 ~knee:2.0;
+    |]
+  in
+  let t = mk ~capacities:[| 8.0; 2.0 |] us in
+  let a, opt = Hetero.exact t in
+  Alcotest.(check int) "hungry thread on the big server" 0 a.server.(0);
+  Helpers.check_float ~eps:1e-9 "optimum" 82.0 opt
+
+(* properties *)
+
+let gen_hetero =
+  QCheck2.Gen.(
+    let* m = int_range 1 3 in
+    let* caps = list_repeat m (float_range 2.0 20.0) in
+    let caps = Array.of_list caps in
+    let cmax = Array.fold_left Float.max caps.(0) caps in
+    let* n = int_range 1 6 in
+    let* us = list_repeat n (Helpers.gen_utility_with_cap cmax) in
+    return (Hetero.create ~capacities:caps (Array.of_list us)))
+
+let prop_solve_feasible =
+  QCheck2.Test.make ~name:"hetero solve: feasible" ~count:200 gen_hetero (fun t ->
+      match Hetero.check t (Hetero.solve t) with Ok () -> true | Error _ -> false)
+
+let prop_exact_bounds =
+  QCheck2.Test.make ~name:"hetero: solve <= exact <= superopt" ~count:80 gen_hetero
+    (fun t ->
+      (* compare on exact PLC forms *)
+      let t =
+        Hetero.create ~capacities:t.capacities
+          (Array.map (fun u -> Utility.of_plc (Utility.to_plc u)) t.utilities)
+      in
+      let _, opt = Hetero.exact t in
+      let so = (Hetero.superopt t).utility in
+      let heuristic = Hetero.utility_of t (Hetero.solve t) in
+      let scale = Float.max 1.0 so in
+      heuristic <= opt +. (1e-6 *. scale) && opt <= so +. (1e-6 *. scale))
+
+let prop_generalized_ratio_healthy =
+  (* no proof for hetero, but empirically the generalized Algorithm 2
+     should stay above ~0.6 of the pooled bound on these workloads *)
+  QCheck2.Test.make ~name:"hetero: empirical ratio above 0.6" ~count:100 gen_hetero
+    (fun t ->
+      let so = (Hetero.superopt t).utility in
+      if so <= 0.0 then true
+      else Hetero.utility_of t (Hetero.solve t) >= 0.6 *. so -. 1e-6)
+
+let () =
+  Alcotest.run "hetero"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "create" `Quick test_create_and_accessors;
+          Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "to_homogeneous" `Quick test_to_homogeneous;
+        ] );
+      ( "solve",
+        [
+          Alcotest.test_case "upper bound" `Quick test_superopt_upper_bound;
+          Alcotest.test_case "matches Algo2 when homogeneous" `Quick
+            test_solve_matches_algo2_on_homogeneous;
+          Alcotest.test_case "uu capacity aware" `Quick test_uu_capacity_aware;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "small" `Quick test_exact_small;
+          Alcotest.test_case "hungry thread placement" `Quick
+            test_exact_prefers_big_server_for_hungry_thread;
+        ] );
+      Helpers.qsuite "properties"
+        [ prop_solve_feasible; prop_exact_bounds; prop_generalized_ratio_healthy ];
+    ]

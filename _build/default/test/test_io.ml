@@ -1,0 +1,163 @@
+open Aa_utility
+open Aa_core
+open Aa_io
+
+let sample_text =
+  "# an instance\n\
+   servers 2\n\
+   capacity 10.0\n\
+   thread plc 0 0 2.5 1 10 1.5\n\
+   thread power 4.0 0.5   # comment after tokens\n\
+   thread log 3.0 1.0\n\
+   thread saturating 8.0 2.0\n\
+   thread expsat 8.0 0.5\n\
+   thread capped 1.5 6.0\n\
+   thread linear 0.8\n"
+
+let test_parse_basic () =
+  match Format_text.parse_instance sample_text with
+  | Error e -> Alcotest.fail e
+  | Ok inst ->
+      Alcotest.(check int) "servers" 2 inst.servers;
+      Helpers.check_float "capacity" 10.0 inst.capacity;
+      Alcotest.(check int) "threads" 7 (Instance.n_threads inst);
+      Helpers.check_float "plc eval" 1.0 (Utility.eval inst.utilities.(0) 2.5);
+      Helpers.check_float "power eval" 8.0 (Utility.eval inst.utilities.(1) 4.0);
+      Helpers.check_float "capped eval" 9.0 (Utility.eval inst.utilities.(5) 8.0)
+
+let test_roundtrip () =
+  match Format_text.parse_instance sample_text with
+  | Error e -> Alcotest.fail e
+  | Ok inst -> (
+      let text = Format_text.print_instance inst in
+      match Format_text.parse_instance text with
+      | Error e -> Alcotest.failf "reparse: %s" e
+      | Ok inst2 ->
+          Alcotest.(check int) "threads" (Instance.n_threads inst) (Instance.n_threads inst2);
+          Array.iteri
+            (fun i u ->
+              for k = 0 to 20 do
+                let x = 10.0 *. float_of_int k /. 20.0 in
+                Helpers.check_float ~eps:1e-9
+                  (Printf.sprintf "thread %d at %g" i x)
+                  (Utility.eval u x)
+                  (Utility.eval inst2.utilities.(i) x)
+              done)
+            inst.utilities)
+
+let test_parse_errors () =
+  let cases =
+    [
+      ("servers 2\nthread linear 1\n", "capacity before threads");
+      ("capacity 10\nthread linear 1\n", "missing servers");
+      ("servers 2\ncapacity 10\n", "no threads");
+      ("servers 2\ncapacity 10\nthread wat 1\n", "unknown thread kind");
+      ("servers x\ncapacity 10\nthread linear 1\n", "bad int");
+      ("servers 2\ncapacity 10\nthread plc 0 0 1\n", "odd breakpoints");
+      ("bogus directive\n", "unknown directive");
+    ]
+  in
+  List.iter
+    (fun (text, what) ->
+      match Format_text.parse_instance text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted bad input: %s" what)
+    cases
+
+let test_error_line_numbers () =
+  match Format_text.parse_instance "servers 2\ncapacity 10\nthread wat 1\n" with
+  | Error e ->
+      let prefix = "line 3:" in
+      let has_prefix =
+        String.length e >= String.length prefix
+        && String.sub e 0 (String.length prefix) = prefix
+      in
+      Alcotest.(check bool) "mentions line 3" true has_prefix
+  | Ok _ -> Alcotest.fail "accepted"
+
+let test_assignment_roundtrip () =
+  let a = Assignment.make ~server:[| 1; 0; 1 |] ~alloc:[| 2.5; 0.0; 7.5 |] in
+  let text = Format_text.print_assignment a in
+  match Format_text.parse_assignment text with
+  | Error e -> Alcotest.fail e
+  | Ok b ->
+      Alcotest.(check (array int)) "servers" a.server b.server;
+      Array.iteri (fun i c -> Helpers.check_float "alloc" c b.alloc.(i)) a.alloc
+
+let test_assignment_gap_rejected () =
+  match Format_text.parse_assignment "assign 0 0 1.0\nassign 2 1 2.0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "gap in thread ids accepted"
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "aa_test" ".aa" in
+  (match Format_text.parse_instance sample_text with
+  | Error e -> Alcotest.fail e
+  | Ok inst -> (
+      match Format_text.save path (Format_text.print_instance inst) with
+      | Error e -> Alcotest.fail e
+      | Ok () -> (
+          match Format_text.load_instance path with
+          | Error e -> Alcotest.fail e
+          | Ok inst2 ->
+              Alcotest.(check int) "threads" (Instance.n_threads inst)
+                (Instance.n_threads inst2))));
+  Sys.remove path
+
+let test_load_missing_file () =
+  match Format_text.load_instance "/nonexistent/path/x.aa" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loaded a missing file"
+
+let prop_instance_roundtrip =
+  QCheck2.Test.make ~name:"print/parse instance roundtrip preserves utilities" ~count:100
+    Helpers.gen_instance (fun inst ->
+      match Format_text.parse_instance (Format_text.print_instance inst) with
+      | Error _ -> false
+      | Ok inst2 ->
+          Instance.n_threads inst = Instance.n_threads inst2
+          && inst.servers = inst2.servers
+          && Array.for_all2
+               (fun u u2 ->
+                 List.for_all
+                   (fun k ->
+                     let x = inst.capacity *. float_of_int k /. 16.0 in
+                     Aa_numerics.Util.approx_equal ~eps:1e-6 (Utility.eval u x)
+                       (Utility.eval u2 x))
+                   (List.init 17 Fun.id))
+               inst.utilities inst2.utilities)
+
+let prop_assignment_roundtrip =
+  QCheck2.Test.make ~name:"print/parse assignment roundtrip" ~count:100
+    QCheck2.Gen.(
+      let* n = int_range 1 20 in
+      let* servers = list_repeat n (int_range 0 7) in
+      let* allocs = list_repeat n (float_range 0.0 100.0) in
+      return (Array.of_list servers, Array.of_list allocs))
+    (fun (server, alloc) ->
+      let a = Assignment.make ~server ~alloc in
+      match Format_text.parse_assignment (Format_text.print_assignment a) with
+      | Error _ -> false
+      | Ok b ->
+          b.server = a.server
+          && Array.for_all2 (fun x y -> x = y) a.alloc b.alloc)
+
+let () =
+  Alcotest.run "io"
+    [
+      ( "instance",
+        [
+          Alcotest.test_case "parse" `Quick test_parse_basic;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "error line numbers" `Quick test_error_line_numbers;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "missing file" `Quick test_load_missing_file;
+        ] );
+      ( "assignment",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_assignment_roundtrip;
+          Alcotest.test_case "gap rejected" `Quick test_assignment_gap_rejected;
+        ] );
+      Helpers.qsuite "properties" [ prop_instance_roundtrip; prop_assignment_roundtrip ];
+    ]

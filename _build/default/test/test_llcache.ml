@@ -1,0 +1,218 @@
+open Aa_numerics
+open Aa_sim
+
+(* ---------- Llcache ---------- *)
+
+let test_hit_after_load () =
+  let c = Llcache.create ~sets:4 ~ways:2 in
+  Alcotest.(check bool) "cold miss" false (Llcache.access c 17);
+  Alcotest.(check bool) "then hit" true (Llcache.access c 17);
+  let s = Llcache.stats c in
+  Alcotest.(check int) "accesses" 2 s.accesses;
+  Alcotest.(check int) "hits" 1 s.hits;
+  Alcotest.(check int) "misses" 1 s.misses
+
+let test_lru_eviction_order () =
+  (* 1 set, 2 ways: a, b, c evicts a (LRU), not b *)
+  let c = Llcache.create ~sets:1 ~ways:2 in
+  ignore (Llcache.access c 1);
+  ignore (Llcache.access c 2);
+  ignore (Llcache.access c 3);
+  Alcotest.(check bool) "b survives" true (Llcache.access c 2);
+  Alcotest.(check bool) "a evicted" false (Llcache.access c 1)
+
+let test_lru_touch_refreshes () =
+  let c = Llcache.create ~sets:1 ~ways:2 in
+  ignore (Llcache.access c 1);
+  ignore (Llcache.access c 2);
+  ignore (Llcache.access c 1);
+  (* now 2 is LRU *)
+  ignore (Llcache.access c 3);
+  Alcotest.(check bool) "1 survives" true (Llcache.access c 1);
+  Alcotest.(check bool) "2 evicted" false (Llcache.access c 2)
+
+let test_sets_are_independent () =
+  let c = Llcache.create ~sets:2 ~ways:1 in
+  ignore (Llcache.access c 0);
+  ignore (Llcache.access c 1);
+  (* different sets: both should still be resident *)
+  Alcotest.(check bool) "set 0 hit" true (Llcache.access c 0);
+  Alcotest.(check bool) "set 1 hit" true (Llcache.access c 1)
+
+let test_working_set_fits () =
+  let c = Llcache.create ~sets:8 ~ways:4 in
+  (* working set of 32 lines fits exactly; after a warm round every
+     access hits *)
+  for pass = 1 to 3 do
+    for a = 0 to 31 do
+      let hit = Llcache.access c a in
+      if pass > 1 && not hit then Alcotest.failf "miss on warm pass %d addr %d" pass a
+    done
+  done
+
+let test_streaming_never_hits () =
+  let c = Llcache.create ~sets:8 ~ways:4 in
+  let t = Trace.sequential ~stride:1 () in
+  for _ = 1 to 1000 do
+    if Llcache.access c (t ()) then Alcotest.fail "streaming should never hit"
+  done
+
+let test_reset_stats () =
+  let c = Llcache.create ~sets:2 ~ways:1 in
+  ignore (Llcache.access c 0);
+  Llcache.reset_stats c;
+  Alcotest.(check int) "cleared" 0 (Llcache.stats c).accesses;
+  Alcotest.(check bool) "contents kept" true (Llcache.access c 0)
+
+(* LRU inclusion (stack) property: a k-way cache's hits are a subset of a
+   (k+1)-way cache's hits on the same trace — the reason miss-rate curves
+   are monotone. *)
+let prop_stack_inclusion =
+  QCheck2.Test.make ~name:"LRU stack property: hits(k) subset of hits(k+1)" ~count:100
+    QCheck2.Gen.(
+      let* seed = int_range 0 10_000 in
+      let* ways = int_range 1 4 in
+      return (seed, ways))
+    (fun (seed, ways) ->
+      let rng = Rng.create ~seed () in
+      let addrs = Array.init 600 (fun _ -> Rng.int rng 64) in
+      let small = Llcache.create ~sets:4 ~ways in
+      let big = Llcache.create ~sets:4 ~ways:(ways + 1) in
+      Array.for_all
+        (fun a ->
+          let hs = Llcache.access small a in
+          let hb = Llcache.access big a in
+          (not hs) || hb)
+        addrs)
+
+(* ---------- Trace ---------- *)
+
+let test_sequential_trace () =
+  let t = Trace.sequential ~stride:3 () in
+  Alcotest.(check (array int)) "strided" [| 0; 3; 6; 9 |] (Trace.take t 4)
+
+let test_working_set_trace_range () =
+  let rng = Rng.create ~seed:5 () in
+  let t = Trace.working_set rng ~size:10 in
+  Array.iter
+    (fun a -> if a < 0 || a >= 10 then Alcotest.failf "out of range %d" a)
+    (Trace.take t 1000)
+
+let test_zipf_trace_skew () =
+  let rng = Rng.create ~seed:7 () in
+  let t = Trace.zipf rng ~alpha:1.2 ~universe:100 in
+  let counts = Array.make 100 0 in
+  Array.iter (fun a -> counts.(a) <- counts.(a) + 1) (Trace.take t 20_000);
+  Alcotest.(check bool) "rank 0 most frequent" true (counts.(0) > counts.(50));
+  Alcotest.(check bool) "rank 1 more than rank 20" true (counts.(1) > counts.(20))
+
+let test_mixed_trace () =
+  let rng = Rng.create ~seed:9 () in
+  let t = Trace.mixed rng ~hot:4 ~cold:100 ~hot_fraction:0.9 in
+  let hot_hits = ref 0 in
+  let n = 10_000 in
+  Array.iter (fun a -> if a < 4 then incr hot_hits) (Trace.take t n);
+  let frac = float_of_int !hot_hits /. float_of_int n in
+  Helpers.check_float ~eps:0.02 "hot fraction" 0.9 frac
+
+(* ---------- Profiler ---------- *)
+
+let test_mrc_monotone () =
+  let trace () =
+    let rng = Rng.create ~seed:11 () in
+    Trace.zipf rng ~alpha:1.0 ~universe:256
+  in
+  let points = Profiler.mrc ~trace ~sets:16 ~max_ways:8 ~warmup:2_000 ~samples:20_000 in
+  Alcotest.(check int) "point count" 9 (Array.length points);
+  Helpers.check_float "zero-cache point" 1.0 points.(0).miss_rate;
+  for k = 1 to 8 do
+    Helpers.check_le "monotone mrc"
+      points.(k).miss_rate
+      (points.(k - 1).miss_rate +. 1e-9)
+  done
+
+let test_mrc_working_set_cliff () =
+  (* working set of 32 lines, sets=8: fits at 4 ways *)
+  let trace () =
+    let rng = Rng.create ~seed:13 () in
+    Trace.working_set rng ~size:32
+  in
+  let points = Profiler.mrc ~trace ~sets:8 ~max_ways:8 ~warmup:1_000 ~samples:10_000 in
+  Helpers.check_le "fits: near-zero misses" points.(4).miss_rate 0.01;
+  Helpers.check_ge "half cache: many misses" points.(2).miss_rate 0.3
+
+let test_utility_of_mrc () =
+  let trace () =
+    let rng = Rng.create ~seed:17 () in
+    Trace.zipf rng ~alpha:1.1 ~universe:512
+  in
+  let points = Profiler.mrc ~trace ~sets:16 ~max_ways:8 ~warmup:2_000 ~samples:20_000 in
+  let u =
+    Profiler.utility_of_mrc ~cache:8.0 ~base_cpi:0.7 ~miss_penalty:200.0
+      ~accesses_per_kiloinstruction:300.0 points
+  in
+  (match Aa_utility.Utility.check u with Ok () -> () | Error e -> Alcotest.fail e);
+  Helpers.check_float "domain" 8.0 (Aa_utility.Utility.cap u);
+  Helpers.check_ge "more cache is at least as good"
+    (Aa_utility.Utility.eval u 8.0)
+    (Aa_utility.Utility.eval u 1.0)
+
+(* measured utilities drive the whole AA pipeline end to end *)
+let test_profile_to_assignment_end_to_end () =
+  let mk_trace seed kind () =
+    let rng = Rng.create ~seed () in
+    match kind with
+    | `Zipf -> Trace.zipf rng ~alpha:1.2 ~universe:512
+    | `Ws -> Trace.working_set rng ~size:48
+    | `Stream -> Trace.sequential ~stride:1 ()
+  in
+  let kinds = [| `Zipf; `Ws; `Stream; `Zipf; `Ws; `Stream |] in
+  let utilities =
+    Array.mapi
+      (fun i kind ->
+        let points =
+          Profiler.mrc ~trace:(mk_trace i kind) ~sets:16 ~max_ways:8 ~warmup:1_000
+            ~samples:5_000
+        in
+        Profiler.utility_of_mrc ~cache:8.0 ~base_cpi:0.7 ~miss_penalty:200.0
+          ~accesses_per_kiloinstruction:300.0 points)
+      kinds
+  in
+  let inst = Aa_core.Instance.create ~servers:2 ~capacity:8.0 utilities in
+  let lin = Aa_core.Linearized.make inst in
+  let a = Aa_core.Algo2.solve ~linearized:lin inst in
+  (match Aa_core.Assignment.check inst a with Ok () -> () | Error e -> Alcotest.fail e);
+  Helpers.check_ge "guarantee on measured curves"
+    (Aa_core.Assignment.utility inst a)
+    (Aa_core.Bounds.alpha *. lin.superopt.utility)
+    ~eps:1e-6
+
+let () =
+  Alcotest.run "llcache"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "hit after load" `Quick test_hit_after_load;
+          Alcotest.test_case "LRU eviction" `Quick test_lru_eviction_order;
+          Alcotest.test_case "LRU refresh" `Quick test_lru_touch_refreshes;
+          Alcotest.test_case "independent sets" `Quick test_sets_are_independent;
+          Alcotest.test_case "working set fits" `Quick test_working_set_fits;
+          Alcotest.test_case "streaming misses" `Quick test_streaming_never_hits;
+          Alcotest.test_case "reset stats" `Quick test_reset_stats;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "sequential" `Quick test_sequential_trace;
+          Alcotest.test_case "working set range" `Quick test_working_set_trace_range;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_trace_skew;
+          Alcotest.test_case "mixed" `Quick test_mixed_trace;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "mrc monotone" `Quick test_mrc_monotone;
+          Alcotest.test_case "working-set cliff" `Quick test_mrc_working_set_cliff;
+          Alcotest.test_case "utility from mrc" `Quick test_utility_of_mrc;
+          Alcotest.test_case "end to end" `Slow test_profile_to_assignment_end_to_end;
+        ] );
+      Helpers.qsuite "properties" [ prop_stack_inclusion ];
+    ]

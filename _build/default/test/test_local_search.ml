@@ -1,0 +1,120 @@
+open Aa_numerics
+open Aa_core
+
+let test_repairs_tightness_instance () =
+  (* Algorithm 2 is stuck at 5/6 on Theorem V.17's instance; one swap
+     fixes it *)
+  let inst = Tightness.instance () in
+  let a2 = Algo2.solve inst in
+  Helpers.check_float "greedy is at 5/2" 2.5 (Assignment.utility inst a2);
+  let improved, stats = Local_search.improve inst a2 in
+  Helpers.check_float ~eps:1e-9 "local search reaches the optimum" 3.0
+    (Assignment.utility inst improved);
+  Alcotest.(check bool) "used a swap or moves" true (stats.swaps + stats.moves > 0);
+  match Assignment.check inst improved with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_moves_only_suffice_on_tightness () =
+  (* moving the linear thread off the shared server already frees a full
+     server for a steep thread: the move neighborhood alone reaches 3 *)
+  let inst = Tightness.instance () in
+  let a2 = Algo2.solve inst in
+  let improved, stats = Local_search.improve ~enable_swaps:false inst a2 in
+  Helpers.check_float ~eps:1e-9 "optimum with moves only" 3.0
+    (Assignment.utility inst improved);
+  Alcotest.(check int) "no swaps were available" 0 stats.swaps
+
+let test_already_optimal_is_stable () =
+  let inst = Tightness.instance () in
+  let opt = (Exact.solve inst).assignment in
+  let improved, stats = Local_search.improve inst opt in
+  Helpers.check_float ~eps:1e-9 "stays at optimum" 3.0 (Assignment.utility inst improved);
+  Alcotest.(check int) "no moves applied" 0 (stats.moves + stats.swaps)
+
+let test_stats_consistent () =
+  let rng = Rng.create ~seed:5 () in
+  let inst =
+    Aa_workload.Gen.instance rng ~servers:3 ~capacity:50.0 ~threads:9 Aa_workload.Gen.Uniform
+  in
+  let start = Heuristics.rr ~rng inst in
+  let improved, stats = Local_search.improve inst start in
+  Helpers.check_ge "final >= initial" stats.final stats.initial;
+  Helpers.check_float ~eps:1e-6 "final matches assignment"
+    (Assignment.utility inst improved)
+    stats.final;
+  Alcotest.(check bool) "round counter sane" true (stats.rounds >= 1)
+
+let prop_never_worse_and_feasible =
+  QCheck2.Test.make ~name:"local search: feasible, never below refill" ~count:60
+    Helpers.gen_small_instance (fun inst ->
+      let inst = Helpers.plc_instance inst in
+      let rng = Rng.create ~seed:1 () in
+      List.for_all
+        (fun algo ->
+          let a = Solver.solve ~rng algo inst in
+          let improved, _ = Local_search.improve ~max_rounds:10 inst a in
+          let base = Assignment.utility inst (Refine.per_server inst a) in
+          (match Assignment.check inst improved with Ok () -> true | Error _ -> false)
+          && Assignment.utility inst improved
+             >= base -. (1e-6 *. Float.max 1.0 base))
+        [ Solver.Algo2; Solver.Uu; Solver.Rr ])
+
+let prop_reaches_near_optimum_small =
+  QCheck2.Test.make ~name:"local search from Algo2 is within 1% of exact on small instances"
+    ~count:40 Helpers.gen_small_instance (fun inst ->
+      let inst = Helpers.plc_instance inst in
+      let opt = (Exact.solve inst).utility in
+      let improved, _ = Local_search.improve inst (Algo2.solve inst) in
+      let u = Assignment.utility inst improved in
+      u >= (0.99 *. opt) -. 1e-6)
+
+(* sampled-assignment baseline (paper §II, Radojković et al.) *)
+
+let test_best_of_random_improves_with_tries () =
+  let rng = Rng.create ~seed:7 () in
+  let inst =
+    Aa_workload.Gen.instance rng ~servers:4 ~capacity:100.0 ~threads:20
+      (Aa_workload.Gen.Power_law { alpha = 2.0 })
+  in
+  let u tries =
+    let rng = Rng.create ~seed:11 () in
+    Assignment.utility inst (Heuristics.best_of_random ~rng ~tries inst)
+  in
+  Helpers.check_ge "100 tries >= 1 try" (u 100) (u 1);
+  (* sampling with per-server optimal allocation beats plain RR *)
+  let rr = Assignment.utility inst (Heuristics.rr ~rng:(Rng.create ~seed:11 ()) inst) in
+  Helpers.check_ge "sampled beats plain RR" (u 20) rr
+
+let test_best_of_random_below_algo2_usually () =
+  (* the related-work contrast: sampling needs luck, Algorithm 2 does not *)
+  let master = Rng.create ~seed:13 () in
+  let a2_total = ref 0.0 and sample_total = ref 0.0 in
+  for _ = 1 to 10 do
+    let rng = Rng.split master in
+    let inst =
+      Aa_workload.Gen.instance rng ~servers:8 ~capacity:1000.0 ~threads:80
+        (Aa_workload.Gen.Power_law { alpha = 2.0 })
+    in
+    a2_total :=
+      !a2_total +. Assignment.utility inst (Refine.per_server inst (Algo2.solve inst));
+    sample_total :=
+      !sample_total +. Assignment.utility inst (Heuristics.best_of_random ~rng ~tries:30 inst)
+  done;
+  Helpers.check_ge "Algo2 ahead of 30-sample search" !a2_total !sample_total
+
+let () =
+  Alcotest.run "local-search"
+    [
+      ( "hill-climb",
+        [
+          Alcotest.test_case "repairs tightness" `Quick test_repairs_tightness_instance;
+          Alcotest.test_case "moves suffice" `Quick test_moves_only_suffice_on_tightness;
+          Alcotest.test_case "optimum stable" `Quick test_already_optimal_is_stable;
+          Alcotest.test_case "stats" `Quick test_stats_consistent;
+        ] );
+      ( "sampled-baseline",
+        [
+          Alcotest.test_case "improves with tries" `Quick test_best_of_random_improves_with_tries;
+          Alcotest.test_case "below Algo2" `Slow test_best_of_random_below_algo2_usually;
+        ] );
+      Helpers.qsuite "properties" [ prop_never_worse_and_feasible; prop_reaches_near_optimum_small ];
+    ]

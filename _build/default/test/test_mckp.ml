@@ -1,0 +1,170 @@
+open Aa_utility
+open Aa_alloc
+open Aa_alloc.Mckp
+
+let item weight value : item = { weight; value }
+
+(* brute force over all choices (including "nothing" per class) *)
+let brute ~budget classes =
+  let n = Array.length classes in
+  let best = ref 0.0 in
+  let rec go i w v =
+    if w > budget then ()
+    else if i = n then begin
+      if v > !best then best := v
+    end
+    else begin
+      go (i + 1) w v;
+      List.iter (fun (it : item) -> go (i + 1) (w + it.weight) (v +. it.value)) classes.(i)
+    end
+  in
+  go 0 0 0.0;
+  !best
+
+let test_dp_simple () =
+  let classes =
+    [|
+      [ item 2 3.0; item 4 5.0 ];
+      [ item 3 4.0; item 1 1.0 ];
+    |]
+  in
+  let s = dp ~budget:5 classes in
+  (* best: (2,3) + (3,4) = 7 at weight 5 *)
+  Helpers.check_float "value" 7.0 s.value;
+  Alcotest.(check int) "weight" 5 s.weight
+
+let test_dp_budget_zero () =
+  let s = dp ~budget:0 [| [ item 1 10.0 ] |] in
+  Helpers.check_float "nothing fits" 0.0 s.value
+
+let test_dp_skips_heavy_items () =
+  let s = dp ~budget:3 [| [ item 10 100.0; item 2 1.0 ] |] in
+  Helpers.check_float "uses the light one" 1.0 s.value
+
+let test_greedy_optimal_on_concave_class () =
+  (* incremental ratios decreasing: 5, 3, 1 *)
+  let classes = [| [ item 1 5.0; item 2 8.0; item 3 9.0 ] |] in
+  List.iter
+    (fun budget ->
+      let g = greedy ~budget classes in
+      let e = dp ~budget classes in
+      Helpers.check_float (Printf.sprintf "budget %d" budget) e.value g.value)
+    [ 0; 1; 2; 3; 5 ]
+
+let test_greedy_half_bound_on_trap () =
+  (* classic trap: greedy prefers the high-ratio small item, then cannot
+     fit the big valuable one *)
+  let classes = [| [ item 1 2.0 ]; [ item 10 10.0 ] |] in
+  let g = greedy ~budget:10 classes in
+  let e = dp ~budget:10 classes in
+  Helpers.check_float "exact takes the big item" 10.0 e.value;
+  Helpers.check_ge "greedy >= half of optimal" g.value (0.5 *. e.value)
+
+let test_solution_consistency () =
+  let classes = [| [ item 2 3.0; item 4 5.0 ]; [ item 3 4.0 ] |] in
+  List.iter
+    (fun (solver : budget:int -> klass array -> solution) ->
+      let s = solver ~budget:6 classes in
+      let w = Array.fold_left (fun acc (w, _) -> acc + w) 0 s.choice in
+      let v = Array.fold_left (fun acc (_, v) -> acc +. v) 0.0 s.choice in
+      Alcotest.(check int) "weight consistent" s.weight w;
+      Helpers.check_float ~eps:1e-9 "value consistent" s.value v;
+      Alcotest.(check bool) "within budget" true (w <= 6))
+    [ dp; greedy ]
+
+let test_of_utility_class () =
+  let u = Utility.Shapes.linear ~cap:10.0 ~slope:1.0 in
+  let klass = of_utility ~steps:5 u in
+  Alcotest.(check int) "steps" 5 (List.length klass);
+  let (it : item) = List.nth klass 2 in
+  Alcotest.(check int) "weight" 3 it.weight;
+  Helpers.check_float "value at 6/10 of cap" 6.0 it.value
+
+let test_single_server_aa_via_mckp () =
+  (* MCKP on a fine grid matches the exact continuous allocator *)
+  let cap = 10.0 in
+  let us =
+    [|
+      Utility.Shapes.capped_linear ~cap ~slope:2.0 ~knee:3.0;
+      Utility.Shapes.capped_linear ~cap ~slope:1.0 ~knee:4.0;
+      Utility.Shapes.linear ~cap ~slope:0.5;
+    |]
+  in
+  let steps = 100 in
+  let s = best_of_utilities ~solver:dp ~steps us in
+  let plc = Array.map (Utility.to_plc ~samples:64) us in
+  let exact = Plc_greedy.allocate ~budget:cap plc in
+  (* grid granularity cap/steps bounds the gap *)
+  Helpers.check_ge "mckp close to continuous optimum" s.value (exact.utility -. 0.2);
+  Helpers.check_le "and never above it" s.value (exact.utility +. 1e-9)
+
+let prop_dp_matches_bruteforce =
+  QCheck2.Test.make ~name:"dp equals brute force" ~count:150
+    QCheck2.Gen.(
+      let* n = int_range 1 4 in
+      let* budget = int_range 0 12 in
+      let* classes =
+        list_repeat n
+          (list_size (int_range 0 4)
+             (let* w = int_range 0 8 in
+              let* v = float_range 0.0 10.0 in
+              return (item w v)))
+      in
+      return (budget, Array.of_list classes))
+    (fun (budget, classes) ->
+      Aa_numerics.Util.approx_equal ~eps:1e-9 (brute ~budget classes)
+        (dp ~budget classes).value)
+
+let prop_greedy_within_half =
+  QCheck2.Test.make ~name:"greedy within 1/2 of optimum, never above" ~count:200
+    QCheck2.Gen.(
+      let* n = int_range 1 5 in
+      let* budget = int_range 0 20 in
+      let* classes =
+        list_repeat n
+          (list_size (int_range 0 5)
+             (let* w = int_range 0 12 in
+              let* v = float_range 0.0 10.0 in
+              return (item w v)))
+      in
+      return (budget, Array.of_list classes))
+    (fun (budget, classes) ->
+      let g = (greedy ~budget classes).value in
+      let e = (dp ~budget classes).value in
+      g <= e +. 1e-9 && g >= (0.5 *. e) -. 1e-9)
+
+let prop_greedy_optimal_for_concave_utilities =
+  QCheck2.Test.make ~name:"greedy = dp on classes from concave utilities" ~count:100
+    QCheck2.Gen.(
+      let* n = int_range 1 4 in
+      let* us = list_repeat n (Helpers.gen_utility_with_cap 10.0) in
+      let* steps = int_range 2 12 in
+      return (Array.of_list us, steps))
+    (fun (us, steps) ->
+      let g = best_of_utilities ~solver:greedy ~steps us in
+      let e = best_of_utilities ~solver:dp ~steps us in
+      Aa_numerics.Util.approx_equal ~eps:1e-6 g.value e.value)
+
+let () =
+  Alcotest.run "mckp"
+    [
+      ( "dp",
+        [
+          Alcotest.test_case "simple" `Quick test_dp_simple;
+          Alcotest.test_case "zero budget" `Quick test_dp_budget_zero;
+          Alcotest.test_case "heavy items" `Quick test_dp_skips_heavy_items;
+        ] );
+      ( "greedy",
+        [
+          Alcotest.test_case "concave class optimal" `Quick test_greedy_optimal_on_concave_class;
+          Alcotest.test_case "half bound" `Quick test_greedy_half_bound_on_trap;
+          Alcotest.test_case "solution consistency" `Quick test_solution_consistency;
+        ] );
+      ( "utilities",
+        [
+          Alcotest.test_case "of_utility" `Quick test_of_utility_class;
+          Alcotest.test_case "single-server AA" `Quick test_single_server_aa_via_mckp;
+        ] );
+      Helpers.qsuite "properties"
+        [ prop_dp_matches_bruteforce; prop_greedy_within_half; prop_greedy_optimal_for_concave_utilities ];
+    ]

@@ -1,0 +1,175 @@
+open Aa_numerics
+open Aa_utility
+open Aa_core
+
+(* helper: build a thread given server capacities *)
+let thread ~capacities ?(shape = `Linear 1.0) demand =
+  let rc =
+    Array.to_seqi demand
+    |> Seq.filter_map (fun (r, d) -> if d > 0.0 then Some (capacities.(r) /. d) else None)
+    |> Seq.fold_left Float.min Float.infinity
+  in
+  let rate_utility =
+    match shape with
+    | `Linear s -> Utility.Shapes.linear ~cap:rc ~slope:s
+    | `Capped (s, frac) -> Utility.Shapes.capped_linear ~cap:rc ~slope:s ~knee:(frac *. rc)
+    | `Sqrt c -> Utility.Shapes.power ~cap:rc ~coeff:c ~beta:0.5
+  in
+  { Multires.rate_utility; demand }
+
+let caps2 = [| 10.0; 4.0 |]
+
+let test_create_validation () =
+  Alcotest.check_raises "no consumption"
+    (Invalid_argument "Multires.create: thread 0 consumes nothing") (fun () ->
+      ignore
+        (Multires.create ~servers:1 ~capacities:caps2
+           [| thread ~capacities:caps2 [| 0.0; 0.0 |] |]));
+  Alcotest.check_raises "demand length"
+    (Invalid_argument "Multires.create: thread 0 demand length mismatch") (fun () ->
+      ignore
+        (Multires.create ~servers:1 ~capacities:caps2 [| thread ~capacities:caps2 [| 1.0 |] |]))
+
+let test_rate_cap () =
+  let th = thread ~capacities:caps2 [| 1.0; 1.0 |] in
+  let t = Multires.create ~servers:1 ~capacities:caps2 [| th |] in
+  (* bottleneck is resource 1: 4/1 *)
+  Helpers.check_float "rate cap" 4.0 (Multires.rate_cap t th)
+
+let test_single_resource_matches_plain_aa () =
+  (* R = 1, unit demands: must coincide with the single-resource machinery *)
+  let capacities = [| 10.0 |] in
+  let mk shape = thread ~capacities ~shape [| 1.0 |] in
+  let threads = [| mk (`Capped (2.0, 0.3)); mk (`Capped (1.0, 0.4)); mk (`Linear 0.5) |] in
+  let t = Multires.create ~servers:2 ~capacities threads in
+  let r = Multires.solve t in
+  let inst =
+    Instance.create ~servers:2 ~capacity:10.0
+      (Array.map (fun (th : Multires.thread) -> th.rate_utility) threads)
+  in
+  let so = Superopt.compute inst in
+  Helpers.check_float ~eps:1e-6 "bound = single-resource F^" so.utility r.bound;
+  let plain =
+    Assignment.utility inst (Refine.per_server inst (Algo2.solve inst))
+  in
+  Helpers.check_float ~eps:1e-6 "same utility as Algo2+refill" plain r.total
+
+let test_allocate_server_respects_capacities () =
+  let threads =
+    [|
+      thread ~capacities:caps2 ~shape:(`Sqrt 3.0) [| 1.0; 0.5 |];
+      thread ~capacities:caps2 ~shape:(`Linear 1.0) [| 2.0; 0.1 |];
+      thread ~capacities:caps2 ~shape:(`Capped (2.0, 0.5)) [| 0.5; 1.0 |];
+    |]
+  in
+  let t = Multires.create ~servers:1 ~capacities:caps2 threads in
+  let a = Multires.allocate_server t [ 0; 1; 2 ] in
+  for r = 0 to 1 do
+    Helpers.check_le "usage within capacity" a.usage.(r) (caps2.(r) +. 1e-9)
+  done;
+  Array.iter (fun rate -> Helpers.check_ge "nonnegative rate" rate 0.0) a.rates
+
+let test_allocate_server_exhausts_bottleneck () =
+  (* one linear thread, no competition: rate must reach its cap *)
+  let th = thread ~capacities:caps2 [| 1.0; 1.0 |] in
+  let t = Multires.create ~servers:1 ~capacities:caps2 [| th |] in
+  let a = Multires.allocate_server t [ 0 ] in
+  Helpers.check_float ~eps:1e-9 "rate at cap" 4.0 a.rates.(0);
+  Helpers.check_float ~eps:1e-9 "bottleneck exhausted" 4.0 a.usage.(1)
+
+let test_complementary_demands_pack_together () =
+  (* a CPU-heavy and a memory-heavy thread complement each other: one
+     server can nearly satisfy both, which beats splitting them only if
+     the allocator exploits the complementarity *)
+  let capacities = [| 10.0; 10.0 |] in
+  let cpu = thread ~capacities ~shape:(`Linear 1.0) [| 1.0; 0.1 |] in
+  let mem = thread ~capacities ~shape:(`Linear 1.0) [| 0.1; 1.0 |] in
+  let t = Multires.create ~servers:1 ~capacities [| cpu; mem |] in
+  let a = Multires.allocate_server t [ 0; 1 ] in
+  (* symmetric optimum: t1 = t2 = 10/1.1 = 9.09 each, total 18.18 *)
+  Helpers.check_ge "exploits complementarity" a.utility 18.0
+
+let test_solve_feasible_and_bounded () =
+  let rng = Rng.create ~seed:3 () in
+  for _ = 1 to 20 do
+    let nr = 1 + Rng.int rng 3 in
+    let capacities = Array.init nr (fun _ -> Rng.uniform rng ~lo:4.0 ~hi:20.0) in
+    let n = 1 + Rng.int rng 8 in
+    let threads =
+      Array.init n (fun _ ->
+          let demand =
+            Array.init nr (fun _ -> if Rng.bool rng then Rng.uniform rng ~lo:0.1 ~hi:2.0 else 0.0)
+          in
+          let demand = if Array.exists (fun d -> d > 0.0) demand then demand
+            else (demand.(0) <- 1.0; demand)
+          in
+          let shape =
+            match Rng.int rng 3 with
+            | 0 -> `Linear (Rng.uniform rng ~lo:0.2 ~hi:3.0)
+            | 1 -> `Capped (Rng.uniform rng ~lo:0.2 ~hi:3.0, Rng.uniform rng ~lo:0.2 ~hi:0.9)
+            | _ -> `Sqrt (Rng.uniform rng ~lo:0.5 ~hi:4.0)
+          in
+          thread ~capacities ~shape demand)
+    in
+    let t = Multires.create ~servers:(1 + Rng.int rng 3) ~capacities threads in
+    let r = Multires.solve t in
+    Helpers.check_le "total <= bound" r.total (r.bound +. (1e-6 *. Float.max 1.0 r.bound));
+    (* verify per-server resource feasibility from rates *)
+    let usage = Array.init t.servers (fun _ -> Array.make nr 0.0) in
+    Array.iteri
+      (fun i j ->
+        Array.iteri
+          (fun rr d -> usage.(j).(rr) <- usage.(j).(rr) +. (r.rates.(i) *. d))
+          t.threads.(i).demand)
+      r.server;
+    Array.iter
+      (fun u ->
+        Array.iteri
+          (fun rr used -> Helpers.check_le "within capacity" used (capacities.(rr) +. 1e-6))
+          u)
+      usage
+  done
+
+let test_solve_beats_round_robin_on_average () =
+  (* smooth utilities make placement forgiving, so compare means, and
+     include high-peak capped threads where placement genuinely matters *)
+  let rng = Rng.create ~seed:11 () in
+  let sum_solve = ref 0.0 and sum_rr = ref 0.0 in
+  for _ = 1 to 25 do
+    let capacities = [| 10.0; 10.0 |] in
+    let threads =
+      Array.init 10 (fun k ->
+          let demand = [| Rng.uniform rng ~lo:0.05 ~hi:1.5; Rng.uniform rng ~lo:0.05 ~hi:1.5 |] in
+          let shape =
+            if k < 3 then `Capped (Rng.uniform rng ~lo:2.0 ~hi:6.0, 0.9)
+            else `Sqrt (Rng.uniform rng ~lo:0.5 ~hi:4.0)
+          in
+          thread ~capacities ~shape demand)
+    in
+    let t = Multires.create ~servers:3 ~capacities threads in
+    sum_solve := !sum_solve +. (Multires.solve t).total;
+    sum_rr := !sum_rr +. (Multires.round_robin t).total
+  done;
+  Helpers.check_ge "at least as good on average" !sum_solve (0.99 *. !sum_rr)
+
+let () =
+  Alcotest.run "multires"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "rate cap" `Quick test_rate_cap;
+          Alcotest.test_case "R=1 equivalence" `Quick test_single_resource_matches_plain_aa;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "respects capacities" `Quick test_allocate_server_respects_capacities;
+          Alcotest.test_case "exhausts bottleneck" `Quick test_allocate_server_exhausts_bottleneck;
+          Alcotest.test_case "complementary demands" `Quick test_complementary_demands_pack_together;
+        ] );
+      ( "solve",
+        [
+          Alcotest.test_case "feasible and bounded" `Quick test_solve_feasible_and_bounded;
+          Alcotest.test_case "beats round robin on average" `Quick test_solve_beats_round_robin_on_average;
+        ] );
+    ]

@@ -1,0 +1,212 @@
+open Aa_numerics
+open Aa_utility
+open Aa_core
+
+let cap = 10.0
+
+let test_create_validation () =
+  Alcotest.check_raises "servers" (Invalid_argument "Online.create: need at least one server")
+    (fun () -> ignore (Online.create ~servers:0 ~capacity:1.0));
+  Alcotest.check_raises "capacity"
+    (Invalid_argument "Online.create: capacity must be positive") (fun () ->
+      ignore (Online.create ~servers:1 ~capacity:0.0))
+
+let test_first_thread_gets_everything_useful () =
+  let t = Online.create ~servers:2 ~capacity:cap in
+  let j = Online.admit t (Utility.Shapes.capped_linear ~cap ~slope:1.0 ~knee:4.0) in
+  Alcotest.(check bool) "a server" true (j = 0 || j = 1);
+  let a = Online.assignment t in
+  Helpers.check_float "allocated its knee" 4.0 a.alloc.(0);
+  Helpers.check_float "value" 4.0 (Online.total_utility t)
+
+let test_spreads_identical_threads () =
+  (* two identical full-capacity threads: the second must go to the other
+     server (higher marginal gain there) *)
+  let t = Online.create ~servers:2 ~capacity:cap in
+  let u () = Utility.Shapes.capped_linear ~cap ~slope:1.0 ~knee:10.0 in
+  let j1 = Online.admit t (u ()) in
+  let j2 = Online.admit t (u ()) in
+  Alcotest.(check bool) "different servers" true (j1 <> j2);
+  Helpers.check_float "full utility" 20.0 (Online.total_utility t)
+
+let test_reallocates_within_server () =
+  (* a steep newcomer displaces resources of a resident on its server *)
+  let t = Online.create ~servers:1 ~capacity:cap in
+  ignore (Online.admit t (Utility.Shapes.linear ~cap ~slope:1.0));
+  let a1 = Online.assignment t in
+  Helpers.check_float "resident had it all" cap a1.alloc.(0);
+  ignore (Online.admit t (Utility.Shapes.capped_linear ~cap ~slope:5.0 ~knee:4.0));
+  let a2 = Online.assignment t in
+  Helpers.check_float "resident shrunk" 6.0 a2.alloc.(0);
+  Helpers.check_float "newcomer took the steep share" 4.0 a2.alloc.(1);
+  Helpers.check_float "value" 26.0 (Online.total_utility t)
+
+let test_assignment_feasible_and_counts () =
+  let rng = Rng.create ~seed:3 () in
+  let t = Online.create ~servers:3 ~capacity:cap in
+  for _ = 1 to 10 do
+    ignore (Online.admit t (Helpers.plc_u rng))
+  done;
+  Alcotest.(check int) "admitted" 10 (Online.n_admitted t);
+  let inst = Online.instance t in
+  match Assignment.check inst (Online.assignment t) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_solve_sequence_matches_incremental () =
+  let rng = Rng.create ~seed:7 () in
+  let us = Array.init 8 (fun _ -> Helpers.plc_u rng) in
+  let a = Online.solve_sequence ~servers:2 ~capacity:cap us in
+  let t = Online.create ~servers:2 ~capacity:cap in
+  Array.iter (fun u -> ignore (Online.admit t u)) us;
+  let b = Online.assignment t in
+  Alcotest.(check (array int)) "same servers" b.server a.server;
+  Array.iteri (fun i c -> Helpers.check_float "same alloc" c b.alloc.(i)) a.alloc
+
+let test_online_close_to_offline_on_random () =
+  let rng = Rng.create ~seed:13 () in
+  let worst = ref 1.0 in
+  for _ = 1 to 15 do
+    let trial = Rng.split rng in
+    let inst =
+      Aa_workload.Gen.instance trial ~servers:4 ~capacity:100.0 ~threads:16
+        Aa_workload.Gen.Uniform
+    in
+    let online =
+      Assignment.utility inst
+        (Online.solve_sequence ~servers:4 ~capacity:100.0 inst.utilities)
+    in
+    let offline = Assignment.utility inst (Algo2.solve inst) in
+    let r = online /. offline in
+    if r < !worst then worst := r
+  done;
+  (* online without migration should stay within 25% of offline here *)
+  Helpers.check_ge "online within 25% of offline" !worst 0.75
+
+let test_admission_never_decreases_value () =
+  let rng = Rng.create ~seed:21 () in
+  let t = Online.create ~servers:3 ~capacity:cap in
+  let prev = ref 0.0 in
+  for _ = 1 to 12 do
+    ignore (Online.admit t (Helpers.plc_u rng));
+    let v = Online.total_utility t in
+    Helpers.check_ge "monotone total utility" v !prev;
+    prev := v
+  done
+
+let test_departure_frees_resources () =
+  let t = Online.create ~servers:1 ~capacity:cap in
+  let i0 = Online.admit t (Utility.Shapes.capped_linear ~cap ~slope:5.0 ~knee:4.0) in
+  ignore i0;
+  ignore (Online.admit t (Utility.Shapes.linear ~cap ~slope:1.0));
+  (* steep resident holds 4, linear one 6 *)
+  Helpers.check_float "before" 26.0 (Online.total_utility t);
+  Online.depart t 0;
+  Alcotest.(check int) "one active" 1 (Online.n_active t);
+  Alcotest.(check bool) "0 inactive" false (Online.is_active t 0);
+  (* the linear thread now gets the whole server *)
+  Helpers.check_float "after" 10.0 (Online.total_utility t);
+  let a = Online.assignment t in
+  Helpers.check_float "departed holds nothing" 0.0 a.alloc.(0);
+  Helpers.check_float "survivor grew" 10.0 a.alloc.(1)
+
+let test_depart_errors () =
+  let t = Online.create ~servers:1 ~capacity:cap in
+  ignore (Online.admit t (Utility.Shapes.linear ~cap ~slope:1.0));
+  Online.depart t 0;
+  Alcotest.check_raises "double departure"
+    (Invalid_argument "Online.depart: unknown or departed thread") (fun () ->
+      Online.depart t 0);
+  Alcotest.check_raises "unknown" (Invalid_argument "Online.depart: unknown or departed thread")
+    (fun () -> Online.depart t 5)
+
+let test_update_utility_reallocates () =
+  let t = Online.create ~servers:1 ~capacity:cap in
+  ignore (Online.admit t (Utility.Shapes.capped_linear ~cap ~slope:2.0 ~knee:5.0));
+  ignore (Online.admit t (Utility.Shapes.linear ~cap ~slope:1.0));
+  (* capped thread holds its knee 5, linear the rest: 10 + 5 *)
+  Helpers.check_float "before" 15.0 (Online.total_utility t);
+  (* the capped thread's measured curve collapses: it no longer benefits *)
+  Online.update_utility t 0 (Utility.Shapes.capped_linear ~cap ~slope:0.1 ~knee:1.0);
+  let a = Online.assignment t in
+  (* linear slope 1 now dominates slope 0.1 everywhere: it takes all 10 *)
+  Helpers.check_float "linear thread takes over" 10.0 a.alloc.(1);
+  Helpers.check_float ~eps:1e-9 "value reflects the new curve" 10.0
+    (Online.total_utility t)
+
+let test_churn_stays_feasible () =
+  let rng = Rng.create ~seed:31 () in
+  let t = Online.create ~servers:3 ~capacity:cap in
+  let active = ref [] in
+  for step = 1 to 60 do
+    if Rng.float rng 1.0 < 0.6 || !active = [] then begin
+      ignore (Online.admit t (Helpers.plc_u rng));
+      active := (Online.n_admitted t - 1) :: !active
+    end
+    else begin
+      let k = Rng.int rng (List.length !active) in
+      let i = List.nth !active k in
+      Online.depart t i;
+      active := List.filter (fun x -> x <> i) !active
+    end;
+    if step mod 10 = 0 then begin
+      let inst = Online.instance t in
+      match Assignment.check inst (Online.assignment t) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "step %d: %s" step e
+    end
+  done;
+  Alcotest.(check int) "active bookkeeping" (List.length !active) (Online.n_active t)
+
+let prop_online_feasible =
+  QCheck2.Test.make ~name:"online: always feasible" ~count:150
+    QCheck2.Gen.(
+      let* m = int_range 1 4 in
+      let* n = int_range 1 10 in
+      let* capv = float_range 2.0 40.0 in
+      let* us = list_repeat n (Helpers.gen_utility_with_cap capv) in
+      return (m, capv, Array.of_list us))
+    (fun (m, capv, us) ->
+      let a = Online.solve_sequence ~servers:m ~capacity:capv us in
+      let inst = Instance.create ~servers:m ~capacity:capv us in
+      match Assignment.check inst a with Ok () -> true | Error _ -> false)
+
+let prop_online_below_superopt =
+  QCheck2.Test.make ~name:"online: below the pooled bound" ~count:150
+    QCheck2.Gen.(
+      let* m = int_range 1 4 in
+      let* n = int_range 1 10 in
+      let* capv = float_range 2.0 40.0 in
+      let* us = list_repeat n (Helpers.gen_utility_with_cap capv) in
+      return (m, capv, Array.of_list us))
+    (fun (m, capv, us) ->
+      let us = Array.map (fun u -> Utility.of_plc (Utility.to_plc u)) us in
+      let a = Online.solve_sequence ~servers:m ~capacity:capv us in
+      let inst = Instance.create ~servers:m ~capacity:capv us in
+      let so = Superopt.compute inst in
+      Assignment.utility inst a <= so.utility +. (1e-6 *. Float.max 1.0 so.utility))
+
+let () =
+  Alcotest.run "online"
+    [
+      ( "mechanics",
+        [
+          Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "first thread" `Quick test_first_thread_gets_everything_useful;
+          Alcotest.test_case "spreads identical" `Quick test_spreads_identical_threads;
+          Alcotest.test_case "intra-server reallocation" `Quick test_reallocates_within_server;
+          Alcotest.test_case "feasible" `Quick test_assignment_feasible_and_counts;
+          Alcotest.test_case "solve_sequence" `Quick test_solve_sequence_matches_incremental;
+          Alcotest.test_case "monotone admissions" `Quick test_admission_never_decreases_value;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "departure" `Quick test_departure_frees_resources;
+          Alcotest.test_case "departure errors" `Quick test_depart_errors;
+          Alcotest.test_case "utility update" `Quick test_update_utility_reallocates;
+          Alcotest.test_case "churn" `Quick test_churn_stays_feasible;
+        ] );
+      ( "quality",
+        [ Alcotest.test_case "close to offline" `Slow test_online_close_to_offline_on_random ] );
+      Helpers.qsuite "properties" [ prop_online_feasible; prop_online_below_superopt ];
+    ]

@@ -1,0 +1,207 @@
+open Aa_numerics
+open Aa_utility
+
+let simple () = Plc.create [| (0.0, 0.0); (2.0, 4.0); (5.0, 5.5); (10.0, 5.5) |]
+
+let test_eval () =
+  let f = simple () in
+  Helpers.check_float "at 0" 0.0 (Plc.eval f 0.0);
+  Helpers.check_float "on first segment" 2.0 (Plc.eval f 1.0);
+  Helpers.check_float "at breakpoint" 4.0 (Plc.eval f 2.0);
+  Helpers.check_float "second segment" 4.5 (Plc.eval f 3.0);
+  Helpers.check_float "flat region" 5.5 (Plc.eval f 7.0);
+  Helpers.check_float "at cap" 5.5 (Plc.eval f 10.0);
+  Helpers.check_float "clamped left" 0.0 (Plc.eval f (-1.0));
+  Helpers.check_float "clamped right" 5.5 (Plc.eval f 20.0)
+
+let test_cap_peak_max_slope () =
+  let f = simple () in
+  Helpers.check_float "cap" 10.0 (Plc.cap f);
+  Helpers.check_float "peak" 5.5 (Plc.peak f);
+  Helpers.check_float "max slope" 2.0 (Plc.max_slope f)
+
+let test_slope_right () =
+  let f = simple () in
+  Helpers.check_float "first" 2.0 (Plc.slope_right f 0.0);
+  Helpers.check_float "at breakpoint takes right side" 0.5 (Plc.slope_right f 2.0);
+  Helpers.check_float "second" 0.5 (Plc.slope_right f 4.0);
+  Helpers.check_float "flat" 0.0 (Plc.slope_right f 6.0);
+  Helpers.check_float "at cap" 0.0 (Plc.slope_right f 10.0)
+
+let test_demand () =
+  let f = simple () in
+  Helpers.check_float "very high price" 0.0 (Plc.demand f 10.0);
+  Helpers.check_float "price between slopes" 2.0 (Plc.demand f 1.0);
+  Helpers.check_float "price at slope boundary" 2.0 (Plc.demand f 2.0);
+  Helpers.check_float "low positive price" 5.0 (Plc.demand f 0.1);
+  Helpers.check_float "price equal to second slope" 5.0 (Plc.demand f 0.5);
+  Helpers.check_float "zero price" 10.0 (Plc.demand f 0.0)
+
+let test_demand_monotone_in_price () =
+  let f = simple () in
+  let prev = ref (Plc.demand f 0.0) in
+  List.iter
+    (fun lambda ->
+      let d = Plc.demand f lambda in
+      Helpers.check_le "demand nonincreasing" d !prev;
+      prev := d)
+    [ 0.1; 0.5; 0.7; 1.0; 2.0; 3.0 ]
+
+let test_constant () =
+  let f = Plc.constant ~cap:5.0 3.0 in
+  Helpers.check_float "value" 3.0 (Plc.eval f 2.0);
+  Helpers.check_float "peak" 3.0 (Plc.peak f);
+  Helpers.check_float "max slope" 0.0 (Plc.max_slope f);
+  Helpers.check_float "demand" 0.0 (Plc.demand f 0.5)
+
+let test_capped_linear () =
+  let f = Plc.capped_linear ~cap:10.0 ~slope:2.0 ~knee:3.0 in
+  Helpers.check_float "ramp" 4.0 (Plc.eval f 2.0);
+  Helpers.check_float "flat" 6.0 (Plc.eval f 8.0);
+  let full = Plc.capped_linear ~cap:10.0 ~slope:1.0 ~knee:10.0 in
+  Helpers.check_float "knee at cap" 10.0 (Plc.eval full 10.0);
+  let zero = Plc.capped_linear ~cap:10.0 ~slope:2.0 ~knee:0.0 in
+  Helpers.check_float "zero knee" 0.0 (Plc.peak zero)
+
+let test_two_piece () =
+  let g = Plc.two_piece ~cap:10.0 ~peak:6.0 ~chat:4.0 in
+  Helpers.check_float "half ramp" 3.0 (Plc.eval g 2.0);
+  Helpers.check_float "at chat" 6.0 (Plc.eval g 4.0);
+  Helpers.check_float "flat" 6.0 (Plc.eval g 9.0);
+  let const = Plc.two_piece ~cap:10.0 ~peak:6.0 ~chat:0.0 in
+  Helpers.check_float "chat 0 constant" 6.0 (Plc.eval const 0.0)
+
+let test_create_validation () =
+  Alcotest.check_raises "must start at 0"
+    (Invalid_argument "Plc.create: domain must start at x = 0") (fun () ->
+      ignore (Plc.create [| (1.0, 0.0); (2.0, 1.0) |]));
+  Alcotest.check_raises "negative value"
+    (Invalid_argument "Plc.create: negative utility value") (fun () ->
+      ignore (Plc.create [| (0.0, -1.0); (2.0, 1.0) |]));
+  Alcotest.check_raises "decreasing"
+    (Invalid_argument "Plc.create: utility must be nondecreasing") (fun () ->
+      ignore (Plc.create [| (0.0, 2.0); (2.0, 1.0) |]));
+  Alcotest.check_raises "convex" (Invalid_argument "Plc.create: utility must be concave")
+    (fun () -> ignore (Plc.create [| (0.0, 0.0); (1.0, 0.5); (2.0, 2.0) |]));
+  Alcotest.check_raises "nan" (Invalid_argument "Plc.create: non-finite coordinate")
+    (fun () -> ignore (Plc.create [| (0.0, 0.0); (1.0, Float.nan) |]));
+  Alcotest.check_raises "infinite" (Invalid_argument "Plc.create: non-finite coordinate")
+    (fun () -> ignore (Plc.create [| (0.0, 0.0); (Float.infinity, 1.0) |]))
+
+let test_create_merges_collinear () =
+  let f = Plc.create [| (0.0, 0.0); (1.0, 1.0); (2.0, 2.0); (3.0, 3.0) |] in
+  Alcotest.(check int) "one segment" 1 (Array.length (Plc.segments f))
+
+let test_create_unsorted_dedup () =
+  let f = Plc.create [| (2.0, 4.0); (0.0, 0.0); (2.0, 3.0); (5.0, 5.0) |] in
+  Helpers.check_float "keeps max y at duplicate" 4.0 (Plc.eval f 2.0)
+
+let test_segments () =
+  let f = simple () in
+  let segs = Plc.segments f in
+  Alcotest.(check int) "three segments" 3 (Array.length segs);
+  Helpers.check_float "slope 0" 2.0 segs.(0).slope;
+  Helpers.check_float "slope 1" 0.5 segs.(1).slope;
+  Helpers.check_float "slope 2" 0.0 segs.(2).slope;
+  Helpers.check_float "x bounds" 2.0 segs.(0).x1
+
+let test_restrict () =
+  let f = simple () in
+  let g = Plc.restrict f ~cap:3.0 in
+  Helpers.check_float "cap" 3.0 (Plc.cap g);
+  Helpers.check_float "same values" (Plc.eval f 2.5) (Plc.eval g 2.5);
+  Helpers.check_float "boundary" 4.5 (Plc.eval g 3.0)
+
+let test_scale () =
+  let f = Plc.scale (simple ()) ~y:2.0 in
+  Helpers.check_float "scaled" 8.0 (Plc.eval f 2.0)
+
+let test_equal () =
+  Alcotest.(check bool) "same" true (Plc.equal (simple ()) (simple ()));
+  Alcotest.(check bool) "different" false
+    (Plc.equal (simple ()) (Plc.constant ~cap:10.0 1.0))
+
+(* --- properties --- *)
+
+let prop_eval_concave =
+  QCheck2.Test.make ~name:"random PLC: midpoint concavity" ~count:500 Helpers.gen_plc
+    (fun f ->
+      let cap = Plc.cap f in
+      let ok = ref true in
+      for i = 0 to 20 do
+        for j = i to 20 do
+          let x = cap *. float_of_int i /. 20.0 in
+          let y = cap *. float_of_int j /. 20.0 in
+          let mid = 0.5 *. (x +. y) in
+          let lhs = Plc.eval f mid in
+          let rhs = 0.5 *. (Plc.eval f x +. Plc.eval f y) in
+          if lhs < rhs -. 1e-7 then ok := false
+        done
+      done;
+      !ok)
+
+let prop_demand_inverse =
+  QCheck2.Test.make ~name:"random PLC: demand is the right inverse of slope" ~count:500
+    Helpers.gen_plc (fun f ->
+      let ok = ref true in
+      Array.iter
+        (fun (s : Plc.segment) ->
+          if s.slope > 0.0 then begin
+            (* at price exactly the slope, demand reaches the segment end *)
+            let d = Plc.demand f s.slope in
+            if d < s.x1 -. 1e-9 then ok := false;
+            (* at a price just above, demand stops at or before the start *)
+            let d' = Plc.demand f (s.slope *. (1.0 +. 1e-9)) in
+            if d' > s.x0 +. (1e-9 *. Plc.cap f) then ok := false
+          end)
+        (Plc.segments f);
+      !ok)
+
+let prop_slopes_strictly_decreasing =
+  QCheck2.Test.make ~name:"random PLC: canonical slopes strictly decreasing" ~count:500
+    Helpers.gen_plc (fun f ->
+      let segs = Plc.segments f in
+      let ok = ref true in
+      for i = 1 to Array.length segs - 1 do
+        if segs.(i).slope >= segs.(i - 1).slope then ok := false
+      done;
+      !ok)
+
+let prop_eval_matches_segments =
+  QCheck2.Test.make ~name:"random PLC: eval consistent with segment form" ~count:500
+    Helpers.gen_plc (fun f ->
+      Array.for_all
+        (fun (s : Plc.segment) ->
+          let mid = 0.5 *. (s.x0 +. s.x1) in
+          Util.approx_equal ~eps:1e-9 (Plc.eval f mid) (s.y0 +. (s.slope *. (mid -. s.x0))))
+        (Plc.segments f))
+
+let () =
+  Alcotest.run "utility-plc"
+    [
+      ( "plc",
+        [
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "cap/peak/max_slope" `Quick test_cap_peak_max_slope;
+          Alcotest.test_case "slope_right" `Quick test_slope_right;
+          Alcotest.test_case "demand" `Quick test_demand;
+          Alcotest.test_case "demand monotone" `Quick test_demand_monotone_in_price;
+          Alcotest.test_case "constant" `Quick test_constant;
+          Alcotest.test_case "capped_linear" `Quick test_capped_linear;
+          Alcotest.test_case "two_piece" `Quick test_two_piece;
+          Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "merges collinear" `Quick test_create_merges_collinear;
+          Alcotest.test_case "unsorted/dedup" `Quick test_create_unsorted_dedup;
+          Alcotest.test_case "segments" `Quick test_segments;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "scale" `Quick test_scale;
+          Alcotest.test_case "equal" `Quick test_equal;
+        ] );
+      Helpers.qsuite "properties"
+        [
+          prop_eval_concave;
+          prop_demand_inverse;
+          prop_slopes_strictly_decreasing;
+          prop_eval_matches_segments;
+        ];
+    ]

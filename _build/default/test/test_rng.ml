@@ -1,0 +1,146 @@
+open Aa_numerics
+
+let test_determinism () =
+  let a = Rng.create ~seed:123 () in
+  let b = Rng.create ~seed:123 () in
+  for i = 0 to 99 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d" i)
+      (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create ~seed:1 () in
+  let b = Rng.create ~seed:2 () in
+  Alcotest.(check bool) "different streams" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:5 () in
+  let b = Rng.copy a in
+  let x = Rng.bits64 a in
+  let y = Rng.bits64 b in
+  Alcotest.(check int64) "copy replays" x y
+
+let test_split () =
+  let a = Rng.create ~seed:9 () in
+  let b = Rng.split a in
+  (* the split stream differs from the parent's continuation *)
+  Alcotest.(check bool) "independent" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_float_range () =
+  let rng = Rng.create ~seed:11 () in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng 3.5 in
+    if not (0.0 <= x && x < 3.5) then Alcotest.failf "float out of range: %g" x
+  done
+
+let test_uniform_moments () =
+  let rng = Rng.create ~seed:13 () in
+  let xs = Array.init 100_000 (fun _ -> Rng.uniform rng ~lo:2.0 ~hi:4.0) in
+  Helpers.check_float ~eps:0.01 "mean" 3.0 (Stats.mean xs);
+  Helpers.check_float ~eps:0.02 "variance" (1.0 /. 3.0) (Stats.variance xs)
+
+let test_int_range () =
+  let rng = Rng.create ~seed:17 () in
+  let counts = Array.make 7 0 in
+  for _ = 1 to 70_000 do
+    let k = Rng.int rng 7 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 9_000 || c > 11_000 then Alcotest.failf "bucket %d count %d far from 10000" i c)
+    counts
+
+let test_normal_moments () =
+  let rng = Rng.create ~seed:19 () in
+  let xs = Array.init 200_000 (fun _ -> Rng.normal rng ~mu:1.0 ~sigma:2.0) in
+  Helpers.check_float ~eps:0.02 "mean" 1.0 (Stats.mean xs);
+  Helpers.check_float ~eps:0.05 "stddev" 2.0 (Stats.stddev xs)
+
+let test_truncated_normal () =
+  let rng = Rng.create ~seed:23 () in
+  for _ = 1 to 10_000 do
+    let x = Rng.truncated_normal rng ~mu:0.5 ~sigma:1.0 ~lo:0.0 in
+    if x < 0.0 then Alcotest.failf "negative truncated normal: %g" x
+  done
+
+let test_exponential () =
+  let rng = Rng.create ~seed:29 () in
+  let xs = Array.init 200_000 (fun _ -> Rng.exponential rng ~rate:4.0) in
+  Helpers.check_float ~eps:0.005 "mean 1/rate" 0.25 (Stats.mean xs);
+  Array.iter (fun x -> if x < 0.0 then Alcotest.fail "negative exponential") xs
+
+let test_power_law () =
+  let rng = Rng.create ~seed:31 () in
+  (* alpha = 3: mean of Pareto(xmin=1, tail 2) = 2 *)
+  let xs = Array.init 400_000 (fun _ -> Rng.power_law rng ~alpha:3.0 ~xmin:1.0) in
+  Array.iter (fun x -> if x < 1.0 then Alcotest.fail "below xmin") xs;
+  Helpers.check_float ~eps:0.03 "mean" 2.0 (Stats.mean xs)
+
+let test_two_point () =
+  let rng = Rng.create ~seed:37 () in
+  let low = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let x = Rng.two_point rng ~gamma:0.8 ~lo:1.0 ~hi:5.0 in
+    if x = 1.0 then incr low
+    else if x <> 5.0 then Alcotest.failf "unexpected value %g" x
+  done;
+  let frac = float_of_int !low /. float_of_int n in
+  Helpers.check_float ~eps:0.01 "gamma" 0.8 frac
+
+let test_simplex () =
+  let rng = Rng.create ~seed:41 () in
+  for _ = 1 to 1_000 do
+    let k = 1 + Rng.int rng 10 in
+    let parts = Rng.simplex rng k in
+    Alcotest.(check int) "length" k (Array.length parts);
+    Array.iter (fun p -> if p < 0.0 then Alcotest.fail "negative part") parts;
+    Helpers.check_float ~eps:1e-9 "sums to 1" 1.0 (Util.kahan_sum parts)
+  done
+
+let test_shuffle_permutes () =
+  let rng = Rng.create ~seed:43 () in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Rng.shuffle rng b;
+  let sorted = Array.copy b in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" a sorted;
+  Alcotest.(check bool) "actually moved" true (b <> a)
+
+let test_invalid_args () =
+  let rng = Rng.create () in
+  Alcotest.check_raises "float 0" (Invalid_argument "Rng.float: bound must be positive")
+    (fun () -> ignore (Rng.float rng 0.0));
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0));
+  Alcotest.check_raises "power_law alpha" (Invalid_argument "Rng.power_law: need alpha > 1")
+    (fun () -> ignore (Rng.power_law rng ~alpha:1.0 ~xmin:1.0))
+
+let () =
+  Alcotest.run "numerics-rng"
+    [
+      ( "stream",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split" `Quick test_split;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "uniform moments" `Quick test_uniform_moments;
+          Alcotest.test_case "int buckets" `Quick test_int_range;
+          Alcotest.test_case "normal moments" `Quick test_normal_moments;
+          Alcotest.test_case "truncated normal" `Quick test_truncated_normal;
+          Alcotest.test_case "exponential" `Quick test_exponential;
+          Alcotest.test_case "power law" `Quick test_power_law;
+          Alcotest.test_case "two point" `Quick test_two_point;
+          Alcotest.test_case "simplex" `Quick test_simplex;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutes;
+          Alcotest.test_case "invalid args" `Quick test_invalid_args;
+        ] );
+    ]

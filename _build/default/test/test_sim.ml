@@ -1,0 +1,159 @@
+open Aa_numerics
+open Aa_core
+open Aa_workload
+open Aa_sim
+
+(* ---------- multicore simulator ---------- *)
+
+let test_multicore_matches_model () =
+  (* long window: measured IPC converges to the analytic model *)
+  let rng = Rng.create ~seed:1 () in
+  let profiles = [| Cache.cache_friendly "a"; Cache.cache_hungry "b" |] in
+  let assignment = Assignment.make ~server:[| 0; 1 |] ~alloc:[| 4.0; 8.0 |] in
+  let r = Multicore.run ~rng ~cycles:4_000_000 ~profiles assignment in
+  Array.iter
+    (fun (t : Multicore.thread_result) ->
+      let rel = Float.abs (t.achieved_ipc -. t.predicted_ipc) /. t.predicted_ipc in
+      if rel > 0.05 then
+        Alcotest.failf "%s: measured %g vs predicted %g (%.1f%% off)" t.label t.achieved_ipc
+          t.predicted_ipc (100.0 *. rel))
+    r.threads
+
+let test_multicore_more_cache_helps () =
+  let rng = Rng.create ~seed:2 () in
+  let p = Cache.cache_hungry "h" in
+  let run cache =
+    let a = Assignment.make ~server:[| 0 |] ~alloc:[| cache |] in
+    (Multicore.run ~rng ~cycles:1_000_000 ~profiles:[| p |] a).threads.(0).achieved_ipc
+  in
+  Helpers.check_ge "8MB beats 0MB" (run 8.0) (run 0.0)
+
+let test_multicore_counts_consistent () =
+  let rng = Rng.create ~seed:3 () in
+  let profiles = [| Cache.streaming "s" |] in
+  let a = Assignment.make ~server:[| 0 |] ~alloc:[| 2.0 |] in
+  let r = Multicore.run ~rng ~cycles:100_000 ~profiles a in
+  let t = r.threads.(0) in
+  Helpers.check_le "misses <= instructions" (float_of_int t.misses)
+    (float_of_int t.instructions);
+  Helpers.check_float "ipc consistent"
+    (float_of_int t.instructions /. 100_000.0)
+    t.achieved_ipc;
+  Helpers.check_float "throughput is the sum" t.achieved_ipc r.total_throughput
+
+let test_multicore_validation () =
+  let rng = Rng.create ~seed:4 () in
+  let a = Assignment.make ~server:[| 0 |] ~alloc:[| 1.0 |] in
+  Alcotest.check_raises "cycles" (Invalid_argument "Multicore.run: cycles must be positive")
+    (fun () -> ignore (Multicore.run ~rng ~cycles:0 ~profiles:[| Cache.streaming "s" |] a));
+  Alcotest.check_raises "profiles"
+    (Invalid_argument "Multicore.run: one profile per assigned thread required") (fun () ->
+      ignore (Multicore.run ~rng ~cycles:10 ~profiles:[||] a))
+
+(* ---------- hosting simulator ---------- *)
+
+let svc label arrival work revenue =
+  { Hosting.label; arrival_rate = arrival; work; revenue }
+
+let test_hosting_utility_shape () =
+  let s = svc "a" 10.0 2.0 3.0 in
+  let u = Hosting.utility ~cap:100.0 s in
+  (* below saturation: revenue rate = revenue/work per resource unit *)
+  Helpers.check_float ~eps:1e-9 "slope" 15.0 (Aa_utility.Utility.eval u 10.0);
+  (* saturates at arrival * work = 20 resource: revenue rate 30 *)
+  Helpers.check_float ~eps:1e-9 "saturated" 30.0 (Aa_utility.Utility.eval u 50.0)
+
+let test_hosting_simulation_matches_model_underload () =
+  (* mu >> lambda: throughput ~ arrival rate *)
+  let rng = Rng.create ~seed:5 () in
+  let services = [| svc "fast" 20.0 1.0 2.0 |] in
+  let inst = Hosting.instance ~machines:1 ~capacity:100.0 services in
+  ignore inst;
+  let a = Assignment.make ~server:[| 0 |] ~alloc:[| 100.0 |] in
+  let r = Hosting.simulate ~rng ~duration:2_000.0 ~services a in
+  let s = r.services.(0) in
+  let rel = Float.abs (s.throughput -. 20.0) /. 20.0 in
+  Helpers.check_le "throughput near arrival rate" rel 0.05;
+  Helpers.check_le "low latency" s.mean_latency 0.1
+
+let test_hosting_simulation_matches_model_overload () =
+  (* mu << lambda: throughput ~ service rate alloc/work *)
+  let rng = Rng.create ~seed:6 () in
+  let services = [| svc "slow" 100.0 1.0 1.0 |] in
+  let a = Assignment.make ~server:[| 0 |] ~alloc:[| 30.0 |] in
+  let r = Hosting.simulate ~rng ~duration:2_000.0 ~services a in
+  let s = r.services.(0) in
+  let rel = Float.abs (s.throughput -. 30.0) /. 30.0 in
+  Helpers.check_le "throughput near service rate" rel 0.05
+
+let test_hosting_zero_allocation_starves () =
+  let rng = Rng.create ~seed:7 () in
+  let services = [| svc "starved" 5.0 1.0 1.0 |] in
+  let a = Assignment.make ~server:[| 0 |] ~alloc:[| 0.0 |] in
+  let r = Hosting.simulate ~rng ~duration:100.0 ~services a in
+  Alcotest.(check int) "no completions" 0 r.services.(0).completed;
+  Alcotest.(check bool) "arrivals happened" true (r.services.(0).arrived > 0)
+
+let test_hosting_latency_increases_with_load () =
+  let rng = Rng.create ~seed:8 () in
+  let services = [| svc "q" 9.0 1.0 1.0 |] in
+  let lat alloc =
+    let a = Assignment.make ~server:[| 0 |] ~alloc:[| alloc |] in
+    (Hosting.simulate ~rng ~duration:3_000.0 ~services a).services.(0).mean_latency
+  in
+  (* rho = 0.9 vs rho = 0.45 *)
+  Helpers.check_ge "heavier load, more latency" (lat 10.0) (lat 20.0)
+
+let test_hosting_predicted_total () =
+  let rng = Rng.create ~seed:9 () in
+  let services = [| svc "a" 10.0 1.0 2.0; svc "b" 50.0 0.5 0.1 |] in
+  let a = Assignment.make ~server:[| 0; 0 |] ~alloc:[| 10.0; 25.0 |] in
+  let r = Hosting.simulate ~rng ~duration:1_000.0 ~services a in
+  (* predicted: min(10, 10/1)*2 + min(50, 25/0.5)*0.1 = 20 + 5 = 25 *)
+  Helpers.check_float ~eps:1e-9 "prediction" 25.0 r.predicted_total;
+  let rel = Float.abs (r.total_revenue_rate -. 25.0) /. 25.0 in
+  Helpers.check_le "simulation near prediction" rel 0.1
+
+let test_hosting_validation () =
+  let rng = Rng.create ~seed:10 () in
+  let a = Assignment.make ~server:[| 0 |] ~alloc:[| 1.0 |] in
+  Alcotest.check_raises "duration" (Invalid_argument "Hosting.simulate: duration must be positive")
+    (fun () ->
+      ignore (Hosting.simulate ~rng ~duration:0.0 ~services:[| svc "x" 1.0 1.0 1.0 |] a))
+
+(* end-to-end: AA assignment on the hosting model beats starving services *)
+let test_hosting_end_to_end () =
+  let rng = Rng.create ~seed:11 () in
+  let services =
+    [| svc "gold" 10.0 2.0 10.0; svc "bulk" 100.0 0.5 0.2; svc "slow" 3.0 10.0 5.0 |]
+  in
+  let inst = Hosting.instance ~machines:2 ~capacity:30.0 services in
+  let a2 = Algo2.solve inst in
+  (match Assignment.check inst a2 with Ok () -> () | Error e -> Alcotest.fail e);
+  let r = Hosting.simulate ~rng ~duration:1_000.0 ~services a2 in
+  (* model prediction and simulation agree within 15% *)
+  let rel = Float.abs (r.total_revenue_rate -. r.predicted_total) /. r.predicted_total in
+  Helpers.check_le "sim vs model" rel 0.15
+
+let () =
+  Alcotest.run "simulators"
+    [
+      ( "multicore",
+        [
+          Alcotest.test_case "matches model" `Slow test_multicore_matches_model;
+          Alcotest.test_case "cache helps" `Quick test_multicore_more_cache_helps;
+          Alcotest.test_case "counts consistent" `Quick test_multicore_counts_consistent;
+          Alcotest.test_case "validation" `Quick test_multicore_validation;
+        ] );
+      ( "hosting",
+        [
+          Alcotest.test_case "utility shape" `Quick test_hosting_utility_shape;
+          Alcotest.test_case "underload" `Slow test_hosting_simulation_matches_model_underload;
+          Alcotest.test_case "overload" `Slow test_hosting_simulation_matches_model_overload;
+          Alcotest.test_case "starvation" `Quick test_hosting_zero_allocation_starves;
+          Alcotest.test_case "latency vs load" `Slow test_hosting_latency_increases_with_load;
+          Alcotest.test_case "prediction" `Quick test_hosting_predicted_total;
+          Alcotest.test_case "validation" `Quick test_hosting_validation;
+          Alcotest.test_case "end to end" `Quick test_hosting_end_to_end;
+        ] );
+    ]

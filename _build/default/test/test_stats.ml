@@ -1,0 +1,81 @@
+open Aa_numerics
+
+let data = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |]
+
+let test_mean () =
+  Helpers.check_float "mean" 5.0 (Stats.mean data);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty array") (fun () ->
+      ignore (Stats.mean [||]))
+
+let test_variance () =
+  (* sample variance with n-1: sum of squares = 32, / 7 *)
+  Helpers.check_float ~eps:1e-12 "variance" (32.0 /. 7.0) (Stats.variance data);
+  Helpers.check_float "single" 0.0 (Stats.variance [| 3.0 |])
+
+let test_stddev () = Helpers.check_float ~eps:1e-12 "sd" (sqrt (32.0 /. 7.0)) (Stats.stddev data)
+
+let test_quantile () =
+  Helpers.check_float "min" 2.0 (Stats.quantile data 0.0);
+  Helpers.check_float "max" 9.0 (Stats.quantile data 1.0);
+  Helpers.check_float "median interp" 4.5 (Stats.median data);
+  let odd = [| 1.0; 2.0; 100.0 |] in
+  Helpers.check_float "odd median" 2.0 (Stats.median odd)
+
+let test_geometric_mean () =
+  Helpers.check_float ~eps:1e-12 "gm" 4.0 (Stats.geometric_mean [| 2.0; 8.0 |]);
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Stats.geometric_mean: nonpositive element") (fun () ->
+      ignore (Stats.geometric_mean [| 1.0; 0.0 |]))
+
+let test_summary () =
+  let s = Stats.summarize data in
+  Alcotest.(check int) "n" 8 s.n;
+  Helpers.check_float "mean" 5.0 s.mean;
+  Helpers.check_float "min" 2.0 s.min;
+  Helpers.check_float "max" 9.0 s.max;
+  Helpers.check_float ~eps:1e-12 "ci" (1.96 *. Stats.stddev data /. sqrt 8.0) s.ci95
+
+let test_online_matches_batch () =
+  let rng = Rng.create ~seed:77 () in
+  let xs = Array.init 10_000 (fun _ -> Rng.normal rng ~mu:3.0 ~sigma:2.0) in
+  let o = Stats.Online.create () in
+  Array.iter (Stats.Online.add o) xs;
+  Alcotest.(check int) "count" 10_000 (Stats.Online.count o);
+  Helpers.check_float ~eps:1e-9 "mean" (Stats.mean xs) (Stats.Online.mean o);
+  Helpers.check_float ~eps:1e-7 "variance" (Stats.variance xs) (Stats.Online.variance o);
+  Helpers.check_float "min" (Stats.quantile xs 0.0) (Stats.Online.min o);
+  Helpers.check_float "max" (Stats.quantile xs 1.0) (Stats.Online.max o)
+
+let test_online_empty () =
+  let o = Stats.Online.create () in
+  Alcotest.check_raises "mean" (Invalid_argument "Stats.Online.mean: no samples") (fun () ->
+      ignore (Stats.Online.mean o))
+
+let prop_online_mean =
+  QCheck2.Test.make ~name:"online mean equals batch mean" ~count:300
+    QCheck2.Gen.(list_size (int_range 1 200) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let o = Stats.Online.create () in
+      Array.iter (Stats.Online.add o) a;
+      Util.approx_equal ~eps:1e-9 (Stats.mean a) (Stats.Online.mean o))
+
+let () =
+  Alcotest.run "numerics-stats"
+    [
+      ( "batch",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "variance" `Quick test_variance;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "summary" `Quick test_summary;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "matches batch" `Quick test_online_matches_batch;
+          Alcotest.test_case "empty" `Quick test_online_empty;
+        ] );
+      Helpers.qsuite "properties" [ prop_online_mean ];
+    ]

@@ -1,0 +1,119 @@
+open Aa_numerics
+
+let test_clamp () =
+  Helpers.check_float "inside" 3.0 (Util.clamp ~lo:0.0 ~hi:10.0 3.0);
+  Helpers.check_float "below" 0.0 (Util.clamp ~lo:0.0 ~hi:10.0 (-4.0));
+  Helpers.check_float "above" 10.0 (Util.clamp ~lo:0.0 ~hi:10.0 14.0);
+  Helpers.check_float "degenerate" 5.0 (Util.clamp ~lo:5.0 ~hi:5.0 7.0)
+
+let test_approx_equal () =
+  Alcotest.(check bool) "exact" true (Util.approx_equal 1.0 1.0);
+  Alcotest.(check bool) "close abs" true (Util.approx_equal ~eps:1e-6 0.0 1e-9);
+  Alcotest.(check bool) "close rel" true (Util.approx_equal ~eps:1e-6 1e12 (1e12 +. 1.0));
+  Alcotest.(check bool) "far" false (Util.approx_equal 1.0 1.1)
+
+let test_kahan () =
+  (* 10^7 additions of 0.1 lose precision with naive summation *)
+  let a = Array.make 10_000_000 0.1 in
+  Helpers.check_float ~eps:1e-9 "kahan" 1_000_000.0 (Util.kahan_sum a);
+  Helpers.check_float "empty" 0.0 (Util.kahan_sum [||]);
+  Helpers.check_float "sum_by" 6.0 (Util.sum_by float_of_int [| 1; 2; 3 |])
+
+let test_linspace () =
+  let a = Util.linspace 0.0 10.0 5 in
+  Alcotest.(check int) "len" 5 (Array.length a);
+  Helpers.check_float "first" 0.0 a.(0);
+  Helpers.check_float "mid" 5.0 a.(2);
+  Helpers.check_float "last exact" 10.0 a.(4);
+  Alcotest.check_raises "k=1 rejected" (Invalid_argument "Util.linspace: need k >= 2")
+    (fun () -> ignore (Util.linspace 0.0 1.0 1))
+
+let test_logspace () =
+  let a = Util.logspace 1.0 1000.0 4 in
+  Helpers.check_float "first" 1.0 a.(0);
+  Helpers.check_float ~eps:1e-9 "second" 10.0 a.(1);
+  Helpers.check_float "last" 1000.0 a.(3)
+
+let test_argmax () =
+  Alcotest.(check int) "simple" 2 (Util.argmax Fun.id [| 1.0; 2.0; 5.0; 3.0 |]);
+  Alcotest.(check int) "first of ties" 0 (Util.argmax Fun.id [| 5.0; 5.0 |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Util.argmax: empty array") (fun () ->
+      ignore (Util.argmax Fun.id [||]))
+
+let test_is_sorted_strict () =
+  Alcotest.(check bool) "yes" true (Util.is_sorted_strict [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check bool) "dup" false (Util.is_sorted_strict [| 1.0; 1.0 |]);
+  Alcotest.(check bool) "desc" false (Util.is_sorted_strict [| 2.0; 1.0 |]);
+  Alcotest.(check bool) "empty" true (Util.is_sorted_strict [||]);
+  Alcotest.(check bool) "single" true (Util.is_sorted_strict [| 0.0 |])
+
+let test_float_down () =
+  Alcotest.(check bool) "below" true (Util.float_down 1.0 < 1.0);
+  Alcotest.(check bool) "tight" true (1.0 -. Util.float_down 1.0 < 1e-15);
+  Helpers.check_float "inf" Float.infinity (Util.float_down Float.infinity)
+
+let test_bisect () =
+  (* nonincreasing f with root at x = 2 *)
+  let f x = 2.0 -. x in
+  Helpers.check_float ~eps:1e-12 "root" 2.0 (Root.bisect ~f ~lo:0.0 ~hi:10.0 ())
+
+let test_bisect_int () =
+  let first_true = Root.bisect_int ~f:(fun x -> x * x >= 170) ~lo:0 ~hi:100 in
+  Alcotest.(check int) "sqrt ceil" 14 first_true;
+  Alcotest.(check int) "all true" 5 (Root.bisect_int ~f:(fun _ -> true) ~lo:5 ~hi:20);
+  Alcotest.(check int) "singleton" 7 (Root.bisect_int ~f:(fun _ -> true) ~lo:7 ~hi:7)
+
+let test_fixed_budget () =
+  (* demand(p) = 10 - p, budget 4 -> price 6 *)
+  let price = Root.fixed_budget ~demand:(fun p -> 10.0 -. p) ~budget:4.0 ~max_price:10.0 in
+  Helpers.check_float ~eps:1e-10 "price" 6.0 price
+
+let test_dynvec_basic () =
+  let v = Dynvec.create () in
+  Alcotest.(check int) "empty" 0 (Dynvec.length v);
+  for i = 0 to 99 do
+    Dynvec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Dynvec.length v);
+  Alcotest.(check int) "get" 49 (Dynvec.get v 7);
+  Dynvec.set v 7 (-1);
+  Alcotest.(check int) "set" (-1) (Dynvec.get v 7);
+  Alcotest.(check int) "to_array" 100 (Array.length (Dynvec.to_array v));
+  let sum = ref 0 in
+  Dynvec.iter (fun x -> sum := !sum + x) v;
+  Alcotest.(check bool) "iter covers all" true (!sum < 328350)
+
+let test_dynvec_bounds () =
+  let v = Dynvec.create () in
+  Dynvec.push v 1;
+  Alcotest.check_raises "get oob" (Invalid_argument "Dynvec: index out of bounds") (fun () ->
+      ignore (Dynvec.get v 1));
+  Alcotest.check_raises "negative" (Invalid_argument "Dynvec: index out of bounds") (fun () ->
+      ignore (Dynvec.get v (-1)))
+
+let () =
+  Alcotest.run "numerics-util"
+    [
+      ( "util",
+        [
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "approx_equal" `Quick test_approx_equal;
+          Alcotest.test_case "kahan_sum" `Quick test_kahan;
+          Alcotest.test_case "linspace" `Quick test_linspace;
+          Alcotest.test_case "logspace" `Quick test_logspace;
+          Alcotest.test_case "argmax" `Quick test_argmax;
+          Alcotest.test_case "is_sorted_strict" `Quick test_is_sorted_strict;
+          Alcotest.test_case "float_down" `Quick test_float_down;
+        ] );
+      ( "root",
+        [
+          Alcotest.test_case "bisect" `Quick test_bisect;
+          Alcotest.test_case "bisect_int" `Quick test_bisect_int;
+          Alcotest.test_case "fixed_budget" `Quick test_fixed_budget;
+        ] );
+      ( "dynvec",
+        [
+          Alcotest.test_case "basic" `Quick test_dynvec_basic;
+          Alcotest.test_case "bounds" `Quick test_dynvec_bounds;
+        ] );
+    ]

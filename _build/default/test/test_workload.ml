@@ -1,0 +1,194 @@
+open Aa_numerics
+open Aa_utility
+open Aa_core
+open Aa_workload
+
+let all_dists =
+  [
+    Gen.Uniform;
+    Gen.Normal { mu = 1.0; sigma = 1.0 };
+    Gen.Power_law { alpha = 2.0 };
+    Gen.Discrete { gamma = 0.85; theta = 5.0 };
+  ]
+
+(* ---------- paper generator ---------- *)
+
+let test_draw_pair_ordered () =
+  let rng = Rng.create ~seed:1 () in
+  List.iter
+    (fun dist ->
+      for _ = 1 to 1_000 do
+        let v, w = Gen.draw_pair rng dist in
+        if w > v then Alcotest.failf "%s: w %g > v %g" (Gen.name dist) w v;
+        if v < 0.0 then Alcotest.failf "%s: negative draw" (Gen.name dist)
+      done)
+    all_dists
+
+let test_generated_utilities_valid () =
+  let rng = Rng.create ~seed:2 () in
+  List.iter
+    (fun dist ->
+      for _ = 1 to 50 do
+        let u = Gen.utility rng ~cap:1000.0 dist in
+        (match Utility.check u with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s: %s" (Gen.name dist) e);
+        Helpers.check_float "anchored at 0" 0.0 (Utility.eval u 0.0);
+        Helpers.check_float "cap" 1000.0 (Utility.cap u)
+      done)
+    all_dists
+
+let test_generator_anchors () =
+  (* f(C/2) ~ v and f(C) ~ v + w up to the concave envelope repair *)
+  let rng = Rng.create ~seed:3 () in
+  for _ = 1 to 50 do
+    let v, w = Gen.draw_pair rng Gen.Uniform in
+    let u =
+      Sampled.of_points [| (0.0, 0.0); (500.0, v); (1000.0, v +. w) |]
+    in
+    (* the concave-envelope repair samples on a grid that need not contain
+       x = C/2 exactly, so allow a small relative slack around the anchor *)
+    Helpers.check_ge ~eps:1e-3 "mid near v" (Utility.eval u 500.0) v;
+    Helpers.check_float ~eps:1e-6 "end anchored" (v +. w) (Utility.eval u 1000.0)
+  done
+
+let test_instance_shape () =
+  let rng = Rng.create ~seed:4 () in
+  let inst = Gen.instance rng ~servers:8 ~capacity:1000.0 ~threads:40 Gen.Uniform in
+  Alcotest.(check int) "servers" 8 inst.servers;
+  Alcotest.(check int) "threads" 40 (Instance.n_threads inst);
+  Helpers.check_float "beta" 5.0 (Instance.beta inst)
+
+let test_instance_deterministic_per_seed () =
+  let mk () =
+    Gen.instance (Rng.create ~seed:99 ()) ~servers:2 ~capacity:10.0 ~threads:4 Gen.Uniform
+  in
+  let a = mk () and b = mk () in
+  for i = 0 to 3 do
+    for k = 0 to 10 do
+      let x = float_of_int k in
+      Helpers.check_float "same utility" (Utility.eval a.utilities.(i) x)
+        (Utility.eval b.utilities.(i) x)
+    done
+  done
+
+let test_discrete_theta_validation () =
+  let rng = Rng.create ~seed:5 () in
+  Alcotest.check_raises "theta < 1" (Invalid_argument "Gen.draw: discrete needs theta >= 1")
+    (fun () -> ignore (Gen.draw_pair rng (Gen.Discrete { gamma = 0.5; theta = 0.5 })))
+
+(* ---------- cache workloads ---------- *)
+
+let test_mpki_monotone_decreasing () =
+  List.iter
+    (fun p ->
+      let prev = ref (Cache.mpki p 0.0) in
+      for i = 1 to 50 do
+        let c = 8.0 *. float_of_int i /. 50.0 in
+        let m = Cache.mpki p c in
+        Helpers.check_le "mpki decreasing" m (!prev +. 1e-12);
+        prev := m
+      done)
+    [ Cache.streaming "s"; Cache.cache_friendly "f"; Cache.cache_hungry "h" ]
+
+let test_ipc_increasing () =
+  let p = Cache.cache_hungry "h" in
+  Helpers.check_ge "more cache, more IPC" (Cache.ipc p 8.0) (Cache.ipc p 0.0);
+  Helpers.check_le "ipc bounded by base" (Cache.ipc p 1000.0) (1.0 /. p.base_cpi)
+
+let test_cache_utility_valid () =
+  let rng = Rng.create ~seed:6 () in
+  for i = 0 to 20 do
+    let p = Cache.random rng (Printf.sprintf "t%d" i) in
+    let u = Cache.utility ~cache:8.0 p in
+    match Utility.check u with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s: %s" p.label e
+  done
+
+let test_cache_instance () =
+  let profiles = [| Cache.streaming "a"; Cache.cache_hungry "b" |] in
+  let inst = Cache.instance ~cores:2 ~cache:4.0 profiles in
+  Alcotest.(check int) "cores" 2 inst.servers;
+  Helpers.check_float "cache" 4.0 inst.capacity
+
+(* ---------- cloud workloads ---------- *)
+
+let test_bid_curve () =
+  let u =
+    Cloud.bid_curve ~cap:10.0
+      [ { Cloud.size = 2.0; price = 8.0 }; { Cloud.size = 4.0; price = 8.0 } ]
+  in
+  Helpers.check_float "first tier" 8.0 (Utility.eval u 2.0);
+  Helpers.check_float "mid second tier" 12.0 (Utility.eval u 4.0);
+  Helpers.check_float "all tiers" 16.0 (Utility.eval u 6.0);
+  Helpers.check_float "flat" 16.0 (Utility.eval u 10.0)
+
+let test_bid_curve_rejects_convex () =
+  (* increasing unit price = convex: must be rejected *)
+  try
+    ignore
+      (Cloud.bid_curve ~cap:10.0
+         [ { Cloud.size = 2.0; price = 1.0 }; { Cloud.size = 2.0; price = 10.0 } ]);
+    Alcotest.fail "convex tiers accepted"
+  with Invalid_argument _ -> ()
+
+let test_elastic () =
+  let u = Cloud.elastic ~cap:8.0 ~budget:16.0 ~beta:0.5 in
+  Helpers.check_float ~eps:1e-9 "full budget at cap" 16.0 (Utility.eval u 8.0);
+  Helpers.check_float ~eps:1e-9 "half at quarter" 8.0 (Utility.eval u 2.0)
+
+let test_random_customers_valid () =
+  let rng = Rng.create ~seed:7 () in
+  for _ = 1 to 40 do
+    let u = Cloud.random_customer rng ~cap:64.0 in
+    match Utility.check u with Ok () -> () | Error e -> Alcotest.fail e
+  done
+
+let test_cloud_instance () =
+  let rng = Rng.create ~seed:8 () in
+  let inst = Cloud.instance rng ~machines:4 ~capacity:64.0 ~customers:10 in
+  Alcotest.(check int) "machines" 4 inst.servers;
+  Alcotest.(check int) "customers" 10 (Instance.n_threads inst)
+
+(* ---------- properties ---------- *)
+
+let prop_generated_concave_everywhere =
+  QCheck2.Test.make ~name:"paper generator: concave nondecreasing for all distributions"
+    ~count:100
+    QCheck2.Gen.(pair (int_range 0 3) (int_range 0 10_000))
+    (fun (di, seed) ->
+      let dist = List.nth all_dists di in
+      let rng = Rng.create ~seed () in
+      let u = Gen.utility rng ~cap:100.0 dist in
+      match Utility.check u with Ok () -> true | Error _ -> false)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "pairs ordered" `Quick test_draw_pair_ordered;
+          Alcotest.test_case "utilities valid" `Quick test_generated_utilities_valid;
+          Alcotest.test_case "anchors" `Quick test_generator_anchors;
+          Alcotest.test_case "instance shape" `Quick test_instance_shape;
+          Alcotest.test_case "deterministic" `Quick test_instance_deterministic_per_seed;
+          Alcotest.test_case "theta validation" `Quick test_discrete_theta_validation;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "mpki decreasing" `Quick test_mpki_monotone_decreasing;
+          Alcotest.test_case "ipc increasing" `Quick test_ipc_increasing;
+          Alcotest.test_case "utilities valid" `Quick test_cache_utility_valid;
+          Alcotest.test_case "instance" `Quick test_cache_instance;
+        ] );
+      ( "cloud",
+        [
+          Alcotest.test_case "bid curve" `Quick test_bid_curve;
+          Alcotest.test_case "rejects convex tiers" `Quick test_bid_curve_rejects_convex;
+          Alcotest.test_case "elastic" `Quick test_elastic;
+          Alcotest.test_case "random customers" `Quick test_random_customers_valid;
+          Alcotest.test_case "instance" `Quick test_cloud_instance;
+        ] );
+      Helpers.qsuite "properties" [ prop_generated_concave_everywhere ];
+    ]
