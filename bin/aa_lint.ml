@@ -1,0 +1,88 @@
+(* aa_lint: static analysis for the AA solver stack.
+
+   Usage:
+     aa_lint [options] <file-or-dir>...
+   Options:
+     --baseline FILE     read known violations from FILE (default: none)
+     --update-baseline   rewrite the baseline from the current violations
+     --rules             list rules and exit
+     --quiet             print nothing on success
+   Exit codes: 0 clean, 1 fresh violations, 2 usage or I/O error. *)
+
+let usage () =
+  prerr_endline
+    "usage: aa_lint [--baseline FILE] [--update-baseline] [--rules] [--quiet] \
+     <file-or-dir>...";
+  exit 2
+
+let list_rules () =
+  List.iter
+    (fun (r : Aa_analysis.Rules.t) -> Printf.printf "%-12s %s\n" r.id r.summary)
+    Aa_analysis.Rules.all;
+  exit 0
+
+let () =
+  let baseline_file = ref None in
+  let update = ref false in
+  let quiet = ref false in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--rules" :: _ -> list_rules ()
+    | "--baseline" :: file :: rest ->
+        baseline_file := Some file;
+        parse rest
+    | "--baseline" :: [] -> usage ()
+    | "--update-baseline" :: rest ->
+        update := true;
+        parse rest
+    | "--quiet" :: rest ->
+        quiet := true;
+        parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | path :: rest ->
+        paths := path :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then usage ();
+  if !update && !baseline_file = None then usage ();
+  let baseline =
+    match !baseline_file with
+    | Some f when not !update -> Aa_analysis.Lint.load_baseline f
+    | _ -> []
+  in
+  match Aa_analysis.Lint.run_with_lines ~baseline (List.rev !paths) with
+  | exception Sys_error msg ->
+      prerr_endline ("aa_lint: " ^ msg);
+      exit 2
+  | outcome, with_lines ->
+      if !update then begin
+        (* aa-lint: ignore partial-fn -- --update-baseline requires --baseline (checked above) *)
+        let file = Option.get !baseline_file in
+        let entries = Aa_analysis.Lint.baseline_entries with_lines in
+        let oc = open_out file in
+        output_string oc "# aa_lint baseline: <rule> <count> <md5> <path>\n";
+        output_string oc "# regenerate with: aa_lint --baseline THIS --update-baseline <paths>\n";
+        List.iter (fun e -> output_string oc (e ^ "\n")) entries;
+        close_out oc;
+        Printf.printf "baseline: wrote %d entr%s to %s\n" (List.length entries)
+          (if List.length entries = 1 then "y" else "ies")
+          file;
+        exit 0
+      end;
+      List.iter
+        (fun v -> Format.printf "%a@." Aa_analysis.Rules.pp_violation v)
+        outcome.fresh;
+      List.iter
+        (fun fp -> Printf.printf "stale baseline entry (fix it or refresh): %s\n" fp)
+        outcome.stale_baseline;
+      let n_fresh = List.length outcome.fresh in
+      if not !quiet then
+        Printf.printf
+          "aa_lint: %d file(s), %d violation(s), %d baselined, %d suppressed\n"
+          outcome.files n_fresh
+          (List.length outcome.baselined)
+          outcome.suppressed;
+      exit (if n_fresh > 0 then 1 else 0)

@@ -158,15 +158,11 @@ let greedy ~budget classes =
             | _ -> best_single := Some (i, it, it.value))
         k)
     classes;
-  let use_single =
-    match !best_single with Some (_, _, v) when v > greedy_value -> true | _ -> false
-  in
   let choice =
-    if use_single then begin
-      let i0, it, _ = Option.get !best_single in
-      Array.init n (fun i -> if i = i0 then (it.weight, it.value) else (0, 0.0))
-    end
-    else Array.mapi (fun i k -> (hulls.(i).(k).weight, hulls.(i).(k).value)) level
+    match !best_single with
+    | Some (i0, it, v) when v > greedy_value ->
+        Array.init n (fun i -> if i = i0 then (it.weight, it.value) else (0, 0.0))
+    | _ -> Array.mapi (fun i k -> (hulls.(i).(k).weight, hulls.(i).(k).value)) level
   in
   let weight = Array.fold_left (fun acc (w, _) -> acc + w) 0 choice in
   let value = Aa_numerics.Util.kahan_sum (Array.map snd choice) in

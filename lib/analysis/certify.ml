@@ -1,0 +1,140 @@
+open Aa_numerics
+open Aa_core
+
+type violation =
+  | Wrong_arity of { expected : int; got : int }
+  | Server_out_of_range of { thread : int; server : int; servers : int }
+  | Negative_allocation of { thread : int; alloc : float }
+  | Allocation_above_capacity of { thread : int; alloc : float; capacity : float }
+  | Budget_exceeded of { server : int; used : float; capacity : float }
+  | Utility_invalid of { thread : int; reason : string }
+  | Above_upper_bound of { achieved : float; bound : float }
+  | Ratio_below of { achieved : float; bound : float; ratio : float; min_ratio : float }
+
+type report = {
+  achieved : float;
+  superopt : float option;
+  ratio : float option;
+  violations : violation list;
+}
+
+(* a <= b up to relative slack *)
+let le ~eps a b = a <= b +. (eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)))
+
+let audit ?(eps = 1e-9) ?(samples = 129) ?(check_utilities = true) ?superopt
+    ?min_ratio (inst : Instance.t) (sol : Assignment.t) =
+  let n = Instance.n_threads inst in
+  let got = Array.length sol.server in
+  let out = ref [] in
+  let add x = out := x :: !out in
+  if got <> n || Array.length sol.alloc <> got then
+    add (Wrong_arity { expected = n; got });
+  let upto = min n got in
+  (* per-thread checks *)
+  for i = 0 to upto - 1 do
+    let s = sol.server.(i) and c = sol.alloc.(i) in
+    if s < 0 || s >= inst.servers then
+      add (Server_out_of_range { thread = i; server = s; servers = inst.servers });
+    if (not (Float.is_finite c)) || c < -.eps then
+      add (Negative_allocation { thread = i; alloc = c });
+    if Float.is_finite c && not (le ~eps c inst.capacity) then
+      add (Allocation_above_capacity { thread = i; alloc = c; capacity = inst.capacity })
+  done;
+  (* per-server budget *)
+  let used = Array.make inst.servers 0.0 in
+  for i = 0 to upto - 1 do
+    let s = sol.server.(i) in
+    if s >= 0 && s < inst.servers && Float.is_finite sol.alloc.(i) then
+      used.(s) <- used.(s) +. sol.alloc.(i)
+  done;
+  Array.iteri
+    (fun j u ->
+      if not (le ~eps u inst.capacity) then
+        add (Budget_exceeded { server = j; used = u; capacity = inst.capacity }))
+    used;
+  (* utility model validity, on a sampled table *)
+  if check_utilities then
+    Array.iteri
+      (fun i u ->
+        match Aa_utility.Utility.check ~samples u with
+        | Ok () -> ()
+        | Error reason -> add (Utility_invalid { thread = i; reason }))
+      inst.utilities;
+  (* achieved utility: evaluate the true utilities at the (clamped-sane)
+     allocations actually granted *)
+  let achieved =
+    if got = n then Assignment.utility inst sol
+    else
+      Util.sum_by
+        (fun i -> Aa_utility.Utility.eval inst.utilities.(i) sol.alloc.(i))
+        (Array.init upto Fun.id)
+  in
+  let superopt_u = Option.map (fun (so : Superopt.t) -> so.utility) superopt in
+  let ratio =
+    match superopt_u with
+    | Some f when f > 0.0 -> Some (achieved /. f)
+    | _ -> None
+  in
+  (match superopt_u with
+  | Some f ->
+      if not (le ~eps achieved f) then
+        add (Above_upper_bound { achieved; bound = f });
+      (match min_ratio with
+      | Some r ->
+          if not (le ~eps (r *. f) achieved) then
+            add
+              (Ratio_below
+                 {
+                   achieved;
+                   bound = f;
+                   ratio = (if f > 0.0 then achieved /. f else 1.0);
+                   min_ratio = r;
+                 })
+      | None -> ())
+  | None -> ());
+  { achieved; superopt = superopt_u; ratio; violations = List.rev !out }
+
+let ok r = r.violations = []
+
+let certify ?eps ?samples ?check_utilities ?superopt ?min_ratio inst sol =
+  let r = audit ?eps ?samples ?check_utilities ?superopt ?min_ratio inst sol in
+  if ok r then Ok r else Error r
+
+let violation_class = function
+  | Wrong_arity _ -> "wrong-arity"
+  | Server_out_of_range _ -> "server-out-of-range"
+  | Negative_allocation _ -> "negative-allocation"
+  | Allocation_above_capacity _ -> "allocation-above-capacity"
+  | Budget_exceeded _ -> "budget-exceeded"
+  | Utility_invalid _ -> "utility-invalid"
+  | Above_upper_bound _ -> "above-upper-bound"
+  | Ratio_below _ -> "ratio-below"
+
+let pp_violation ppf = function
+  | Wrong_arity { expected; got } ->
+      Format.fprintf ppf "wrong arity: %d threads in instance, %d in solution" expected got
+  | Server_out_of_range { thread; server; servers } ->
+      Format.fprintf ppf "thread %d on server %d, outside [0, %d)" thread server servers
+  | Negative_allocation { thread; alloc } ->
+      Format.fprintf ppf "thread %d allocated %g (negative or non-finite)" thread alloc
+  | Allocation_above_capacity { thread; alloc; capacity } ->
+      Format.fprintf ppf "thread %d allocated %g > capacity %g" thread alloc capacity
+  | Budget_exceeded { server; used; capacity } ->
+      Format.fprintf ppf "server %d uses %g > capacity %g" server used capacity
+  | Utility_invalid { thread; reason } ->
+      Format.fprintf ppf "utility of thread %d violates the model: %s" thread reason
+  | Above_upper_bound { achieved; bound } ->
+      Format.fprintf ppf "achieved %g exceeds the super-optimal bound %g" achieved bound
+  | Ratio_below { achieved; bound; ratio; min_ratio } ->
+      Format.fprintf ppf "achieved %g is %.6f of bound %g, below required %.6f"
+        achieved ratio bound min_ratio
+
+let pp_report ppf r =
+  Format.fprintf ppf "achieved %g" r.achieved;
+  Option.iter (fun f -> Format.fprintf ppf ", F-hat %g" f) r.superopt;
+  Option.iter (fun x -> Format.fprintf ppf ", ratio %.6f" x) r.ratio;
+  if r.violations = [] then Format.fprintf ppf ": certified"
+  else begin
+    Format.fprintf ppf ": %d violation(s)" (List.length r.violations);
+    List.iter (fun v -> Format.fprintf ppf "@,  - %a" pp_violation v) r.violations
+  end

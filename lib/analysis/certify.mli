@@ -1,0 +1,79 @@
+(** Machine-checkable certification of AA solutions.
+
+    The solvers in this repo are approximate and their guarantee
+    ([α = 2(√2−1)], Theorems V.16 / VI.1) is easy to break silently — a
+    float [=] or an off-by-one in a greedy loop produces plausible
+    numbers with no failing test. [audit] re-derives every property a
+    correct solution must have directly from the instance, and returns a
+    structured violation report rather than a bool, so tests (and
+    production monitors) can assert on the {e class} of failure. *)
+
+type violation =
+  | Wrong_arity of { expected : int; got : int }
+      (** solution vector length differs from the instance thread count
+          (each thread must be assigned exactly once) *)
+  | Server_out_of_range of { thread : int; server : int; servers : int }
+  | Negative_allocation of { thread : int; alloc : float }
+  | Allocation_above_capacity of { thread : int; alloc : float; capacity : float }
+  | Budget_exceeded of { server : int; used : float; capacity : float }
+      (** per-server budget [Σ_{i on j} c_i <= C] *)
+  | Utility_invalid of { thread : int; reason : string }
+      (** sampled table of [f_i] is negative, decreasing or non-concave *)
+  | Above_upper_bound of { achieved : float; bound : float }
+      (** achieved utility exceeds the super-optimal bound F̂ — the
+          solution's claimed value cannot be real *)
+  | Ratio_below of { achieved : float; bound : float; ratio : float; min_ratio : float }
+      (** achieved / F̂ fell under the required ratio (e.g. α) *)
+
+type report = {
+  achieved : float;  (** total utility of the audited solution *)
+  superopt : float option;  (** F̂ when a bound was supplied *)
+  ratio : float option;  (** achieved / F̂ (None when F̂ = 0 or absent) *)
+  violations : violation list;  (** empty iff the solution certifies *)
+}
+
+val audit :
+  ?eps:float ->
+  ?samples:int ->
+  ?check_utilities:bool ->
+  ?superopt:Aa_core.Superopt.t ->
+  ?min_ratio:float ->
+  Aa_core.Instance.t ->
+  Aa_core.Assignment.t ->
+  report
+(** [audit inst sol] checks feasibility (arity, server range,
+    nonnegativity, per-thread and per-server capacity) and, with
+    [check_utilities] (default true), that every instance utility is
+    nonnegative, nondecreasing and concave on a [samples]-point table
+    (default 129).
+
+    Passing [superopt] adds the bound checks: [achieved <= F̂] always,
+    and [achieved >= min_ratio * F̂] when [min_ratio] is given (pass
+    {!Aa_core.Bounds.alpha} for Algorithms 1/2; heuristics carry no
+    guarantee, so omit it for them).
+
+    [eps] (default 1e-9) is the relative slack for every float
+    comparison; exact comparisons would reject correct solutions over
+    rounding noise, which is precisely the failure mode this module
+    exists to prevent. *)
+
+val ok : report -> bool
+(** No violations. *)
+
+val certify :
+  ?eps:float ->
+  ?samples:int ->
+  ?check_utilities:bool ->
+  ?superopt:Aa_core.Superopt.t ->
+  ?min_ratio:float ->
+  Aa_core.Instance.t ->
+  Aa_core.Assignment.t ->
+  (report, report) result
+(** [Ok] with the clean report, or [Error] carrying the violations. *)
+
+val violation_class : violation -> string
+(** Stable machine-readable tag ("wrong-arity", "budget-exceeded", …) —
+    what tests assert against. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,196 @@
+type outcome = {
+  fresh : Rules.violation list;
+  baselined : Rules.violation list;
+  suppressed : int;
+  stale_baseline : string list;
+  files : int;
+}
+
+(* --- suppression comments ------------------------------------------- *)
+
+type suppression = All | Only of string list
+
+let is_id_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '-' || c = '_'
+
+(* Parse the id list following an [aa-lint: ignore] marker: ids separated
+   by commas/spaces, terminated by a double dash (rationale), the comment
+   closer, or end of text. *)
+let parse_ids text from =
+  let n = String.length text in
+  let rec go i acc =
+    if i >= n then acc
+    else if i + 1 < n && text.[i] = '-' && text.[i + 1] = '-' then acc
+    else if i + 1 < n && text.[i] = '*' && text.[i + 1] = ')' then acc
+    else if is_id_char text.[i] then begin
+      let j = ref i in
+      while !j < n && is_id_char text.[!j] do incr j done;
+      go !j (String.sub text i (!j - i) :: acc)
+    end
+    else if text.[i] = ',' || text.[i] = ' ' || text.[i] = '\t' || text.[i] = '\n' then
+      go (i + 1) acc
+    else acc
+  in
+  match go from [] with
+  | ids when List.mem "all" ids -> All
+  | [] -> All (* bare [aa-lint: ignore] silences the whole line *)
+  | ids -> Only ids
+
+let find_substring text needle =
+  let n = String.length text and k = String.length needle in
+  let rec at i = if i + k > n then None else if String.sub text i k = needle then Some i else at (i + 1) in
+  at 0
+
+(* Map line -> suppression, from the comment tokens of one file. *)
+let suppressions toks =
+  let tbl = Hashtbl.create 8 in
+  let add line sup =
+    match (Hashtbl.find_opt tbl line, sup) with
+    | Some All, _ | _, All -> Hashtbl.replace tbl line All
+    | Some (Only a), Only b -> Hashtbl.replace tbl line (Only (a @ b))
+    | None, s -> Hashtbl.replace tbl line s
+  in
+  Array.iter
+    (fun (t : Token.t) ->
+      if t.kind = Token.Comment then
+        match find_substring t.text "aa-lint: ignore-next" with
+        | Some i ->
+            add (Token.end_line t + 1) (parse_ids t.text (i + String.length "aa-lint: ignore-next"))
+        | None -> (
+            match find_substring t.text "aa-lint: ignore" with
+            | Some i ->
+                let sup = parse_ids t.text (i + String.length "aa-lint: ignore") in
+                for line = t.line to Token.end_line t do
+                  add line sup
+                done
+            | None -> ()))
+    toks;
+  tbl
+
+let suppressed_at tbl (x : Rules.violation) =
+  match Hashtbl.find_opt tbl x.line with
+  | Some All -> true
+  | Some (Only ids) -> List.mem x.rule ids
+  | None -> false
+
+(* --- paths and fingerprints ----------------------------------------- *)
+
+let normalize_path path =
+  let parts =
+    String.split_on_char '/' (String.concat "/" (String.split_on_char '\\' path))
+  in
+  let rec strip = function
+    | ("." | ".." | "") :: rest -> strip rest
+    | rest -> rest
+  in
+  String.concat "/" (strip parts)
+
+let fingerprint ~file ~line_text rule_id =
+  let key =
+    String.concat "\x00" [ rule_id; normalize_path file; String.trim line_text ]
+  in
+  Digest.to_hex (Digest.string key)
+
+(* --- filesystem walk ------------------------------------------------ *)
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "_build" || (String.length entry > 0 && entry.[0] = '.') then acc
+           else walk acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let ml_files_under path =
+  if Sys.file_exists path && not (Sys.is_directory path) then [ path ]
+  else List.rev (walk [] path)
+
+(* --- running -------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_tokens ?(rules = Rules.all) ~file toks =
+  let raw = List.concat_map (fun (r : Rules.t) -> r.check ~file toks) rules in
+  let tbl = suppressions toks in
+  let kept, dropped = List.partition (fun x -> not (suppressed_at tbl x)) raw in
+  (kept, List.length dropped)
+
+let check_source ?rules ~file contents =
+  fst (check_tokens ?rules ~file (Token.scan contents))
+
+let load_baseline path =
+  if not (Sys.file_exists path) then []
+  else
+    let contents = read_file path in
+    String.split_on_char '\n' contents
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then None
+           else
+             match String.split_on_char ' ' line with
+             | _rule :: count :: fp :: _path ->
+                 Option.map (fun c -> (fp, c)) (int_of_string_opt count)
+             | _ -> None)
+
+let baseline_entries pairs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (line_text, (x : Rules.violation)) ->
+      let fp = fingerprint ~file:x.file ~line_text x.rule in
+      let key = (x.rule, normalize_path x.file, fp) in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    pairs;
+  Hashtbl.fold (fun (rule, path, fp) count acc -> Printf.sprintf "%s %d %s %s" rule count fp path :: acc) tbl []
+  |> List.sort String.compare
+
+let run_with_lines ?rules ?(baseline = []) paths =
+  let files = List.concat_map ml_files_under paths in
+  let budget = Hashtbl.create 16 in
+  List.iter
+    (fun (fp, count) ->
+      Hashtbl.replace budget fp (count + Option.value ~default:0 (Hashtbl.find_opt budget fp)))
+    baseline;
+  let suppressed = ref 0 in
+  let with_lines = ref [] in
+  let fresh = ref [] and baselined = ref [] in
+  List.iter
+    (fun file ->
+      let contents = read_file file in
+      let lines = Array.of_list (String.split_on_char '\n' contents) in
+      let kept, dropped = check_tokens ?rules ~file (Token.scan contents) in
+      suppressed := !suppressed + dropped;
+      List.iter
+        (fun (x : Rules.violation) ->
+          let line_text =
+            if x.line >= 1 && x.line <= Array.length lines then lines.(x.line - 1) else ""
+          in
+          with_lines := (line_text, x) :: !with_lines;
+          let fp = fingerprint ~file:x.file ~line_text x.rule in
+          match Hashtbl.find_opt budget fp with
+          | Some n when n > 0 ->
+              Hashtbl.replace budget fp (n - 1);
+              baselined := x :: !baselined
+          | _ -> fresh := x :: !fresh)
+        kept)
+    files;
+  let stale =
+    Hashtbl.fold (fun fp n acc -> if n > 0 then fp :: acc else acc) budget []
+    |> List.sort String.compare
+  in
+  ( {
+      fresh = List.rev !fresh;
+      baselined = List.rev !baselined;
+      suppressed = !suppressed;
+      stale_baseline = stale;
+      files = List.length files;
+    },
+    List.rev !with_lines )
+
+let run ?rules ?baseline paths = fst (run_with_lines ?rules ?baseline paths)

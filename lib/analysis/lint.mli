@@ -1,0 +1,68 @@
+(** Lint driver: runs {!Rules} over files, applies per-line suppression
+    comments and a checked-in baseline.
+
+    {2 Suppression}
+
+    A comment containing [aa-lint: ignore <ids>] suppresses the listed
+    rules (comma- or space-separated ids, or [all]) on every line the
+    comment touches:
+
+    {[ let x = List.hd xs (* aa-lint: ignore partial-fn -- xs nonempty above *) ]}
+
+    [aa-lint: ignore-next <ids>] on its own line suppresses them on the
+    line after the comment instead. Everything after [--] is rationale
+    and is ignored by the parser (and encouraged for the reader).
+
+    {2 Baseline}
+
+    The baseline file records known violations as
+    [<rule> <count> <md5> <path>] lines, where the fingerprint hashes the
+    rule id, the normalized path and the trimmed source line — so entries
+    survive unrelated edits that only shift line numbers. Violations
+    matching a baseline entry are reported separately and do not fail the
+    run; baseline entries that no longer match anything are reported as
+    stale so the file can shrink monotonically. *)
+
+type outcome = {
+  fresh : Rules.violation list;  (** neither suppressed nor baselined *)
+  baselined : Rules.violation list;
+  suppressed : int;  (** count silenced by suppression comments *)
+  stale_baseline : string list;  (** fingerprints with no matching violation *)
+  files : int;  (** files scanned *)
+}
+
+val check_source : ?rules:Rules.t list -> file:string -> string -> Rules.violation list
+(** Lint one compilation unit held in memory (suppression comments
+    applied; no baseline). [rules] defaults to {!Rules.all}. *)
+
+val ml_files_under : string -> string list
+(** The [.ml] files under a directory (recursive, sorted), skipping
+    [_build] and dot-directories. A path to a regular file is returned
+    as-is. *)
+
+val fingerprint : file:string -> line_text:string -> string -> string
+(** [fingerprint ~file ~line_text rule_id] — the baseline hash. *)
+
+val normalize_path : string -> string
+(** [/]-separated path with leading [./] and [../] segments stripped, so
+    fingerprints agree between repo-root and sandboxed runs. *)
+
+val load_baseline : string -> (string * int) list
+(** [fingerprint, count] pairs; missing file is an empty baseline.
+    Lines starting with [#] are comments. *)
+
+val baseline_entries : (string * Rules.violation) list -> string list
+(** Serialized baseline lines (sorted, counts merged) from
+    [(line_text, violation)] pairs — for [--update-baseline]. *)
+
+val run :
+  ?rules:Rules.t list -> ?baseline:(string * int) list -> string list -> outcome
+(** Lint files and/or directories. Unreadable paths raise [Sys_error]. *)
+
+val run_with_lines :
+  ?rules:Rules.t list ->
+  ?baseline:(string * int) list ->
+  string list ->
+  outcome * (string * Rules.violation) list
+(** {!run}, also returning every unsuppressed violation paired with its
+    source line text (input for {!baseline_entries}). *)

@@ -1,0 +1,287 @@
+type violation = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type t = {
+  id : string;
+  summary : string;
+  check : file:string -> Token.t array -> violation list;
+}
+
+let v ~rule ~file (tok : Token.t) message =
+  { rule; file; line = tok.line; col = tok.col; message }
+
+(* Does [path] live under directory [dir] (using / separators, any
+   prefix)? Tolerates leading ./ and ../ segments. *)
+let under dir path =
+  let path = String.concat "/" (String.split_on_char '\\' path) in
+  let needle = dir ^ "/" in
+  let n = String.length path and k = String.length needle in
+  let rec at i = i + k <= n && (String.sub path i k = needle || at (i + 1)) in
+  at 0
+
+(* --- float-eq ------------------------------------------------------ *)
+
+(* Walk left over one operand (identifier chains, projections, balanced
+   parens/brackets, literals) and return the index of the token just
+   before it, or -1. Used to tell a comparison [x = 0.0] from a binding
+   [let x = 0.0] or a record field [{ lambda = 0.0 }]. *)
+let rec skip_operand_left (code : Token.t array) j =
+  if j < 0 then -1
+  else
+    let t = code.(j) in
+    match t.kind with
+    | Token.Ident | Token.Uident | Token.Int_lit | Token.Float_lit
+    | Token.String_lit | Token.Char_lit ->
+        skip_operand_left code (j - 1)
+    | Token.Op when t.text = "." || t.text = "!" -> skip_operand_left code (j - 1)
+    | Token.Op when t.text = ")" || t.text = "]" ->
+        let opener = if t.text = ")" then "(" else "[" in
+        let depth = ref 1 and i = ref (j - 1) in
+        while !depth > 0 && !i >= 0 do
+          if Token.is_op code.(!i) t.text then incr depth
+          else if Token.is_op code.(!i) opener then decr depth;
+          if !depth > 0 then decr i
+        done;
+        skip_operand_left code (!i - 1)
+    | _ -> j
+
+(* Token index [i] holds [=]; is it a binding / field / default rather
+   than a comparison? *)
+let equals_is_binding (code : Token.t array) i =
+  let j = skip_operand_left code (i - 1) in
+  if j < 0 then true
+  else
+    let p = code.(j) in
+    match p.kind with
+    | Token.Keyword -> (
+        match p.text with
+        | "let" | "and" | "rec" | "val" | "type" | "module" | "method"
+        | "external" | "exception" | "for" | "with" ->
+            true
+        | _ -> false)
+    | Token.Op -> (
+        match p.text with
+        | "{" | ";" | "?" | "~" -> true
+        | "(" -> j > 0 && Token.is_op code.(j - 1) "?"
+        | _ -> false)
+    | _ -> false
+
+let float_eq_rule =
+  let id = "float-eq" in
+  let check ~file toks =
+    let code = Token.code_only toks in
+    let out = ref [] in
+    let float_at k =
+      k >= 0 && k < Array.length code
+      && (code.(k).kind = Token.Float_lit
+         || (* a negated literal: [x = -1.0] lexes the sign separately *)
+         (Token.is_op code.(k) "-"
+         && k + 1 < Array.length code
+         && code.(k + 1).kind = Token.Float_lit))
+    in
+    Array.iteri
+      (fun i (t : Token.t) ->
+        let cmp = Token.is_op t "=" || Token.is_op t "<>" in
+        if cmp && (float_at (i - 1) || float_at (i + 1)) then
+          if t.text = "<>" || not (equals_is_binding code i) then
+            out :=
+              v ~rule:id ~file t
+                (Printf.sprintf
+                   "float `%s` comparison against a literal; use \
+                    Aa_numerics.Util.%s (tolerant compare)"
+                   t.text
+                   (if t.text = "=" then "feq" else "fne"))
+              :: !out)
+      code;
+    List.rev !out
+  in
+  { id; summary = "float =/<> against a literal (use Util.feq / Util.fne)"; check }
+
+(* --- partial-fn ----------------------------------------------------- *)
+
+let partial_targets =
+  [
+    ("List", "hd", "match on the list (or carry the nonempty witness)");
+    ("List", "nth", "index a precomputed array, or match");
+    ("Option", "get", "pattern-match; the None case needs a decision");
+    ( "Array",
+      "get",
+      "verify the bounds; in hot loops prefer a.(i), or Array.unsafe_get \
+       with a proof comment" );
+  ]
+
+let partial_fn_rule =
+  let id = "partial-fn" in
+  let check ~file toks =
+    let code = Token.code_only toks in
+    let out = ref [] in
+    Array.iteri
+      (fun i (t : Token.t) ->
+        if t.kind = Token.Uident && i + 2 < Array.length code then
+          match
+            List.find_opt
+              (fun (m, f, _) ->
+                String.equal t.text m
+                && Token.is_op code.(i + 1) "."
+                && code.(i + 2).kind = Token.Ident
+                && String.equal code.(i + 2).text f)
+              partial_targets
+          with
+          | Some (m, f, hint) ->
+              out :=
+                v ~rule:id ~file t
+                  (Printf.sprintf "partial function %s.%s: %s" m f hint)
+                :: !out
+          | None -> ())
+      code;
+    List.rev !out
+  in
+  { id; summary = "unguarded partial function (List.hd/nth, Option.get, Array.get)"; check }
+
+(* --- catch-all ------------------------------------------------------ *)
+
+let catch_all_rule =
+  let id = "catch-all" in
+  let check ~file toks =
+    let code = Token.code_only toks in
+    let out = ref [] in
+    (* (opener, brace depth at push); [with] pops the nearest opener at
+       the same brace depth — a [with] at deeper brace depth is a record
+       update [{ e with ... }] and pops nothing. *)
+    let stack = ref [] in
+    let braces = ref 0 in
+    Array.iteri
+      (fun i (t : Token.t) ->
+        if Token.is_op t "{" then incr braces
+        else if Token.is_op t "}" then braces := max 0 (!braces - 1)
+        else if Token.is_kw t "try" then stack := (`Try, !braces) :: !stack
+        else if Token.is_kw t "match" then stack := (`Match, !braces) :: !stack
+        else if Token.is_kw t "with" then
+          match !stack with
+          | (opener, d) :: rest when d = !braces ->
+              stack := rest;
+              if opener = `Try then begin
+                (* first handler pattern, skipping an optional leading | *)
+                let j = if i + 1 < Array.length code && Token.is_op code.(i + 1) "|" then i + 2 else i + 1 in
+                if
+                  j + 1 < Array.length code
+                  && code.(j).kind = Token.Ident
+                  && String.equal code.(j).text "_"
+                  && Token.is_op code.(j + 1) "->"
+                then
+                  out :=
+                    v ~rule:id ~file t
+                      "catch-all `try ... with _ ->` swallows Out_of_memory, \
+                       Stack_overflow and typos alike; match the exceptions \
+                       you mean"
+                    :: !out
+              end
+          | _ -> ())
+      code;
+    List.rev !out
+  in
+  { id; summary = "try ... with _ -> (swallows every exception)"; check }
+
+(* --- no-failwith ---------------------------------------------------- *)
+
+let no_failwith_rule =
+  let id = "no-failwith" in
+  let check ~file toks =
+    if not (under "lib/core" file || under "lib/alloc" file) then []
+    else
+      let code = Token.code_only toks in
+      let out = ref [] in
+      Array.iter
+        (fun (t : Token.t) ->
+          if t.kind = Token.Ident && String.equal t.text "failwith" then
+            out :=
+              v ~rule:id ~file t
+                "failwith in library code: raise a typed exception (or \
+                 Invalid_argument with context) so callers can match it"
+              :: !out)
+        code;
+      List.rev !out
+  in
+  { id; summary = "failwith in lib/core or lib/alloc (use typed exceptions)"; check }
+
+(* --- todo-format ---------------------------------------------------- *)
+
+let todo_markers = [ "TODO"; "FIXME"; "XXX" ]
+
+let todo_format_rule =
+  let id = "todo-format" in
+  let boundary text k =
+    (* [k] starts a marker occurrence: require word boundaries around it *)
+    let before_ok =
+      k = 0
+      ||
+      let c = text.[k - 1] in
+      not ((c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+    in
+    before_ok
+  in
+  let check ~file toks =
+    let out = ref [] in
+    Array.iter
+      (fun (t : Token.t) ->
+        if t.kind = Token.Comment then
+          List.iter
+            (fun marker ->
+              let ml = String.length marker in
+              let n = String.length t.text in
+              let rec scan k =
+                if k + ml > n then ()
+                else if String.sub t.text k ml = marker && boundary t.text k then begin
+                  let after = if k + ml < n then Some t.text.[k + ml] else None in
+                  let word_char =
+                    match after with
+                    | Some c ->
+                        (c >= 'A' && c <= 'Z')
+                        || (c >= 'a' && c <= 'z')
+                        || (c >= '0' && c <= '9')
+                        || c = '_'
+                    | None -> false
+                  in
+                  let tracked = word_char || after = Some '(' in
+                  if not tracked then begin
+                    (* line of the marker inside a possibly multi-line comment *)
+                    let line = ref t.line in
+                    String.iter (fun c -> if c = '\n' then incr line)
+                      (String.sub t.text 0 k);
+                    out :=
+                      {
+                        rule = id;
+                        file;
+                        line = !line;
+                        col = (if !line = t.line then t.col + k else 1);
+                        message =
+                          Printf.sprintf
+                            "untracked %s: write %s(owner) or %s(#issue) so it \
+                             can be burned down"
+                            marker marker marker;
+                      }
+                      :: !out
+                  end;
+                  scan (k + ml)
+                end
+                else scan (k + 1)
+              in
+              scan 0)
+            todo_markers)
+      toks;
+    List.rev !out
+  in
+  { id; summary = "TODO/FIXME/XXX without a (owner|#issue) tracking tag"; check }
+
+let all =
+  [ catch_all_rule; float_eq_rule; no_failwith_rule; partial_fn_rule; todo_format_rule ]
+
+let find id = List.find_opt (fun r -> String.equal r.id id) all
+
+let pp_violation ppf x =
+  Format.fprintf ppf "%s:%d:%d: %s [%s]" x.file x.line x.col x.message x.rule

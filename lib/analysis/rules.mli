@@ -1,0 +1,38 @@
+(** Lint rules for the AA solver stack.
+
+    Each rule is a pure function from a token stream to violations. The
+    rules are deliberately lexical: they trade type information for a
+    zero-dependency analysis that runs in milliseconds over the whole
+    tree, and rely on per-line suppression ({!Lint}) for the cases a
+    human has reviewed. *)
+
+type violation = {
+  rule : string;  (** rule id, e.g. ["float-eq"] *)
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type t = {
+  id : string;
+  summary : string;  (** one line for [aa_lint --rules] *)
+  check : file:string -> Token.t array -> violation list;
+}
+
+val all : t list
+(** Every rule, in id order:
+    - [float-eq]: [=] / [<>] against a float literal — use [Util.feq] /
+      [Util.fne].
+    - [partial-fn]: [List.hd], [List.nth], [Option.get], explicit
+      [Array.get] — match instead, or suppress with a guard rationale.
+    - [catch-all]: [try ... with _ ->] swallowing every exception.
+    - [no-failwith]: [failwith] in [lib/core] / [lib/alloc] library code.
+    - [todo-format]: TODO/FIXME/XXX comments without a [(owner|#issue)]
+      tracking tag. *)
+
+val find : string -> t option
+(** Look a rule up by id. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+(** [file:line:col: message [rule]] — one line, grep- and editor-friendly. *)

@@ -1,0 +1,253 @@
+type kind =
+  | Ident
+  | Uident
+  | Int_lit
+  | Float_lit
+  | String_lit
+  | Char_lit
+  | Keyword
+  | Op
+  | Comment
+
+type t = { kind : kind; text : string; line : int; col : int }
+
+let keywords =
+  [
+    "and"; "as"; "assert"; "asr"; "begin"; "class"; "constraint"; "do";
+    "done"; "downto"; "else"; "end"; "exception"; "external"; "false";
+    "for"; "fun"; "function"; "functor"; "if"; "in"; "include"; "inherit";
+    "initializer"; "land"; "lazy"; "let"; "lor"; "lsl"; "lsr"; "lxor";
+    "match"; "method"; "mod"; "module"; "mutable"; "new"; "nonrec";
+    "object"; "of"; "open"; "or"; "private"; "rec"; "sig"; "struct";
+    "then"; "to"; "true"; "try"; "type"; "val"; "virtual"; "when";
+    "while"; "with";
+  ]
+
+let keyword_set = Hashtbl.create 64
+let () = List.iter (fun k -> Hashtbl.replace keyword_set k ()) keywords
+let is_lower c = (c >= 'a' && c <= 'z') || c = '_'
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_lower c || is_upper c || is_digit c || c = '\''
+
+(* Maximal-munch symbolic operators, as in the OCaml lexer. *)
+let is_symbol_char c = String.contains "!$%&*+-./:<=>?@^|~#" c
+
+type cursor = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let peek cur k = if cur.pos + k < String.length cur.src then Some cur.src.[cur.pos + k] else None
+
+let advance cur =
+  (match cur.src.[cur.pos] with
+  | '\n' ->
+      cur.line <- cur.line + 1;
+      cur.col <- 1
+  | _ -> cur.col <- cur.col + 1);
+  cur.pos <- cur.pos + 1
+
+let take cur n =
+  for _ = 1 to n do
+    if cur.pos < String.length cur.src then advance cur
+  done
+
+(* Consume a double-quoted string body; the opening quote is already
+   consumed. Any backslash escapes the next character, which is enough to
+   step over escaped quotes and escaped backslashes correctly. *)
+let skip_string cur =
+  let fin = ref false in
+  while (not !fin) && cur.pos < String.length cur.src do
+    match cur.src.[cur.pos] with
+    | '\\' -> take cur 2
+    | '"' ->
+        advance cur;
+        fin := true
+    | _ -> advance cur
+  done
+
+(* Quoted string literal {id|...|id}; cursor sits on the opening brace. *)
+let try_quoted_string cur =
+  let n = String.length cur.src in
+  let i = ref (cur.pos + 1) in
+  while !i < n && is_lower cur.src.[!i] do incr i done;
+  if !i < n && cur.src.[!i] = '|' then begin
+    let id = String.sub cur.src (cur.pos + 1) (!i - cur.pos - 1) in
+    let closing = "|" ^ id ^ "}" in
+    let rec find j =
+      if j + String.length closing > n then n
+      else if String.sub cur.src j (String.length closing) = closing then
+        j + String.length closing
+      else find (j + 1)
+    in
+    let stop = find (!i + 1) in
+    take cur (stop - cur.pos);
+    true
+  end
+  else false
+
+(* Comment body; the opening "(*" is already consumed. OCaml comments nest
+   and treat string literals inside them as opaque. *)
+let skip_comment cur =
+  let depth = ref 1 in
+  while !depth > 0 && cur.pos < String.length cur.src do
+    match (cur.src.[cur.pos], peek cur 1) with
+    | '(', Some '*' ->
+        take cur 2;
+        incr depth
+    | '*', Some ')' ->
+        take cur 2;
+        decr depth
+    | '"', _ ->
+        advance cur;
+        skip_string cur
+    | _ -> advance cur
+  done
+
+let scan_number cur =
+  let is_float = ref false in
+  let hex =
+    match (cur.src.[cur.pos], peek cur 1) with
+    | '0', Some ('x' | 'X') ->
+        take cur 2;
+        true
+    | _ -> false
+  in
+  let digit c =
+    is_digit c || c = '_'
+    || (hex && ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')))
+  in
+  let rec digits () =
+    match peek cur 0 with
+    | Some c when digit c ->
+        advance cur;
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  (match (peek cur 0, peek cur 1) with
+  | Some '.', Some '.' -> () (* range-like punctuation, leave it *)
+  | Some '.', _ ->
+      is_float := true;
+      advance cur;
+      digits ()
+  | _ -> ());
+  (match peek cur 0 with
+  | Some ('e' | 'E') when not hex ->
+      (match peek cur 1 with
+      | Some c when is_digit c ->
+          is_float := true;
+          advance cur;
+          digits ()
+      | Some ('+' | '-') ->
+          is_float := true;
+          take cur 2;
+          digits ()
+      | _ -> ())
+  | Some ('p' | 'P') when hex ->
+      is_float := true;
+      advance cur;
+      (match peek cur 0 with Some ('+' | '-') -> advance cur | _ -> ());
+      digits ()
+  | _ -> ());
+  (* int-width suffixes *)
+  (match peek cur 0 with
+  | Some ('l' | 'L' | 'n') when not !is_float -> advance cur
+  | _ -> ());
+  !is_float
+
+(* Char literal vs type variable: after a quote, ['\...'] or ['c'] is a
+   char literal; anything else (['a] in [fun (x : 'a) -> ...]) is not. *)
+let is_char_literal cur =
+  match (peek cur 1, peek cur 2) with
+  | Some '\\', _ -> true
+  | Some _, Some '\'' -> true
+  | _ -> false
+
+let skip_char_literal cur =
+  advance cur;
+  (* opening quote *)
+  (match peek cur 0 with
+  | Some '\\' ->
+      take cur 2;
+      let rec num () =
+        match peek cur 0 with
+        | Some c when is_digit c || ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')) || c = 'x'
+          ->
+            advance cur;
+            num ()
+        | _ -> ()
+      in
+      num ()
+  | Some _ -> advance cur
+  | None -> ());
+  match peek cur 0 with Some '\'' -> advance cur | _ -> ()
+
+let scan src =
+  let cur = { src; pos = 0; line = 1; col = 1 } in
+  let toks = ref [] in
+  let n = String.length src in
+  let emit kind start_pos start_line start_col =
+    let text = String.sub src start_pos (cur.pos - start_pos) in
+    toks := { kind; text; line = start_line; col = start_col } :: !toks
+  in
+  while cur.pos < n do
+    let c = src.[cur.pos] in
+    let sp, sl, sc = (cur.pos, cur.line, cur.col) in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance cur
+    else if c = '(' && peek cur 1 = Some '*' then begin
+      take cur 2;
+      skip_comment cur;
+      emit Comment sp sl sc
+    end
+    else if c = '"' then begin
+      advance cur;
+      skip_string cur;
+      emit String_lit sp sl sc
+    end
+    else if c = '{' && try_quoted_string cur then emit String_lit sp sl sc
+    else if c = '\'' && is_char_literal cur then begin
+      skip_char_literal cur;
+      emit Char_lit sp sl sc
+    end
+    else if is_digit c then begin
+      let f = scan_number cur in
+      emit (if f then Float_lit else Int_lit) sp sl sc
+    end
+    else if is_lower c || is_upper c then begin
+      advance cur;
+      while (match peek cur 0 with Some c -> is_ident_char c | None -> false) do
+        advance cur
+      done;
+      let text = String.sub src sp (cur.pos - sp) in
+      let kind =
+        if Hashtbl.mem keyword_set text then Keyword
+        else if is_upper c then Uident
+        else Ident
+      in
+      toks := { kind; text; line = sl; col = sc } :: !toks
+    end
+    else if is_symbol_char c then begin
+      advance cur;
+      while (match peek cur 0 with Some c -> is_symbol_char c | None -> false) do
+        advance cur
+      done;
+      emit Op sp sl sc
+    end
+    else begin
+      (* parens, brackets, braces, comma, semicolon, quote, backtick, … *)
+      advance cur;
+      (* [;;] reads better as one token *)
+      if c = ';' && peek cur 0 = Some ';' then advance cur;
+      emit Op sp sl sc
+    end
+  done;
+  Array.of_list (List.rev !toks)
+
+let code_only toks = Array.of_seq (Seq.filter (fun t -> t.kind <> Comment) (Array.to_seq toks))
+
+let end_line t =
+  let extra = ref 0 in
+  String.iter (fun c -> if c = '\n' then incr extra) t.text;
+  t.line + !extra
+
+let is_op t s = t.kind = Op && String.equal t.text s
+let is_kw t s = t.kind = Keyword && String.equal t.text s

@@ -1,0 +1,40 @@
+(** A lightweight OCaml tokenizer (stdlib only, no compiler-libs).
+
+    Built for static analysis, not compilation: it is lossy about literal
+    values but exact about token boundaries, comment/string nesting and
+    source positions — which is all a lint rule needs. Unrecognized bytes
+    degrade to single-character {!Op} tokens rather than failing, so the
+    scanner always terminates with a best-effort stream. *)
+
+type kind =
+  | Ident  (** lowercase identifier or [_] *)
+  | Uident  (** capitalized identifier (module / constructor) *)
+  | Int_lit
+  | Float_lit
+  | String_lit  (** including delimiters; also [{id|...|id}] quotes *)
+  | Char_lit
+  | Keyword  (** OCaml reserved word *)
+  | Op  (** symbolic operator or punctuation *)
+  | Comment  (** full text including [(*]/[*)]; nesting respected *)
+
+type t = {
+  kind : kind;
+  text : string;
+  line : int;  (** 1-based line of the first character *)
+  col : int;  (** 1-based column of the first character *)
+}
+
+val scan : string -> t array
+(** Tokenize a whole compilation unit. Comments may nest and may contain
+    string literals (as in the OCaml lexer); strings handle backslash
+    escapes. Never raises. *)
+
+val code_only : t array -> t array
+(** The stream without {!Comment} tokens — what most rules match on. *)
+
+val end_line : t -> int
+(** Last source line covered by the token (tokens spanning several lines:
+    comments and multi-line strings). *)
+
+val is_op : t -> string -> bool
+val is_kw : t -> string -> bool

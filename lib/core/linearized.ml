@@ -12,13 +12,14 @@ let of_superopt (inst : Instance.t) (so : Superopt.t) =
            domain cap by an ulp; the theory has chat in [0, C] *)
         let chat = Util.clamp ~lo:0.0 ~hi:inst.capacity chat in
         let peak = Plc.eval so.plc.(i) chat in
+        let degenerate = Util.feq chat 0.0 in
         let slope =
-          if chat > 0.0 then peak /. chat
+          if not degenerate then peak /. chat
           else if peak > 0.0 then Float.infinity
           else 0.0
         in
         let g =
-          if chat = 0.0 then Plc.constant ~cap:inst.capacity peak
+          if degenerate then Plc.constant ~cap:inst.capacity peak
           else Plc.two_piece ~cap:inst.capacity ~peak ~chat
         in
         { index = i; chat; peak; slope; g })

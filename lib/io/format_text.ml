@@ -14,8 +14,11 @@ let tokens line =
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun s -> s <> "")
 
-let float_of tok = try Ok (float_of_string tok) with _ -> Error (tok ^ ": not a number")
-let int_of tok = try Ok (int_of_string tok) with _ -> Error (tok ^ ": not an integer")
+let float_of tok =
+  try Ok (float_of_string tok) with Failure _ -> Error (tok ^ ": not a number")
+
+let int_of tok =
+  try Ok (int_of_string tok) with Failure _ -> Error (tok ^ ": not an integer")
 
 let rec floats_of = function
   | [] -> Ok []

@@ -62,7 +62,7 @@ let rec normal t ~mu ~sigma =
   let u = uniform t ~lo:(-1.0) ~hi:1.0 in
   let v = uniform t ~lo:(-1.0) ~hi:1.0 in
   let s = (u *. u) +. (v *. v) in
-  if s >= 1.0 || s = 0.0 then normal t ~mu ~sigma
+  if s >= 1.0 || Util.feq s 0.0 then normal t ~mu ~sigma
   else mu +. (sigma *. u *. sqrt (-2.0 *. log s /. s))
 
 let rec truncated_normal t ~mu ~sigma ~lo =

@@ -1,9 +1,18 @@
 let bisect ?(iters = 200) ~f ~lo ~hi () =
   if not (lo <= hi) then invalid_arg "Root.bisect: need lo <= hi";
   let lo = ref lo and hi = ref hi in
-  for _ = 1 to iters do
+  (* Stop early once the bracket collapses to float resolution: past that
+     point midpoints repeat and the remaining iterations are pure waste. *)
+  let i = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !i < iters do
     let mid = 0.5 *. (!lo +. !hi) in
-    if f mid >= 0.0 then lo := mid else hi := mid
+    if Util.feq ~eps:1e-15 mid !lo && Util.feq ~eps:1e-15 mid !hi then
+      converged := true
+    else begin
+      if f mid >= 0.0 then lo := mid else hi := mid;
+      incr i
+    end
   done;
   0.5 *. (!lo +. !hi)
 

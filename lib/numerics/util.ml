@@ -8,6 +8,9 @@ let approx_equal ?(eps = 1e-9) a b =
   let diff = Float.abs (a -. b) in
   diff <= eps || diff <= eps *. Float.max (Float.abs a) (Float.abs b)
 
+let feq ?eps a b = approx_equal ?eps a b
+let fne ?eps a b = not (approx_equal ?eps a b)
+
 let kahan_sum a =
   let sum = ref 0.0 and comp = ref 0.0 in
   for i = 0 to Array.length a - 1 do

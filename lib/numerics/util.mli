@@ -9,6 +9,14 @@ val approx_equal : ?eps:float -> float -> float -> bool
     in absolute terms, or by [eps] relative to the larger magnitude.
     [eps] defaults to [1e-9]. *)
 
+val feq : ?eps:float -> float -> float -> bool
+(** Tolerant float equality — the comparison [aa_lint] requires in place
+    of [=] on floats. Alias of {!approx_equal}; the short name keeps
+    numeric guard clauses readable. *)
+
+val fne : ?eps:float -> float -> float -> bool
+(** Negation of {!feq}, replacing [<>] on floats. *)
+
 val kahan_sum : float array -> float
 (** Compensated (Kahan) summation, stable for long sums of small terms. *)
 

@@ -40,7 +40,7 @@ let validate pts =
         invalid_arg "Plc.create: non-finite coordinate")
     pts;
   let x0, _ = pts.(0) in
-  if x0 <> 0.0 then invalid_arg "Plc.create: domain must start at x = 0";
+  if Util.fne x0 0.0 then invalid_arg "Plc.create: domain must start at x = 0";
   Array.iter
     (fun (_, y) -> if y < 0.0 then invalid_arg "Plc.create: negative utility value")
     pts;
@@ -63,6 +63,12 @@ let sort_dedup pts =
 
 let create points =
   let pts = sort_dedup points in
+  (* Snap a float-noise start (|x0| within tolerance of 0) to the exact
+     domain anchor so downstream code can rely on [xs.(0) = 0.]. *)
+  if Array.length pts > 0 then begin
+    let x0, y0 = pts.(0) in
+    if Util.feq x0 0.0 then pts.(0) <- (0.0, y0)
+  end;
   validate pts;
   (* Repair sub-tolerance concavity noise exactly once. *)
   let pts = if Convex.is_concave ~eps:0.0 pts then pts else Convex.upper_envelope pts in
@@ -79,14 +85,14 @@ let constant ~cap v =
 let capped_linear ~cap ~slope ~knee =
   if not (0.0 <= knee && knee <= cap) then invalid_arg "Plc.capped_linear: knee outside [0, cap]";
   if slope < 0.0 then invalid_arg "Plc.capped_linear: negative slope";
-  if knee = 0.0 || slope = 0.0 then constant ~cap 0.0
+  if Util.feq knee 0.0 || Util.feq slope 0.0 then constant ~cap 0.0
   else if knee = cap then { xs = [| 0.0; cap |]; ys = [| 0.0; slope *. cap |] }
   else { xs = [| 0.0; knee; cap |]; ys = [| 0.0; slope *. knee; slope *. knee |] }
 
 let two_piece ~cap ~peak ~chat =
   if not (0.0 <= chat && chat <= cap) then invalid_arg "Plc.two_piece: chat outside [0, cap]";
   if peak < 0.0 then invalid_arg "Plc.two_piece: negative peak";
-  if chat = 0.0 then constant ~cap peak
+  if Util.feq chat 0.0 then constant ~cap peak
   else if chat = cap then { xs = [| 0.0; cap |]; ys = [| 0.0; peak |] }
   else { xs = [| 0.0; chat; cap |]; ys = [| 0.0; peak; peak |] }
 

@@ -3,7 +3,7 @@ open Aa_numerics
 let interpolant pts =
   if Array.length pts < 2 then invalid_arg "Sampled.of_points: need >= 2 points";
   let xs = Array.map fst pts and ys = Array.map snd pts in
-  if xs.(0) <> 0.0 then invalid_arg "Sampled.of_points: domain must start at 0";
+  if Util.fne xs.(0) 0.0 then invalid_arg "Sampled.of_points: domain must start at 0";
   Array.iter (fun y -> if y < 0.0 then invalid_arg "Sampled.of_points: negative value") ys;
   Pchip.create ~xs ~ys
 

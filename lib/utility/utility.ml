@@ -72,7 +72,7 @@ let linearize t ~chat =
   let c = cap t in
   if not (0.0 <= chat && chat <= c) then
     invalid_arg "Utility.linearize: chat outside [0, cap]";
-  if chat = 0.0 then Plc.constant ~cap:c (eval t 0.0)
+  if Util.feq chat 0.0 then Plc.constant ~cap:c (eval t 0.0)
   else Plc.two_piece ~cap:c ~peak:(eval t chat) ~chat
 
 let check ?(samples = 257) t =
@@ -95,7 +95,7 @@ module Shapes = struct
     require (cap > 0.0) "Shapes.power: cap must be positive";
     require (0.0 < beta && beta <= 1.0) "Shapes.power: beta outside (0, 1]";
     require (coeff >= 0.0) "Shapes.power: negative coeff";
-    if beta = 1.0 then Plc (Plc.capped_linear ~cap ~slope:coeff ~knee:cap)
+    if Util.feq beta 1.0 then Plc (Plc.capped_linear ~cap ~slope:coeff ~knee:cap)
     else
       Smooth
         {
@@ -103,11 +103,11 @@ module Shapes = struct
           cap;
           eval = (fun x -> coeff *. (x ** beta));
           deriv =
-            (fun x -> if x = 0.0 then Float.infinity else coeff *. beta *. (x ** (beta -. 1.0)));
+            (fun x -> if Util.feq x 0.0 then Float.infinity else coeff *. beta *. (x ** (beta -. 1.0)));
           demand =
             Some
               (fun lambda ->
-                if coeff = 0.0 then 0.0
+                if Util.feq coeff 0.0 then 0.0
                 else ((coeff *. beta) /. lambda) ** (1.0 /. (1.0 -. beta)));
           spec = Some (Spec_power { coeff; beta });
         }
@@ -125,7 +125,7 @@ module Shapes = struct
         demand =
           Some
             (fun lambda ->
-              if coeff = 0.0 then 0.0 else ((coeff *. rate /. lambda) -. 1.0) /. rate);
+              if Util.feq coeff 0.0 then 0.0 else ((coeff *. rate /. lambda) -. 1.0) /. rate);
         spec = Some (Spec_log { coeff; rate });
       }
 
@@ -142,7 +142,7 @@ module Shapes = struct
         demand =
           Some
             (fun lambda ->
-              if limit = 0.0 then 0.0 else sqrt (limit *. halfway /. lambda) -. halfway);
+              if Util.feq limit 0.0 then 0.0 else sqrt (limit *. halfway /. lambda) -. halfway);
         spec = Some (Spec_saturating { limit; halfway });
       }
 
@@ -159,7 +159,7 @@ module Shapes = struct
         demand =
           Some
             (fun lambda ->
-              if limit = 0.0 then 0.0 else log (limit *. rate /. lambda) /. rate);
+              if Util.feq limit 0.0 then 0.0 else log (limit *. rate /. lambda) /. rate);
         spec = Some (Spec_exp_saturating { limit; rate });
       }
 

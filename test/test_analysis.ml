@@ -1,0 +1,462 @@
+(* The analysis layer: aa_lint (tokenizer, rules, suppression, baseline)
+   and the solution certifier. The lint half also runs over the real lib/
+   tree here, which is what keeps `dune runtest` green only when the
+   source is lint-clean modulo the checked-in baseline. *)
+
+open Aa_utility
+open Aa_core
+open Aa_analysis
+
+(* ---------- tokenizer ---------- *)
+
+let kinds src = Array.to_list (Array.map (fun (t : Token.t) -> t.kind) (Token.scan src))
+let texts src = Array.to_list (Array.map (fun (t : Token.t) -> t.text) (Token.scan src))
+
+let test_scan_basics () =
+  Alcotest.(check (list string))
+    "texts"
+    [ "let"; "x"; "="; "1.0"; "in"; "x" ]
+    (texts "let x = 1.0 in x");
+  match kinds "let x = 1.0 in x" with
+  | [ Token.Keyword; Token.Ident; Token.Op; Token.Float_lit; Token.Keyword; Token.Ident ] -> ()
+  | _ -> Alcotest.fail "unexpected kinds"
+
+let test_scan_literals () =
+  (match kinds "1 1. 1.5e-3 0x10 1_000" with
+  | [ Token.Int_lit; Token.Float_lit; Token.Float_lit; Token.Int_lit; Token.Int_lit ] -> ()
+  | _ -> Alcotest.fail "number kinds");
+  (match kinds "'a' '\\n' ('b : 'a)" with
+  | Token.Char_lit :: Token.Char_lit :: _ -> ()
+  | _ -> Alcotest.fail "char kinds");
+  match kinds {|"a\"b" {x|raw "quote|x}|} with
+  | [ Token.String_lit; Token.String_lit ] -> ()
+  | _ -> Alcotest.fail "string kinds"
+
+let test_scan_comments () =
+  (match kinds "a (* outer (* inner *) still *) b" with
+  | [ Token.Ident; Token.Comment; Token.Ident ] -> ()
+  | _ -> Alcotest.fail "nested comment");
+  (* a string inside a comment may contain a comment closer *)
+  match kinds {|a (* "*)" *) b|} with
+  | [ Token.Ident; Token.Comment; Token.Ident ] -> ()
+  | _ -> Alcotest.fail "string-in-comment"
+
+let test_scan_positions () =
+  let toks = Token.scan "let x =\n  2.5" in
+  let last = toks.(Array.length toks - 1) in
+  Alcotest.(check int) "line" 2 last.line;
+  Alcotest.(check int) "col" 3 last.col
+
+(* ---------- rules ---------- *)
+
+let lint ?(file = "lib/core/fake.ml") src = Lint.check_source ~file src
+let rules_of vs = List.map (fun (x : Rules.violation) -> x.rule) vs
+
+let test_float_eq_flags_comparisons () =
+  Alcotest.(check (list string))
+    "= against literal" [ "float-eq" ]
+    (rules_of (lint "let f x = if x = 0.0 then 1 else 2"));
+  Alcotest.(check (list string))
+    "<> against literal" [ "float-eq" ]
+    (rules_of (lint "let f x = x <> 1.5"));
+  Alcotest.(check (list string))
+    "negated literal" [ "float-eq" ]
+    (rules_of (lint "let f x = if x = -1.0 then 1 else 2"));
+  Alcotest.(check (list string))
+    "projection chain" [ "float-eq" ]
+    (rules_of (lint "let f a i = a.(i) = 0.5"))
+
+let test_float_eq_skips_bindings () =
+  Alcotest.(check (list string))
+    "let binding" []
+    (rules_of (lint "let x = 0.0"));
+  Alcotest.(check (list string))
+    "record fields" []
+    (rules_of (lint "let r = { alloc = caps; lambda = 0.0 }"));
+  Alcotest.(check (list string))
+    "optional default" []
+    (rules_of (lint "let f ?(eps = 1e-9) () = eps"));
+  Alcotest.(check (list string))
+    "record update" []
+    (rules_of (lint "let r2 = { r with lambda = 0.0 }"));
+  Alcotest.(check (list string))
+    "int comparison" []
+    (rules_of (lint "let f x = x = 10"))
+
+let test_partial_fn () =
+  Alcotest.(check (list string))
+    "List.hd" [ "partial-fn" ]
+    (rules_of (lint "let x = List.hd xs"));
+  Alcotest.(check (list string))
+    "Option.get and Array.get" [ "partial-fn"; "partial-fn" ]
+    (rules_of (lint "let x = Option.get o + Array.get a 0"));
+  Alcotest.(check (list string))
+    "safe variants untouched" []
+    (rules_of (lint "let x = List.nth_opt xs 0 and y = a.(0)"))
+
+let test_catch_all () =
+  Alcotest.(check (list string))
+    "try with wildcard" [ "catch-all" ]
+    (rules_of (lint "let x = try f () with _ -> 0"));
+  Alcotest.(check (list string))
+    "typed handler ok" []
+    (rules_of (lint "let x = try f () with Not_found -> 0"));
+  Alcotest.(check (list string))
+    "match wildcard ok" []
+    (rules_of (lint "let x = match y with _ -> 0"));
+  Alcotest.(check (list string))
+    "record update inside try" []
+    (rules_of
+       (lint "let x = try g { r with a = 1 } with Failure _ -> r"));
+  Alcotest.(check (list string))
+    "match inside try, still typed" []
+    (rules_of
+       (lint "let x = try match y with [] -> 0 | _ -> 1 with Not_found -> 2"))
+
+let test_no_failwith () =
+  Alcotest.(check (list string))
+    "flagged in lib/core" [ "no-failwith" ]
+    (rules_of (lint ~file:"lib/core/solver.ml" "let f () = failwith \"boom\""));
+  Alcotest.(check (list string))
+    "flagged in lib/alloc" [ "no-failwith" ]
+    (rules_of (lint ~file:"lib/alloc/dp.ml" "let f () = failwith \"boom\""));
+  Alcotest.(check (list string))
+    "allowed elsewhere" []
+    (rules_of (lint ~file:"lib/sim/trace.ml" "let f () = failwith \"boom\""))
+
+let test_todo_format () =
+  Alcotest.(check (list string))
+    "untracked TODO" [ "todo-format" ]
+    (rules_of (lint "(* TODO: make this faster *)"));
+  Alcotest.(check (list string))
+    "tracked TODO ok" []
+    (rules_of (lint "(* TODO(#42): make this faster *)"));
+  Alcotest.(check (list string))
+    "tracked FIXME ok" []
+    (rules_of (lint "(* FIXME(lai): rounding *)"));
+  let vs = lint "let a = 1\n(* line2\n   FIXME here *)" in
+  (match vs with
+  | [ v ] -> Alcotest.(check int) "marker line in multiline comment" 3 v.line
+  | _ -> Alcotest.fail "expected one violation")
+
+let test_suppression () =
+  Alcotest.(check (list string))
+    "same-line id" []
+    (rules_of
+       (lint "let x = List.hd xs (* aa-lint: ignore partial-fn -- nonempty *)"));
+  Alcotest.(check (list string))
+    "same-line all" []
+    (rules_of (lint "let x = try List.hd xs with _ -> y (* aa-lint: ignore all *)"));
+  Alcotest.(check (list string))
+    "wrong id does not silence" [ "partial-fn" ]
+    (rules_of (lint "let x = List.hd xs (* aa-lint: ignore float-eq *)"));
+  Alcotest.(check (list string))
+    "ignore-next" []
+    (rules_of (lint "(* aa-lint: ignore-next partial-fn *)\nlet x = List.hd xs"));
+  Alcotest.(check (list string))
+    "ignore-next reaches only the next line" [ "partial-fn" ]
+    (rules_of
+       (lint "(* aa-lint: ignore-next partial-fn *)\nlet a = 1\nlet x = List.hd xs"))
+
+(* ---------- lint runner: files and baseline ---------- *)
+
+let write_file path contents =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents)
+
+let test_run_and_baseline () =
+  let file = "lint_tmp_baseline.ml" in
+  write_file file "let x = List.hd xs\nlet y = if z = 0.0 then 1 else 2\n";
+  let outcome, with_lines = Lint.run_with_lines [ file ] in
+  Alcotest.(check int) "two fresh" 2 (List.length outcome.fresh);
+  Alcotest.(check int) "one file" 1 outcome.files;
+  (* adopt the current state as the baseline: everything is absorbed *)
+  let entries = Lint.baseline_entries with_lines in
+  Alcotest.(check int) "two entries" 2 (List.length entries);
+  let baseline =
+    List.filter_map
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ _rule; count; fp; _path ] -> Some (fp, int_of_string count)
+        | _ -> None)
+      entries
+  in
+  let again = Lint.run ~baseline [ file ] in
+  Alcotest.(check int) "no fresh after baselining" 0 (List.length again.fresh);
+  Alcotest.(check int) "both baselined" 2 (List.length again.baselined);
+  Alcotest.(check (list string)) "nothing stale" [] again.stale_baseline;
+  (* fix one violation: its baseline entry goes stale, nothing is fresh *)
+  write_file file "let x = List.hd xs\nlet y = if z = 0 then 1 else 2\n";
+  let after_fix = Lint.run ~baseline [ file ] in
+  Alcotest.(check int) "still no fresh" 0 (List.length after_fix.fresh);
+  Alcotest.(check int) "one stale entry" 1 (List.length after_fix.stale_baseline);
+  Sys.remove file
+
+let test_baseline_survives_line_drift () =
+  let file = "lint_tmp_drift.ml" in
+  write_file file "let x = List.hd xs\n";
+  let _, with_lines = Lint.run_with_lines [ file ] in
+  let baseline =
+    List.filter_map
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ _; c; fp; _ ] -> Some (fp, int_of_string c)
+        | _ -> None)
+      (Lint.baseline_entries with_lines)
+  in
+  (* push the violation three lines down: fingerprint still matches *)
+  write_file file "(* new header *)\nlet a = 1\nlet b = 2\nlet x = List.hd xs\n";
+  let outcome = Lint.run ~baseline [ file ] in
+  Alcotest.(check int) "no fresh" 0 (List.length outcome.fresh);
+  Alcotest.(check int) "baselined" 1 (List.length outcome.baselined);
+  Sys.remove file
+
+(* The real tree: zero non-baselined violations over lib/. *)
+let lib_dir =
+  List.find_opt Sys.file_exists [ "../lib"; "lib" ] |> Option.value ~default:"../lib"
+
+let baseline_file =
+  List.find_opt Sys.file_exists [ "../aa-lint.baseline"; "aa-lint.baseline" ]
+  |> Option.value ~default:"../aa-lint.baseline"
+
+let test_lib_is_lint_clean () =
+  let baseline = Lint.load_baseline baseline_file in
+  let outcome = Lint.run ~baseline [ lib_dir ] in
+  if outcome.fresh <> [] then
+    Alcotest.failf "lib/ has %d non-baselined violation(s):\n%s"
+      (List.length outcome.fresh)
+      (String.concat "\n"
+         (List.map
+            (fun v -> Format.asprintf "  %a" Rules.pp_violation v)
+            outcome.fresh));
+  Alcotest.(check (list string)) "no stale baseline entries" [] outcome.stale_baseline;
+  if outcome.files < 40 then
+    Alcotest.failf "only %d files scanned under %s — wrong directory?" outcome.files
+      lib_dir
+
+(* ---------- aa_lint executable ---------- *)
+
+let lint_exe =
+  List.find_opt Sys.file_exists
+    [ "../bin/aa_lint.exe"; "_build/default/bin/aa_lint.exe" ]
+  |> Option.value ~default:"../bin/aa_lint.exe"
+
+let run_exe args =
+  Sys.command (Filename.quote_command lint_exe args ^ " > lint_exe_out.txt 2>&1")
+
+let test_exe_exit_codes () =
+  let bad = "lint_tmp_exe.ml" in
+  write_file bad "let x = try List.nth xs 3 with _ -> 0\n";
+  Alcotest.(check int) "violations exit 1" 1 (run_exe [ bad ]);
+  write_file bad "let x = match xs with [] -> 0 | y :: _ -> y\n";
+  Alcotest.(check int) "clean exit 0" 0 (run_exe [ bad ]);
+  Alcotest.(check int) "--rules exits 0" 0 (run_exe [ "--rules" ]);
+  Alcotest.(check int) "usage error exits 2" 2 (run_exe [ "--baseline" ]);
+  Alcotest.(check int) "missing path exits 2" 2 (run_exe [ "no_such_dir_xyz" ]);
+  Sys.remove bad
+
+(* ---------- certifier: valid solutions ---------- *)
+
+let check_certified what inst ?superopt ?min_ratio a =
+  match Certify.certify ~eps:1e-6 ?superopt ?min_ratio inst a with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "%s: %s" what (Format.asprintf "%a" Certify.pp_report r)
+
+let prop_certifies algo_name solve =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "certifier: %s output certifies on random instances" algo_name)
+    ~count:120 ~print:Helpers.print_instance Helpers.gen_instance (fun inst ->
+      let inst = Helpers.plc_instance inst in
+      let so = Superopt.compute inst in
+      let a = solve inst in
+      let r = Certify.audit ~eps:1e-6 ~superopt:so ~min_ratio:Bounds.alpha inst a in
+      if not (Certify.ok r) then
+        QCheck2.Test.fail_reportf "%s" (Format.asprintf "%a" Certify.pp_report r)
+      else true)
+
+let prop_heuristics_feasible =
+  QCheck2.Test.make
+    ~name:"certifier: heuristic outputs are feasible (no ratio guarantee)"
+    ~count:120 ~print:Helpers.print_instance Helpers.gen_instance (fun inst ->
+      let rng = Helpers.rng_of_seed 11 in
+      List.for_all
+        (fun a -> Certify.ok (Certify.audit ~eps:1e-6 inst a))
+        [ Heuristics.uu inst; Heuristics.rr ~rng inst ])
+
+let test_tightness_certifies () =
+  let inst = Tightness.instance () in
+  let so = Superopt.compute inst in
+  Helpers.check_float "F-hat equals the optimum here" Tightness.optimal_utility so.utility;
+  List.iter
+    (fun (name, solve) ->
+      let a = solve inst in
+      let r =
+        Certify.audit ~superopt:so
+          ~min_ratio:(Tightness.expected_ratio -. 1e-9)
+          inst a
+      in
+      if not (Certify.ok r) then
+        Alcotest.failf "%s on the V.17 instance: %s" name
+          (Format.asprintf "%a" Certify.pp_report r);
+      (match r.ratio with
+      | Some ratio -> Helpers.check_float "exactly 5/6" Tightness.expected_ratio ratio
+      | None -> Alcotest.fail "no ratio reported");
+      Helpers.check_ge "5/6 is above alpha" Tightness.expected_ratio Bounds.alpha)
+    [ ("Algo1", Algo1.solve ?linearized:None); ("Algo2", fun i -> Algo2.solve i) ]
+
+(* ---------- certifier: corrupted solutions ---------- *)
+
+let linear_instance ~servers ~threads ~cap =
+  Instance.create ~servers ~capacity:cap
+    (Array.make threads (Utility.Shapes.linear ~cap ~slope:1.0))
+
+let classes r = List.map Certify.violation_class r.Certify.violations
+
+let expect_class what cls r =
+  if Certify.ok r then Alcotest.failf "%s: corrupted solution certified" what;
+  if not (List.mem cls (classes r)) then
+    Alcotest.failf "%s: expected %s among [%s]" what cls (String.concat "; " (classes r))
+
+let valid_base () =
+  let inst = linear_instance ~servers:2 ~threads:4 ~cap:10.0 in
+  let a = Algo2.solve inst in
+  check_certified "base solution" inst a;
+  (inst, a)
+
+let copy (a : Assignment.t) =
+  Assignment.make ~server:(Array.copy a.server) ~alloc:(Array.copy a.alloc)
+
+let test_reject_budget_exceeded () =
+  let inst, a = valid_base () in
+  let bad = copy a in
+  bad.alloc.(0) <- bad.alloc.(0) +. inst.capacity;
+  expect_class "budget" "budget-exceeded" (Certify.audit inst bad)
+
+let test_reject_negative_allocation () =
+  let inst, a = valid_base () in
+  let bad = copy a in
+  bad.alloc.(0) <- -0.5;
+  expect_class "negative" "negative-allocation" (Certify.audit inst bad)
+
+let test_reject_server_out_of_range () =
+  let inst, a = valid_base () in
+  let bad = copy a in
+  bad.server.(0) <- inst.servers;
+  expect_class "server range" "server-out-of-range" (Certify.audit inst bad)
+
+let test_reject_wrong_arity () =
+  let inst, _ = valid_base () in
+  let bad = Assignment.make ~server:[| 0 |] ~alloc:[| 1.0 |] in
+  expect_class "arity" "wrong-arity" (Certify.audit inst bad)
+
+let test_reject_ratio_below () =
+  let inst, a = valid_base () in
+  let so = Superopt.compute inst in
+  let starved = copy a in
+  Array.fill starved.alloc 0 (Array.length starved.alloc) 0.0;
+  expect_class "starved" "ratio-below"
+    (Certify.audit ~superopt:so ~min_ratio:Bounds.alpha inst starved);
+  (* the honest solution still passes with the same bound *)
+  check_certified "honest passes" inst ~superopt:so ~min_ratio:Bounds.alpha a
+
+let test_reject_above_upper_bound () =
+  let inst = linear_instance ~servers:2 ~threads:3 ~cap:1.0 in
+  let so = Superopt.compute inst in
+  Helpers.check_float "pooled bound" 2.0 so.utility;
+  (* every thread claims a full server: utility 3 > F-hat 2, impossible *)
+  let bad = Assignment.make ~server:[| 0; 0; 1 |] ~alloc:[| 1.0; 1.0; 1.0 |] in
+  let r = Certify.audit ~superopt:so inst bad in
+  expect_class "impossible value" "above-upper-bound" r;
+  expect_class "and infeasible too" "budget-exceeded" r
+
+let test_reject_invalid_utility () =
+  let cap = 4.0 in
+  let decreasing =
+    Utility.Smooth
+      {
+        name = "decreasing";
+        cap;
+        eval = (fun x -> cap -. x);
+        deriv = (fun _ -> -1.0);
+        demand = None;
+        spec = None;
+      }
+  in
+  let inst = Instance.create ~servers:1 ~capacity:cap [| decreasing |] in
+  let a = Assignment.make ~server:[| 0 |] ~alloc:[| 1.0 |] in
+  expect_class "decreasing utility" "utility-invalid" (Certify.audit inst a);
+  (* the same audit with model checks off only sees feasibility *)
+  let r = Certify.audit ~check_utilities:false inst a in
+  if not (Certify.ok r) then Alcotest.fail "feasibility alone should pass"
+
+(* ---------- reduction round-trip ---------- *)
+
+let test_reduction_round_trip () =
+  (* 2+3 = 5: a perfect partition exists; the reduced AA optimum hits the
+     target and certifies at ratio 1 against the pooled bound *)
+  let numbers = [| 2.0; 3.0; 5.0 |] in
+  let inst = Reduction.instance numbers in
+  let target = Reduction.target numbers in
+  let exact = Exact.solve inst in
+  Helpers.check_float "optimum reaches the target" target exact.utility;
+  let so = Superopt.compute inst in
+  Helpers.check_float "pooled bound equals the target" target so.utility;
+  let r = Certify.audit ~eps:1e-6 ~superopt:so ~min_ratio:1.0 inst exact.assignment in
+  if not (Certify.ok r) then
+    Alcotest.failf "exact solution fails certification: %s"
+      (Format.asprintf "%a" Certify.pp_report r);
+  (* the approximation algorithms stay feasible and within alpha *)
+  List.iter
+    (fun a ->
+      check_certified "approx on reduction" inst ~superopt:so ~min_ratio:Bounds.alpha a)
+    [ Algo1.solve inst; Algo2.solve inst ];
+  Alcotest.(check bool) "partition exists" true (Reduction.partition_exists numbers);
+  Alcotest.(check bool)
+    "odd sum has no partition" false
+    (Reduction.partition_exists [| 1.0; 1.0; 3.0 |])
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "tokenizer",
+        [
+          Alcotest.test_case "basics" `Quick test_scan_basics;
+          Alcotest.test_case "literals" `Quick test_scan_literals;
+          Alcotest.test_case "comments" `Quick test_scan_comments;
+          Alcotest.test_case "positions" `Quick test_scan_positions;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "float-eq comparisons" `Quick test_float_eq_flags_comparisons;
+          Alcotest.test_case "float-eq bindings" `Quick test_float_eq_skips_bindings;
+          Alcotest.test_case "partial-fn" `Quick test_partial_fn;
+          Alcotest.test_case "catch-all" `Quick test_catch_all;
+          Alcotest.test_case "no-failwith" `Quick test_no_failwith;
+          Alcotest.test_case "todo-format" `Quick test_todo_format;
+          Alcotest.test_case "suppression" `Quick test_suppression;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "baseline absorb and stale" `Quick test_run_and_baseline;
+          Alcotest.test_case "baseline survives drift" `Quick test_baseline_survives_line_drift;
+          Alcotest.test_case "lib/ is clean" `Quick test_lib_is_lint_clean;
+          Alcotest.test_case "exe exit codes" `Quick test_exe_exit_codes;
+        ] );
+      ( "certify",
+        [
+          Alcotest.test_case "tightness V.17 at 5/6" `Quick test_tightness_certifies;
+          Alcotest.test_case "reject budget overflow" `Quick test_reject_budget_exceeded;
+          Alcotest.test_case "reject negative alloc" `Quick test_reject_negative_allocation;
+          Alcotest.test_case "reject bad server" `Quick test_reject_server_out_of_range;
+          Alcotest.test_case "reject wrong arity" `Quick test_reject_wrong_arity;
+          Alcotest.test_case "reject ratio below" `Quick test_reject_ratio_below;
+          Alcotest.test_case "reject impossible value" `Quick test_reject_above_upper_bound;
+          Alcotest.test_case "reject invalid utility" `Quick test_reject_invalid_utility;
+          Alcotest.test_case "reduction round-trip" `Quick test_reduction_round_trip;
+        ] );
+      Helpers.qsuite "properties"
+        [
+          prop_certifies "Algo1" (fun i -> Algo1.solve i);
+          prop_certifies "Algo2" (fun i -> Algo2.solve i);
+          prop_heuristics_feasible;
+        ];
+    ]
