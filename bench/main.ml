@@ -421,6 +421,67 @@ let multires () =
       line "%-10d %12.4f %12.4f" nr (Stats.Online.mean acc) (Stats.Online.mean acc_rr))
     [ 1; 2; 3; 4 ]
 
+(* ---------- E4: service throughput ---------- *)
+
+let service () =
+  heading "E4 — service: allocation daemon throughput (m=8, C=1000, mixed workload)";
+  let n_requests = 10_000 in
+  line "%d requests: ~30%% ADMIT, 30%% DEPART, 15%% UPDATE, 20%% QUERY, plus STATS;"
+    n_requests;
+  line "SNAPSHOT every 1000 requests, REBALANCE (active-set Algo2) every 1000.";
+  (* build the script up front so request generation is not timed *)
+  let make_script () =
+    let rng = Rng.create ~seed () in
+    let active = ref [] in
+    let admitted = ref 0 in
+    let spec () =
+      Aa_io.Format_text.print_thread_spec (Gen.utility rng ~cap:1000.0 Gen.Uniform)
+    in
+    let admit () =
+      active := !admitted :: !active;
+      incr admitted;
+      "ADMIT " ^ spec ()
+    in
+    let pick () = List.nth !active (Rng.int rng (List.length !active)) in
+    List.init n_requests (fun step ->
+        if step > 0 && step mod 1000 = 0 then "SNAPSHOT"
+        else if step mod 1000 = 500 then "REBALANCE"
+        else begin
+          let r = Rng.int rng 20 in
+          if r < 6 || !active = [] then admit ()
+          else if r < 12 then begin
+            let i = pick () in
+            active := List.filter (fun x -> x <> i) !active;
+            Printf.sprintf "DEPART %d" i
+          end
+          else if r < 15 then Printf.sprintf "UPDATE %d %s" (pick ()) (spec ())
+          else if r < 19 then Printf.sprintf "QUERY %d" (pick ())
+          else "STATS"
+        end)
+  in
+  let time_script label engine script =
+    let t0 = now () in
+    List.iter (fun l -> ignore (Aa_service.Engine.handle_line engine l)) script;
+    let dt = now () -. t0 in
+    line "%-12s %10.0f requests/s  (%.2f s total, %d thread(s) active at end)" label
+      (float_of_int n_requests /. dt)
+      dt
+      (Aa_service.Engine.n_active engine)
+  in
+  let script = make_script () in
+  time_script "in-memory"
+    (Aa_service.Engine.create ~clock:now ~servers:8 ~capacity:1000.0 ())
+    script;
+  let path = Filename.temp_file "aa_bench_journal" ".log" in
+  (match Aa_service.Journal.create ~path ~servers:8 ~capacity:1000.0 with
+  | Error e -> line "journaled bench skipped: %s" e
+  | Ok j ->
+      time_script "journaled"
+        (Aa_service.Engine.create ~clock:now ~journal:j ~servers:8 ~capacity:1000.0 ())
+        script;
+      Aa_service.Journal.close j);
+  Sys.remove path
+
 (* ---------- driver ---------- *)
 
 let all_ids = [ "fig1a"; "fig1b"; "fig2a"; "fig2b"; "fig3a"; "fig3b"; "fig3c" ]
@@ -430,7 +491,7 @@ let () =
   let args =
     if args = [] then
       all_ids
-      @ [ "tightness"; "timing"; "ablation"; "resolution"; "beyond"; "hetero"; "online"; "multires"; "claims" ]
+      @ [ "tightness"; "timing"; "ablation"; "resolution"; "beyond"; "hetero"; "online"; "multires"; "service"; "claims" ]
     else args
   in
   let series = ref [] in
@@ -450,6 +511,7 @@ let () =
   if want "hetero" then hetero ();
   if want "online" then online ();
   if want "multires" then multires ();
+  if want "service" then service ();
   if want "claims" then claims (List.rev !series);
   line "";
   line "done."

@@ -161,6 +161,37 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve an AA instance; assignment goes to stdout/-o, summary to stderr.")
     Term.(const run $ algo $ refine $ file $ seed_t $ output_t)
 
+(* ---- online ---- *)
+
+let online_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE" ~doc:"Instance file.")
+  in
+  let run file out =
+    let inst = read_instance file in
+    let assignment =
+      Online.solve_sequence ~servers:inst.servers ~capacity:inst.capacity inst.utilities
+    in
+    (match Assignment.check inst assignment with
+    | Ok () -> ()
+    | Error e ->
+        Printf.eprintf "internal error: infeasible assignment: %s\n" e;
+        exit 2);
+    let online_u = Assignment.utility inst assignment in
+    let offline_u = Assignment.utility inst (Algo2.solve inst) in
+    let gap = if offline_u > 0.0 then online_u /. offline_u else 1.0 in
+    Format.eprintf
+      "online utility: %.6g   offline algo2: %.6g   gap (online/algo2): %.4f@." online_u
+      offline_u gap;
+    write_output out (Aa_io.Format_text.print_assignment assignment)
+  in
+  Cmd.v
+    (Cmd.info "online"
+       ~doc:
+         "Admit threads one at a time in file order (no migration, intra-server \
+          re-allocation only) and report the gap to offline Algorithm 2.")
+    Term.(const run $ file $ output_t)
+
 (* ---- eval ---- *)
 
 let eval_cmd =
@@ -246,6 +277,6 @@ let figures_cmd =
 let main_cmd =
   let doc = "utility-maximizing thread assignment and resource allocation (IPDPS 2016)" in
   Cmd.group (Cmd.info "aa" ~version:"1.0.0" ~doc)
-    [ generate_cmd; solve_cmd; eval_cmd; sweep_cmd; figures_cmd ]
+    [ generate_cmd; solve_cmd; online_cmd; eval_cmd; sweep_cmd; figures_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

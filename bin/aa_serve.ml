@@ -1,0 +1,116 @@
+(* aa_serve — the long-running allocation daemon: an Online placer
+   behind a line-oriented request/response protocol on stdin/stdout,
+   with optional write-ahead journaling and crash recovery.
+
+   A session is one request per line, one response line per request
+   (blank and #-comment lines get none), until EOF:
+
+     $ printf 'ADMIT power 4 0.5\nQUERY 0\nSTATS\n' | aa_serve -m 2 -C 10
+
+   See doc/service-protocol.md for the wire and journal grammars. *)
+
+open Cmdliner
+open Aa_numerics
+open Aa_service
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      Printf.eprintf "aa_serve: %s\n" m;
+      exit 1)
+    fmt
+
+let check_flags engine servers capacity =
+  (match servers with
+  | Some m when m <> Engine.servers engine ->
+      fail "--servers %d disagrees with the journal header (%d)" m
+        (Engine.servers engine)
+  | Some _ | None -> ());
+  match capacity with
+  | Some c when Util.fne ~eps:1e-9 c (Engine.capacity engine) ->
+      fail "--capacity %g disagrees with the journal header (%g)" c
+        (Engine.capacity engine)
+  | Some _ | None -> ()
+
+let serve servers capacity journal replay =
+  let clock = Unix.gettimeofday in
+  let engine =
+    match (journal, replay) with
+    | None, true -> fail "--replay requires --journal"
+    | None, false ->
+        Engine.create ~clock
+          ~servers:(Option.value servers ~default:8)
+          ~capacity:(Option.value capacity ~default:1000.0)
+          ()
+    | Some path, true -> (
+        match Engine.of_journal ~clock ~path () with
+        | Ok engine ->
+            check_flags engine servers capacity;
+            engine
+        | Error e -> fail "%s" e)
+    | Some path, false -> (
+        let servers = Option.value servers ~default:8 in
+        let capacity = Option.value capacity ~default:1000.0 in
+        match Journal.create ~path ~servers ~capacity with
+        | Ok j -> Engine.create ~clock ~journal:j ~servers ~capacity ()
+        | Error e -> fail "%s" e)
+  in
+  Printf.eprintf "aa_serve: %d server(s), capacity %g%s, %d thread(s) active\n%!"
+    (Engine.servers engine) (Engine.capacity engine)
+    (match Engine.journal engine with
+    | None -> ""
+    | Some j -> Printf.sprintf ", journal %s" (Journal.path j))
+    (Engine.n_active engine);
+  let rec loop () =
+    match In_channel.input_line In_channel.stdin with
+    | None -> ()
+    | Some line ->
+        (match Engine.handle_line engine line with
+        | None -> ()
+        | Some resp ->
+            print_endline (Protocol.print_response resp);
+            flush stdout);
+        loop ()
+  in
+  loop ();
+  match Engine.journal engine with None -> () | Some j -> Journal.close j
+
+let main_cmd =
+  let servers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "m"; "servers" ] ~docv:"M"
+          ~doc:"Number of servers (default 8; with --replay the journal header wins).")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "C"; "capacity" ] ~docv:"C"
+          ~doc:"Resource per server (default 1000; with --replay the journal header wins).")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead journal: every accepted mutation is appended to $(docv) \
+             before it is applied; SNAPSHOT compacts the file. Without --replay \
+             the file is created or truncated.")
+  in
+  let replay =
+    Arg.(
+      value & flag
+      & info [ "replay" ]
+          ~doc:
+            "Recover state by replaying the journal before serving (the file must \
+             exist); new mutations keep appending to it.")
+  in
+  Cmd.v
+    (Cmd.info "aa_serve" ~version:"1.0.0"
+       ~doc:"stateful AA allocation daemon (stdin/stdout request loop)")
+    Term.(const serve $ servers $ capacity $ journal $ replay)
+
+let () = exit (Cmd.eval main_cmd)

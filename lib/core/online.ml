@@ -54,6 +54,16 @@ let commit t j residents =
       t.residents.(j) <- rs;
       t.values.(j) <- res.utility
 
+(* Register a new thread on server [j] with PLC form [p]: re-divide the
+   server and record the admission-order bookkeeping. *)
+let enroll t j u p =
+  let resident = { thread = t.n; plc = p; alloc = 0.0 } in
+  commit t j (resident :: t.residents.(j));
+  Dynvec.push t.utilities u;
+  Dynvec.push t.servers_of j;
+  Dynvec.push t.departed false;
+  t.n <- t.n + 1
+
 let admit ?samples t u =
   if not (Util.approx_equal ~eps:1e-9 (Utility.cap u) t.c) then
     invalid_arg "Online.admit: utility domain cap must equal the server capacity";
@@ -77,13 +87,15 @@ let admit ?samples t u =
     end
   done;
   let j = !best in
-  let resident = { thread = t.n; plc = p; alloc = 0.0 } in
-  commit t j (resident :: t.residents.(j));
-  Dynvec.push t.utilities u;
-  Dynvec.push t.servers_of j;
-  Dynvec.push t.departed false;
-  t.n <- t.n + 1;
+  enroll t j u p;
   j
+
+let admit_to ?samples t ~server u =
+  if server < 0 || server >= t.m then invalid_arg "Online.admit_to: server out of range";
+  if not (Util.approx_equal ~eps:1e-9 (Utility.cap u) t.c) then
+    invalid_arg "Online.admit_to: utility domain cap must equal the server capacity";
+  enroll t server u (Utility.to_plc ?samples u);
+  t.n - 1
 
 let depart t i =
   if not (is_active t i) then invalid_arg "Online.depart: unknown or departed thread";
@@ -114,6 +126,43 @@ let assignment t =
 let instance t =
   if t.n = 0 then invalid_arg "Online.instance: no threads admitted";
   Instance.create ~servers:t.m ~capacity:t.c (Array.init t.n (Dynvec.get t.utilities))
+
+let check_id t name i =
+  if i < 0 || i >= t.n then invalid_arg (name ^ ": unknown thread")
+
+let server_of t i =
+  check_id t "Online.server_of" i;
+  Dynvec.get t.servers_of i
+
+let thread_utility t i =
+  check_id t "Online.thread_utility" i;
+  Dynvec.get t.utilities i
+
+let alloc_of t i =
+  check_id t "Online.alloc_of" i;
+  if Dynvec.get t.departed i then 0.0
+  else
+    let j = Dynvec.get t.servers_of i in
+    List.fold_left (fun acc r -> if r.thread = i then r.alloc else acc) 0.0 t.residents.(j)
+
+let active_ids t =
+  let ids = ref [] in
+  for i = t.n - 1 downto 0 do
+    if not (Dynvec.get t.departed i) then ids := i :: !ids
+  done;
+  Array.of_list !ids
+
+let active_instance t =
+  let ids = active_ids t in
+  if Array.length ids = 0 then invalid_arg "Online.active_instance: no active threads";
+  Instance.create ~servers:t.m ~capacity:t.c (Array.map (Dynvec.get t.utilities) ids)
+
+let active_assignment t =
+  let ids = active_ids t in
+  if Array.length ids = 0 then invalid_arg "Online.active_assignment: no active threads";
+  Assignment.make
+    ~server:(Array.map (Dynvec.get t.servers_of) ids)
+    ~alloc:(Array.map (alloc_of t) ids)
 
 let total_utility t = Util.kahan_sum t.values
 

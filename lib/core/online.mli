@@ -28,6 +28,14 @@ val admit : ?samples:int -> t -> Aa_utility.Utility.t -> int
     must have domain cap equal to the server capacity. Allocations of
     the chosen server's resident threads are re-optimized. *)
 
+val admit_to : ?samples:int -> t -> server:int -> Aa_utility.Utility.t -> int
+(** [admit_to t ~server u] admits a thread onto an explicit server,
+    bypassing the greedy placement rule, and returns the new thread id
+    (its admission index). Used by deterministic replay — a journal that
+    records each thread's historical server can reconstruct the engine
+    exactly, placement decisions included. Raises [Invalid_argument] on
+    a server out of range or a domain-cap mismatch. *)
+
 val depart : t -> int -> unit
 (** [depart t i] removes the thread admitted [i]-th (0-based); its
     server's capacity is re-divided among the remaining residents.
@@ -53,7 +61,35 @@ val assignment : t -> Assignment.t
 
 val instance : t -> Instance.t
 (** The offline instance formed by the admitted threads (for comparing
-    against offline algorithms). Raises if nothing was admitted. *)
+    against offline algorithms). Raises if nothing was admitted.
+    Includes departed threads — use {!active_instance} for a view of the
+    live set only. *)
+
+val server_of : t -> int -> int
+(** The server a thread was admitted to (historical for departed
+    threads). Raises [Invalid_argument] for unknown ids. *)
+
+val alloc_of : t -> int -> float
+(** The thread's current allocation; [0.] for departed threads. Raises
+    [Invalid_argument] for unknown ids. *)
+
+val thread_utility : t -> int -> Aa_utility.Utility.t
+(** The utility most recently registered for a thread (admission value,
+    or the last {!update_utility}). Raises for unknown ids. *)
+
+val active_ids : t -> int array
+(** Admission indices of the non-departed threads, increasing. *)
+
+val active_instance : t -> Instance.t
+(** The offline instance formed by the active (non-departed) threads
+    only, ordered as {!active_ids} — the set an offline re-solve
+    (service REBALANCE) should compete on. Raises [Invalid_argument]
+    when no thread is active. *)
+
+val active_assignment : t -> Assignment.t
+(** Current servers and allocations of the active threads, indexed as
+    {!active_ids} (thread [k] of {!active_instance} is admission id
+    [(active_ids t).(k)]). Raises when no thread is active. *)
 
 val total_utility : t -> float
 (** Utility of the current assignment. *)

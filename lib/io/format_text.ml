@@ -34,6 +34,8 @@ let rec pairs_of = function
       let* rest = pairs_of rest in
       Ok ((x, y) :: rest)
 
+(* The single-utility grammar of `thread …` lines, shared with the
+   service wire protocol (ADMIT/UPDATE carry one spec each). *)
 let parse_thread ~cap args =
   try
     match args with
@@ -67,6 +69,8 @@ let parse_thread ~cap args =
     | kind :: _ -> Error ("unknown thread kind: " ^ kind)
     | [] -> Error "empty thread declaration"
   with Invalid_argument msg -> Error msg
+
+let parse_thread_spec ~cap spec = parse_thread ~cap (tokens spec)
 
 let parse_instance text =
   let lines = String.split_on_char '\n' text in
@@ -111,35 +115,40 @@ let parse_instance text =
       try Ok (Instance.create ~servers:m ~capacity:c (Array.of_list ts))
       with Invalid_argument msg -> Error msg)
 
-let print_plc buf p =
-  Buffer.add_string buf "thread plc";
+let plc_spec p =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "plc";
   Array.iter
     (fun (x, y) -> Buffer.add_string buf (Printf.sprintf " %.17g %.17g" x y))
     (Plc.points p);
-  Buffer.add_char buf '\n'
+  Buffer.contents buf
 
 (* Shapes-constructed utilities carry their parameters; anything else
    falls back to PLC breakpoints. *)
-let print_smooth buf (s : Utility.smooth) =
-  match s.spec with
-  | Some (Utility.Spec_power { coeff; beta }) ->
-      Buffer.add_string buf (Printf.sprintf "thread power %.17g %.17g\n" coeff beta)
-  | Some (Utility.Spec_log { coeff; rate }) ->
-      Buffer.add_string buf (Printf.sprintf "thread log %.17g %.17g\n" coeff rate)
-  | Some (Utility.Spec_saturating { limit; halfway }) ->
-      Buffer.add_string buf (Printf.sprintf "thread saturating %.17g %.17g\n" limit halfway)
-  | Some (Utility.Spec_exp_saturating { limit; rate }) ->
-      Buffer.add_string buf (Printf.sprintf "thread expsat %.17g %.17g\n" limit rate)
-  | None -> print_plc buf (Utility.to_plc (Utility.Smooth s))
+let print_thread_spec u =
+  match u with
+  | Utility.Plc p -> plc_spec p
+  | Utility.Smooth s -> (
+      match s.spec with
+      | Some (Utility.Spec_power { coeff; beta }) ->
+          Printf.sprintf "power %.17g %.17g" coeff beta
+      | Some (Utility.Spec_log { coeff; rate }) ->
+          Printf.sprintf "log %.17g %.17g" coeff rate
+      | Some (Utility.Spec_saturating { limit; halfway }) ->
+          Printf.sprintf "saturating %.17g %.17g" limit halfway
+      | Some (Utility.Spec_exp_saturating { limit; rate }) ->
+          Printf.sprintf "expsat %.17g %.17g" limit rate
+      | None -> plc_spec (Utility.to_plc u))
 
 let print_instance (inst : Instance.t) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "servers %d\n" inst.servers);
   Buffer.add_string buf (Printf.sprintf "capacity %.17g\n" inst.capacity);
   Array.iter
-    (function
-      | Utility.Plc p -> print_plc buf p
-      | Utility.Smooth s -> print_smooth buf s)
+    (fun u ->
+      Buffer.add_string buf "thread ";
+      Buffer.add_string buf (print_thread_spec u);
+      Buffer.add_char buf '\n')
     inst.utilities;
   Buffer.contents buf
 

@@ -22,6 +22,22 @@
 val parse_instance : string -> (Aa_core.Instance.t, string) result
 (** Parse the text of an instance file. Errors carry a line number. *)
 
+val parse_thread_spec :
+  cap:float -> string -> (Aa_utility.Utility.t, string) result
+(** Parse one utility spec — the part of a [thread] line after the
+    keyword, e.g. ["power 4.0 0.5"] or ["plc 0 0 2.5 1 8 1.5"]. [cap]
+    is the domain cap used for the smooth shapes; a [plc] spec carries
+    its own cap in the breakpoints (callers enforcing a fixed capacity
+    must check {!Aa_utility.Utility.cap} on the result). Whitespace and
+    [#] comments are tolerated, as in instance files. This is the
+    grammar the aa_serve wire protocol embeds in ADMIT / UPDATE. *)
+
+val print_thread_spec : Aa_utility.Utility.t -> string
+(** Render one utility as a spec string (no [thread] keyword, no
+    newline) that {!parse_thread_spec} reparses exactly: smooth shapes
+    built by {!Aa_utility.Utility.Shapes} print their constructor with
+    [%.17g] parameters, everything else prints PLC breakpoints. *)
+
 val print_instance : Aa_core.Instance.t -> string
 (** Render an instance in the format above. PLC utilities print their
     breakpoints; smooth shapes print their constructor when the utility

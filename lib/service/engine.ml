@@ -1,0 +1,230 @@
+open Aa_numerics
+open Aa_utility
+open Aa_core
+
+let ( let* ) = Result.bind
+
+type t = {
+  online : Online.t;
+  metrics : Metrics.t;
+  clock : unit -> float;
+  journal : Journal.t option;
+}
+
+let create ?(clock = Sys.time) ?journal ~servers ~capacity () =
+  {
+    online = Online.create ~servers ~capacity;
+    metrics = Metrics.create ();
+    clock;
+    journal;
+  }
+
+let servers t = Online.servers t.online
+let capacity t = Online.capacity t.online
+let online t = t.online
+let metrics t = t.metrics
+let journal t = t.journal
+let n_admitted t = Online.n_admitted t.online
+let n_active t = Online.n_active t.online
+let total_utility t = Online.total_utility t.online
+
+let err code fmt =
+  Printf.ksprintf (fun message -> Protocol.Err { code; message }) fmt
+
+let cap_ok t u = Util.feq ~eps:1e-9 (Utility.cap u) (capacity t)
+
+let cap_err t u =
+  err Bad_spec "utility domain cap %.17g must equal the server capacity %.17g"
+    (Utility.cap u) (capacity t)
+
+let thread_err t i =
+  if i < 0 || i >= n_admitted t then
+    err No_thread "no thread %d (admitted so far: %d)" i (n_admitted t)
+  else err No_thread "thread %d already departed" i
+
+let journal_append t entry =
+  match t.journal with None -> Ok () | Some j -> Journal.append j entry
+
+let snapshot_entries t =
+  let ol = t.online in
+  List.init (Online.n_admitted ol) (fun i ->
+      Journal.Place
+        {
+          id = i;
+          server = Online.server_of ol i;
+          active = Online.is_active ol i;
+          u = Online.thread_utility ol i;
+        })
+
+let dispatch t (req : Protocol.request) : Protocol.response =
+  let ol = t.online in
+  match req with
+  | Admit u ->
+      if not (cap_ok t u) then cap_err t u
+      else begin
+        match journal_append t (Journal.Admit u) with
+        | Error e -> err Journal_failed "%s" e
+        | Ok () ->
+            let server = Online.admit ol u in
+            Admitted { id = Online.n_admitted ol - 1; server }
+      end
+  | Depart i ->
+      if not (Online.is_active ol i) then thread_err t i
+      else begin
+        match journal_append t (Journal.Depart i) with
+        | Error e -> err Journal_failed "%s" e
+        | Ok () ->
+            Online.depart ol i;
+            Departed { id = i }
+      end
+  | Update (i, u) ->
+      if not (Online.is_active ol i) then thread_err t i
+      else if not (cap_ok t u) then cap_err t u
+      else begin
+        match journal_append t (Journal.Update (i, u)) with
+        | Error e -> err Journal_failed "%s" e
+        | Ok () ->
+            Online.update_utility ol i u;
+            Updated { id = i; server = Online.server_of ol i }
+      end
+  | Query i ->
+      if i < 0 || i >= Online.n_admitted ol then thread_err t i
+      else begin
+        let alloc = Online.alloc_of ol i in
+        Thread_info
+          {
+            id = i;
+            server = Online.server_of ol i;
+            alloc;
+            value = Utility.eval (Online.thread_utility ol i) alloc;
+            active = Online.is_active ol i;
+          }
+      end
+  | Stats ->
+      let gauges =
+        [
+          ("admitted", string_of_int (Online.n_admitted ol));
+          ("active", string_of_int (Online.n_active ol));
+          ("utility", Printf.sprintf "%.9g" (Online.total_utility ol));
+        ]
+      in
+      Stats_report (gauges @ Metrics.report t.metrics)
+  | Snapshot -> begin
+      let done_ compacted =
+        Protocol.Snapshot_done
+          {
+            active = Online.n_active ol;
+            admitted = Online.n_admitted ol;
+            utility = Online.total_utility ol;
+            compacted;
+          }
+      in
+      match t.journal with
+      | None -> done_ false
+      | Some j -> (
+          match Journal.compact j (snapshot_entries t) with
+          | Ok () -> done_ true
+          | Error e -> err Journal_failed "%s" e)
+    end
+  | Rebalance ->
+      if Online.n_active ol = 0 then begin
+        Metrics.note_gap t.metrics 1.0;
+        Rebalance_report { online = 0.0; offline = 0.0; gap = 1.0 }
+      end
+      else begin
+        let inst = Online.active_instance ol in
+        let online_u = Assignment.utility inst (Online.active_assignment ol) in
+        let offline_u = Assignment.utility inst (Algo2.solve inst) in
+        let gap = if offline_u > 0.0 then online_u /. offline_u else 1.0 in
+        Metrics.note_gap t.metrics gap;
+        Rebalance_report { online = online_u; offline = offline_u; gap }
+      end
+
+let kind_of : Protocol.request -> string = function
+  | Admit _ -> "admit"
+  | Depart _ -> "depart"
+  | Update _ -> "update"
+  | Query _ -> "query"
+  | Stats -> "stats"
+  | Snapshot -> "snapshot"
+  | Rebalance -> "rebalance"
+
+let response_ok : Protocol.response -> bool = function
+  | Err _ -> false
+  | _ -> true
+
+let handle t req =
+  let t0 = t.clock () in
+  let resp =
+    (* belt and braces: a validation hole below must surface as a typed
+       error response, never kill the session loop *)
+    match dispatch t req with
+    | resp -> resp
+    | exception Invalid_argument m -> err Bad_request "rejected: %s" m
+  in
+  Metrics.record t.metrics ~kind:(kind_of req) ~ok:(response_ok resp)
+    ~latency:(t.clock () -. t0);
+  resp
+
+let handle_line t line =
+  match Protocol.tokens line with
+  | [] -> None
+  | _ :: _ -> (
+      let t0 = t.clock () in
+      match Protocol.parse_request ~cap:(capacity t) line with
+      | Ok req -> Some (handle t req)
+      | Error resp ->
+          Metrics.record t.metrics ~kind:"malformed" ~ok:false
+            ~latency:(t.clock () -. t0);
+          Some resp)
+
+let apply t entry =
+  let ol = t.online in
+  match entry with
+  | Journal.Admit u ->
+      if not (cap_ok t u) then Error "admit: utility domain cap mismatch"
+      else begin
+        ignore (Online.admit ol u);
+        Ok ()
+      end
+  | Journal.Depart i ->
+      if not (Online.is_active ol i) then
+        Error (Printf.sprintf "depart: unknown or departed thread %d" i)
+      else begin
+        Online.depart ol i;
+        Ok ()
+      end
+  | Journal.Update (i, u) ->
+      if not (Online.is_active ol i) then
+        Error (Printf.sprintf "update: unknown or departed thread %d" i)
+      else if not (cap_ok t u) then Error "update: utility domain cap mismatch"
+      else begin
+        Online.update_utility ol i u;
+        Ok ()
+      end
+  | Journal.Place { id; server; active; u } ->
+      if id <> Online.n_admitted ol then
+        Error
+          (Printf.sprintf "place: expected id %d, got %d" (Online.n_admitted ol)
+             id)
+      else if server < 0 || server >= Online.servers ol then
+        Error (Printf.sprintf "place: server %d out of range" server)
+      else if not (cap_ok t u) then Error "place: utility domain cap mismatch"
+      else begin
+        let i = Online.admit_to ol ~server u in
+        if not active then Online.depart ol i;
+        Ok ()
+      end
+
+let of_journal ?clock ~path () =
+  let* j, entries = Journal.append_to ~path in
+  let h = Journal.header j in
+  let t = create ?clock ~journal:j ~servers:h.servers ~capacity:h.capacity () in
+  let rec go n = function
+    | [] -> Ok t
+    | e :: rest -> (
+        match apply t e with
+        | Ok () -> go (n + 1) rest
+        | Error msg -> Error (Printf.sprintf "%s: entry %d: %s" path n msg))
+  in
+  go 1 entries

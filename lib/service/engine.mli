@@ -1,0 +1,67 @@
+(** The allocation daemon's stateful core: an {!Aa_core.Online} placer
+    behind the {!Protocol} request dispatch, with write-ahead journaling
+    and {!Metrics}.
+
+    Semantics per request:
+    - ADMIT: admission control (the utility's domain cap must equal the
+      server capacity — smooth specs inherit it, [plc] specs carry their
+      own and are checked), then greedy placement. The mutation is
+      journaled {e before} it is applied (write-ahead), so recovery
+      never loses an acknowledged request.
+    - DEPART / UPDATE: validated against the live thread set, journaled,
+      applied; the thread's server re-divides its capacity.
+    - QUERY: read-only thread view (historical server and zero
+      allocation for departed threads).
+    - STATS: engine gauges plus {!Metrics.report}.
+    - SNAPSHOT: compacts the journal to a [place]-per-thread state dump
+      ({!snapshot_entries}); a no-op (but still [OK]) without a journal.
+    - REBALANCE: re-solves the {e active} set offline with
+      {!Aa_core.Algo2} and reports the online/offline utility gap — the
+      empirical counterpart of the paper's §VIII remark that online AA
+      admits no constant competitive ratio. Read-only: the online
+      placement is not migrated.
+
+    No request — well-formed or not — raises. *)
+
+type t
+
+val create :
+  ?clock:(unit -> float) ->
+  ?journal:Journal.t ->
+  servers:int ->
+  capacity:float ->
+  unit ->
+  t
+(** [clock] (default [Sys.time]) timestamps requests for the latency
+    metrics; the daemon passes a wall clock, tests may pass a fake. *)
+
+val servers : t -> int
+val capacity : t -> float
+val online : t -> Aa_core.Online.t
+val metrics : t -> Metrics.t
+val journal : t -> Journal.t option
+val n_admitted : t -> int
+val n_active : t -> int
+val total_utility : t -> float
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Dispatch one request, recording metrics. Never raises. *)
+
+val handle_line : t -> string -> Protocol.response option
+(** Parse and dispatch one wire line. [None] for blank/comment lines
+    (no response is due); malformed lines yield [Some (Err …)] and are
+    counted under the ["malformed"] metrics kind. Never raises. *)
+
+val apply : t -> Journal.entry -> (unit, string) result
+(** Replay path: validate and apply one journal entry without metrics
+    or re-journaling. [Place] entries must arrive in admission order
+    (consecutive ids from the current [n_admitted]). *)
+
+val snapshot_entries : t -> Journal.entry list
+(** Full-state dump, one [Place] per admitted thread in id order;
+    replaying it into a fresh engine reproduces servers, allocations and
+    total utility exactly. *)
+
+val of_journal : ?clock:(unit -> float) -> path:string -> unit -> (t, string) result
+(** Crash recovery: load the journal, replay every entry, and keep the
+    journal attached for subsequent appends. *)

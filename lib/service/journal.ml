@@ -1,0 +1,145 @@
+open Aa_utility
+
+let ( let* ) = Result.bind
+
+type entry =
+  | Admit of Utility.t
+  | Depart of int
+  | Update of int * Utility.t
+  | Place of { id : int; server : int; active : bool; u : Utility.t }
+
+type header = { servers : int; capacity : float }
+type t = { path : string; header : header; mutable oc : Out_channel.t }
+
+let magic = "aa-journal 1"
+
+let header_line h =
+  Printf.sprintf "%s servers %d capacity %.17g" magic h.servers h.capacity
+
+let print_entry = function
+  | Admit u -> "admit " ^ Aa_io.Format_text.print_thread_spec u
+  | Depart i -> Printf.sprintf "depart %d" i
+  | Update (i, u) ->
+      Printf.sprintf "update %d %s" i (Aa_io.Format_text.print_thread_spec u)
+  | Place { id; server; active; u } ->
+      Printf.sprintf "place %d %d %s %s" id server
+        (if active then "active" else "departed")
+        (Aa_io.Format_text.print_thread_spec u)
+
+let parse_entry ~cap line =
+  let spec_of toks k =
+    match Aa_io.Format_text.parse_thread_spec ~cap (String.concat " " toks) with
+    | Ok u -> k u
+    | Error e -> Error e
+  in
+  let int_of what tok k =
+    match int_of_string_opt tok with
+    | Some i -> k i
+    | None -> Error (Printf.sprintf "%s: %S is not an integer" what tok)
+  in
+  match Protocol.tokens line with
+  | [] -> Ok None
+  | "admit" :: (_ :: _ as toks) -> spec_of toks (fun u -> Ok (Some (Admit u)))
+  | [ "depart"; tok ] -> int_of "depart" tok (fun i -> Ok (Some (Depart i)))
+  | "update" :: tok :: (_ :: _ as toks) ->
+      int_of "update" tok (fun i ->
+          spec_of toks (fun u -> Ok (Some (Update (i, u)))))
+  | "place" :: id :: server :: status :: (_ :: _ as toks) ->
+      int_of "place id" id (fun id ->
+          int_of "place server" server (fun server ->
+              match status with
+              | "active" ->
+                  spec_of toks (fun u ->
+                      Ok (Some (Place { id; server; active = true; u })))
+              | "departed" ->
+                  spec_of toks (fun u ->
+                      Ok (Some (Place { id; server; active = false; u })))
+              | s -> Error (Printf.sprintf "place: bad status %S" s)))
+  | verb :: _ -> Error ("unknown journal entry: " ^ verb)
+
+let parse_header line =
+  match Protocol.tokens line with
+  | [ "aa-journal"; "1"; "servers"; m; "capacity"; c ] -> (
+      match (int_of_string_opt m, float_of_string_opt c) with
+      | Some servers, Some capacity when servers >= 1 && capacity > 0.0 ->
+          Ok { servers; capacity }
+      | _, _ -> Error "malformed journal header")
+  | _ -> Error "not an aa journal (bad header line)"
+
+let sys_guard f = match f () with v -> Ok v | exception Sys_error e -> Error e
+
+let create ~path ~servers ~capacity =
+  let header = { servers; capacity } in
+  sys_guard (fun () ->
+      let oc = Out_channel.open_text path in
+      Out_channel.output_string oc (header_line header);
+      Out_channel.output_char oc '\n';
+      Out_channel.flush oc;
+      { path; header; oc })
+
+let load ~path =
+  let parse text =
+    match String.split_on_char '\n' text with
+    | [] -> Error "empty journal"
+    | hline :: rest ->
+        let* header = parse_header hline in
+        let ends_with_newline =
+          String.length text > 0 && text.[String.length text - 1] = '\n'
+        in
+        let rec go lineno acc = function
+          | [] -> Ok (header, List.rev acc)
+          | line :: tail -> (
+              match parse_entry ~cap:header.capacity line with
+              | Ok None -> go (lineno + 1) acc tail
+              | Ok (Some e) -> go (lineno + 1) (e :: acc) tail
+              | Error e -> (
+                  match tail with
+                  | [] when not ends_with_newline ->
+                      (* torn final append from a crash mid-write: drop it *)
+                      Ok (header, List.rev acc)
+                  | _ -> Error (Printf.sprintf "%s:%d: %s" path lineno e)))
+        in
+        go 2 [] rest
+  in
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error e -> Error e
+
+(* Atomically rewrite [path] as header + entries; return a channel open
+   for appending. *)
+let rewrite ~path ~header entries =
+  let tmp = path ^ ".tmp" in
+  sys_guard (fun () ->
+      let oc = Out_channel.open_text tmp in
+      Out_channel.output_string oc (header_line header);
+      Out_channel.output_char oc '\n';
+      List.iter
+        (fun e ->
+          Out_channel.output_string oc (print_entry e);
+          Out_channel.output_char oc '\n')
+        entries;
+      Out_channel.flush oc;
+      Out_channel.close oc;
+      Sys.rename tmp path;
+      Out_channel.open_gen [ Open_append; Open_wronly; Open_text ] 0o644 path)
+
+let append_to ~path =
+  let* header, entries = load ~path in
+  let* oc = rewrite ~path ~header entries in
+  Ok ({ path; header; oc }, entries)
+
+let append t entry =
+  sys_guard (fun () ->
+      Out_channel.output_string t.oc (print_entry entry);
+      Out_channel.output_char t.oc '\n';
+      Out_channel.flush t.oc)
+
+let compact t entries =
+  let* () = sys_guard (fun () -> Out_channel.close t.oc) in
+  let* oc = rewrite ~path:t.path ~header:t.header entries in
+  t.oc <- oc;
+  Ok ()
+
+let header t = t.header
+let path t = t.path
+let close t = match Out_channel.close t.oc with () -> () | exception Sys_error _ -> ()

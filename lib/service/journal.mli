@@ -1,0 +1,66 @@
+(** Append-only write-ahead journal of the allocation daemon.
+
+    A journal is a text file: one header line
+    [aa-journal 1 servers <m> capacity <C>] followed by one entry per
+    line. Mutations are logged {e before} they are applied, so a crash
+    between the append and the in-memory commit replays at most the
+    request that was being processed. Replaying every entry through
+    {!Engine.apply} reconstructs the engine state exactly — the
+    [place] entries written by compaction record each thread's
+    historical server, so greedy placement decisions survive.
+
+    Entry grammar (utility specs as in instance files):
+    {v
+    admit <utility-spec>
+    depart <id>
+    update <id> <utility-spec>
+    place <id> <server> (active|departed) <utility-spec>
+    v}
+
+    [place] lines only appear as the snapshot prefix written by
+    {!compact}; ids must then be consecutive from 0.
+
+    Durability is line-grained: every {!append} flushes. A final line
+    torn by a crash mid-write (no trailing newline, unparseable) is
+    dropped on {!load}; {!append_to} rewrites the file from the
+    recovered entries (atomically, via a temp file and rename) so the
+    torn bytes cannot corrupt later appends. *)
+
+type t
+
+type entry =
+  | Admit of Aa_utility.Utility.t
+  | Depart of int
+  | Update of int * Aa_utility.Utility.t
+  | Place of { id : int; server : int; active : bool; u : Aa_utility.Utility.t }
+
+type header = { servers : int; capacity : float }
+
+val create : path:string -> servers:int -> capacity:float -> (t, string) result
+(** Create or truncate the file and write the header. *)
+
+val load : path:string -> (header * entry list, string) result
+(** Read and parse the whole journal. Fails on a missing file, a bad
+    header, or a malformed entry — except a torn final line (see above),
+    which is silently dropped. *)
+
+val append_to : path:string -> (t * entry list, string) result
+(** [load], then atomically rewrite the recovered state and reopen for
+    appending: the crash-recovery open. *)
+
+val append : t -> entry -> (unit, string) result
+(** Write one entry and flush. *)
+
+val compact : t -> entry list -> (unit, string) result
+(** Atomically replace the journal's contents with the given entries
+    (normally {!Engine.snapshot_entries}, a [place]-per-thread state
+    dump), keeping the same header. The handle stays open for appending
+    the mutations that follow. *)
+
+val header : t -> header
+val path : t -> string
+val close : t -> unit
+
+val print_entry : entry -> string
+val parse_entry : cap:float -> string -> (entry option, string) result
+(** [Ok None] for blank or comment lines. *)

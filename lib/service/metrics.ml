@@ -1,0 +1,120 @@
+module Histogram = struct
+  (* 20 log-scale buckets per decade, 12 decades: 1 ns .. 1000 s. *)
+  let per_decade = 20
+  let n_buckets = 12 * per_decade
+  let floor_s = 1e-9
+
+  type t = { counts : int array; mutable n : int }
+
+  let create () = { counts = Array.make n_buckets 0; n = 0 }
+
+  let bucket_of x =
+    if not (x > floor_s) then 0
+    else begin
+      let i = int_of_float (float_of_int per_decade *. Float.log10 (x /. floor_s)) in
+      if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+    end
+
+  let add t x =
+    let b = bucket_of x in
+    t.counts.(b) <- t.counts.(b) + 1;
+    t.n <- t.n + 1
+
+  let count t = t.n
+
+  let midpoint i =
+    floor_s *. (10.0 ** ((float_of_int i +. 0.5) /. float_of_int per_decade))
+
+  exception Found of float
+
+  let quantile t q =
+    if t.n = 0 then 0.0
+    else begin
+      let target = Float.max 1.0 (Float.round (q *. float_of_int t.n)) in
+      let seen = ref 0 in
+      match
+        Array.iteri
+          (fun i c ->
+            seen := !seen + c;
+            if float_of_int !seen >= target then raise (Found (midpoint i)))
+          t.counts
+      with
+      | () -> midpoint (n_buckets - 1)
+      | exception Found x -> x
+    end
+end
+
+type counter = { mutable ok : int; mutable err : int; latency : Histogram.t }
+
+type t = {
+  kinds : (string, counter) Hashtbl.t;
+  overall : Histogram.t;
+  mutable total_ok : int;
+  mutable total_err : int;
+  mutable last_gap : float option;
+}
+
+let create () =
+  {
+    kinds = Hashtbl.create 16;
+    overall = Histogram.create ();
+    total_ok = 0;
+    total_err = 0;
+    last_gap = None;
+  }
+
+let counter t kind =
+  match Hashtbl.find_opt t.kinds kind with
+  | Some c -> c
+  | None ->
+      let c = { ok = 0; err = 0; latency = Histogram.create () } in
+      Hashtbl.add t.kinds kind c;
+      c
+
+let record t ~kind ~ok ~latency =
+  let c = counter t kind in
+  if ok then begin
+    c.ok <- c.ok + 1;
+    t.total_ok <- t.total_ok + 1
+  end
+  else begin
+    c.err <- c.err + 1;
+    t.total_err <- t.total_err + 1
+  end;
+  Histogram.add c.latency latency;
+  Histogram.add t.overall latency
+
+let note_gap t gap = t.last_gap <- Some gap
+let requests t = t.total_ok + t.total_err
+
+let seconds x = Printf.sprintf "%.3e" x
+
+let quantiles prefix h =
+  [
+    (prefix ^ "p50", seconds (Histogram.quantile h 0.50));
+    (prefix ^ "p95", seconds (Histogram.quantile h 0.95));
+    (prefix ^ "p99", seconds (Histogram.quantile h 0.99));
+  ]
+
+let report t =
+  let totals =
+    [
+      ("requests", string_of_int (requests t));
+      ("ok", string_of_int t.total_ok);
+      ("err", string_of_int t.total_err);
+    ]
+    @ quantiles "" t.overall
+  in
+  let gap =
+    match t.last_gap with
+    | None -> []
+    | Some g -> [ ("rebalance.gap", Printf.sprintf "%.6f" g) ]
+  in
+  let per_kind =
+    Hashtbl.fold (fun k c acc -> (k, c) :: acc) t.kinds []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.concat_map (fun (k, c) ->
+           [ (k ^ ".ok", string_of_int c.ok); (k ^ ".err", string_of_int c.err) ]
+           @ quantiles (k ^ ".") c.latency)
+  in
+  totals @ gap @ per_kind

@@ -1,0 +1,77 @@
+(** Wire protocol of the [aa_serve] allocation daemon.
+
+    Line-oriented, UTF-8-free, human-typeable: one request per line, one
+    response line per request (blank and [#]-comment lines are skipped
+    by the session loop and get no response). Utility specs reuse the
+    [thread] grammar of instance files
+    ({!Aa_io.Format_text.parse_thread_spec}).
+
+    Requests:
+    {v
+    ADMIT <utility-spec>        place a new thread (greedy, no migration)
+    DEPART <id>                 remove a thread, free its resources
+    UPDATE <id> <utility-spec>  replace a thread's utility in place
+    QUERY <id>                  a thread's server, allocation and value
+    STATS                       operational counters and latency quantiles
+    SNAPSHOT                    compact the journal to current state
+    REBALANCE                   offline Algorithm 2 re-solve of the active
+                                set; reports the online/offline gap
+    v}
+
+    Responses are a single [OK …] or [ERR <code> <message>] line; see
+    [doc/service-protocol.md] for the full grammar. Malformed input
+    parses to a ready-to-send [Err] response — it can never raise. *)
+
+type request =
+  | Admit of Aa_utility.Utility.t
+  | Depart of int
+  | Update of int * Aa_utility.Utility.t
+  | Query of int
+  | Stats
+  | Snapshot
+  | Rebalance
+
+type error_code =
+  | Bad_request  (** unknown verb or malformed arguments *)
+  | Bad_spec  (** utility spec rejected (grammar, concavity, domain cap) *)
+  | No_thread  (** id never admitted, or already departed *)
+  | Journal_failed  (** the write-ahead journal could not be written *)
+
+type response =
+  | Admitted of { id : int; server : int }
+  | Departed of { id : int }
+  | Updated of { id : int; server : int }
+  | Thread_info of {
+      id : int;
+      server : int;
+      alloc : float;
+      value : float;
+      active : bool;
+    }
+  | Stats_report of (string * string) list  (** ordered [key=value] pairs *)
+  | Snapshot_done of {
+      active : int;
+      admitted : int;
+      utility : float;
+      compacted : bool;  (** false when the engine has no journal *)
+    }
+  | Rebalance_report of { online : float; offline : float; gap : float }
+  | Err of { code : error_code; message : string }
+
+val tokens : string -> string list
+(** Whitespace-split with [#]-to-end-of-line comments removed — the
+    lexical layer shared by requests and journal lines. *)
+
+val parse_request : cap:float -> string -> (request, response) result
+(** [cap] is the server capacity, used as the domain cap of smooth
+    utility specs. The error branch is always an {!Err} response, ready
+    to print. *)
+
+val print_request : request -> string
+(** Canonical wire form; [parse_request] inverts it. *)
+
+val print_response : response -> string
+(** One line, newline-free (embedded newlines in error messages are
+    flattened to spaces). *)
+
+val code_name : error_code -> string

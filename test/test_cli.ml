@@ -58,6 +58,23 @@ let contains haystack needle =
   let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
   nn = 0 || scan 0
 
+let test_online_subcommand () =
+  let _ =
+    run
+      [ "generate"; "--dist"; "uniform"; "-n"; "8"; "-m"; "3"; "-C"; "20"; "--seed"; "5";
+        "-o"; "inst_online.aa" ]
+  in
+  let _ = run [ "online"; "inst_online.aa"; "-o"; "sol_online.aa" ] in
+  let err = In_channel.with_open_text "cli_stderr.txt" In_channel.input_all in
+  List.iter
+    (fun needle ->
+      if not (contains err needle) then
+        Alcotest.failf "online summary %S missing %S" err needle)
+    [ "online utility:"; "offline algo2:"; "gap (online/algo2):" ];
+  let out = run [ "eval"; "inst_online.aa"; "sol_online.aa" ] in
+  if not (String.length out >= 8 && String.sub out 0 8 = "feasible") then
+    Alcotest.failf "online assignment not feasible: %S" out
+
 let test_figures_lists () =
   let out = run [ "figures" ] in
   List.iter
@@ -84,6 +101,7 @@ let () =
           Alcotest.test_case "unknown algo" `Quick test_solve_unknown_algo_fails;
           Alcotest.test_case "corrupt solution" `Quick test_eval_rejects_corrupt_solution;
           Alcotest.test_case "all distributions" `Quick test_generate_all_distributions;
+          Alcotest.test_case "online subcommand" `Quick test_online_subcommand;
           Alcotest.test_case "figures" `Quick test_figures_lists;
           Alcotest.test_case "sweep" `Quick test_sweep_runs;
           Alcotest.test_case "sweep svg" `Quick test_sweep_svg_export;

@@ -109,6 +109,73 @@ let test_load_missing_file () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "loaded a missing file"
 
+let test_thread_spec_roundtrip () =
+  let cap = 10.0 in
+  let specs =
+    [
+      "plc 0 0 2.5 1 10 1.5";
+      "power 4 0.5";
+      "log 3 1";
+      "saturating 8 2";
+      "expsat 8 0.5";
+      "capped 1.5 6";
+      "linear 0.80000000000000004";
+    ]
+  in
+  List.iter
+    (fun spec ->
+      match Format_text.parse_thread_spec ~cap spec with
+      | Error e -> Alcotest.failf "%S: %s" spec e
+      | Ok u -> (
+          let printed = Format_text.print_thread_spec u in
+          match Format_text.parse_thread_spec ~cap printed with
+          | Error e -> Alcotest.failf "reparse %S: %s" printed e
+          | Ok u2 ->
+              (* the second print must be a fixed point: exact %.17g round trip *)
+              Alcotest.(check string) spec printed (Format_text.print_thread_spec u2);
+              for k = 0 to 20 do
+                let x = cap *. float_of_int k /. 20.0 in
+                Helpers.check_float
+                  (Printf.sprintf "%s at %g" spec x)
+                  (Utility.eval u x) (Utility.eval u2 x)
+              done))
+    specs
+
+let test_thread_spec_errors () =
+  let cap = 10.0 in
+  List.iter
+    (fun spec ->
+      match Format_text.parse_thread_spec ~cap spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted bad spec %S" spec)
+    [
+      "";
+      "wat 1";
+      "power 4";
+      "power x 0.5";
+      "plc 0 0 1";
+      "plc 5 1 2 0";
+      "linear";
+      "log 3 1 9";
+    ]
+
+let prop_thread_spec_roundtrip =
+  QCheck2.Test.make ~name:"print/parse thread spec roundtrip" ~count:200
+    QCheck2.Gen.(
+      let* cap = float_range 1.0 50.0 in
+      let* u = Helpers.gen_utility_with_cap cap in
+      return (cap, u))
+    (fun (cap, u) ->
+      match Format_text.parse_thread_spec ~cap (Format_text.print_thread_spec u) with
+      | Error _ -> false
+      | Ok u2 ->
+          List.for_all
+            (fun k ->
+              let x = cap *. float_of_int k /. 16.0 in
+              Aa_numerics.Util.approx_equal ~eps:1e-9 (Utility.eval u x)
+                (Utility.eval u2 x))
+            (List.init 17 Fun.id))
+
 let prop_instance_roundtrip =
   QCheck2.Test.make ~name:"print/parse instance roundtrip preserves utilities" ~count:100
     Helpers.gen_instance (fun inst ->
@@ -154,10 +221,16 @@ let () =
           Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
           Alcotest.test_case "missing file" `Quick test_load_missing_file;
         ] );
+      ( "thread-spec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_thread_spec_roundtrip;
+          Alcotest.test_case "errors" `Quick test_thread_spec_errors;
+        ] );
       ( "assignment",
         [
           Alcotest.test_case "roundtrip" `Quick test_assignment_roundtrip;
           Alcotest.test_case "gap rejected" `Quick test_assignment_gap_rejected;
         ] );
-      Helpers.qsuite "properties" [ prop_instance_roundtrip; prop_assignment_roundtrip ];
+      Helpers.qsuite "properties"
+        [ prop_thread_spec_roundtrip; prop_instance_roundtrip; prop_assignment_roundtrip ];
     ]

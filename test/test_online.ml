@@ -158,6 +158,71 @@ let test_churn_stays_feasible () =
   done;
   Alcotest.(check int) "active bookkeeping" (List.length !active) (Online.n_active t)
 
+let test_active_views_after_departure () =
+  let t = Online.create ~servers:2 ~capacity:cap in
+  let u () = Utility.Shapes.capped_linear ~cap ~slope:1.0 ~knee:10.0 in
+  ignore (Online.admit t (u ()));
+  ignore (Online.admit t (u ()));
+  ignore (Online.admit t (Utility.Shapes.linear ~cap ~slope:2.0));
+  Online.depart t 1;
+  Alcotest.(check (array int)) "active ids" [| 0; 2 |] (Online.active_ids t);
+  let inst = Online.active_instance t in
+  Alcotest.(check int) "instance holds survivors only" 2 (Array.length inst.utilities);
+  let a = Online.active_assignment t in
+  (match Assignment.check inst a with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "active snapshot infeasible: %s" e);
+  (* departed thread 1 is invisible: the snapshot's value is the live total *)
+  Helpers.check_float "snapshot value matches live total" (Online.total_utility t)
+    (Assignment.utility inst a)
+
+let test_active_views_errors () =
+  let t = Online.create ~servers:1 ~capacity:cap in
+  Alcotest.check_raises "empty instance"
+    (Invalid_argument "Online.active_instance: no active threads") (fun () ->
+      ignore (Online.active_instance t));
+  ignore (Online.admit t (Utility.Shapes.linear ~cap ~slope:1.0));
+  Online.depart t 0;
+  Alcotest.check_raises "all departed"
+    (Invalid_argument "Online.active_assignment: no active threads") (fun () ->
+      ignore (Online.active_assignment t));
+  Alcotest.check_raises "server_of bounds"
+    (Invalid_argument "Online.server_of: unknown thread") (fun () ->
+      ignore (Online.server_of t 1));
+  Alcotest.check_raises "alloc_of bounds"
+    (Invalid_argument "Online.alloc_of: unknown thread") (fun () ->
+      ignore (Online.alloc_of t (-1)));
+  Helpers.check_float "departed thread holds nothing" 0.0 (Online.alloc_of t 0)
+
+let test_admit_to_replays_placement () =
+  let rng = Rng.create ~seed:7 () in
+  let t = Online.create ~servers:3 ~capacity:cap in
+  for _ = 1 to 15 do
+    ignore (Online.admit t (Helpers.plc_u rng))
+  done;
+  Online.depart t 3;
+  Online.depart t 8;
+  (* re-enacting the same placements with admit_to reproduces the state *)
+  let t2 = Online.create ~servers:3 ~capacity:cap in
+  for i = 0 to Online.n_admitted t - 1 do
+    let j = Online.admit_to t2 ~server:(Online.server_of t i) (Online.thread_utility t i) in
+    Alcotest.(check int) "ids count up" i j
+  done;
+  Online.depart t2 3;
+  Online.depart t2 8;
+  Helpers.check_float "same total" (Online.total_utility t) (Online.total_utility t2);
+  for i = 0 to Online.n_admitted t - 1 do
+    Alcotest.(check int) "same server" (Online.server_of t i) (Online.server_of t2 i);
+    Helpers.check_float "same alloc" (Online.alloc_of t i) (Online.alloc_of t2 i)
+  done;
+  Alcotest.check_raises "server range"
+    (Invalid_argument "Online.admit_to: server out of range") (fun () ->
+      ignore (Online.admit_to t2 ~server:3 (Helpers.plc_u rng)));
+  Alcotest.check_raises "cap mismatch"
+    (Invalid_argument
+       "Online.admit_to: utility domain cap must equal the server capacity")
+    (fun () -> ignore (Online.admit_to t2 ~server:0 (Helpers.plc_u ~cap:5.0 rng)))
+
 let prop_online_feasible =
   QCheck2.Test.make ~name:"online: always feasible" ~count:150
     QCheck2.Gen.(
@@ -205,6 +270,9 @@ let () =
           Alcotest.test_case "departure errors" `Quick test_depart_errors;
           Alcotest.test_case "utility update" `Quick test_update_utility_reallocates;
           Alcotest.test_case "churn" `Quick test_churn_stays_feasible;
+          Alcotest.test_case "active views" `Quick test_active_views_after_departure;
+          Alcotest.test_case "active view errors" `Quick test_active_views_errors;
+          Alcotest.test_case "admit_to replay" `Quick test_admit_to_replays_placement;
         ] );
       ( "quality",
         [ Alcotest.test_case "close to offline" `Slow test_online_close_to_offline_on_random ] );
