@@ -2,18 +2,27 @@
 
    With no arguments, reproduces every experiment in DESIGN.md's index:
    the seven figures of Section VII (F1a..F3c), the timing claim (T1),
-   the headline-claims summary (T2), the tightness example (X1) and the
-   two ablations (A1, A2). Pass experiment ids to run a subset, e.g.:
+   the headline-claims summary (T2), the tightness example (X1), the
+   ablations (A1, A2) and the parallel-speedup check (SP). Pass
+   experiment ids to run a subset, e.g.:
 
      dune exec bench/main.exe -- fig2a timing
 
    AA_TRIALS overrides the number of random trials per sweep point
    (default 300; the paper uses 1000 — expect a few minutes per
-   beta-sweep figure at that setting). *)
+   beta-sweep figure at that setting). AA_JOBS sizes the domain pool
+   the sweeps fan out on (default: the runtime's recommended domain
+   count); every value produces bit-identical series.
+
+   Every run also appends a machine-readable perf trajectory to
+   BENCH_experiments.json (override the path with AA_BENCH_JSON):
+   per-experiment wall time, pool size, trials, and — for the SP
+   experiment — the measured speedup vs AA_JOBS=1. *)
 
 open Aa_numerics
 open Aa_core
 open Aa_workload
+open Aa_parallel
 open Aa_experiments
 
 let trials =
@@ -21,6 +30,7 @@ let trials =
   | Some s -> ( try max 1 (int_of_string s) with _ -> 300)
   | None -> 300
 
+let jobs = Pool.default_domains ()
 let seed = 42
 let line fmt = Format.printf (fmt ^^ "@.")
 
@@ -31,6 +41,57 @@ let heading title =
   line "=============================================================="
 
 let now () = Unix.gettimeofday ()
+
+(* ---------- perf trajectory (BENCH_experiments.json) ---------- *)
+
+type bench_entry = {
+  bid : string;
+  wall_s : float;
+  bjobs : int;  (* pool size the experiment ran with (1 = sequential) *)
+  btrials : int;
+  speedup_vs_j1 : float option;  (* only the SP experiment measures this *)
+}
+
+let bench_entries : bench_entry list ref = ref []
+
+let record ?speedup ~id ~jobs:bjobs ~trials:btrials wall_s =
+  bench_entries :=
+    { bid = id; wall_s; bjobs; btrials; speedup_vs_j1 = speedup } :: !bench_entries
+
+(* Run [f], print its wall time, and add it to the trajectory. *)
+let timed ~id ?(jobs = 1) ?(trials = trials) f =
+  let t0 = now () in
+  let r = f () in
+  let dt = now () -. t0 in
+  line "(%.1f s)" dt;
+  record ~id ~jobs ~trials dt;
+  r
+
+let bench_json_path =
+  Option.value (Sys.getenv_opt "AA_BENCH_JSON") ~default:"BENCH_experiments.json"
+
+let write_bench_json () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"aa-bench-trajectory/1\",\n";
+  Printf.bprintf b "  \"generated_unix\": %.0f,\n" (now ());
+  Printf.bprintf b "  \"jobs\": %d,\n" jobs;
+  Printf.bprintf b "  \"trials\": %d,\n" trials;
+  Buffer.add_string b "  \"experiments\": [\n";
+  let entries = List.rev !bench_entries in
+  List.iteri
+    (fun i e ->
+      Printf.bprintf b
+        "    {\"id\": \"%s\", \"wall_s\": %.6f, \"jobs\": %d, \"trials\": %d, \
+         \"speedup_vs_j1\": %s}%s\n"
+        e.bid e.wall_s e.bjobs e.btrials
+        (match e.speedup_vs_j1 with None -> "null" | Some s -> Printf.sprintf "%.4f" s)
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Buffer.add_string b "  ]\n}\n";
+  Out_channel.with_open_text bench_json_path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents b));
+  line "(bench trajectory: %s, %d experiment(s))" bench_json_path (List.length entries)
 
 (* ---------- figures F1a .. F3c ---------- *)
 
@@ -68,14 +129,59 @@ let write_csv (s : Run.series) =
 
 let run_figure (spec : Figures.spec) =
   heading
-    (Printf.sprintf "%s [%s] — %s (trials=%d)" spec.id spec.paper spec.description trials);
-  let t0 = now () in
-  let series = spec.run ~trials ~seed in
+    (Printf.sprintf "%s [%s] — %s (trials=%d, jobs=%d)" spec.id spec.paper spec.description
+       trials jobs);
+  let series = timed ~id:spec.id ~jobs (fun () -> spec.run ~jobs ~trials ~seed ()) in
   Format.printf "%a@." Run.pp_series series;
-  line "(%.1f s)" (now () -. t0);
   write_csv series;
   write_svg series;
   series
+
+(* ---------- SP: parallel speedup + determinism ---------- *)
+
+(* Two floats are the same replay result only when their bits agree —
+   tolerances would hide schedule dependence, which is the bug this
+   checks for. NaN = NaN here (both runs skipping Algorithm 1 is
+   agreement, not a difference). *)
+let fsame a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let series_identical (a : Run.series) (b : Run.series) =
+  List.length a.points = List.length b.points
+  && List.for_all2
+       (fun (p : Run.point) (q : Run.point) ->
+         fsame p.x q.x && fsame p.mean.vs_so q.mean.vs_so
+         && fsame p.mean.vs_uu q.mean.vs_uu
+         && fsame p.mean.vs_ur q.mean.vs_ur
+         && fsame p.mean.vs_ru q.mean.vs_ru
+         && fsame p.mean.vs_rr q.mean.vs_rr
+         && fsame p.ci95.vs_so q.ci95.vs_so
+         && fsame p.worst_vs_so q.worst_vs_so
+         && fsame p.algo1_vs_so q.algo1_vs_so
+         && p.guarantee_violations = q.guarantee_violations
+         && p.trials = q.trials)
+       a.points b.points
+
+let speedup () =
+  heading
+    (Printf.sprintf
+       "SP — parallel sweep engine: fig1a at jobs=1 vs jobs=%d (trials=%d, %d core(s) \
+        recommended)"
+       jobs trials
+       (Domain.recommended_domain_count ()));
+  match Figures.find "fig1a" with
+  | None -> line "fig1a missing; skipping"
+  | Some spec ->
+      let t0 = now () in
+      let sequential = spec.run ~jobs:1 ~trials ~seed () in
+      let t_seq = now () -. t0 in
+      let t0 = now () in
+      let parallel = spec.run ~jobs ~trials ~seed () in
+      let t_par = now () -. t0 in
+      let speedup = t_seq /. t_par in
+      line "jobs=1: %.2f s   jobs=%d: %.2f s   speedup: %.2fx" t_seq jobs t_par speedup;
+      line "series bit-identical across job counts: %b (must be true)"
+        (series_identical sequential parallel);
+      record ~id:"speedup-fig1a" ~jobs ~trials ~speedup t_par
 
 (* ---------- T1: timing ---------- *)
 
@@ -97,12 +203,18 @@ let bechamel_timing () =
       Test.make ~name:"algo2-pipeline-n100" (Staged.stage (fun () -> Algo2.solve inst100));
       Test.make ~name:"algo2-assign-only-n100"
         (Staged.stage (fun () -> Algo2.solve ~linearized:lin100 inst100));
+      (let scratch = Algo2.Scratch.create () in
+       Test.make ~name:"algo2-assign-scratch-n100"
+         (Staged.stage (fun () -> Algo2.solve ~linearized:lin100 ~scratch inst100)));
       Test.make ~name:"algo1-pipeline-n100" (Staged.stage (fun () -> Algo1.solve inst100));
       Test.make ~name:"superopt-n100" (Staged.stage (fun () -> Superopt.compute inst100));
       Test.make ~name:"uu-n100" (Staged.stage (fun () -> Heuristics.uu inst100));
       Test.make ~name:"algo2-pipeline-n1000" (Staged.stage (fun () -> Algo2.solve inst1000));
       Test.make ~name:"algo2-assign-only-n1000"
         (Staged.stage (fun () -> Algo2.solve ~linearized:lin1000 inst1000));
+      (let scratch = Algo2.Scratch.create () in
+       Test.make ~name:"algo2-assign-scratch-n1000"
+         (Staged.stage (fun () -> Algo2.solve ~linearized:lin1000 ~scratch inst1000)));
       (* allocator substrate scaling: the three single-pool algorithms on
          one 100-thread pool *)
       (let plcs = Instance.to_plc inst100 in
@@ -121,26 +233,50 @@ let bechamel_timing () =
   in
   let benchmark test =
     let instances = Toolkit.Instance.[ monotonic_clock ] in
-    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
+    (* per-iteration heap stabilization assumes a quiet single-domain
+       heap and aborts ("Unable to stabilize...") under cross-domain
+       churn; only the sequential path keeps it *)
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:(jobs = 1) ()
+    in
     Benchmark.all cfg instances test
   in
   let analyze results =
     let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
     Analyze.all ols Toolkit.Instance.monotonic_clock results
   in
-  List.iter
-    (fun test ->
-      let stats = analyze (benchmark test) in
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some [ est ] -> line "%-26s %12.3f us/run" name (est /. 1000.0)
-          | Some _ | None -> line "%-26s (no estimate)" name)
-        stats)
-    tests;
+  (* The pool distributes the tests and keeps output in test order, but
+     the measured section itself is exclusive: concurrent measurement on
+     shared cores would corrupt the timings, and bechamel's initial GC
+     stabilization aborts if other domains allocate meanwhile. Only
+     report formatting overlaps the next measurement. *)
+  let measure_lock = Mutex.create () in
+  let tests = Array.of_list tests in
+  let reports =
+    Pool.with_pool ~domains:jobs (fun pool ->
+        Pool.map_chunked pool (Array.length tests) (fun i ->
+            let stats =
+              Mutex.lock measure_lock;
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock measure_lock)
+                (fun () -> analyze (benchmark tests.(i)))
+            in
+            let out = ref [] in
+            Hashtbl.iter
+              (fun name result ->
+                match Analyze.OLS.estimates result with
+                | Some [ est ] ->
+                    out := Printf.sprintf "%-28s %12.3f us/run" name (est /. 1000.0) :: !out
+                | Some _ | None -> out := Printf.sprintf "%-28s (no estimate)" name :: !out)
+              stats;
+            List.rev !out))
+  in
+  Array.iter (List.iter (fun l -> line "%s" l)) reports;
   line "";
   line "note: the paper's 0.02 s Matlab figure is the full algo2 pipeline at n=100;";
-  line "anything well under 20,000 us/run reproduces the 'runs quickly' claim."
+  line "anything well under 20,000 us/run reproduces the 'runs quickly' claim.";
+  if jobs > 1 then
+    line "(pool size %d: measurements serialized for fidelity, analysis overlapped)" jobs
 
 (* ---------- T2: headline claims ---------- *)
 
@@ -491,7 +627,8 @@ let () =
   let args =
     if args = [] then
       all_ids
-      @ [ "tightness"; "timing"; "ablation"; "resolution"; "beyond"; "hetero"; "online"; "multires"; "service"; "claims" ]
+      @ [ "tightness"; "timing"; "speedup"; "ablation"; "resolution"; "beyond"; "hetero";
+          "online"; "multires"; "service"; "claims" ]
     else args
   in
   let series = ref [] in
@@ -503,15 +640,19 @@ let () =
         | Some spec -> series := run_figure spec :: !series
         | None -> ())
     all_ids;
-  if want "tightness" then tightness ();
-  if want "timing" then bechamel_timing ();
-  if want "ablation" then ablation ();
-  if want "resolution" then resolution ();
-  if want "beyond" then beyond ();
-  if want "hetero" then hetero ();
-  if want "online" then online ();
-  if want "multires" then multires ();
-  if want "service" then service ();
+  let experiment ?jobs id f = if want id then ignore (timed ~id ?jobs f) in
+  experiment "tightness" tightness;
+  (* T1 runs on the pool; every other experiment here is sequential *)
+  experiment ~jobs "timing" bechamel_timing;
+  if want "speedup" then speedup ();
+  experiment "ablation" ablation;
+  experiment "resolution" resolution;
+  experiment "beyond" beyond;
+  experiment "hetero" hetero;
+  experiment "online" online;
+  experiment "multires" multires;
+  experiment "service" service;
   if want "claims" then claims (List.rev !series);
   line "";
+  write_bench_json ();
   line "done."

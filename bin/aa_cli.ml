@@ -227,6 +227,27 @@ let eval_cmd =
 
 (* ---- sweep / figures ---- *)
 
+(* Pool size for experiment-driving commands. Typed validation at parse
+   time: a zero or negative count is a CLI error (exit 124), matching
+   aa_serve's up-front flag validation rather than a mid-run crash. *)
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> Ok j
+    | Some j -> Error (`Msg (Printf.sprintf "JOBS must be >= 1, got %d" j))
+    | None -> Error (`Msg (Printf.sprintf "JOBS must be a positive integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_t =
+  Arg.(
+    value
+    & opt (some jobs_conv) None
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Domain-pool size for the sweep (default: $(b,AA_JOBS) or the runtime's \
+           recommended domain count). Results are bit-identical for every value.")
+
 let sweep_cmd =
   let figure =
     Arg.(
@@ -243,13 +264,13 @@ let sweep_cmd =
       & opt (some string) None
       & info [ "svg" ] ~docv:"FILE" ~doc:"Also render the series as an SVG figure.")
   in
-  let run figure trials seed svg =
+  let run figure trials seed jobs svg =
     match Aa_experiments.Figures.find figure with
     | None ->
         Printf.eprintf "unknown figure %S; try the 'figures' command\n" figure;
         exit 1
     | Some spec -> (
-        let series = spec.run ~trials ~seed in
+        let series = spec.run ?jobs ~trials ~seed () in
         Format.printf "%a@." Aa_experiments.Run.pp_series series;
         match svg with
         | None -> ()
@@ -263,7 +284,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Rerun one of the paper's experiment sweeps.")
-    Term.(const run $ figure $ trials $ seed_t $ svg_out)
+    Term.(const run $ figure $ trials $ seed_t $ jobs_t $ svg_out)
 
 let figures_cmd =
   let run () =

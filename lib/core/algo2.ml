@@ -2,34 +2,71 @@ open Aa_numerics
 
 type server_rule = [ `Max_remaining | `Min_remaining | `Round_robin ]
 
-let order ?(tail_resort = true) (lin : Linearized.t) =
+(* Reusable per-worker buffers for [solve]: the assignment order and the
+   remaining-capacity heap are shaped by (n, m) only, so experiment
+   loops running thousands of same-shape trials can recycle them
+   instead of re-allocating per call. The returned Assignment arrays
+   escape to the caller and are always fresh. *)
+module Scratch = struct
+  type t = { mutable idx : int array; mutable heap : Heap.Indexed.t option }
+
+  let create () = { idx = [||]; heap = None }
+
+  let idx_for t n =
+    if Array.length t.idx <> n then t.idx <- Array.make n 0;
+    t.idx
+
+  let heap_for t m capacity =
+    match t.heap with
+    | Some h when Heap.Indexed.size h = m ->
+        Heap.Indexed.refill h capacity;
+        h
+    | Some _ | None ->
+        let h = Heap.Indexed.create (Array.make m capacity) in
+        t.heap <- Some h;
+        h
+end
+
+let by_peak (lin : Linearized.t) a b =
+  let pa = lin.threads.(a).peak and pb = lin.threads.(b).peak in
+  match compare pb pa with 0 -> compare a b | c -> c
+
+let by_slope (lin : Linearized.t) a b =
+  let sa = lin.threads.(a).slope and sb = lin.threads.(b).slope in
+  match compare sb sa with 0 -> compare a b | c -> c
+
+(* Fill [idx] with 0..n-1 ordered by nonincreasing peak, the tail beyond
+   the first [m] re-sorted by nonincreasing slope — all in place: the
+   tail re-sort uses an allocation-free range sort rather than an
+   Array.sub/blit copy (both comparators are total orders, so any
+   comparison sort yields the same permutation). *)
+let order_into ?(tail_resort = true) (lin : Linearized.t) idx =
   let n = Array.length lin.threads in
   let m = lin.instance.servers in
-  let idx = Array.init n Fun.id in
-  let by_peak a b =
-    let pa = lin.threads.(a).peak and pb = lin.threads.(b).peak in
-    match compare pb pa with 0 -> compare a b | c -> c
-  in
-  Array.sort by_peak idx;
-  if tail_resort && n > m then begin
-    let tail = Array.sub idx m (n - m) in
-    let by_slope a b =
-      let sa = lin.threads.(a).slope and sb = lin.threads.(b).slope in
-      match compare sb sa with 0 -> compare a b | c -> c
-    in
-    Array.sort by_slope tail;
-    Array.blit tail 0 idx m (n - m)
-  end;
+  for i = 0 to n - 1 do
+    idx.(i) <- i
+  done;
+  Array.sort (by_peak lin) idx;
+  if tail_resort && n > m then Util.sort_range (by_slope lin) idx ~lo:m ~len:(n - m)
+
+let order ?tail_resort (lin : Linearized.t) =
+  let idx = Array.make (Array.length lin.threads) 0 in
+  order_into ?tail_resort lin idx;
   idx
 
-let solve ?linearized ?tail_resort ?(server_rule = `Max_remaining) (inst : Instance.t) =
+let solve ?linearized ?tail_resort ?(server_rule = `Max_remaining) ?scratch
+    (inst : Instance.t) =
   let lin = match linearized with Some l -> l | None -> Linearized.make inst in
   let n = Instance.n_threads inst in
   let m = inst.servers in
-  let idx = order ?tail_resort lin in
+  let idx, heap =
+    match scratch with
+    | Some s -> (Scratch.idx_for s n, Scratch.heap_for s m inst.capacity)
+    | None -> (Array.make n 0, Heap.Indexed.create (Array.make m inst.capacity))
+  in
+  order_into ?tail_resort lin idx;
   let server = Array.make n (-1) in
   let alloc = Array.make n 0.0 in
-  let heap = Heap.Indexed.create (Array.make m inst.capacity) in
   let rr = ref 0 in
   Array.iter
     (fun i ->
@@ -37,7 +74,10 @@ let solve ?linearized ?tail_resort ?(server_rule = `Max_remaining) (inst : Insta
         match server_rule with
         | `Max_remaining -> Heap.Indexed.max_element heap
         | `Min_remaining ->
-            (* linear scan: ablations need no heap support *)
+            (* heap-free linear scan: the ablation wants the argmin of the
+               remaining capacities, ties to the smaller index, and a
+               max-heap cannot pop its minimum — O(m) per thread is fine
+               for an ablation-only rule (see the scan test) *)
             let best = ref 0 in
             for k = 1 to m - 1 do
               if Heap.Indexed.priority heap k < Heap.Indexed.priority heap !best then

@@ -12,16 +12,31 @@ type server_rule =
   | `Min_remaining  (** ablation: worst-fit inverted *)
   | `Round_robin  (** ablation: ignore remaining resource *) ]
 
+(** Reusable solve buffers (assignment order, capacity heap) for tight
+    same-shape trial loops; see {!solve}'s [scratch]. A scratch value
+    must not be shared across domains running concurrently — give each
+    worker its own. *)
+module Scratch : sig
+  type t
+
+  val create : unit -> t
+  (** Empty scratch; buffers are (re)grown on first use per shape. *)
+end
+
 val solve :
   ?linearized:Linearized.t ->
   ?tail_resort:bool ->
   ?server_rule:server_rule ->
+  ?scratch:Scratch.t ->
   Instance.t ->
   Assignment.t
 (** [solve inst] runs the full pipeline. [tail_resort] (default true)
     applies line 2 of the pseudocode — disabling it is the A1 ablation.
     [server_rule] (default [`Max_remaining]) selects the server choice
-    rule; only the default carries the approximation guarantee. *)
+    rule; only the default carries the approximation guarantee.
+    [scratch] recycles the internal order/heap buffers across calls of
+    the same shape [(n, m)] — results are bit-identical with or without
+    it; the returned assignment never aliases scratch storage. *)
 
 val order : ?tail_resort:bool -> Linearized.t -> int array
 (** The assignment order used by [solve] (exposed for tests): thread

@@ -4,7 +4,7 @@ type spec = {
   id : string;
   paper : string;
   description : string;
-  run : trials:int -> seed:int -> Run.series;
+  run : ?jobs:int -> trials:int -> seed:int -> unit -> Run.series;
 }
 
 let servers = 8
@@ -22,8 +22,8 @@ let beta_series dist ~id ~paper ~description =
     paper;
     description;
     run =
-      (fun ~trials ~seed ->
-        Run.run_series ~trials ~seed ~id ~title:description ~xlabel:"beta" ~xs:betas
+      (fun ?jobs ~trials ~seed () ->
+        Run.run_series ~trials ~seed ?jobs ~id ~title:description ~xlabel:"beta" ~xs:betas
           (build_beta dist));
   }
 
@@ -47,9 +47,9 @@ let fig2b =
     paper = "Fig. 2(b)";
     description = "power law at beta=5, ratio vs alpha";
     run =
-      (fun ~trials ~seed ->
+      (fun ?jobs ~trials ~seed () ->
         let xs = [ 1.5; 2.0; 2.5; 3.0; 3.5; 4.0 ] in
-        Run.run_series ~trials ~seed ~id:"fig2b" ~title:"power law at beta=5, ratio vs alpha"
+        Run.run_series ~trials ~seed ?jobs ~id:"fig2b" ~title:"power law at beta=5, ratio vs alpha"
           ~xlabel:"alpha" ~xs
           (fun ~x rng ->
             Gen.instance rng ~servers ~capacity ~threads:(5 * servers)
@@ -68,9 +68,9 @@ let fig3b =
     paper = "Fig. 3(b)";
     description = "discrete (theta=5) at beta=5, ratio vs gamma";
     run =
-      (fun ~trials ~seed ->
+      (fun ?jobs ~trials ~seed () ->
         let xs = List.init 10 (fun i -> 0.05 +. (0.1 *. float_of_int i)) in
-        Run.run_series ~trials ~seed ~id:"fig3b"
+        Run.run_series ~trials ~seed ?jobs ~id:"fig3b"
           ~title:"discrete (theta=5) at beta=5, ratio vs gamma" ~xlabel:"gamma" ~xs
           (fun ~x rng ->
             Gen.instance rng ~servers ~capacity ~threads:(5 * servers)
@@ -83,9 +83,9 @@ let fig3c =
     paper = "Fig. 3 (theta sweep)";
     description = "discrete (gamma=0.85) at beta=5, ratio vs theta";
     run =
-      (fun ~trials ~seed ->
+      (fun ?jobs ~trials ~seed () ->
         let xs = [ 1.0; 2.0; 4.0; 6.0; 8.0; 10.0; 15.0; 20.0 ] in
-        Run.run_series ~trials ~seed ~id:"fig3c"
+        Run.run_series ~trials ~seed ?jobs ~id:"fig3c"
           ~title:"discrete (gamma=0.85) at beta=5, ratio vs theta" ~xlabel:"theta" ~xs
           (fun ~x rng ->
             Gen.instance rng ~servers ~capacity ~threads:(5 * servers)

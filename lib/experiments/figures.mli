@@ -6,7 +6,9 @@ type spec = {
   id : string;  (** DESIGN.md id: "fig1a" … "fig3c" *)
   paper : string;  (** the paper's figure label *)
   description : string;
-  run : trials:int -> seed:int -> Run.series;
+  run : ?jobs:int -> trials:int -> seed:int -> unit -> Run.series;
+      (** [jobs] sizes the domain pool, as in {!Run.run_series}; the
+          series is bit-identical for every value. *)
 }
 
 val servers : int

@@ -1,5 +1,6 @@
 open Aa_numerics
 open Aa_core
+open Aa_parallel
 
 type ratios = { vs_so : float; vs_uu : float; vs_ur : float; vs_ru : float; vs_rr : float }
 
@@ -18,11 +19,11 @@ type series = { id : string; title : string; xlabel : string; points : point lis
 (* One trial: returns the ratios plus Algorithm 1's own ratio. Algorithm
    1/2 outputs get the per-server re-allocation polish (see Refine);
    heuristics keep their own allocation rule. *)
-let trial ~rng ~run_algo1 (inst : Instance.t) =
+let trial ~rng ~run_algo1 ?scratch (inst : Instance.t) =
   let lin = Linearized.make inst in
   let fhat = lin.superopt.utility in
   let score a = Assignment.utility inst (Refine.per_server inst a) in
-  let a2 = score (Algo2.solve ~linearized:lin inst) in
+  let a2 = score (Algo2.solve ~linearized:lin ?scratch inst) in
   let a1 = if run_algo1 then score (Algo1.solve ~linearized:lin inst) else Float.nan in
   let value algo = Assignment.utility inst (Solver.solve ~rng ~linearized:lin algo inst) in
   let uu = value Solver.Uu in
@@ -39,65 +40,133 @@ let trial ~rng ~run_algo1 (inst : Instance.t) =
     },
     safe_div a1 fhat )
 
-let run_series ?(trials = 1000) ?(seed = 42) ?(run_algo1 = true) ~id ~title ~xlabel ~xs
-    build =
+(* Per-chunk partial aggregates; merged per point in chunk order. *)
+type acc = {
+  so : Stats.Online.t;
+  uu : Stats.Online.t;
+  ur : Stats.Online.t;
+  ru : Stats.Online.t;
+  rr : Stats.Online.t;
+  a1 : Stats.Online.t;
+  mutable violations : int;
+}
+
+let acc_create () =
+  {
+    so = Stats.Online.create ();
+    uu = Stats.Online.create ();
+    ur = Stats.Online.create ();
+    ru = Stats.Online.create ();
+    rr = Stats.Online.create ();
+    a1 = Stats.Online.create ();
+    violations = 0;
+  }
+
+let acc_merge a b =
+  {
+    so = Stats.Online.merge a.so b.so;
+    uu = Stats.Online.merge a.uu b.uu;
+    ur = Stats.Online.merge a.ur b.ur;
+    ru = Stats.Online.merge a.ru b.ru;
+    rr = Stats.Online.merge a.rr b.rr;
+    a1 = Stats.Online.merge a.a1 b.a1;
+    violations = a.violations + b.violations;
+  }
+
+(* Trials per work chunk. Fixed (never derived from the domain count),
+   because chunk boundaries are part of the deterministic-replay
+   contract: partial accumulators are merged in chunk order, so the
+   floating-point result depends on (trials, chunk_trials) only. *)
+let chunk_trials = 64
+
+let run_series ?(trials = 1000) ?(seed = 42) ?(run_algo1 = true) ?jobs ~id ~title ~xlabel
+    ~xs build =
+  let xs = Array.of_list xs in
+  let npoints = Array.length xs in
+  (* Every trial's RNG stream comes from sequential splitting keyed by
+     (point, trial) position — the exact splitting sequence of the old
+     sequential driver — so the instance drawn for trial t of point p is
+     the same for any job count, including 1. *)
   let master = Rng.create ~seed () in
-  let points =
-    List.map
-      (fun x ->
-        let acc_so = Stats.Online.create () in
-        let acc_uu = Stats.Online.create () in
-        let acc_ur = Stats.Online.create () in
-        let acc_ru = Stats.Online.create () in
-        let acc_rr = Stats.Online.create () in
-        let acc_a1 = Stats.Online.create () in
-        let violations = ref 0 in
-        let point_rng = Rng.split master in
-        for _ = 1 to trials do
-          let rng = Rng.split point_rng in
-          let inst = build ~x rng in
-          let run_algo1 = run_algo1 && Instance.n_threads inst <= 400 in
-          let r, a1 = trial ~rng ~run_algo1 inst in
-          Stats.Online.add acc_so r.vs_so;
-          Stats.Online.add acc_uu r.vs_uu;
-          Stats.Online.add acc_ur r.vs_ur;
-          Stats.Online.add acc_ru r.vs_ru;
-          Stats.Online.add acc_rr r.vs_rr;
-          if not (Float.is_nan a1) then Stats.Online.add acc_a1 a1;
-          if r.vs_so < Bounds.alpha -. 1e-9 then incr violations
-        done;
-        let mean =
-          {
-            vs_so = Stats.Online.mean acc_so;
-            vs_uu = Stats.Online.mean acc_uu;
-            vs_ur = Stats.Online.mean acc_ur;
-            vs_ru = Stats.Online.mean acc_ru;
-            vs_rr = Stats.Online.mean acc_rr;
-          }
-        in
-        let half acc = (Stats.Online.summary acc).Stats.ci95 in
-        let ci95 =
-          {
-            vs_so = half acc_so;
-            vs_uu = half acc_uu;
-            vs_ur = half acc_ur;
-            vs_ru = half acc_ru;
-            vs_rr = half acc_rr;
-          }
-        in
-        {
-          x;
-          mean;
-          ci95;
-          worst_vs_so = Stats.Online.min acc_so;
-          algo1_vs_so =
-            (if Stats.Online.count acc_a1 > 0 then Stats.Online.mean acc_a1 else Float.nan);
-          guarantee_violations = !violations;
-          trials;
-        })
-      xs
+  let streams = Array.make npoints [||] in
+  for p = 0 to npoints - 1 do
+    let point_rng = Rng.split master in
+    let per_trial = Array.make trials point_rng in
+    for t = 0 to trials - 1 do
+      per_trial.(t) <- Rng.split point_rng
+    done;
+    streams.(p) <- per_trial
+  done;
+  let chunks_per_point = (trials + chunk_trials - 1) / chunk_trials in
+  let nchunks = npoints * chunks_per_point in
+  (* Both layers fan out at once: the flat chunk index enumerates every
+     (point, trial-range) pair, so a slow point's tail overlaps the next
+     point's head instead of serializing behind it. *)
+  let run_chunk ci =
+    let p = ci / chunks_per_point in
+    let lo = ci mod chunks_per_point * chunk_trials in
+    let hi = min (lo + chunk_trials) trials in
+    let x = xs.(p) in
+    let scratch = Algo2.Scratch.create () in
+    let acc = acc_create () in
+    for t = lo to hi - 1 do
+      let rng = streams.(p).(t) in
+      let inst = build ~x rng in
+      let run_algo1 = run_algo1 && Instance.n_threads inst <= 400 in
+      let r, a1 = trial ~rng ~run_algo1 ~scratch inst in
+      Stats.Online.add acc.so r.vs_so;
+      Stats.Online.add acc.uu r.vs_uu;
+      Stats.Online.add acc.ur r.vs_ur;
+      Stats.Online.add acc.ru r.vs_ru;
+      Stats.Online.add acc.rr r.vs_rr;
+      if not (Float.is_nan a1) then Stats.Online.add acc.a1 a1;
+      if r.vs_so < Bounds.alpha -. 1e-9 then acc.violations <- acc.violations + 1
+    done;
+    acc
   in
-  { id; title; xlabel; points }
+  let partials =
+    Pool.with_pool ?domains:jobs (fun pool -> Pool.map_chunked pool nchunks run_chunk)
+  in
+  let points = ref [] in
+  for p = npoints - 1 downto 0 do
+    let acc = ref (acc_create ()) in
+    for c = 0 to chunks_per_point - 1 do
+      acc := acc_merge !acc partials.((p * chunks_per_point) + c)
+    done;
+    let acc = !acc in
+    let mean =
+      {
+        vs_so = Stats.Online.mean acc.so;
+        vs_uu = Stats.Online.mean acc.uu;
+        vs_ur = Stats.Online.mean acc.ur;
+        vs_ru = Stats.Online.mean acc.ru;
+        vs_rr = Stats.Online.mean acc.rr;
+      }
+    in
+    let half o = (Stats.Online.summary o).Stats.ci95 in
+    let ci95 =
+      {
+        vs_so = half acc.so;
+        vs_uu = half acc.uu;
+        vs_ur = half acc.ur;
+        vs_ru = half acc.ru;
+        vs_rr = half acc.rr;
+      }
+    in
+    points :=
+      {
+        x = xs.(p);
+        mean;
+        ci95;
+        worst_vs_so = Stats.Online.min acc.so;
+        algo1_vs_so =
+          (if Stats.Online.count acc.a1 > 0 then Stats.Online.mean acc.a1 else Float.nan);
+        guarantee_violations = acc.violations;
+        trials;
+      }
+      :: !points
+  done;
+  { id; title; xlabel; points = !points }
 
 let pp_series ppf s =
   Format.fprintf ppf "@[<v># %s — %s@," s.id s.title;

@@ -5,8 +5,16 @@
     and records the per-trial utility ratios Algorithm 2 / other. Points
     on a sweep report the mean ratio over all trials (the quantity the
     paper plots), its 95% confidence half-width, and guarantee
-    diagnostics. Trials use split RNG streams, so results are
-    reproducible for a given seed and independent of trial order. *)
+    diagnostics.
+
+    Sweep points and per-point trials fan out together across a domain
+    pool ({!Aa_parallel.Pool}). Determinism is a contract, not an
+    accident: every trial's RNG stream is derived by sequential
+    splitting keyed by its (point, trial) position, trials are grouped
+    into fixed-size chunks whose boundaries depend only on the trial
+    count, and per-chunk accumulators ({!Aa_numerics.Stats.Online})
+    are merged in chunk order — so the resulting series is bit-identical
+    for every [jobs] value, including the sequential [jobs = 1]. *)
 
 type ratios = {
   vs_so : float;  (** Algo2 / F̂ — at most 1, paper reports >= 0.99 *)
@@ -40,6 +48,7 @@ val run_series :
   ?trials:int ->
   ?seed:int ->
   ?run_algo1:bool ->
+  ?jobs:int ->
   id:string ->
   title:string ->
   xlabel:string ->
@@ -49,7 +58,11 @@ val run_series :
 (** [run_series ~xs build] sweeps [xs], running [trials] (default 1000,
     the paper's count) per point. [run_algo1] (default true) also scores
     Algorithm 1 against F̂ (skipped automatically above 400 threads where
-    its O(mn²) scan dominates). *)
+    its O(mn²) scan dominates). [jobs] sizes the domain pool (default
+    {!Aa_parallel.Pool.default_domains}: [AA_JOBS] or the runtime's
+    recommended domain count); any value yields bit-identical points.
+    [build] must be a pure function of [x] and the supplied rng — it
+    runs concurrently on pool domains. *)
 
 val pp_series : Format.formatter -> series -> unit
 (** Table rendering: one row per sweep point, one column per

@@ -126,4 +126,15 @@ module Indexed = struct
     t.prio.(e) <- p;
     let i = t.pos.(e) in
     if p > old then sift_up t i else sift_down t i
+
+  (* With all priorities equal, the identity arrangement is a heap (ties
+     break toward the smaller index, which identity satisfies), and it
+     is exactly what [create (Array.make n p)] builds — so refilled and
+     fresh heaps are indistinguishable to consumers. *)
+  let refill t p =
+    for i = 0 to t.n - 1 do
+      t.prio.(i) <- p;
+      t.heap.(i) <- i;
+      t.pos.(i) <- i
+    done
 end

@@ -48,4 +48,10 @@ module Indexed : sig
   val update : t -> int -> float -> unit
   (** [update t e p] changes element [e]'s priority to [p], restoring the
       heap in [O(log n)]. *)
+
+  val refill : t -> float -> unit
+  (** [refill t p] resets every element's priority to [p], leaving the
+      heap identical to [create (Array.make (size t) p)] — in [O(n)]
+      with no allocation. Lets Algorithm 2's scratch state reuse one
+      heap across trials of the same shape. *)
 end

@@ -112,4 +112,21 @@ module Online = struct
       max = t.max;
       ci95 = 1.96 *. stddev t /. sqrt (float_of_int t.count);
     }
+
+  (* Chan et al.'s parallel combination of two Welford accumulators:
+     the pairwise update generalized from one sample to a batch. *)
+  let merge a b =
+    if a.count = 0 && b.count = 0 then create ()
+    else begin
+      let na = float_of_int a.count and nb = float_of_int b.count in
+      let n = na +. nb in
+      let delta = b.mean -. a.mean in
+      {
+        count = a.count + b.count;
+        mean = a.mean +. (delta *. (nb /. n));
+        m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. n);
+        min = Float.min a.min b.min;
+        max = Float.max a.max b.max;
+      }
+    end
 end

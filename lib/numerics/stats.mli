@@ -44,4 +44,12 @@ module Online : sig
   val min : t -> float
   val max : t -> float
   val summary : t -> summary
+
+  val merge : t -> t -> t
+  (** [merge a b] is a fresh accumulator equivalent to one fed [a]'s
+      stream followed by [b]'s, combining means and M2 moments with
+      Chan et al.'s parallel update. Neither input is mutated. Used by
+      the parallel experiment engine to combine per-chunk partials;
+      merging partials in a fixed order gives schedule-independent
+      results. *)
 end

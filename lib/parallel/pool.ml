@@ -1,0 +1,160 @@
+(* Domain pool: parked workers, one published job at a time, chunked
+   work claiming over an atomic index. The protocol is deliberately
+   minimal — a single mutex/condition pair for publishing jobs and one
+   more for completion — because jobs here are coarse (whole experiment
+   chunks), not fine-grained tasks. *)
+
+type job = {
+  work : lo:int -> hi:int -> unit;
+  n : int;
+  chunk : int;
+  next : int Atomic.t;  (* next unclaimed index; claim = fetch_and_add chunk *)
+}
+
+type t = {
+  size : int;
+  mutable workers : unit Domain.t array;  (* length size - 1 *)
+  lock : Mutex.t;
+  wake : Condition.t;  (* workers: a new job was published, or stop *)
+  done_ : Condition.t;  (* caller: a worker left the current job *)
+  mutable job : job option;
+  mutable epoch : int;  (* job sequence number, guards spurious wakeups *)
+  mutable busy : int;  (* workers still inside the current job *)
+  mutable error : exn option;  (* first exception raised by any chunk *)
+  mutable stop : bool;
+}
+
+let default_domains () =
+  match Sys.getenv_opt "AA_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Claim and process chunks until the job is exhausted. Runs on worker
+   domains and on the caller's domain alike. The first exception is
+   recorded under the lock; later chunks still run (draining is simpler
+   and the jobs here are short), later exceptions are dropped. *)
+let drain t (j : job) =
+  let rec loop () =
+    let lo = Atomic.fetch_and_add j.next j.chunk in
+    if lo < j.n then begin
+      let hi = min (lo + j.chunk) j.n in
+      (try j.work ~lo ~hi
+       with e ->
+         Mutex.lock t.lock;
+         if t.error = None then t.error <- Some e;
+         Mutex.unlock t.lock);
+      loop ()
+    end
+  in
+  loop ()
+
+let worker t () =
+  let seen = ref 0 in
+  let rec serve () =
+    Mutex.lock t.lock;
+    while (not t.stop) && (t.epoch = !seen || t.job = None) do
+      Condition.wait t.wake t.lock
+    done;
+    if t.stop then Mutex.unlock t.lock
+    else begin
+      seen := t.epoch;
+      let j = t.job in
+      Mutex.unlock t.lock;
+      (match j with Some j -> drain t j | None -> ());
+      Mutex.lock t.lock;
+      t.busy <- t.busy - 1;
+      if t.busy = 0 then Condition.broadcast t.done_;
+      Mutex.unlock t.lock;
+      serve ()
+    end
+  in
+  serve ()
+
+let create ?domains () =
+  let size = max 1 (match domains with Some d -> d | None -> default_domains ()) in
+  let t =
+    {
+      size;
+      workers = [||];
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      done_ = Condition.create ();
+      job = None;
+      epoch = 0;
+      busy = 0;
+      error = None;
+      stop = false;
+    }
+  in
+  t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let size t = t.size
+
+let run t ~n ~chunk work =
+  if chunk < 1 then invalid_arg "Pool.run: chunk must be >= 1";
+  if n < 0 then invalid_arg "Pool.run: negative n";
+  if n > 0 then begin
+    let j = { work; n; chunk; next = Atomic.make 0 } in
+    if Array.length t.workers = 0 then begin
+      (* inline pool: same chunk walk, no synchronization *)
+      t.error <- None;
+      drain t j
+    end
+    else begin
+      Mutex.lock t.lock;
+      t.job <- Some j;
+      t.epoch <- t.epoch + 1;
+      t.busy <- Array.length t.workers;
+      t.error <- None;
+      Condition.broadcast t.wake;
+      Mutex.unlock t.lock;
+      drain t j;
+      Mutex.lock t.lock;
+      while t.busy > 0 do
+        Condition.wait t.done_ t.lock
+      done;
+      t.job <- None;
+      Mutex.unlock t.lock
+    end;
+    match t.error with
+    | Some e ->
+        t.error <- None;
+        raise e
+    | None -> ()
+  end
+
+let map_chunked t ?(chunk = 1) n f =
+  if n < 0 then invalid_arg "Pool.map_chunked: negative n";
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run t ~n ~chunk (fun ~lo ~hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- Some (f i)
+        done);
+    Array.map
+      (function
+        | Some v -> v
+        | None ->
+            (* run covers [0, n) exactly; an empty slot means it raised *)
+            invalid_arg "Pool.map_chunked: unfilled slot")
+      out
+  end
+
+let shutdown t =
+  if Array.length t.workers > 0 then begin
+    Mutex.lock t.lock;
+    t.stop <- true;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,54 @@
+(** A small reusable domain pool for embarrassingly parallel fan-out.
+
+    The pool owns [size - 1] worker domains (the caller's domain is the
+    remaining worker) parked on a condition variable between jobs. A job
+    is a half-open index range [[0, n)] processed in fixed-size chunks;
+    workers claim chunks with an atomic fetch-and-add, so load balances
+    dynamically while the chunk boundaries themselves stay a pure
+    function of [(n, chunk)] — never of the domain count or schedule.
+    Consumers that want schedule-independent (bit-identical) results
+    therefore only need their per-chunk work to depend on the chunk
+    index alone; see {!Aa_experiments.Run}.
+
+    Pools are cheap to create (domain spawn is microseconds, not
+    threads-from-scratch milliseconds) but not free; reuse one across
+    many [run]/[map_chunked] calls when convenient. A pool is not
+    re-entrant: don't call [run] from inside a job. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains. [domains]
+    defaults to {!default_domains}; values [<= 1] yield a pool that runs
+    every job inline on the caller's domain (the sequential path —
+    identical results, no domains spawned). *)
+
+val size : t -> int
+(** Total parallelism, including the caller's domain ([>= 1]). *)
+
+val default_domains : unit -> int
+(** Pool size selected by the environment: [AA_JOBS] when set to a
+    positive integer, otherwise [Domain.recommended_domain_count ()]. *)
+
+val run : t -> n:int -> chunk:int -> (lo:int -> hi:int -> unit) -> unit
+(** [run t ~n ~chunk work] executes [work ~lo ~hi] over disjoint ranges
+    [lo <= i < hi] that exactly cover [[0, n)]; every range except
+    possibly the last has [hi - lo = chunk]. Blocks until all chunks are
+    done. Requires [chunk >= 1]. The ranges processed by one call to
+    [work] never overlap another's, so [work] may freely mutate
+    per-index slots of shared arrays; any other sharing needs its own
+    synchronization. If [work] raises, one such exception is re-raised
+    in the caller after all workers have drained. *)
+
+val map_chunked : t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** [map_chunked t n f] is [[| f 0; f 1; ...; f (n-1) |]], computed in
+    chunks of [chunk] (default 1) across the pool. [f] runs exactly once
+    per index; results land in index order regardless of schedule. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains. Idempotent; the pool must not be used
+    afterwards (inline pools are unaffected). *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] on a fresh pool and shuts it down afterwards,
+    also on exception. *)

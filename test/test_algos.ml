@@ -91,6 +91,90 @@ let test_algo2_server_rules_feasible () =
       | Error e -> Alcotest.failf "rule infeasible: %s" e)
     [ `Max_remaining; `Min_remaining; `Round_robin ]
 
+let test_order_matches_copy_reference () =
+  (* the tail re-sort is now in place (Util.sort_range); it must produce
+     exactly the permutation of the old Array.sub/sort/blit version —
+     both comparators are total orders (ties broken by index), so any
+     comparison sort agrees *)
+  let rng = Rng.create ~seed:7 () in
+  for _ = 1 to 20 do
+    let trial = Rng.split rng in
+    let servers = 1 + Rng.int trial 5 in
+    let threads = 1 + Rng.int trial 40 in
+    let inst =
+      Aa_workload.Gen.instance trial ~servers ~capacity:50.0 ~threads Aa_workload.Gen.Uniform
+    in
+    let lin = Linearized.make inst in
+    let by_peak a b =
+      let pa = lin.threads.(a).Linearized.peak and pb = lin.threads.(b).Linearized.peak in
+      match compare pb pa with 0 -> compare a b | c -> c
+    in
+    let by_slope a b =
+      let sa = lin.threads.(a).Linearized.slope and sb = lin.threads.(b).Linearized.slope in
+      match compare sb sa with 0 -> compare a b | c -> c
+    in
+    let reference = Array.init threads Fun.id in
+    Array.sort by_peak reference;
+    if threads > servers then begin
+      let tail = Array.sub reference servers (threads - servers) in
+      Array.sort by_slope tail;
+      Array.blit tail 0 reference servers (threads - servers)
+    end;
+    Alcotest.(check (array int))
+      (Printf.sprintf "m=%d n=%d" servers threads)
+      reference (Algo2.order lin)
+  done
+
+let test_scratch_solve_bit_identical () =
+  (* one scratch recycled across shapes and trials: every solve matches
+     the scratch-free solve exactly, including after shape changes *)
+  let scratch = Algo2.Scratch.create () in
+  let rng = Rng.create ~seed:13 () in
+  List.iter
+    (fun (servers, threads) ->
+      for _ = 1 to 5 do
+        let trial = Rng.split rng in
+        let inst =
+          Aa_workload.Gen.instance trial ~servers ~capacity:80.0 ~threads
+            Aa_workload.Gen.Uniform
+        in
+        let lin = Linearized.make inst in
+        let a = Algo2.solve ~linearized:lin inst in
+        let b = Algo2.solve ~linearized:lin ~scratch inst in
+        Alcotest.(check (array int)) "same servers" a.server b.server;
+        Array.iteri (fun i c -> Helpers.check_float "same alloc" c b.alloc.(i)) a.alloc;
+        (* the result must not alias scratch storage *)
+        Alcotest.(check bool) "fresh arrays" false (a.server == b.server)
+      done)
+    [ (2, 10); (4, 25); (2, 10); (3, 3) ]
+
+let test_min_remaining_matches_naive_argmin () =
+  (* replay the ablation rule by hand: each thread in assignment order
+     goes to the argmin of the remaining capacities (ties to the smaller
+     server index) and receives min(chat, remaining) *)
+  let rng = Rng.create ~seed:17 () in
+  for _ = 1 to 10 do
+    let trial = Rng.split rng in
+    let inst =
+      Aa_workload.Gen.instance trial ~servers:3 ~capacity:40.0 ~threads:12
+        Aa_workload.Gen.Uniform
+    in
+    let lin = Linearized.make inst in
+    let a = Algo2.solve ~linearized:lin ~server_rule:`Min_remaining inst in
+    let remaining = Array.make inst.servers inst.capacity in
+    Array.iter
+      (fun i ->
+        let best = ref 0 in
+        for k = 1 to inst.servers - 1 do
+          if remaining.(k) < remaining.(!best) then best := k
+        done;
+        let c = Float.min lin.threads.(i).Linearized.chat remaining.(!best) in
+        Alcotest.(check int) "server" !best a.server.(i);
+        Helpers.check_float "alloc" c a.alloc.(i);
+        remaining.(!best) <- remaining.(!best) -. c)
+      (Algo2.order lin)
+  done
+
 (* ---------- Algorithm 1 mechanics ---------- *)
 
 let test_algo1_single_server_matches_superopt () =
@@ -375,6 +459,11 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_algo2_deterministic;
           Alcotest.test_case "tail resort" `Quick test_algo2_tail_resort_matters;
           Alcotest.test_case "server rules" `Quick test_algo2_server_rules_feasible;
+          Alcotest.test_case "in-place order = copy reference" `Quick
+            test_order_matches_copy_reference;
+          Alcotest.test_case "scratch bit-identical" `Quick test_scratch_solve_bit_identical;
+          Alcotest.test_case "min-remaining scan = naive argmin" `Quick
+            test_min_remaining_matches_naive_argmin;
         ] );
       ( "algo1",
         [

@@ -86,6 +86,19 @@ let test_sweep_runs () =
   let out = run [ "sweep"; "fig3b"; "--trials"; "2" ] in
   if String.length out < 100 then Alcotest.fail "sweep output too short"
 
+let test_sweep_jobs_flag () =
+  let a = run [ "sweep"; "fig3c"; "--trials"; "2"; "--jobs"; "1" ] in
+  let b = run [ "sweep"; "fig3c"; "--trials"; "2"; "--jobs"; "2" ] in
+  if String.length a < 100 then Alcotest.fail "sweep --jobs output too short";
+  Alcotest.(check string) "job count never changes the series" a b
+
+let test_sweep_rejects_bad_jobs () =
+  (* zero or garbage pool sizes are CLI errors (typed conv), like
+     aa_serve's flag validation — not mid-run crashes *)
+  ignore (run ~expect:124 [ "sweep"; "fig3c"; "--trials"; "2"; "--jobs"; "0" ]);
+  ignore (run ~expect:124 [ "sweep"; "fig3c"; "--trials"; "2"; "--jobs=-3" ]);
+  ignore (run ~expect:124 [ "sweep"; "fig3c"; "--trials"; "2"; "--jobs"; "two" ])
+
 let test_sweep_svg_export () =
   let _ = run [ "sweep"; "fig3c"; "--trials"; "2"; "--svg"; "fig.svg" ] in
   let doc = In_channel.with_open_text "fig.svg" In_channel.input_all in
@@ -104,6 +117,8 @@ let () =
           Alcotest.test_case "online subcommand" `Quick test_online_subcommand;
           Alcotest.test_case "figures" `Quick test_figures_lists;
           Alcotest.test_case "sweep" `Quick test_sweep_runs;
+          Alcotest.test_case "sweep --jobs" `Quick test_sweep_jobs_flag;
+          Alcotest.test_case "sweep bad --jobs" `Quick test_sweep_rejects_bad_jobs;
           Alcotest.test_case "sweep svg" `Quick test_sweep_svg_export;
         ] );
     ]

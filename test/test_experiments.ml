@@ -7,7 +7,7 @@ open Aa_experiments
 let run_fig id trials =
   match Figures.find id with
   | None -> Alcotest.failf "missing figure %s" id
-  | Some spec -> spec.run ~trials ~seed:42
+  | Some spec -> spec.run ~trials ~seed:42 ()
 
 let test_all_figures_present () =
   Alcotest.(check int) "seven figures" 7 (List.length Figures.all);

@@ -1,0 +1,211 @@
+(* Tests for the Aa_parallel domain pool and for the determinism
+   contract of the parallel sweep engine built on it: the same series,
+   bit for bit, whatever the job count. *)
+
+open Aa_parallel
+open Aa_experiments
+
+(* ---------- Pool ---------- *)
+
+let test_map_matches_sequential () =
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun chunk ->
+              let expected = Array.init n (fun i -> (i * i) - (3 * i)) in
+              let got =
+                Pool.with_pool ~domains (fun pool ->
+                    Pool.map_chunked pool ~chunk n (fun i -> (i * i) - (3 * i)))
+              in
+              Alcotest.(check (array int))
+                (Printf.sprintf "domains=%d n=%d chunk=%d" domains n chunk)
+                expected got)
+            [ 1; 3; 64 ])
+        [ 0; 1; 7; 100 ])
+    [ 1; 2; 4 ]
+
+let test_run_covers_exactly_once () =
+  List.iter
+    (fun domains ->
+      let n = 1000 in
+      let hits = Array.make n 0 in
+      Pool.with_pool ~domains (fun pool ->
+          (* disjoint ranges: per-index increments need no synchronization *)
+          Pool.run pool ~n ~chunk:7 (fun ~lo ~hi ->
+              for i = lo to hi - 1 do
+                hits.(i) <- hits.(i) + 1
+              done));
+      Array.iteri
+        (fun i c ->
+          if c <> 1 then Alcotest.failf "domains=%d: index %d hit %d times" domains i c)
+        hits)
+    [ 1; 4 ]
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun domains ->
+      match
+        Pool.with_pool ~domains (fun pool ->
+            Pool.map_chunked pool ~chunk:3 100 (fun i ->
+                if i mod 40 = 37 then raise (Boom i) else i))
+      with
+      | _ -> Alcotest.fail "expected Boom to escape map_chunked"
+      | exception Boom _ -> ())
+    [ 1; 3 ]
+
+let test_pool_reusable_after_error () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      (match Pool.map_chunked pool 10 (fun i -> if i = 5 then raise (Boom i) else i) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom _ -> ());
+      (* the same pool keeps working, with no stale error resurfacing *)
+      for round = 1 to 5 do
+        let got = Pool.map_chunked pool ~chunk:2 25 (fun i -> i + round) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          (Array.init 25 (fun i -> i + round))
+          got
+      done)
+
+let test_pool_size_and_validation () =
+  Pool.with_pool ~domains:3 (fun pool -> Alcotest.(check int) "size" 3 (Pool.size pool));
+  (* <= 1 clamps to the inline sequential pool *)
+  Pool.with_pool ~domains:0 (fun pool -> Alcotest.(check int) "clamped" 1 (Pool.size pool));
+  Pool.with_pool ~domains:1 (fun pool ->
+      Alcotest.check_raises "chunk >= 1" (Invalid_argument "Pool.run: chunk must be >= 1")
+        (fun () -> Pool.run pool ~n:3 ~chunk:0 (fun ~lo:_ ~hi:_ -> ()));
+      Alcotest.check_raises "negative n" (Invalid_argument "Pool.run: negative n") (fun () ->
+          Pool.run pool ~n:(-1) ~chunk:1 (fun ~lo:_ ~hi:_ -> ())))
+
+let test_default_domains_env () =
+  let saved = Sys.getenv_opt "AA_JOBS" in
+  let restore () =
+    match saved with Some v -> Unix.putenv "AA_JOBS" v | None -> Unix.putenv "AA_JOBS" ""
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "AA_JOBS" "3";
+      Alcotest.(check int) "AA_JOBS honored" 3 (Pool.default_domains ());
+      Unix.putenv "AA_JOBS" "0";
+      Alcotest.(check bool) "AA_JOBS=0 falls back" true (Pool.default_domains () >= 1);
+      Unix.putenv "AA_JOBS" "nope";
+      Alcotest.(check bool) "garbage falls back" true (Pool.default_domains () >= 1))
+
+(* ---------- deterministic replay ---------- *)
+
+(* Exact float equality on purpose: the determinism contract is
+   bit-identical replay, and a tolerance would mask schedule-dependent
+   summation order. Comparing the bits also makes NaN = NaN. *)
+let check_bits label a b =
+  Alcotest.(check int64) label (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_series_identical label (a : Run.series) (b : Run.series) =
+  Alcotest.(check int) (label ^ ": points") (List.length a.points) (List.length b.points);
+  List.iter2
+    (fun (p : Run.point) (q : Run.point) ->
+      let f name x y = check_bits (Printf.sprintf "%s: %s at x=%g" label name p.x) x y in
+      f "x" p.x q.x;
+      f "mean vs_so" p.mean.vs_so q.mean.vs_so;
+      f "mean vs_uu" p.mean.vs_uu q.mean.vs_uu;
+      f "mean vs_ur" p.mean.vs_ur q.mean.vs_ur;
+      f "mean vs_ru" p.mean.vs_ru q.mean.vs_ru;
+      f "mean vs_rr" p.mean.vs_rr q.mean.vs_rr;
+      f "ci95 vs_so" p.ci95.vs_so q.ci95.vs_so;
+      f "ci95 vs_uu" p.ci95.vs_uu q.ci95.vs_uu;
+      f "ci95 vs_ur" p.ci95.vs_ur q.ci95.vs_ur;
+      f "ci95 vs_ru" p.ci95.vs_ru q.ci95.vs_ru;
+      f "ci95 vs_rr" p.ci95.vs_rr q.ci95.vs_rr;
+      f "worst_vs_so" p.worst_vs_so q.worst_vs_so;
+      f "algo1_vs_so" p.algo1_vs_so q.algo1_vs_so;
+      Alcotest.(check int) (label ^ ": violations") p.guarantee_violations
+        q.guarantee_violations;
+      Alcotest.(check int) (label ^ ": trials") p.trials q.trials)
+    a.points b.points
+
+(* A small beta sweep; 70 trials crosses the engine's 64-trial chunk
+   boundary, so the partial-accumulator merge path is exercised, not
+   just the single-chunk case. *)
+let beta_sweep ~jobs =
+  Run.run_series ~trials:70 ~seed:42 ~jobs ~id:"det" ~title:"determinism check"
+    ~xlabel:"beta"
+    ~xs:[ 1.0; 3.0; 6.0 ]
+    (fun ~x rng ->
+      let threads = int_of_float (Float.round (x *. 4.0)) in
+      Aa_workload.Gen.instance rng ~servers:4 ~capacity:500.0 ~threads Aa_workload.Gen.Uniform)
+
+let test_sweep_jobs_bit_identical () =
+  let sequential = beta_sweep ~jobs:1 in
+  let parallel = beta_sweep ~jobs:4 in
+  check_series_identical "jobs=1 vs jobs=4" sequential parallel
+
+let test_figure_jobs_bit_identical () =
+  match Figures.find "fig3c" with
+  | None -> Alcotest.fail "fig3c missing"
+  | Some spec ->
+      let a = spec.run ~jobs:1 ~trials:5 ~seed:42 () in
+      let b = spec.run ~jobs:3 ~trials:5 ~seed:42 () in
+      check_series_identical "fig3c jobs=1 vs jobs=3" a b
+
+(* ---------- bench harness smoke ---------- *)
+
+let bench =
+  List.find_opt Sys.file_exists [ "../bench/main.exe"; "_build/default/bench/main.exe" ]
+  |> Option.value ~default:"../bench/main.exe"
+
+let test_bench_smoke () =
+  if not (Sys.file_exists bench) then Alcotest.failf "bench binary missing at %s" bench;
+  let json = "bench_smoke.json" in
+  if Sys.file_exists json then Sys.remove json;
+  (* timing is included to cover bechamel running on pool workers (its
+     heap stabilization must be off whenever jobs > 1) *)
+  let cmd =
+    Printf.sprintf
+      "AA_TRIALS=5 AA_JOBS=2 AA_BENCH_JSON=%s %s fig3c speedup timing > bench_smoke.txt 2>&1"
+      (Filename.quote json) (Filename.quote bench)
+  in
+  let code = Sys.command cmd in
+  if code <> 0 then begin
+    let out = In_channel.with_open_text "bench_smoke.txt" In_channel.input_all in
+    Alcotest.failf "bench exited %d:\n%s" code out
+  end;
+  Alcotest.(check bool) "trajectory written" true (Sys.file_exists json);
+  let doc = In_channel.with_open_text json In_channel.input_all in
+  List.iter
+    (fun needle ->
+      if not (Helpers.contains doc needle) then
+        Alcotest.failf "trajectory %s missing %S:\n%s" json needle doc)
+    [
+      "\"schema\": \"aa-bench-trajectory/1\"";
+      "\"id\": \"fig3c\"";
+      "\"id\": \"speedup-fig1a\"";
+      "\"speedup_vs_j1\"";
+      "\"jobs\": 2";
+      "\"trials\": 5";
+    ];
+  let out = In_channel.with_open_text "bench_smoke.txt" In_channel.input_all in
+  if not (Helpers.contains out "series bit-identical across job counts: true") then
+    Alcotest.failf "bench speedup experiment did not confirm determinism:\n%s" out
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map = sequential map" `Quick test_map_matches_sequential;
+          Alcotest.test_case "run covers once" `Quick test_run_covers_exactly_once;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "reusable after error" `Quick test_pool_reusable_after_error;
+          Alcotest.test_case "size and validation" `Quick test_pool_size_and_validation;
+          Alcotest.test_case "AA_JOBS env" `Quick test_default_domains_env;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "sweep jobs=1 = jobs=4" `Slow test_sweep_jobs_bit_identical;
+          Alcotest.test_case "figure jobs=1 = jobs=3" `Quick test_figure_jobs_bit_identical;
+        ] );
+      ( "bench",
+        [ Alcotest.test_case "smoke AA_TRIALS=5 AA_JOBS=2" `Slow test_bench_smoke ] );
+    ]

@@ -51,6 +51,62 @@ let test_online_empty () =
   Alcotest.check_raises "mean" (Invalid_argument "Stats.Online.mean: no samples") (fun () ->
       ignore (Stats.Online.mean o))
 
+let test_online_merge_matches_sequential () =
+  (* Chan-style combine: splitting a stream at any point and merging the
+     two accumulators must agree with one sequential pass *)
+  let rng = Rng.create ~seed:123 () in
+  let xs = Array.init 5_000 (fun _ -> Rng.normal rng ~mu:(-1.0) ~sigma:3.0) in
+  let whole = Stats.Online.create () in
+  Array.iter (Stats.Online.add whole) xs;
+  List.iter
+    (fun cut ->
+      let a = Stats.Online.create () and b = Stats.Online.create () in
+      Array.iteri (fun i x -> Stats.Online.add (if i < cut then a else b) x) xs;
+      let m = Stats.Online.merge a b in
+      let label s = Printf.sprintf "cut=%d: %s" cut s in
+      Alcotest.(check int) (label "count") (Stats.Online.count whole) (Stats.Online.count m);
+      Helpers.check_float ~eps:1e-9 (label "mean") (Stats.Online.mean whole)
+        (Stats.Online.mean m);
+      Helpers.check_float ~eps:1e-7 (label "variance") (Stats.Online.variance whole)
+        (Stats.Online.variance m);
+      Helpers.check_float (label "min") (Stats.Online.min whole) (Stats.Online.min m);
+      Helpers.check_float (label "max") (Stats.Online.max whole) (Stats.Online.max m))
+    [ 0; 1; 777; 2_500; 4_999; 5_000 ]
+
+let test_online_merge_empty () =
+  let empty () = Stats.Online.create () in
+  let m = Stats.Online.merge (empty ()) (empty ()) in
+  Alcotest.(check int) "both empty" 0 (Stats.Online.count m);
+  let one = empty () in
+  Stats.Online.add one 42.0;
+  List.iter
+    (fun m ->
+      Alcotest.(check int) "count" 1 (Stats.Online.count m);
+      Helpers.check_float "mean" 42.0 (Stats.Online.mean m);
+      Helpers.check_float "variance" 0.0 (Stats.Online.variance m);
+      Helpers.check_float "min" 42.0 (Stats.Online.min m);
+      Helpers.check_float "max" 42.0 (Stats.Online.max m))
+    [ Stats.Online.merge one (empty ()); Stats.Online.merge (empty ()) one ]
+
+let prop_online_merge =
+  QCheck2.Test.make ~name:"merge of a random split equals the sequential accumulator"
+    ~count:300
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 200) (float_range (-100.0) 100.0)) (int_range 0 200))
+    (fun (xs, cut) ->
+      let a = Array.of_list xs in
+      let cut = min cut (Array.length a) in
+      let left = Stats.Online.create () and right = Stats.Online.create () in
+      Array.iteri (fun i x -> Stats.Online.add (if i < cut then left else right) x) a;
+      let m = Stats.Online.merge left right in
+      let whole = Stats.Online.create () in
+      Array.iter (Stats.Online.add whole) a;
+      Stats.Online.count m = Stats.Online.count whole
+      && Util.approx_equal ~eps:1e-9 (Stats.Online.mean whole) (Stats.Online.mean m)
+      && Util.approx_equal ~eps:1e-6 (Stats.Online.variance whole) (Stats.Online.variance m)
+      && Stats.Online.min m = Stats.Online.min whole
+      && Stats.Online.max m = Stats.Online.max whole)
+
 let prop_online_mean =
   QCheck2.Test.make ~name:"online mean equals batch mean" ~count:300
     QCheck2.Gen.(list_size (int_range 1 200) (float_range (-100.0) 100.0))
@@ -76,6 +132,9 @@ let () =
         [
           Alcotest.test_case "matches batch" `Quick test_online_matches_batch;
           Alcotest.test_case "empty" `Quick test_online_empty;
+          Alcotest.test_case "merge matches sequential" `Quick
+            test_online_merge_matches_sequential;
+          Alcotest.test_case "merge with empty sides" `Quick test_online_merge_empty;
         ] );
-      Helpers.qsuite "properties" [ prop_online_mean ];
+      Helpers.qsuite "properties" [ prop_online_mean; prop_online_merge ];
     ]
