@@ -16,8 +16,16 @@
 
    Every run also appends a machine-readable perf trajectory to
    BENCH_experiments.json (override the path with AA_BENCH_JSON):
-   per-experiment wall time, pool size, trials, and — for the SP
-   experiment — the measured speedup vs AA_JOBS=1. *)
+   per-experiment wall time, pool size, trials, solver counter deltas
+   and span counts, and — for the SP experiment — the measured speedup
+   vs AA_JOBS=1.
+
+   Observability (Aa_obs) is on by default so the trajectory carries
+   counter deltas; set AA_OBS=0 to run fully uninstrumented. The
+   timing-sensitive sections (T1's measured regions, SP's two timed
+   sweeps) force it off regardless, so the reported times never include
+   probe overhead. The run exits nonzero if any span is still open at
+   exit — unbalanced begin/end accounting is a bug. *)
 
 open Aa_numerics
 open Aa_core
@@ -40,7 +48,11 @@ let heading title =
   line "%s" title;
   line "=============================================================="
 
-let now () = Unix.gettimeofday ()
+let now () = Aa_obs.Clock.now_s ()
+
+let () =
+  Aa_obs.Control.set_enabled
+    (match Sys.getenv_opt "AA_OBS" with Some "0" -> false | Some _ | None -> true)
 
 (* ---------- perf trajectory (BENCH_experiments.json) ---------- *)
 
@@ -50,21 +62,40 @@ type bench_entry = {
   bjobs : int;  (* pool size the experiment ran with (1 = sequential) *)
   btrials : int;
   speedup_vs_j1 : float option;  (* only the SP experiment measures this *)
+  counters : (string * int) list;  (* nonzero counter deltas over the experiment *)
+  spans : int;  (* raw span events recorded during the experiment *)
 }
 
 let bench_entries : bench_entry list ref = ref []
 
-let record ?speedup ~id ~jobs:bjobs ~trials:btrials wall_s =
+let record ?speedup ?(counters = []) ?(spans = 0) ~id ~jobs:bjobs ~trials:btrials
+    wall_s =
   bench_entries :=
-    { bid = id; wall_s; bjobs; btrials; speedup_vs_j1 = speedup } :: !bench_entries
+    { bid = id; wall_s; bjobs; btrials; speedup_vs_j1 = speedup; counters; spans }
+    :: !bench_entries
 
-(* Run [f], print its wall time, and add it to the trajectory. *)
+(* Counters are registered on first use and never removed, so [after] is
+   a superset of [before]; a name missing from [before] started at 0. *)
+let counter_deltas before after =
+  List.filter_map
+    (fun (name, v) ->
+      let v0 = Option.value (List.assoc_opt name before) ~default:0 in
+      if v <> v0 then Some (name, v - v0) else None)
+    after
+
+(* Run [f], print its wall time, and add it — with the counter and span
+   activity it generated — to the trajectory. *)
 let timed ~id ?(jobs = 1) ?(trials = trials) f =
+  let c0 = Aa_obs.Registry.counters () in
+  let s0 = Aa_obs.Trace.recorded () in
   let t0 = now () in
   let r = f () in
   let dt = now () -. t0 in
   line "(%.1f s)" dt;
-  record ~id ~jobs ~trials dt;
+  record ~id ~jobs ~trials
+    ~counters:(counter_deltas c0 (Aa_obs.Registry.counters ()))
+    ~spans:(Aa_obs.Trace.recorded () - s0)
+    dt;
   r
 
 let bench_json_path =
@@ -73,19 +104,23 @@ let bench_json_path =
 let write_bench_json () =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"aa-bench-trajectory/1\",\n";
-  Printf.bprintf b "  \"generated_unix\": %.0f,\n" (now ());
+  Buffer.add_string b "  \"schema\": \"aa-bench-trajectory/2\",\n";
+  Printf.bprintf b "  \"generated_unix\": %.0f,\n" (Aa_obs.Clock.wall_s ());
   Printf.bprintf b "  \"jobs\": %d,\n" jobs;
   Printf.bprintf b "  \"trials\": %d,\n" trials;
+  Printf.bprintf b "  \"obs\": %b,\n" (Aa_obs.Control.on ());
   Buffer.add_string b "  \"experiments\": [\n";
   let entries = List.rev !bench_entries in
   List.iteri
     (fun i e ->
       Printf.bprintf b
         "    {\"id\": \"%s\", \"wall_s\": %.6f, \"jobs\": %d, \"trials\": %d, \
-         \"speedup_vs_j1\": %s}%s\n"
+         \"speedup_vs_j1\": %s, \"spans\": %d, \"counters\": {%s}}%s\n"
         e.bid e.wall_s e.bjobs e.btrials
         (match e.speedup_vs_j1 with None -> "null" | Some s -> Printf.sprintf "%.4f" s)
+        e.spans
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) e.counters))
         (if i = List.length entries - 1 then "" else ","))
     entries;
   Buffer.add_string b "  ]\n}\n";
@@ -171,11 +206,17 @@ let speedup () =
   match Figures.find "fig1a" with
   | None -> line "fig1a missing; skipping"
   | Some spec ->
+      (* probes off for both timed runs: the speedup ratio must compare
+         solver work, not instrumentation overhead *)
       let t0 = now () in
-      let sequential = spec.run ~jobs:1 ~trials ~seed () in
+      let sequential =
+        Aa_obs.Control.with_enabled false (fun () -> spec.run ~jobs:1 ~trials ~seed ())
+      in
       let t_seq = now () -. t0 in
       let t0 = now () in
-      let parallel = spec.run ~jobs ~trials ~seed () in
+      let parallel =
+        Aa_obs.Control.with_enabled false (fun () -> spec.run ~jobs ~trials ~seed ())
+      in
       let t_par = now () -. t0 in
       let speedup = t_seq /. t_par in
       line "jobs=1: %.2f s   jobs=%d: %.2f s   speedup: %.2fx" t_seq jobs t_par speedup;
@@ -253,6 +294,11 @@ let bechamel_timing () =
   let measure_lock = Mutex.create () in
   let tests = Array.of_list tests in
   let reports =
+    (* probes off for the whole pooled section, not just the measured
+       region: flipping the global flag while another domain has a
+       pool.chunk span open would strand that span (end_span is gated
+       on the flag), so the flag must stay constant while workers run *)
+    Aa_obs.Control.with_enabled false @@ fun () ->
     Pool.with_pool ~domains:jobs (fun pool ->
         Pool.map_chunked pool (Array.length tests) (fun i ->
             let stats =
@@ -655,4 +701,10 @@ let () =
   if want "claims" then claims (List.rev !series);
   line "";
   write_bench_json ();
+  let unbalanced = Aa_obs.Trace.unbalanced () in
+  if unbalanced <> 0 then begin
+    line "ERROR: %d span(s) still open at exit — begin/end accounting is unbalanced."
+      unbalanced;
+    exit 1
+  end;
   line "done."

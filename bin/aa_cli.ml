@@ -35,6 +35,45 @@ let output_t =
     & opt (some string) None
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
 
+(* ---- observability options ---- *)
+
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable span tracing and write a Chrome trace (JSON array, loadable in \
+           Perfetto or chrome://tracing) to $(docv). Numeric output is unchanged.")
+
+let counters_t =
+  Arg.(
+    value & flag
+    & info [ "counters" ]
+        ~doc:"Enable solver/pool counters and dump their totals to stderr on exit.")
+
+(* Obs output goes to stderr and the trace file only, never stdout: the
+   assignment/series output must stay byte-identical with and without
+   instrumentation (the CLI e2e test pins this). *)
+let with_obs ~trace ~counters f =
+  if trace <> None || counters then Aa_obs.Control.set_enabled true;
+  let r = f () in
+  (match trace with
+  | None -> ()
+  | Some path -> (
+      match Aa_io.Format_text.save path (Aa_obs.Trace.to_chrome_json ()) with
+      | Ok () ->
+          Format.eprintf "wrote trace: %s (%d events)@." path
+            (Aa_obs.Trace.n_events ())
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          exit 1));
+  if counters then
+    List.iter
+      (fun (k, v) -> Printf.eprintf "%s %s\n" k v)
+      (Aa_obs.Registry.dump ());
+  r
+
 (* ---- generate ---- *)
 
 let distribution_t =
@@ -121,7 +160,8 @@ let solve_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE" ~doc:"Instance file.")
   in
-  let run algo refine file seed out =
+  let run algo refine file seed out trace counters =
+    with_obs ~trace ~counters @@ fun () ->
     let inst = read_instance file in
     let rng = Rng.create ~seed () in
     let assignment, label =
@@ -159,7 +199,7 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve an AA instance; assignment goes to stdout/-o, summary to stderr.")
-    Term.(const run $ algo $ refine $ file $ seed_t $ output_t)
+    Term.(const run $ algo $ refine $ file $ seed_t $ output_t $ trace_t $ counters_t)
 
 (* ---- online ---- *)
 
@@ -264,7 +304,8 @@ let sweep_cmd =
       & opt (some string) None
       & info [ "svg" ] ~docv:"FILE" ~doc:"Also render the series as an SVG figure.")
   in
-  let run figure trials seed jobs svg =
+  let run figure trials seed jobs svg trace counters =
+    with_obs ~trace ~counters @@ fun () ->
     match Aa_experiments.Figures.find figure with
     | None ->
         Printf.eprintf "unknown figure %S; try the 'figures' command\n" figure;
@@ -284,7 +325,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Rerun one of the paper's experiment sweeps.")
-    Term.(const run $ figure $ trials $ seed_t $ jobs_t $ svg_out)
+    Term.(const run $ figure $ trials $ seed_t $ jobs_t $ svg_out $ trace_t $ counters_t)
 
 let figures_cmd =
   let run () =

@@ -32,8 +32,9 @@ let check_flags engine servers capacity =
         (Engine.capacity engine)
   | Some _ | None -> ()
 
-let serve servers capacity journal replay =
-  let clock = Unix.gettimeofday in
+let serve servers capacity journal replay trace =
+  if trace then Aa_obs.Control.set_enabled true;
+  let clock = Aa_obs.Clock.now_s in
   let engine =
     match (journal, replay) with
     | None, true -> fail "--replay requires --journal"
@@ -108,9 +109,17 @@ let main_cmd =
             "Recover state by replaying the journal before serving (the file must \
              exist); new mutations keep appending to it.")
   in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Enable span tracing and counters at startup, so the TRACE request \
+             returns per-request phase spans instead of an empty array.")
+  in
   Cmd.v
     (Cmd.info "aa_serve" ~version:"1.0.0"
        ~doc:"stateful AA allocation daemon (stdin/stdout request loop)")
-    Term.(const serve $ servers $ capacity $ journal $ replay)
+    Term.(const serve $ servers $ capacity $ journal $ replay $ trace)
 
 let () = exit (Cmd.eval main_cmd)

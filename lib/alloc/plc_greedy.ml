@@ -5,6 +5,12 @@ type result = { alloc : float array; utility : float; lambda : float }
 
 type piece = { thread : int; len : float; slope : float }
 
+(* The sort over all positive-slope segments dominates this allocator
+   (the log factor of the superopt), so the piece count is its cost
+   telemetry. *)
+let c_calls = Aa_obs.Registry.counter "plc_greedy.calls"
+let c_pieces = Aa_obs.Registry.counter "plc_greedy.pieces"
+
 let total_utility fs alloc =
   if Array.length fs <> Array.length alloc then
     invalid_arg "Plc_greedy.total_utility: length mismatch";
@@ -22,6 +28,8 @@ let allocate ?(exhaust = true) ~budget fs =
       (Plc.segments fs.(i))
   done;
   let pieces = Array.of_list !pieces in
+  Aa_obs.Registry.Counter.incr c_calls;
+  Aa_obs.Registry.Counter.add c_pieces (Array.length pieces);
   (* Highest slope first; ties resolved by thread index for determinism.
      Within one thread slopes strictly decrease, so this order also fills
      each thread's segments left to right. *)

@@ -3,11 +3,20 @@ open Aa_utility
 
 type result = { alloc : float array; utility : float; lambda : float }
 
+(* Price-discovery telemetry: each objective evaluation of the
+   λ-bisection sweeps all n demands, so evals × n is the dominant cost
+   of the water-filling superopt (the convergence metric Agrawal-style
+   allocators report). *)
+let c_calls = Aa_obs.Registry.counter "waterfill.calls"
+let c_demand_evals = Aa_obs.Registry.counter "waterfill.demand_evals"
+let c_bracket = Aa_obs.Registry.counter "waterfill.bracket_doublings"
+
 let total fs alloc =
   Util.sum_by (fun i -> Utility.eval fs.(i) alloc.(i)) (Array.init (Array.length fs) Fun.id)
 
 let allocate ?(iters = 200) ~budget fs =
   if budget < 0.0 then invalid_arg "Waterfill.allocate: negative budget";
+  Aa_obs.Registry.Counter.incr c_calls;
   let n = Array.length fs in
   let caps = Array.map Utility.cap fs in
   let cap_sum = Util.kahan_sum caps in
@@ -15,7 +24,10 @@ let allocate ?(iters = 200) ~budget fs =
     (* Budget is not binding: everyone gets their cap. *)
     { alloc = caps; utility = total fs caps; lambda = 0.0 }
   else begin
-    let demand_sum lambda = Util.sum_by (fun f -> Utility.demand f lambda) fs in
+    let demand_sum lambda =
+      Aa_obs.Registry.Counter.incr c_demand_evals;
+      Util.sum_by (fun f -> Utility.demand f lambda) fs
+    in
     (* Bracket the clearing price: demand_sum 0 = cap_sum > budget, and
        demand_sum is nonincreasing, so double until demand falls below. *)
     let hi = ref 1.0 in
@@ -24,6 +36,7 @@ let allocate ?(iters = 200) ~budget fs =
       hi := !hi *. 2.0;
       incr tries
     done;
+    Aa_obs.Registry.Counter.add c_bracket !tries;
     let lambda =
       Root.bisect ~iters ~f:(fun l -> demand_sum l -. budget) ~lo:0.0 ~hi:!hi ()
     in

@@ -278,8 +278,60 @@ let todo_format_rule =
   in
   { id; summary = "TODO/FIXME/XXX without a (owner|#issue) tracking tag"; check }
 
+(* --- wall-clock ------------------------------------------------------ *)
+
+(* (module, function) pairs that read the wall clock directly. *)
+let wall_clock_targets = [ ("Unix", "gettimeofday"); ("Unix", "time"); ("Sys", "time") ]
+
+let wall_clock_rule =
+  let id = "wall-clock" in
+  let check ~file toks =
+    (* Aa_obs.Clock is the one sanctioned wall-clock reader; everything
+       else must go through it so clock reads stay out of the
+       deterministic-replay paths and spans share one time base. *)
+    if under "lib/obs" file then []
+    else
+      let code = Token.code_only toks in
+      let out = ref [] in
+      Array.iteri
+        (fun i (t : Token.t) ->
+          if
+            t.kind = Token.Uident
+            && i + 2 < Array.length code
+            && List.exists
+                 (fun (m, f) ->
+                   String.equal t.text m
+                   && Token.is_op code.(i + 1) "."
+                   && code.(i + 2).kind = Token.Ident
+                   && String.equal code.(i + 2).text f)
+                 wall_clock_targets
+          then
+            out :=
+              v ~rule:id ~file t
+                (Printf.sprintf
+                   "direct wall-clock read %s.%s: use Aa_obs.Clock (now_s/now_ns \
+                    are monotonized, wall_s for absolute timestamps) so clock \
+                    reads stay in one place"
+                   t.text code.(i + 2).text)
+              :: !out)
+        code;
+      List.rev !out
+  in
+  {
+    id;
+    summary = "Unix.gettimeofday/Unix.time/Sys.time outside lib/obs (use Aa_obs.Clock)";
+    check;
+  }
+
 let all =
-  [ catch_all_rule; float_eq_rule; no_failwith_rule; partial_fn_rule; todo_format_rule ]
+  [
+    catch_all_rule;
+    float_eq_rule;
+    no_failwith_rule;
+    partial_fn_rule;
+    todo_format_rule;
+    wall_clock_rule;
+  ]
 
 let find id = List.find_opt (fun r -> String.equal r.id id) all
 

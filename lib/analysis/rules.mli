@@ -29,7 +29,11 @@ val all : t list
     - [catch-all]: [try ... with _ ->] swallowing every exception.
     - [no-failwith]: [failwith] in [lib/core] / [lib/alloc] library code.
     - [todo-format]: TODO/FIXME/XXX comments without a [(owner|#issue)]
-      tracking tag. *)
+      tracking tag.
+    - [wall-clock]: [Unix.gettimeofday], [Unix.time] or [Sys.time]
+      anywhere except [lib/obs] — clock reads go through [Aa_obs.Clock]
+      so deterministic-replay code stays clock-free and all spans share
+      one time base. *)
 
 val find : string -> t option
 (** Look a rule up by id. *)

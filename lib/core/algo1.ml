@@ -1,4 +1,13 @@
+(* Pair scans count the (thread, server) probes of the O(n^2 m)
+   candidate search — the quantity Algorithm 2 exists to avoid. A
+   local accumulator keeps the hot loop free of atomics. *)
+let c_solves = Aa_obs.Registry.counter "algo1.solves"
+let c_scans = Aa_obs.Registry.counter "algo1.pair_scans"
+
 let solve ?linearized (inst : Instance.t) =
+  Aa_obs.Registry.Counter.incr c_solves;
+  Aa_obs.Trace.begin_span "algo1";
+  let scans = ref 0 in
   let lin = match linearized with Some l -> l | None -> Linearized.make inst in
   let n = Instance.n_threads inst in
   let m = inst.servers in
@@ -13,6 +22,7 @@ let solve ?linearized (inst : Instance.t) =
     for i = 0 to n - 1 do
       if unassigned.(i) then begin
         let th = lin.threads.(i) in
+        scans := !scans + m;
         for j = 0 to m - 1 do
           if remaining.(j) >= th.chat then begin
             let better =
@@ -40,6 +50,7 @@ let solve ?linearized (inst : Instance.t) =
           for i = 0 to n - 1 do
             if unassigned.(i) then begin
               let th = lin.threads.(i) in
+              scans := !scans + m;
               for j = 0 to m - 1 do
                 let v = Linearized.g_value th remaining.(j) in
                 let better =
@@ -68,4 +79,6 @@ let solve ?linearized (inst : Instance.t) =
         alloc.(i) <- c;
         remaining.(j) <- remaining.(j) -. c
   done;
+  Aa_obs.Registry.Counter.add c_scans !scans;
+  Aa_obs.Trace.end_span ();
   Assignment.make ~server ~alloc

@@ -27,6 +27,10 @@ module Scratch = struct
         h
 end
 
+let c_solves = Aa_obs.Registry.counter "algo2.solves"
+let c_sorts = Aa_obs.Registry.counter "algo2.sorts"
+let c_assigned = Aa_obs.Registry.counter "algo2.threads_assigned"
+
 let by_peak (lin : Linearized.t) a b =
   let pa = lin.threads.(a).peak and pb = lin.threads.(b).peak in
   match compare pb pa with 0 -> compare a b | c -> c
@@ -47,7 +51,11 @@ let order_into ?(tail_resort = true) (lin : Linearized.t) idx =
     idx.(i) <- i
   done;
   Array.sort (by_peak lin) idx;
-  if tail_resort && n > m then Util.sort_range (by_slope lin) idx ~lo:m ~len:(n - m)
+  Aa_obs.Registry.Counter.incr c_sorts;
+  if tail_resort && n > m then begin
+    Util.sort_range (by_slope lin) idx ~lo:m ~len:(n - m);
+    Aa_obs.Registry.Counter.incr c_sorts
+  end
 
 let order ?tail_resort (lin : Linearized.t) =
   let idx = Array.make (Array.length lin.threads) 0 in
@@ -56,6 +64,8 @@ let order ?tail_resort (lin : Linearized.t) =
 
 let solve ?linearized ?tail_resort ?(server_rule = `Max_remaining) ?scratch
     (inst : Instance.t) =
+  Aa_obs.Registry.Counter.incr c_solves;
+  Aa_obs.Trace.begin_span "algo2";
   let lin = match linearized with Some l -> l | None -> Linearized.make inst in
   let n = Instance.n_threads inst in
   let m = inst.servers in
@@ -95,4 +105,6 @@ let solve ?linearized ?tail_resort ?(server_rule = `Max_remaining) ?scratch
       alloc.(i) <- c;
       Heap.Indexed.update heap j (available -. c))
     idx;
+  Aa_obs.Registry.Counter.add c_assigned n;
+  Aa_obs.Trace.end_span ();
   Assignment.make ~server ~alloc

@@ -10,10 +10,12 @@ type t = {
 let budget (inst : Instance.t) = float_of_int inst.servers *. inst.capacity
 
 let compute ?samples ?exhaust (inst : Instance.t) =
+  Aa_obs.Trace.span "superopt" @@ fun () ->
   let plc = Instance.to_plc ?samples inst in
   let r = Plc_greedy.allocate ?exhaust ~budget:(budget inst) plc in
   { chat = r.alloc; utility = r.utility; lambda = r.lambda; plc }
 
 let compute_waterfill ?iters (inst : Instance.t) =
+  Aa_obs.Trace.span "superopt.waterfill" @@ fun () ->
   let r = Waterfill.allocate ?iters ~budget:(budget inst) inst.utilities in
   { chat = r.alloc; utility = r.utility; lambda = r.lambda; plc = Instance.to_plc inst }

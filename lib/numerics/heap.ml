@@ -73,11 +73,18 @@ module Indexed = struct
     n : int;
   }
 
+  (* Sift swaps are the heap-op count behind Algorithm 2's
+     O(n log m) assignment phase — a pure function of the key
+     sequence, so the total is schedule-independent. *)
+  let c_swaps = Aa_obs.Registry.counter "heap.sift_swaps"
+  let c_updates = Aa_obs.Registry.counter "heap.updates"
+
   (* Element a beats element b when its priority is higher, or equal with a
      smaller index: makes consumers (Algorithm 2) deterministic. *)
   let beats t a b = t.prio.(a) > t.prio.(b) || (t.prio.(a) = t.prio.(b) && a < b)
 
   let swap t i j =
+    Aa_obs.Registry.Counter.incr c_swaps;
     let a = t.heap.(i) and b = t.heap.(j) in
     t.heap.(i) <- b;
     t.heap.(j) <- a;
@@ -122,6 +129,7 @@ module Indexed = struct
   let priority t e = t.prio.(e)
 
   let update t e p =
+    Aa_obs.Registry.Counter.incr c_updates;
     let old = t.prio.(e) in
     t.prio.(e) <- p;
     let i = t.pos.(e) in

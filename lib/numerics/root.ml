@@ -1,5 +1,12 @@
+(* Convergence telemetry: iteration counts are the primary cost metric
+   of every λ-search in the tree (the paper's O(log mC) factors), and
+   they are a pure function of the bracket and f — safe to count. *)
+let c_bisect_calls = Aa_obs.Registry.counter "root.bisect.calls"
+let c_bisect_iters = Aa_obs.Registry.counter "root.bisect.iters"
+
 let bisect ?(iters = 200) ~f ~lo ~hi () =
   if not (lo <= hi) then invalid_arg "Root.bisect: need lo <= hi";
+  Aa_obs.Registry.Counter.incr c_bisect_calls;
   let lo = ref lo and hi = ref hi in
   (* Stop early once the bracket collapses to float resolution: past that
      point midpoints repeat and the remaining iterations are pure waste. *)
@@ -14,6 +21,7 @@ let bisect ?(iters = 200) ~f ~lo ~hi () =
       incr i
     end
   done;
+  Aa_obs.Registry.Counter.add c_bisect_iters !i;
   0.5 *. (!lo +. !hi)
 
 let bisect_int ~f ~lo ~hi =

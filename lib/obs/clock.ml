@@ -1,0 +1,30 @@
+(* The one place in the tree allowed to read a wall clock (the
+   [wall-clock] lint rule pins everything else to this module): solver
+   results must be a pure function of their inputs, so time never flows
+   into them — it flows into spans, latency histograms and utilization
+   reports, all of which live behind Aa_obs.
+
+   OCaml's stdlib exposes no monotonic clock, so [now_ns] monotonizes
+   [Unix.gettimeofday] against a process-wide high-water mark: a
+   backwards step (NTP, VM migration) reads as a zero-length interval
+   instead of a negative one. Timestamps are nanoseconds since module
+   initialization, kept in a native int (63 bits of ns ≈ 292 years) so
+   the high-water CAS works on an unboxed value. *)
+
+let raw_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let epoch = raw_ns ()
+let high_water = Atomic.make 0
+
+let now_ns () =
+  let t = raw_ns () - epoch in
+  let rec fix () =
+    let last = Atomic.get high_water in
+    if t <= last then last
+    else if Atomic.compare_and_set high_water last t then t
+    else fix ()
+  in
+  fix ()
+
+let now_s () = float_of_int (now_ns ()) *. 1e-9
+let wall_s () = Unix.gettimeofday ()

@@ -1,0 +1,22 @@
+(** The observability clock — and the only sanctioned wall-clock read in
+    the tree (enforced by the [wall-clock] lint rule): deterministic
+    replay holds because time flows into spans and reports, never into
+    solver results.
+
+    [now_ns] is nondecreasing across all domains (a monotonized
+    [Unix.gettimeofday]); backwards wall-clock steps read as zero-length
+    intervals. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since process start (module initialization),
+    nondecreasing across domains. *)
+
+val now_s : unit -> float
+(** [now_ns] in seconds — the default latency clock of
+    {!Aa_service.Engine}. *)
+
+val wall_s : unit -> float
+(** Raw [Unix.gettimeofday]: seconds since the Unix epoch, {e not}
+    monotonic. For timestamps meant to be compared across processes
+    (e.g. the bench trajectory's [generated_unix]); use {!now_ns} for
+    intervals. *)

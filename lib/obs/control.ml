@@ -1,0 +1,14 @@
+(* The single on/off switch for every probe in the tree. Probes read it
+   with one atomic load; when it is false they fall through without
+   allocating, taking a clock sample, or touching any shared state —
+   that is the whole deal that lets instrumentation live permanently in
+   hot paths. *)
+
+let enabled = Atomic.make false
+let on () = Atomic.get enabled
+let set_enabled v = Atomic.set enabled v
+
+let with_enabled v f =
+  let prev = Atomic.get enabled in
+  Atomic.set enabled v;
+  Fun.protect ~finally:(fun () -> Atomic.set enabled prev) f

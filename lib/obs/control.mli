@@ -1,0 +1,25 @@
+(** The global observability switch.
+
+    Every probe ({!Registry} counters and gauges, {!Trace} spans, the
+    pool and engine hooks threaded through the libraries) checks this
+    flag first and does nothing — no allocation, no clock read, no
+    atomic write — while it is off. Off is the default, so shipping
+    instrumented code costs one predictable branch per probe site. *)
+
+val on : unit -> bool
+(** One atomic load; inlineable guard for probe sites. *)
+
+val set_enabled : bool -> unit
+(** Flip the switch. Takes effect immediately on every domain.
+
+    Flip only at quiescence with respect to spans: a span whose
+    [begin] ran while the switch was on and whose [end] runs after a
+    flip to off is never closed (the end is gated on the flag), which
+    {!Trace.unbalanced} will report. Exports stay well-formed either
+    way, but keep the flag constant while other domains may have spans
+    open. *)
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run with the switch forced to the given value, restoring the
+    previous state afterwards (also on exception). The quiescence
+    caveat of {!set_enabled} applies at both transitions. *)

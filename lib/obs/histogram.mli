@@ -1,0 +1,27 @@
+(** Log-bucketed histogram (seconds), shared by the service latency
+    metrics and the observability layer. Everything is O(1) per sample —
+    values go into fixed log-scale buckets (20 per decade from 1 ns to
+    1000 s), so quantiles carry ~±6% relative bucketing error, plenty
+    for an operational view. Fixed buckets make {!merge} exact. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one sample; values at or below 1 ns land in the first
+    bucket, values beyond ~1000 s in the last. *)
+
+val count : t -> int
+
+val merge : t -> t -> t
+(** Elementwise sum into a fresh histogram. Buckets are fixed and
+    identical across instances, so merging per-domain histograms is
+    deterministic and loses nothing: quantiles of the merge equal
+    quantiles of the combined sample stream. *)
+
+val quantile : t -> float -> float
+(** [quantile t q]: the geometric midpoint of the bucket holding the
+    [q]-th order statistic. Pinned edge behavior: [0.] when the
+    histogram is empty (for any valid [q], including [0.] and [1.]);
+    [Invalid_argument] when [q] is outside [[0, 1]] (NaN included). *)

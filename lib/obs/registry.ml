@@ -1,0 +1,100 @@
+(* Named monotonic counters and gauges, registered process-wide.
+
+   Registration (module-initialization time) takes a mutex; the hot
+   path — incrementing a counter you already hold — is one atomic load
+   of the Control switch and, only when observability is on, one
+   fetch-and-add. Counters must stay schedule-independent: probe sites
+   only add quantities that are a pure function of the work performed
+   (iterations, heap ops, threads assigned), so the totals are
+   identical for every AA_JOBS value — atomic addition commutes.
+   Gauges carry last-write-wins observations (pool utilization) and
+   are allowed to be schedule-dependent; reproducibility checks compare
+   counters only. *)
+
+module Counter = struct
+  type t = { name : string; v : int Atomic.t }
+
+  let add t n = if Control.on () && n <> 0 then ignore (Atomic.fetch_and_add t.v n)
+  let incr t = if Control.on () then ignore (Atomic.fetch_and_add t.v 1)
+  let value t = Atomic.get t.v
+  let name t = t.name
+end
+
+module Gauge = struct
+  type t = { name : string; v : float Atomic.t }
+
+  let set t x = if Control.on () then Atomic.set t.v x
+  let value t = Atomic.get t.v
+  let name t = t.name
+end
+
+let lock = Mutex.create ()
+let counters_reg : Counter.t list ref = ref []
+let gauges_reg : Gauge.t list ref = ref []
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counter name =
+  locked (fun () ->
+      match List.find_opt (fun (c : Counter.t) -> String.equal c.name name) !counters_reg with
+      | Some c -> c
+      | None ->
+          let c = { Counter.name; v = Atomic.make 0 } in
+          counters_reg := c :: !counters_reg;
+          c)
+
+let gauge name =
+  locked (fun () ->
+      match List.find_opt (fun (g : Gauge.t) -> String.equal g.name name) !gauges_reg with
+      | Some g -> g
+      | None ->
+          let g = { Gauge.name; v = Atomic.make 0.0 } in
+          gauges_reg := g :: !gauges_reg;
+          g)
+
+let by_name name_of a b = String.compare (name_of a) (name_of b)
+
+let counters () =
+  locked (fun () -> !counters_reg)
+  |> List.sort (by_name Counter.name)
+  |> List.map (fun (c : Counter.t) -> (c.name, Counter.value c))
+
+let gauges () =
+  locked (fun () -> !gauges_reg)
+  |> List.sort (by_name Gauge.name)
+  |> List.map (fun (g : Gauge.t) -> (g.name, Gauge.value g))
+
+let dump () =
+  List.map (fun (k, v) -> (k, string_of_int v)) (counters ())
+  @ List.map (fun (k, v) -> (k, Printf.sprintf "%.6g" v)) (gauges ())
+
+let reset () =
+  locked (fun () ->
+      List.iter (fun (c : Counter.t) -> Atomic.set c.v 0) !counters_reg;
+      List.iter (fun (g : Gauge.t) -> Atomic.set g.v 0.0) !gauges_reg)
+
+(* Prometheus text exposition: metric names restricted to
+   [a-zA-Z0-9_:], so dots and dashes become underscores; every metric
+   carries the [aa_] namespace prefix. *)
+let sanitize name =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then c
+      else '_')
+    name
+
+let expose () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = "aa_" ^ sanitize name in
+      Printf.bprintf b "# TYPE %s counter\n%s %d\n" n n v)
+    (counters ());
+  List.iter
+    (fun (name, v) ->
+      let n = "aa_" ^ sanitize name in
+      Printf.bprintf b "# TYPE %s gauge\n%s %.9g\n" n n v)
+    (gauges ());
+  Buffer.contents b

@@ -1,0 +1,56 @@
+(** Process-wide registry of named monotonic counters and gauges.
+
+    Handles are obtained once (typically at module initialization) with
+    {!counter} / {!gauge}; the same name always yields the same handle.
+    Mutation is guarded by {!Control.on}: while observability is off,
+    [Counter.incr]/[Gauge.set] are a single branch and allocate nothing.
+
+    {b Determinism contract}: counter probe sites may only add
+    quantities that are a pure function of the computation performed
+    (bisection iterations, heap sift swaps, threads assigned, chunks in
+    a fixed partition). Atomic addition commutes, so counter totals are
+    then bit-identical across every [AA_JOBS] value — the property the
+    obs test suite pins. Gauges are last-write-wins observations (e.g.
+    per-domain pool busy time) and may legitimately vary with the
+    schedule; comparisons across job counts must use {!counters} only. *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val value : t -> float
+  val name : t -> string
+end
+
+val counter : string -> Counter.t
+(** Find or register the counter with this name. Names use dotted
+    lower-case paths, e.g. ["algo2.heap_ops"]. *)
+
+val gauge : string -> Gauge.t
+
+val counters : unit -> (string * int) list
+(** Snapshot of every registered counter, sorted by name. *)
+
+val gauges : unit -> (string * float) list
+(** Snapshot of every registered gauge, sorted by name. *)
+
+val dump : unit -> (string * string) list
+(** Counters then gauges, each sorted by name, values rendered. *)
+
+val reset : unit -> unit
+(** Zero every counter and gauge. Call only at quiescence (no domain
+    mid-probe); meant for tests and between bench experiments. *)
+
+val expose : unit -> string
+(** Prometheus text exposition: [# TYPE aa_<name> counter] /
+    [aa_<name> <value>] lines, names sanitized to [[a-zA-Z0-9_]] with
+    an [aa_] prefix. *)

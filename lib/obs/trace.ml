@@ -1,0 +1,229 @@
+(* Nestable timed spans over per-domain ring buffers.
+
+   Each domain that records spans owns a private ring (created lazily
+   through domain-local storage and registered under a mutex once), so
+   the hot path — begin/end of a span — is two array writes and a clock
+   sample with no cross-domain synchronization at all; "lock-free-ish"
+   means the only lock is at buffer creation. When a ring wraps, the
+   oldest events are overwritten (a long-running daemon keeps its most
+   recent history) and the overwrite count is reported.
+
+   Export sanitizes each buffer into a well-formed span stream: an end
+   whose begin was overwritten is dropped, and spans still open at dump
+   time get a synthesized end at the buffer's last timestamp — so the
+   Chrome trace_event output always balances B/E per thread, which is
+   what keeps Perfetto and chrome://tracing happy even for a dump taken
+   mid-request. Exports and [clear] walk other domains' buffers and are
+   meant for quiescence (or a single-domain daemon dumping itself);
+   they never crash on a torn read, but a span recorded concurrently
+   with the dump may be missing from it. *)
+
+let capacity = 1 lsl 15
+
+type buf = {
+  dom : int;
+  names : string array;
+  ts : int array;
+  is_begin : bool array;
+  mutable head : int;  (* total events ever written; slot = head mod capacity *)
+  mutable depth : int;  (* spans currently open on this domain *)
+}
+
+let reg_lock = Mutex.create ()
+let buffers : buf list ref = ref []
+
+let make_buf () =
+  let b =
+    {
+      dom = (Domain.self () :> int);
+      names = Array.make capacity "";
+      ts = Array.make capacity 0;
+      is_begin = Array.make capacity false;
+      head = 0;
+      depth = 0;
+    }
+  in
+  Mutex.lock reg_lock;
+  buffers := b :: !buffers;
+  Mutex.unlock reg_lock;
+  b
+
+let key = Domain.DLS.new_key make_buf
+
+let record name is_begin =
+  let b = Domain.DLS.get key in
+  let i = b.head land (capacity - 1) in
+  b.names.(i) <- name;
+  b.is_begin.(i) <- is_begin;
+  b.ts.(i) <- Clock.now_ns ();
+  b.head <- b.head + 1;
+  b
+
+let begin_span name =
+  if Control.on () then begin
+    let b = record name true in
+    b.depth <- b.depth + 1
+  end
+
+let end_span () =
+  if Control.on () then begin
+    let b = record "" false in
+    if b.depth > 0 then b.depth <- b.depth - 1
+  end
+
+let span name f =
+  if not (Control.on ()) then f ()
+  else begin
+    begin_span name;
+    match f () with
+    | r ->
+        end_span ();
+        r
+    | exception e ->
+        end_span ();
+        raise e
+  end
+
+(* --- export --------------------------------------------------------- *)
+
+type event = { domain : int; name : string; is_begin : bool; ts_ns : int }
+
+let all_buffers () =
+  Mutex.lock reg_lock;
+  let l = !buffers in
+  Mutex.unlock reg_lock;
+  List.sort (fun a b -> compare a.dom b.dom) l
+
+(* One buffer's events in chronological order, sanitized to a balanced
+   B/E stream (see the header comment). *)
+let buffer_events (b : buf) =
+  let head = b.head in
+  let lo = max 0 (head - capacity) in
+  let out = ref [] in
+  let stack = ref [] in
+  let last_ts = ref 0 in
+  for i = lo to head - 1 do
+    let s = i land (capacity - 1) in
+    let ts = b.ts.(s) in
+    if ts > !last_ts then last_ts := ts;
+    if b.is_begin.(s) then begin
+      stack := b.names.(s) :: !stack;
+      out := { domain = b.dom; name = b.names.(s); is_begin = true; ts_ns = ts } :: !out
+    end
+    else
+      match !stack with
+      | [] -> () (* orphan end: its begin was overwritten *)
+      | n :: rest ->
+          stack := rest;
+          out := { domain = b.dom; name = n; is_begin = false; ts_ns = ts } :: !out
+  done;
+  (* spans still open at dump time: synthesize their ends *)
+  List.iter
+    (fun n ->
+      out := { domain = b.dom; name = n; is_begin = false; ts_ns = !last_ts } :: !out)
+    !stack;
+  List.rev !out
+
+let events () = List.concat_map buffer_events (all_buffers ())
+let n_events () = List.length (events ())
+let recorded () = List.fold_left (fun acc b -> acc + b.head) 0 (all_buffers ())
+
+let overwritten () =
+  List.fold_left (fun acc b -> acc + max 0 (b.head - capacity)) 0 (all_buffers ())
+
+let unbalanced () = List.fold_left (fun acc b -> acc + b.depth) 0 (all_buffers ())
+
+let clear () =
+  List.iter
+    (fun b ->
+      b.head <- 0;
+      b.depth <- 0)
+    (all_buffers ())
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Printf.bprintf b "\\u%04x" (Char.code c)
+      | c -> Buffer.add_char b c)
+    s
+
+(* Chrome trace_event JSON (the "JSON array format"): load the file in
+   Perfetto (ui.perfetto.dev) or chrome://tracing. [ts] is microseconds
+   with ns precision; each domain renders as one thread (tid). *)
+let to_chrome_json ?(compact = false) () =
+  let evs = events () in
+  let b = Buffer.create 4096 in
+  let sep = if compact then "" else "\n" in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b sep;
+      Buffer.add_string b "{\"name\":\"";
+      add_escaped b e.name;
+      Printf.bprintf b "\",\"cat\":\"aa\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+        (if e.is_begin then "B" else "E")
+        (float_of_int e.ts_ns /. 1000.0)
+        e.domain)
+    evs;
+  Buffer.add_string b sep;
+  Buffer.add_char b ']';
+  Buffer.contents b
+
+(* Aligned text rendering of the same data: one block per domain, spans
+   indented by nesting depth, durations from the matching end. *)
+let to_text_tree ?(limit = 10_000) () =
+  let out = Buffer.create 1024 in
+  List.iter
+    (fun buf ->
+      let evs = buffer_events buf in
+      if evs <> [] then begin
+        let ov = max 0 (buf.head - capacity) in
+        Printf.bprintf out "domain %d: %d event(s)%s\n" buf.dom (List.length evs)
+          (if ov > 0 then Printf.sprintf ", %d overwritten" ov else "");
+        (* rebuild the nesting: nodes in begin order, duration at end *)
+        let module N = struct
+          type node = { name : string; t0 : int; mutable t1 : int; depth : int }
+        end in
+        let nodes = ref [] in
+        let stack = ref [] in
+        List.iter
+          (fun e ->
+            if e.is_begin then begin
+              let nd =
+                { N.name = e.name; t0 = e.ts_ns; t1 = e.ts_ns; depth = List.length !stack }
+              in
+              nodes := nd :: !nodes;
+              stack := nd :: !stack
+            end
+            else
+              match !stack with
+              | nd :: rest ->
+                  nd.N.t1 <- e.ts_ns;
+                  stack := rest
+              | [] -> ())
+          evs;
+        let printed = ref 0 in
+        List.iter
+          (fun (nd : N.node) ->
+            incr printed;
+            if !printed <= limit then begin
+              let label = String.make (2 + (2 * nd.depth)) ' ' ^ nd.name in
+              let pad =
+                if String.length label >= 44 then " " else String.make (44 - String.length label) ' '
+              in
+              Printf.bprintf out "%s%s%12.3f ms\n" label pad
+                (float_of_int (nd.t1 - nd.t0) /. 1e6)
+            end)
+          (List.rev !nodes);
+        if !printed > limit then
+          Printf.bprintf out "  … %d more span(s) truncated\n" (!printed - limit)
+      end)
+    (all_buffers ());
+  Buffer.contents out

@@ -1,0 +1,66 @@
+(** Nestable timed spans over per-domain ring buffers.
+
+    A span is a named region between {!begin_span} and {!end_span}
+    (prefer the exception-safe {!span} wrapper outside hot loops),
+    timestamped on the {!Clock}. Each domain records into its own
+    fixed-size ring — no cross-domain synchronization on the hot path —
+    and all probes are no-ops while {!Control.on} is false. When a ring
+    wraps, the oldest events are overwritten ({!overwritten} counts
+    them).
+
+    Exporters sanitize every buffer into a balanced B/E stream: ends
+    whose begins were overwritten are dropped, spans still open at dump
+    time get synthesized ends — so {!to_chrome_json} is always loadable
+    in Perfetto / chrome://tracing, even dumped mid-request. Exports,
+    {!clear} and the accounting reads walk other domains' buffers and
+    are meant for quiescence (or a single-domain daemon dumping
+    itself): never a crash, but spans recorded concurrently with the
+    dump may be missed. *)
+
+val begin_span : string -> unit
+(** Open a span on the calling domain. Allocation-free on the hot path
+    (the name should be a literal or pre-built string); no-op while
+    observability is off. Must be balanced by {!end_span} on the same
+    domain — [begin_span]/[end_span] pairs must not straddle a chunk
+    boundary handed to another domain. *)
+
+val end_span : unit -> unit
+(** Close the innermost open span on the calling domain. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a span, closing it also on exception.
+    The closure makes this the convenient form everywhere except
+    allocation-sensitive inner loops, where the [begin_span]/[end_span]
+    pair keeps the disabled path allocation-free. *)
+
+type event = { domain : int; name : string; is_begin : bool; ts_ns : int }
+
+val events : unit -> event list
+(** The sanitized, per-domain-chronological event stream behind the
+    exporters: per domain, every begin has a matching end (in
+    particular [end] events carry their span's name). *)
+
+val n_events : unit -> int
+val recorded : unit -> int
+(** Raw events ever written, including overwritten ones — cheap (no
+    buffer walk), monotonic; what the bench uses for per-experiment
+    span deltas. *)
+
+val overwritten : unit -> int
+val unbalanced : unit -> int
+(** Spans currently open across all domains. Zero at quiescence; the
+    bench treats a nonzero value at exit as a hard error. *)
+
+val clear : unit -> unit
+(** Drop all recorded events (buffers stay allocated). Quiescence only. *)
+
+val to_chrome_json : ?compact:bool -> unit -> string
+(** Chrome [trace_event] JSON array ([{"name":…,"ph":"B"|"E","ts":…,
+    "pid":1,"tid":<domain>}]): load in Perfetto (ui.perfetto.dev) or
+    chrome://tracing. [ts] is microseconds at ns precision. [compact]
+    puts everything on one line (the wire form of the TRACE request). *)
+
+val to_text_tree : ?limit:int -> unit -> string
+(** Human-readable rendering: one block per domain, spans indented by
+    nesting depth with millisecond durations; at most [limit] spans per
+    domain (default 10000). *)

@@ -22,7 +22,19 @@ type t = {
   mutable busy : int;  (* workers still inside the current job *)
   mutable error : exn option;  (* first exception raised by any chunk *)
   mutable stop : bool;
+  (* Telemetry, populated only while Aa_obs is enabled. Slot s is
+     written only by the domain owning slot s (workers 0..size-2, the
+     caller is slot size-1); [stats] reads without synchronization,
+     which is fine for an advisory report (immediate ints never tear). *)
+  busy_ns : int array;
+  chunks_done : int array;
+  created_ns : int;
 }
+
+type stat = { slot : int; busy_ns : int; chunks : int }
+
+let c_runs = Aa_obs.Registry.counter "pool.runs"
+let c_chunks = Aa_obs.Registry.counter "pool.chunks"
 
 let default_domains () =
   match Sys.getenv_opt "AA_JOBS" with
@@ -36,22 +48,30 @@ let default_domains () =
    domains and on the caller's domain alike. The first exception is
    recorded under the lock; later chunks still run (draining is simpler
    and the jobs here are short), later exceptions are dropped. *)
-let drain t (j : job) =
+let drain t ~slot (j : job) =
   let rec loop () =
     let lo = Atomic.fetch_and_add j.next j.chunk in
     if lo < j.n then begin
       let hi = min (lo + j.chunk) j.n in
+      let obs = Aa_obs.Control.on () in
+      let t0 = if obs then Aa_obs.Clock.now_ns () else 0 in
+      if obs then Aa_obs.Trace.begin_span "pool.chunk";
       (try j.work ~lo ~hi
        with e ->
          Mutex.lock t.lock;
          if t.error = None then t.error <- Some e;
          Mutex.unlock t.lock);
+      if obs then begin
+        Aa_obs.Trace.end_span ();
+        t.busy_ns.(slot) <- t.busy_ns.(slot) + (Aa_obs.Clock.now_ns () - t0);
+        t.chunks_done.(slot) <- t.chunks_done.(slot) + 1
+      end;
       loop ()
     end
   in
   loop ()
 
-let worker t () =
+let worker t slot () =
   let seen = ref 0 in
   let rec serve () =
     Mutex.lock t.lock;
@@ -63,7 +83,7 @@ let worker t () =
       seen := t.epoch;
       let j = t.job in
       Mutex.unlock t.lock;
-      (match j with Some j -> drain t j | None -> ());
+      (match j with Some j -> drain t ~slot j | None -> ());
       Mutex.lock t.lock;
       t.busy <- t.busy - 1;
       if t.busy = 0 then Condition.broadcast t.done_;
@@ -87,9 +107,12 @@ let create ?domains () =
       busy = 0;
       error = None;
       stop = false;
+      busy_ns = Array.make size 0;
+      chunks_done = Array.make size 0;
+      created_ns = Aa_obs.Clock.now_ns ();
     }
   in
-  t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (worker t));
+  t.workers <- Array.init (size - 1) (fun w -> Domain.spawn (worker t w));
   t
 
 let size t = t.size
@@ -98,11 +121,16 @@ let run t ~n ~chunk work =
   if chunk < 1 then invalid_arg "Pool.run: chunk must be >= 1";
   if n < 0 then invalid_arg "Pool.run: negative n";
   if n > 0 then begin
+    Aa_obs.Registry.Counter.incr c_runs;
+    (* chunk count is ceil(n / chunk): a pure function of the job shape,
+       never of the schedule — safe under the counter determinism
+       contract even though which slot claims each chunk is not. *)
+    Aa_obs.Registry.Counter.add c_chunks ((n + chunk - 1) / chunk);
     let j = { work; n; chunk; next = Atomic.make 0 } in
     if Array.length t.workers = 0 then begin
       (* inline pool: same chunk walk, no synchronization *)
       t.error <- None;
-      drain t j
+      drain t ~slot:(t.size - 1) j
     end
     else begin
       Mutex.lock t.lock;
@@ -112,7 +140,7 @@ let run t ~n ~chunk work =
       t.error <- None;
       Condition.broadcast t.wake;
       Mutex.unlock t.lock;
-      drain t j;
+      drain t ~slot:(t.size - 1) j;
       Mutex.lock t.lock;
       while t.busy > 0 do
         Condition.wait t.done_ t.lock
@@ -154,6 +182,31 @@ let shutdown t =
     Array.iter Domain.join t.workers;
     t.workers <- [||]
   end
+
+let stats t =
+  Array.init t.size (fun s ->
+      { slot = s; busy_ns = t.busy_ns.(s); chunks = t.chunks_done.(s) })
+
+let utilization t =
+  let elapsed = max 1 (Aa_obs.Clock.now_ns () - t.created_ns) in
+  let total_chunks = Array.fold_left ( + ) 0 t.chunks_done in
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "pool: %d slot%s, %d chunk%s, %.3f s since create\n" t.size
+       (if t.size = 1 then "" else "s")
+       total_chunks
+       (if total_chunks = 1 then "" else "s")
+       (float_of_int elapsed *. 1e-9));
+  for s = 0 to t.size - 1 do
+    Buffer.add_string b
+      (Printf.sprintf "  slot %d%s: busy %.3f s (%.1f%%), %d chunk%s\n" s
+         (if s = t.size - 1 then " (caller)" else "")
+         (float_of_int t.busy_ns.(s) *. 1e-9)
+         (100.0 *. float_of_int t.busy_ns.(s) /. float_of_int elapsed)
+         t.chunks_done.(s)
+         (if t.chunks_done.(s) = 1 then "" else "s"))
+  done;
+  Buffer.contents b
 
 let with_pool ?domains f =
   let t = create ?domains () in

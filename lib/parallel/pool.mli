@@ -45,6 +45,21 @@ val map_chunked : t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
     chunks of [chunk] (default 1) across the pool. [f] runs exactly once
     per index; results land in index order regardless of schedule. *)
 
+type stat = { slot : int; busy_ns : int; chunks : int }
+(** Per-slot telemetry: total wall time spent inside chunk work and the
+    number of chunks claimed. Slot [size - 1] is the caller's domain. *)
+
+val stats : t -> stat array
+(** Snapshot of per-slot telemetry, in slot order. Populated only while
+    {!Aa_obs.Control} is enabled; zeros otherwise. The snapshot is
+    advisory — taken without synchronization against running workers —
+    and chunk-to-slot attribution is schedule-dependent, so these
+    numbers are diagnostics, not part of any determinism contract. *)
+
+val utilization : t -> string
+(** Human-readable multi-line report derived from {!stats}: per-slot
+    busy time as a fraction of the pool's lifetime so far. *)
+
 val shutdown : t -> unit
 (** Joins the worker domains. Idempotent; the pool must not be used
     afterwards (inline pools are unaffected). *)

@@ -11,7 +11,7 @@ type t = {
   journal : Journal.t option;
 }
 
-let create ?(clock = Sys.time) ?journal ~servers ~capacity () =
+let create ?(clock = Aa_obs.Clock.now_s) ?journal ~servers ~capacity () =
   {
     online = Online.create ~servers ~capacity;
     metrics = Metrics.create ();
@@ -43,6 +43,7 @@ let thread_err t i =
   else err No_thread "thread %d already departed" i
 
 let journal_append t entry =
+  Aa_obs.Trace.span "journal" @@ fun () ->
   match t.journal with None -> Ok () | Some j -> Journal.append j entry
 
 let snapshot_entries t =
@@ -58,35 +59,50 @@ let snapshot_entries t =
 
 let dispatch t (req : Protocol.request) : Protocol.response =
   let ol = t.online in
+  (* The mutating requests trace their three phases — validate (admission
+     checks), journal (write-ahead append, inside [journal_append]) and
+     apply (the placer mutation) — so a TRACE dump shows where a slow
+     request spent its time. *)
   match req with
   | Admit u ->
-      if not (cap_ok t u) then cap_err t u
+      if not (Aa_obs.Trace.span "validate" (fun () -> cap_ok t u)) then
+        cap_err t u
       else begin
         match journal_append t (Journal.Admit u) with
         | Error e -> err Journal_failed "%s" e
         | Ok () ->
+            Aa_obs.Trace.span "apply" @@ fun () ->
             let server = Online.admit ol u in
-            Admitted { id = Online.n_admitted ol - 1; server }
+            Protocol.Admitted { id = Online.n_admitted ol - 1; server }
       end
   | Depart i ->
-      if not (Online.is_active ol i) then thread_err t i
+      if not (Aa_obs.Trace.span "validate" (fun () -> Online.is_active ol i))
+      then thread_err t i
       else begin
         match journal_append t (Journal.Depart i) with
         | Error e -> err Journal_failed "%s" e
         | Ok () ->
+            Aa_obs.Trace.span "apply" @@ fun () ->
             Online.depart ol i;
-            Departed { id = i }
+            Protocol.Departed { id = i }
       end
   | Update (i, u) ->
-      if not (Online.is_active ol i) then thread_err t i
-      else if not (cap_ok t u) then cap_err t u
-      else begin
-        match journal_append t (Journal.Update (i, u)) with
-        | Error e -> err Journal_failed "%s" e
-        | Ok () ->
-            Online.update_utility ol i u;
-            Updated { id = i; server = Online.server_of ol i }
-      end
+      let valid =
+        Aa_obs.Trace.span "validate" @@ fun () ->
+        if not (Online.is_active ol i) then `No_thread
+        else if not (cap_ok t u) then `Bad_cap
+        else `Ok
+      in
+      (match valid with
+      | `No_thread -> thread_err t i
+      | `Bad_cap -> cap_err t u
+      | `Ok -> (
+          match journal_append t (Journal.Update (i, u)) with
+          | Error e -> err Journal_failed "%s" e
+          | Ok () ->
+              Aa_obs.Trace.span "apply" @@ fun () ->
+              Online.update_utility ol i u;
+              Protocol.Updated { id = i; server = Online.server_of ol i }))
   | Query i ->
       if i < 0 || i >= Online.n_admitted ol then thread_err t i
       else begin
@@ -139,6 +155,11 @@ let dispatch t (req : Protocol.request) : Protocol.response =
         Metrics.note_gap t.metrics gap;
         Rebalance_report { online = online_u; offline = offline_u; gap }
       end
+  | Trace ->
+      (* count then dump: a span recorded between the two calls can make
+         the count lag the array by an entry — harmless for telemetry *)
+      let events = Aa_obs.Trace.n_events () in
+      Trace_dump { events; json = Aa_obs.Trace.to_chrome_json ~compact:true () }
 
 let kind_of : Protocol.request -> string = function
   | Admit _ -> "admit"
@@ -148,6 +169,7 @@ let kind_of : Protocol.request -> string = function
   | Stats -> "stats"
   | Snapshot -> "snapshot"
   | Rebalance -> "rebalance"
+  | Trace -> "trace"
 
 let response_ok : Protocol.response -> bool = function
   | Err _ -> false
@@ -158,7 +180,7 @@ let handle t req =
   let resp =
     (* belt and braces: a validation hole below must surface as a typed
        error response, never kill the session loop *)
-    match dispatch t req with
+    match Aa_obs.Trace.span (kind_of req) (fun () -> dispatch t req) with
     | resp -> resp
     | exception Invalid_argument m -> err Bad_request "rejected: %s" m
   in

@@ -20,6 +20,10 @@
       empirical counterpart of the paper's §VIII remark that online AA
       admits no constant competitive ratio. Read-only: the online
       placement is not migrated.
+    - TRACE: dumps the in-process {!Aa_obs.Trace} span buffer as compact
+      Chrome trace JSON (an empty array while tracing is off). Mutating
+      requests record [validate]/[journal]/[apply] phase spans under a
+      per-request span named after the request kind.
 
     No request — well-formed or not — raises. *)
 
@@ -32,8 +36,9 @@ val create :
   capacity:float ->
   unit ->
   t
-(** [clock] (default [Sys.time]) timestamps requests for the latency
-    metrics; the daemon passes a wall clock, tests may pass a fake. *)
+(** [clock] (default {!Aa_obs.Clock.now_s}, the sanctioned monotonized
+    wall clock) timestamps requests for the latency metrics; tests may
+    pass a fake. *)
 
 val servers : t -> int
 val capacity : t -> float

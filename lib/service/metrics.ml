@@ -1,48 +1,7 @@
-module Histogram = struct
-  (* 20 log-scale buckets per decade, 12 decades: 1 ns .. 1000 s. *)
-  let per_decade = 20
-  let n_buckets = 12 * per_decade
-  let floor_s = 1e-9
-
-  type t = { counts : int array; mutable n : int }
-
-  let create () = { counts = Array.make n_buckets 0; n = 0 }
-
-  let bucket_of x =
-    if not (x > floor_s) then 0
-    else begin
-      let i = int_of_float (float_of_int per_decade *. Float.log10 (x /. floor_s)) in
-      if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
-    end
-
-  let add t x =
-    let b = bucket_of x in
-    t.counts.(b) <- t.counts.(b) + 1;
-    t.n <- t.n + 1
-
-  let count t = t.n
-
-  let midpoint i =
-    floor_s *. (10.0 ** ((float_of_int i +. 0.5) /. float_of_int per_decade))
-
-  exception Found of float
-
-  let quantile t q =
-    if t.n = 0 then 0.0
-    else begin
-      let target = Float.max 1.0 (Float.round (q *. float_of_int t.n)) in
-      let seen = ref 0 in
-      match
-        Array.iteri
-          (fun i c ->
-            seen := !seen + c;
-            if float_of_int !seen >= target then raise (Found (midpoint i)))
-          t.counts
-      with
-      | () -> midpoint (n_buckets - 1)
-      | exception Found x -> x
-    end
-end
+(* The histogram implementation moved to Aa_obs so the observability
+   layer and the service share one bucketing scheme (and [merge]); the
+   alias keeps existing [Metrics.Histogram] users compiling unchanged. *)
+module Histogram = Aa_obs.Histogram
 
 type counter = { mutable ok : int; mutable err : int; latency : Histogram.t }
 

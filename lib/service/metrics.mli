@@ -5,22 +5,11 @@
     so quantiles carry ~±6% relative bucketing error, plenty for an
     operational view. Surfaced through the STATS request. *)
 
-(** Log-bucketed latency histogram (seconds). *)
-module Histogram : sig
-  type t
-
-  val create : unit -> t
-
-  val add : t -> float -> unit
-  (** Record one latency; values at or below 1 ns land in the first
-      bucket, values beyond ~1000 s in the last. *)
-
-  val count : t -> int
-
-  val quantile : t -> float -> float
-  (** [quantile t q] for [q] in [[0, 1]]: the geometric midpoint of the
-      bucket holding the [q]-th order statistic; [0.] when empty. *)
-end
+(** Log-bucketed latency histogram (seconds) — an alias for
+    {!Aa_obs.Histogram}, where the implementation now lives so the
+    observability layer shares the bucketing scheme (and gains
+    [merge]). *)
+module Histogram = Aa_obs.Histogram
 
 type t
 

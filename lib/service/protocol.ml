@@ -8,6 +8,7 @@ type request =
   | Stats
   | Snapshot
   | Rebalance
+  | Trace
 
 type error_code = Bad_request | Bad_spec | No_thread | Journal_failed
 
@@ -30,6 +31,7 @@ type response =
       compacted : bool;
     }
   | Rebalance_report of { online : float; offline : float; gap : float }
+  | Trace_dump of { events : int; json : string }
   | Err of { code : error_code; message : string }
 
 let code_name = function
@@ -67,6 +69,7 @@ let parse_request ~cap line =
   | [ "STATS" ] -> Ok Stats
   | [ "SNAPSHOT" ] -> Ok Snapshot
   | [ "REBALANCE" ] -> Ok Rebalance
+  | [ "TRACE" ] -> Ok Trace
   | "ADMIT" :: (_ :: _ as spec) -> spec_of spec (fun u -> Ok (Admit u))
   | [ "ADMIT" ] -> fail Bad_request "usage: ADMIT <utility-spec>"
   | [ "DEPART"; tok ] -> id_of "DEPART" tok (fun i -> Ok (Depart i))
@@ -76,8 +79,8 @@ let parse_request ~cap line =
   | "UPDATE" :: _ -> fail Bad_request "usage: UPDATE <id> <utility-spec>"
   | [ "QUERY"; tok ] -> id_of "QUERY" tok (fun i -> Ok (Query i))
   | "QUERY" :: _ -> fail Bad_request "usage: QUERY <id>"
-  | ("STATS" | "SNAPSHOT" | "REBALANCE") :: _ ->
-      fail Bad_request "STATS, SNAPSHOT and REBALANCE take no arguments"
+  | ("STATS" | "SNAPSHOT" | "REBALANCE" | "TRACE") :: _ ->
+      fail Bad_request "STATS, SNAPSHOT, REBALANCE and TRACE take no arguments"
   | verb :: _ -> fail Bad_request "unknown request: %s" verb
 
 let print_request = function
@@ -89,6 +92,7 @@ let print_request = function
   | Stats -> "STATS"
   | Snapshot -> "SNAPSHOT"
   | Rebalance -> "REBALANCE"
+  | Trace -> "TRACE"
 
 let one_line s = String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
 let flag b = if b then 1 else 0
@@ -109,5 +113,7 @@ let print_response = function
   | Rebalance_report { online; offline; gap } ->
       Printf.sprintf "OK rebalance online %.17g offline %.17g gap %.6f" online
         offline gap
+  | Trace_dump { events; json } ->
+      Printf.sprintf "OK trace events %d %s" events (one_line json)
   | Err { code; message } ->
       Printf.sprintf "ERR %s %s" (code_name code) (one_line message)

@@ -16,6 +16,9 @@
     SNAPSHOT                    compact the journal to current state
     REBALANCE                   offline Algorithm 2 re-solve of the active
                                 set; reports the online/offline gap
+    TRACE                       dump the in-process span buffer as one
+                                line of Chrome trace JSON (empty when
+                                tracing is off)
     v}
 
     Responses are a single [OK …] or [ERR <code> <message>] line; see
@@ -30,6 +33,7 @@ type request =
   | Stats
   | Snapshot
   | Rebalance
+  | Trace
 
 type error_code =
   | Bad_request  (** unknown verb or malformed arguments *)
@@ -56,6 +60,10 @@ type response =
       compacted : bool;  (** false when the engine has no journal *)
     }
   | Rebalance_report of { online : float; offline : float; gap : float }
+  | Trace_dump of { events : int; json : string }
+      (** [json] is a compact (single-line) Chrome trace array; [events]
+          counts its entries, [0] with an empty [[]] array when tracing
+          is disabled *)
   | Err of { code : error_code; message : string }
 
 val tokens : string -> string list

@@ -139,6 +139,26 @@ let test_todo_format () =
   | [ v ] -> Alcotest.(check int) "marker line in multiline comment" 3 v.line
   | _ -> Alcotest.fail "expected one violation")
 
+let test_wall_clock () =
+  Alcotest.(check (list string))
+    "Unix.gettimeofday flagged" [ "wall-clock" ]
+    (rules_of (lint "let t = Unix.gettimeofday ()"));
+  Alcotest.(check (list string))
+    "Unix.time flagged" [ "wall-clock" ]
+    (rules_of (lint "let t = Unix.time ()"));
+  Alcotest.(check (list string))
+    "Sys.time flagged" [ "wall-clock" ]
+    (rules_of (lint "let t = Sys.time ()"));
+  Alcotest.(check (list string))
+    "exempt under lib/obs" []
+    (rules_of (lint ~file:"lib/obs/clock.ml" "let t = Unix.gettimeofday ()"));
+  Alcotest.(check (list string))
+    "Clock wrapper usage ok" []
+    (rules_of (lint "let t = Aa_obs.Clock.now_s ()"));
+  Alcotest.(check (list string))
+    "unrelated Sys call ok" []
+    (rules_of (lint "let n = Sys.getenv \"HOME\""))
+
 let test_suppression () =
   Alcotest.(check (list string))
     "same-line id" []
@@ -432,6 +452,7 @@ let () =
           Alcotest.test_case "catch-all" `Quick test_catch_all;
           Alcotest.test_case "no-failwith" `Quick test_no_failwith;
           Alcotest.test_case "todo-format" `Quick test_todo_format;
+          Alcotest.test_case "wall-clock" `Quick test_wall_clock;
           Alcotest.test_case "suppression" `Quick test_suppression;
         ] );
       ( "lint",

@@ -99,6 +99,28 @@ let test_sweep_rejects_bad_jobs () =
   ignore (run ~expect:124 [ "sweep"; "fig3c"; "--trials"; "2"; "--jobs=-3" ]);
   ignore (run ~expect:124 [ "sweep"; "fig3c"; "--trials"; "2"; "--jobs"; "two" ])
 
+let test_sweep_trace_export () =
+  (* tracing must not perturb the numbers: stdout is bit-identical with
+     and without --trace, and the trace file is a Chrome-style JSON
+     array with events from more than one domain *)
+  let plain = run [ "sweep"; "fig3c"; "--trials"; "2"; "--jobs"; "2" ] in
+  let traced =
+    run
+      [ "sweep"; "fig3c"; "--trials"; "2"; "--jobs"; "2"; "--trace"; "sweep_trace.json";
+        "--counters" ]
+  in
+  Alcotest.(check string) "stdout unchanged by --trace" plain traced;
+  let err = In_channel.with_open_text "cli_stderr.txt" In_channel.input_all in
+  Alcotest.(check bool) "counters on stderr" true (contains err "algo2.solves");
+  Alcotest.(check bool) "trace note on stderr" true (contains err "wrote trace:");
+  let doc = In_channel.with_open_text "sweep_trace.json" In_channel.input_all in
+  Alcotest.(check bool) "trace nonempty" true (String.length doc > 2);
+  Alcotest.(check bool) "starts as a JSON array" true (doc.[0] = '[');
+  Alcotest.(check bool) "has begin and end events" true
+    (contains doc "\"ph\":\"B\"" && contains doc "\"ph\":\"E\"");
+  Alcotest.(check bool) "events from a worker domain" true
+    (contains doc "\"tid\":1" || contains doc "\"tid\":2" || contains doc "\"tid\":3")
+
 let test_sweep_svg_export () =
   let _ = run [ "sweep"; "fig3c"; "--trials"; "2"; "--svg"; "fig.svg" ] in
   let doc = In_channel.with_open_text "fig.svg" In_channel.input_all in
@@ -119,6 +141,7 @@ let () =
           Alcotest.test_case "sweep" `Quick test_sweep_runs;
           Alcotest.test_case "sweep --jobs" `Quick test_sweep_jobs_flag;
           Alcotest.test_case "sweep bad --jobs" `Quick test_sweep_rejects_bad_jobs;
+          Alcotest.test_case "sweep --trace" `Quick test_sweep_trace_export;
           Alcotest.test_case "sweep svg" `Quick test_sweep_svg_export;
         ] );
     ]

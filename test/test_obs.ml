@@ -1,0 +1,534 @@
+(* Tests for Aa_obs: the clock, the histogram (incl. the merged-stream
+   quantile contract), the counter/gauge registry and its determinism
+   contract across pool sizes, and span recording with well-formed
+   Chrome trace export — including spans recorded from several domains
+   at once. *)
+
+open Aa_obs
+open Aa_parallel
+
+(* Every test starts from a clean, enabled observability state and
+   leaves the switch off; span buffers persist per domain, so clear
+   them too. *)
+let with_obs f () =
+  Control.set_enabled false;
+  Registry.reset ();
+  Trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Control.set_enabled false;
+      Registry.reset ();
+      Trace.clear ())
+    (fun () ->
+      Control.set_enabled true;
+      f ())
+
+(* ---------- clock ---------- *)
+
+let test_clock_monotonic () =
+  let prev = ref (Clock.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let t = Clock.now_ns () in
+    if t < !prev then Alcotest.failf "clock went backwards: %d < %d" t !prev;
+    prev := t
+  done;
+  let s = Clock.now_s () in
+  Alcotest.(check bool) "now_s positive" true (s >= 0.0);
+  (* wall_s is an absolute epoch timestamp: after 2020, before 2100 *)
+  let w = Clock.wall_s () in
+  Alcotest.(check bool) "wall_s epoch range" true (w > 1.5e9 && w < 4.2e9)
+
+(* ---------- histogram ---------- *)
+
+let test_histogram_empty_quantiles () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "count" 0 (Histogram.count h);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "empty q=%g" q)
+        0.0 (Histogram.quantile h q))
+    [ 0.0; 0.5; 1.0 ]
+
+let test_histogram_invalid_q () =
+  let h = Histogram.create () in
+  Histogram.add h 1e-3;
+  List.iter
+    (fun q ->
+      match Histogram.quantile h q with
+      | (_ : float) -> Alcotest.failf "q=%g should raise" q
+      | exception Invalid_argument _ -> ())
+    [ -0.1; 1.1; Float.nan ]
+
+let test_histogram_single_bucket () =
+  let h = Histogram.create () in
+  for _ = 1 to 5 do
+    Histogram.add h 1e-3
+  done;
+  (* all mass in one bucket: every quantile is that bucket's midpoint,
+     within the scheme's ~±6% bucketing error *)
+  let q50 = Histogram.quantile h 0.5 and q100 = Histogram.quantile h 1.0 in
+  Alcotest.(check (float 0.0)) "q50 = q100" q100 q50;
+  Alcotest.(check bool)
+    "midpoint near sample" true
+    (Float.abs (q50 -. 1e-3) /. 1e-3 < 0.12)
+
+let test_histogram_merge_equals_combined () =
+  let a = Histogram.create () and b = Histogram.create () and c = Histogram.create () in
+  let samples_a = [ 1e-6; 3e-6; 1e-4; 0.5 ] in
+  let samples_b = [ 2e-6; 5e-5; 5e-5; 0.02; 7.0; 900.0 ] in
+  List.iter (fun x -> Histogram.add a x; Histogram.add c x) samples_a;
+  List.iter (fun x -> Histogram.add b x; Histogram.add c x) samples_b;
+  let m = Histogram.merge a b in
+  Alcotest.(check int)
+    "merged count"
+    (List.length samples_a + List.length samples_b)
+    (Histogram.count m);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "q=%g of merge = q of combined stream" q)
+        (Histogram.quantile c q) (Histogram.quantile m q))
+    [ 0.0; 0.25; 0.5; 0.75; 0.95; 1.0 ];
+  (* merge must not alias its inputs *)
+  Histogram.add a 1.0;
+  Alcotest.(check int)
+    "merge unaffected by later adds"
+    (List.length samples_a + List.length samples_b)
+    (Histogram.count m)
+
+let test_metrics_histogram_is_obs_histogram () =
+  (* the re-export is the same module: values flow across freely *)
+  let h : Aa_service.Metrics.Histogram.t = Histogram.create () in
+  Histogram.add h 0.5;
+  Alcotest.(check int) "shared type" 1 (Aa_service.Metrics.Histogram.count h)
+
+(* ---------- registry ---------- *)
+
+let test_counter_basics () =
+  let c = Registry.counter "test.basics" in
+  Alcotest.(check int) "starts at 0" 0 (Registry.Counter.value c);
+  Registry.Counter.incr c;
+  Registry.Counter.add c 41;
+  Alcotest.(check int) "42" 42 (Registry.Counter.value c);
+  Alcotest.(check string) "name" "test.basics" (Registry.Counter.name c);
+  let c' = Registry.counter "test.basics" in
+  Registry.Counter.incr c';
+  Alcotest.(check int) "same handle for same name" 43 (Registry.Counter.value c)
+
+let test_counter_disabled_is_noop () =
+  let c = Registry.counter "test.disabled" in
+  Control.with_enabled false (fun () ->
+      Registry.Counter.incr c;
+      Registry.Counter.add c 100);
+  Alcotest.(check int) "no effect while off" 0 (Registry.Counter.value c)
+
+let test_gauge_basics () =
+  let g = Registry.gauge "test.gauge" in
+  Registry.Gauge.set g 2.5;
+  Alcotest.(check (float 0.0)) "set" 2.5 (Registry.Gauge.value g);
+  Control.with_enabled false (fun () -> Registry.Gauge.set g 9.0);
+  Alcotest.(check (float 0.0)) "no set while off" 2.5 (Registry.Gauge.value g)
+
+let test_registry_snapshots_sorted () =
+  ignore (Registry.counter "test.zz");
+  ignore (Registry.counter "test.aa");
+  let names = List.map fst (Registry.counters ()) in
+  Alcotest.(check (list string)) "sorted" (List.sort compare names) names
+
+let test_expose_format () =
+  let c = Registry.counter "test.expose-me" in
+  Registry.Counter.add c 7;
+  let g = Registry.gauge "test.gauge/odd name" in
+  Registry.Gauge.set g 1.5;
+  let text = Registry.expose () in
+  let contains s =
+    let n = String.length text and k = String.length s in
+    let rec at i = i + k <= n && (String.sub text i k = s || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool)
+    "counter TYPE line" true
+    (contains "# TYPE aa_test_expose_me counter");
+  Alcotest.(check bool) "counter value line" true (contains "aa_test_expose_me 7");
+  Alcotest.(check bool)
+    "gauge sanitized" true
+    (contains "# TYPE aa_test_gauge_odd_name gauge");
+  (* exposition must never contain unsanitized metric characters *)
+  String.iter
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ' ' | '\n' | '#' | '.'
+      | '-' | '+' ->
+          ()
+      | _ -> Alcotest.failf "unexpected character %C in exposition" ch)
+    text
+
+(* ---------- solver counters: deterministic across job counts ---------- *)
+
+let run_fig ~jobs =
+  match Aa_experiments.Figures.find "fig1a" with
+  | None -> Alcotest.fail "fig1a spec missing"
+  | Some spec ->
+      Registry.reset ();
+      let series = spec.run ~jobs ~trials:12 ~seed:7 () in
+      (series, Registry.counters ())
+
+let test_counters_reproducible_across_jobs () =
+  let series1, counters1 = run_fig ~jobs:1 in
+  let series4, counters4 = run_fig ~jobs:4 in
+  (* sanity: the sweep actually exercised the instrumented paths *)
+  let total = List.fold_left (fun acc (_, v) -> acc + v) 0 counters1 in
+  Alcotest.(check bool) "counters saw work" true (total > 0);
+  Alcotest.(check bool)
+    "series identical" true
+    (List.length series1.points = List.length series4.points);
+  List.iter2
+    (fun (n1, v1) (n4, v4) ->
+      Alcotest.(check string) "same counter set" n1 n4;
+      Alcotest.(check int) (Printf.sprintf "counter %s" n1) v1 v4)
+    counters1 counters4
+
+(* ---------- spans ---------- *)
+
+let test_span_nesting_and_text_tree () =
+  Trace.span "outer" (fun () ->
+      Trace.span "inner" (fun () -> ignore (Sys.opaque_identity 1));
+      Trace.span "inner2" (fun () -> ignore (Sys.opaque_identity 2)));
+  Alcotest.(check int) "balanced" 0 (Trace.unbalanced ());
+  Alcotest.(check int) "3 spans = 6 events" 6 (Trace.n_events ());
+  let tree = Trace.to_text_tree () in
+  let contains s =
+    let n = String.length tree and k = String.length s in
+    let rec at i = i + k <= n && (String.sub tree i k = s || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "outer at depth 0" true (contains "\n  outer");
+  Alcotest.(check bool) "inner indented" true (contains "\n    inner")
+
+let test_span_exception_safe () =
+  (match Trace.span "boom" (fun () -> failwith "x") with
+  | () -> Alcotest.fail "expected the exception to escape"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "closed on exception" 0 (Trace.unbalanced ())
+
+let test_span_disabled_records_nothing () =
+  Control.with_enabled false (fun () ->
+      Trace.span "ghost" (fun () -> ());
+      Trace.begin_span "ghost2";
+      Trace.end_span ());
+  Alcotest.(check int) "nothing recorded" 0 (Trace.n_events ())
+
+let test_open_span_synthesized_end () =
+  Trace.begin_span "open-at-dump";
+  Alcotest.(check int) "one open span" 1 (Trace.unbalanced ());
+  let events = Trace.events () in
+  let begins = List.filter (fun (e : Trace.event) -> e.is_begin) events in
+  let ends = List.filter (fun (e : Trace.event) -> not e.is_begin) events in
+  Alcotest.(check int) "export balanced anyway" (List.length begins) (List.length ends);
+  (match ends with
+  | [ e ] -> Alcotest.(check string) "synthesized end name" "open-at-dump" e.name
+  | _ -> Alcotest.fail "expected exactly one end");
+  Trace.end_span ();
+  Alcotest.(check int) "closed" 0 (Trace.unbalanced ())
+
+let test_orphan_end_ignored () =
+  Trace.end_span ();
+  (* an end with no begin must neither crash nor corrupt accounting *)
+  Alcotest.(check int) "no negative depth" 0 (Trace.unbalanced ());
+  Trace.span "after" (fun () -> ());
+  Alcotest.(check int) "subsequent spans fine" 2 (Trace.n_events ())
+
+(* A tiny JSON validator: enough for the flat array-of-objects shape of
+   Chrome trace events (strings with escapes, numbers, the three
+   keywords), so the test fails on any malformed export. *)
+let validate_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = Alcotest.failf "invalid JSON at byte %d: %s" !pos msg in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let next () =
+    match peek () with
+    | Some c ->
+        incr pos;
+        c
+    | None -> fail "unexpected end"
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\n' | '\t' | '\r') ->
+        incr pos;
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    skip_ws ();
+    let got = next () in
+    if got <> c then fail (Printf.sprintf "expected %C, got %C" c got)
+  in
+  let parse_string () =
+    expect '"';
+    let rec go () =
+      match next () with
+      | '"' -> ()
+      | '\\' -> (
+          match next () with
+          | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> go ()
+          | 'u' ->
+              for _ = 1 to 4 do
+                match next () with
+                | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                | c -> fail (Printf.sprintf "bad unicode escape %C" c)
+              done;
+              go ()
+          | c -> fail (Printf.sprintf "bad escape %C" c))
+      | c when Char.code c < 0x20 -> fail "raw control character in string"
+      | _ -> go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      incr pos
+    done;
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some _ -> ()
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> parse_string ()
+    | Some '{' -> parse_object ()
+    | Some '[' -> parse_array ()
+    | Some ('t' | 'f' | 'n') ->
+        let kw = [ "true"; "false"; "null" ] in
+        let ok =
+          List.exists
+            (fun w ->
+              let k = String.length w in
+              if !pos + k <= n && String.sub s !pos k = w then begin
+                pos := !pos + k;
+                true
+              end
+              else false)
+            kw
+        in
+        if not ok then fail "bad keyword"
+    | _ -> parse_number ()
+  and parse_object () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else
+      let rec members () =
+        skip_ws ();
+        parse_string ();
+        expect ':';
+        parse_value ();
+        skip_ws ();
+        match next () with
+        | ',' -> members ()
+        | '}' -> ()
+        | c -> fail (Printf.sprintf "expected , or } in object, got %C" c)
+      in
+      members ()
+  and parse_array () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else
+      let rec elements () =
+        parse_value ();
+        skip_ws ();
+        match next () with
+        | ',' -> elements ()
+        | ']' -> ()
+        | c -> fail (Printf.sprintf "expected , or ] in array, got %C" c)
+      in
+      elements ()
+  in
+  parse_value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+let test_chrome_json_escaping () =
+  Trace.span "we\"ird\\name\nwith\tcontrols" (fun () -> ());
+  let json = Trace.to_chrome_json () in
+  validate_json json;
+  validate_json (Trace.to_chrome_json ~compact:true ())
+
+let test_spans_across_pool_domains () =
+  let domains = 4 in
+  let seen = Array.make 64 0 in
+  Pool.with_pool ~domains (fun pool ->
+      Pool.run pool ~n:512 ~chunk:4 (fun ~lo ~hi ->
+          Trace.span "work" (fun () ->
+              (* spread real work so several domains claim chunks *)
+              let acc = ref 0.0 in
+              for i = lo to hi - 1 do
+                for k = 0 to 5_000 do
+                  acc := !acc +. Float.of_int (i + k)
+                done
+              done;
+              ignore (Sys.opaque_identity !acc);
+              let d = (Domain.self () :> int) in
+              seen.(d mod 64) <- 1)));
+  Alcotest.(check int) "balanced at quiescence" 0 (Trace.unbalanced ());
+  let json = Trace.to_chrome_json () in
+  validate_json json;
+  let events = Trace.events () in
+  let module IS = Set.Make (Int) in
+  let doms =
+    List.fold_left (fun s (e : Trace.event) -> IS.add e.domain s) IS.empty events
+  in
+  (* the pool had 4 slots and 128 chunks of real work; at least two
+     domains must have recorded spans (the caller always participates) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "spans from >= 2 domains (got %d)" (IS.cardinal doms))
+    true (IS.cardinal doms >= 2);
+  (* per domain, begins and ends pair up *)
+  IS.iter
+    (fun d ->
+      let mine = List.filter (fun (e : Trace.event) -> e.domain = d) events in
+      let b = List.length (List.filter (fun (e : Trace.event) -> e.is_begin) mine) in
+      let e = List.length (List.filter (fun (e : Trace.event) -> not e.is_begin) mine) in
+      Alcotest.(check int) (Printf.sprintf "domain %d balanced" d) b e)
+    doms
+
+let test_pool_stats_and_utilization () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      Pool.run pool ~n:100 ~chunk:5 (fun ~lo ~hi ->
+          let acc = ref 0 in
+          for i = lo to hi - 1 do
+            for k = 0 to 20_000 do
+              acc := !acc + i + k
+            done
+          done;
+          ignore (Sys.opaque_identity !acc));
+      let stats = Pool.stats pool in
+      Alcotest.(check int) "one stat per slot" 2 (Array.length stats);
+      let chunks = Array.fold_left (fun acc (s : Pool.stat) -> acc + s.chunks) 0 stats in
+      Alcotest.(check int) "all 20 chunks attributed" 20 chunks;
+      Array.iter
+        (fun (s : Pool.stat) ->
+          if s.chunks > 0 && s.busy_ns <= 0 then
+            Alcotest.failf "slot %d claimed %d chunks but busy_ns = %d" s.slot
+              s.chunks s.busy_ns)
+        stats;
+      let report = Pool.utilization pool in
+      Alcotest.(check bool) "report mentions slots" true
+        (String.length report > 0 && String.sub report 0 5 = "pool:"));
+  (* registry counters saw the run: 20 chunks in a fixed partition *)
+  Alcotest.(check int) "pool.chunks" 20
+    (Registry.Counter.value (Registry.counter "pool.chunks"));
+  Alcotest.(check int) "pool.runs" 1
+    (Registry.Counter.value (Registry.counter "pool.runs"))
+
+let test_pool_stats_zero_when_disabled () =
+  Control.with_enabled false (fun () ->
+      Pool.with_pool ~domains:2 (fun pool ->
+          Pool.run pool ~n:50 ~chunk:5 (fun ~lo:_ ~hi:_ -> ());
+          let chunks =
+            Array.fold_left (fun acc (s : Pool.stat) -> acc + s.chunks) 0 (Pool.stats pool)
+          in
+          Alcotest.(check int) "no attribution while off" 0 chunks))
+
+(* ---------- engine phase spans ---------- *)
+
+let test_engine_phase_spans () =
+  let engine =
+    Aa_service.Engine.create ~clock:(fun () -> 0.0) ~servers:2 ~capacity:10.0 ()
+  in
+  let resp = Aa_service.Engine.handle engine (Aa_service.Protocol.Admit
+    (Aa_utility.Utility.Shapes.power ~cap:10.0 ~coeff:1.0 ~beta:0.5)) in
+  (match resp with
+  | Aa_service.Protocol.Admitted _ -> ()
+  | r -> Alcotest.failf "unexpected response %s" (Aa_service.Protocol.print_response r));
+  let names =
+    List.filter_map
+      (fun (e : Trace.event) -> if e.is_begin then Some e.name else None)
+      (Trace.events ())
+  in
+  List.iter
+    (fun expected ->
+      if not (List.mem expected names) then
+        Alcotest.failf "missing span %S (got: %s)" expected (String.concat ", " names))
+    [ "admit"; "validate"; "journal"; "apply" ];
+  Alcotest.(check int) "balanced" 0 (Trace.unbalanced ())
+
+let test_engine_trace_request () =
+  let engine =
+    Aa_service.Engine.create ~clock:(fun () -> 0.0) ~servers:2 ~capacity:10.0 ()
+  in
+  ignore
+    (Aa_service.Engine.handle engine
+       (Aa_service.Protocol.Admit
+          (Aa_utility.Utility.Shapes.power ~cap:10.0 ~coeff:1.0 ~beta:0.5)));
+  match Aa_service.Engine.handle engine Aa_service.Protocol.Trace with
+  | Aa_service.Protocol.Trace_dump { events; json } ->
+      Alcotest.(check bool) "has events" true (events > 0);
+      validate_json json;
+      (* the wire form is a single line *)
+      String.iter (fun c -> if c = '\n' then Alcotest.fail "newline in wire JSON") json
+  | r -> Alcotest.failf "unexpected response %s" (Aa_service.Protocol.print_response r)
+
+let test_trace_request_disabled () =
+  Control.set_enabled false;
+  let engine = Aa_service.Engine.create ~clock:(fun () -> 0.0) ~servers:2 ~capacity:10.0 () in
+  match Aa_service.Engine.handle engine Aa_service.Protocol.Trace with
+  | Aa_service.Protocol.Trace_dump { events; json } ->
+      Alcotest.(check int) "no events" 0 events;
+      Alcotest.(check string) "empty array" "[]" json
+  | r -> Alcotest.failf "unexpected response %s" (Aa_service.Protocol.print_response r)
+
+let () =
+  let t name f = Alcotest.test_case name `Quick (with_obs f) in
+  Alcotest.run "obs"
+    [
+      ("clock", [ t "monotonic" test_clock_monotonic ]);
+      ( "histogram",
+        [
+          t "empty quantiles pinned" test_histogram_empty_quantiles;
+          t "invalid q raises" test_histogram_invalid_q;
+          t "single bucket" test_histogram_single_bucket;
+          t "merge = combined stream" test_histogram_merge_equals_combined;
+          t "metrics re-export" test_metrics_histogram_is_obs_histogram;
+        ] );
+      ( "registry",
+        [
+          t "counter basics" test_counter_basics;
+          t "counter disabled no-op" test_counter_disabled_is_noop;
+          t "gauge basics" test_gauge_basics;
+          t "snapshots sorted" test_registry_snapshots_sorted;
+          t "prometheus exposition" test_expose_format;
+          t "reproducible across jobs" test_counters_reproducible_across_jobs;
+        ] );
+      ( "spans",
+        [
+          t "nesting and text tree" test_span_nesting_and_text_tree;
+          t "exception safe" test_span_exception_safe;
+          t "disabled records nothing" test_span_disabled_records_nothing;
+          t "open span synthesized end" test_open_span_synthesized_end;
+          t "orphan end ignored" test_orphan_end_ignored;
+          t "chrome json escaping" test_chrome_json_escaping;
+          t "across pool domains" test_spans_across_pool_domains;
+        ] );
+      ( "pool",
+        [
+          t "stats and utilization" test_pool_stats_and_utilization;
+          t "stats zero when disabled" test_pool_stats_zero_when_disabled;
+        ] );
+      ( "engine",
+        [
+          t "phase spans" test_engine_phase_spans;
+          t "TRACE request" test_engine_trace_request;
+          t "TRACE while disabled" test_trace_request_disabled;
+        ] );
+    ]

@@ -178,12 +178,15 @@ let test_bench_smoke () =
       if not (Helpers.contains doc needle) then
         Alcotest.failf "trajectory %s missing %S:\n%s" json needle doc)
     [
-      "\"schema\": \"aa-bench-trajectory/1\"";
+      "\"schema\": \"aa-bench-trajectory/2\"";
       "\"id\": \"fig3c\"";
       "\"id\": \"speedup-fig1a\"";
       "\"speedup_vs_j1\"";
       "\"jobs\": 2";
       "\"trials\": 5";
+      "\"obs\": true";
+      "\"spans\"";
+      "\"counters\"";
     ];
   let out = In_channel.with_open_text "bench_smoke.txt" In_channel.input_all in
   if not (Helpers.contains out "series bit-identical across job counts: true") then

@@ -32,6 +32,7 @@ let test_request_roundtrip () =
       Protocol.Stats;
       Protocol.Snapshot;
       Protocol.Rebalance;
+      Protocol.Trace;
     ]
   in
   List.iter
@@ -55,6 +56,7 @@ let test_request_errors () =
       ("bad-request", "DEPART 1 2");
       ("bad-request", "QUERY");
       ("bad-request", "STATS now");
+      ("bad-request", "TRACE all");
       ("bad-request", "SNAPSHOT --force");
       ("bad-request", "UPDATE 0");
       ("bad-request", "UPDATE x linear 1");
@@ -73,7 +75,11 @@ let test_response_print () =
   Alcotest.(check string) "empty stats" "OK stats"
     (Protocol.print_response (Protocol.Stats_report []));
   Alcotest.(check string) "stats kvs" "OK stats a=1 b=2"
-    (Protocol.print_response (Protocol.Stats_report [ ("a", "1"); ("b", "2") ]))
+    (Protocol.print_response (Protocol.Stats_report [ ("a", "1"); ("b", "2") ]));
+  Alcotest.(check string) "trace dump is one line"
+    "OK trace events 2 [{\"ph\":\"B\"} {\"ph\":\"E\"}]"
+    (Protocol.print_response
+       (Protocol.Trace_dump { events = 2; json = "[{\"ph\":\"B\"}\n{\"ph\":\"E\"}]" }))
 
 let prop_parse_total =
   QCheck2.Test.make ~name:"parse_request is total on arbitrary input" ~count:500
