@@ -64,14 +64,26 @@ type bench_entry = {
   speedup_vs_j1 : float option;  (* only the SP experiment measures this *)
   counters : (string * int) list;  (* nonzero counter deltas over the experiment *)
   spans : int;  (* raw span events recorded during the experiment *)
+  bfsync : string option;
+      (* journal fsync policy, for experiments whose wall time depends
+         on it (the service experiment); None = no journal involved *)
 }
 
 let bench_entries : bench_entry list ref = ref []
 
-let record ?speedup ?(counters = []) ?(spans = 0) ~id ~jobs:bjobs ~trials:btrials
-    wall_s =
+let record ?speedup ?(counters = []) ?(spans = 0) ?fsync ~id ~jobs:bjobs
+    ~trials:btrials wall_s =
   bench_entries :=
-    { bid = id; wall_s; bjobs; btrials; speedup_vs_j1 = speedup; counters; spans }
+    {
+      bid = id;
+      wall_s;
+      bjobs;
+      btrials;
+      speedup_vs_j1 = speedup;
+      counters;
+      spans;
+      bfsync = fsync;
+    }
     :: !bench_entries
 
 (* Counters are registered on first use and never removed, so [after] is
@@ -85,14 +97,14 @@ let counter_deltas before after =
 
 (* Run [f], print its wall time, and add it — with the counter and span
    activity it generated — to the trajectory. *)
-let timed ~id ?(jobs = 1) ?(trials = trials) f =
+let timed ~id ?(jobs = 1) ?(trials = trials) ?fsync f =
   let c0 = Aa_obs.Registry.counters () in
   let s0 = Aa_obs.Trace.recorded () in
   let t0 = now () in
   let r = f () in
   let dt = now () -. t0 in
   line "(%.1f s)" dt;
-  record ~id ~jobs ~trials
+  record ~id ~jobs ~trials ?fsync
     ~counters:(counter_deltas c0 (Aa_obs.Registry.counters ()))
     ~spans:(Aa_obs.Trace.recorded () - s0)
     dt;
@@ -104,7 +116,7 @@ let bench_json_path =
 let write_bench_json () =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"aa-bench-trajectory/2\",\n";
+  Buffer.add_string b "  \"schema\": \"aa-bench-trajectory/3\",\n";
   Printf.bprintf b "  \"generated_unix\": %.0f,\n" (Aa_obs.Clock.wall_s ());
   Printf.bprintf b "  \"jobs\": %d,\n" jobs;
   Printf.bprintf b "  \"trials\": %d,\n" trials;
@@ -115,9 +127,10 @@ let write_bench_json () =
     (fun i e ->
       Printf.bprintf b
         "    {\"id\": \"%s\", \"wall_s\": %.6f, \"jobs\": %d, \"trials\": %d, \
-         \"speedup_vs_j1\": %s, \"spans\": %d, \"counters\": {%s}}%s\n"
+         \"speedup_vs_j1\": %s, \"fsync\": %s, \"spans\": %d, \"counters\": {%s}}%s\n"
         e.bid e.wall_s e.bjobs e.btrials
         (match e.speedup_vs_j1 with None -> "null" | Some s -> Printf.sprintf "%.4f" s)
+        (match e.bfsync with None -> "null" | Some p -> Printf.sprintf "\"%s\"" p)
         e.spans
         (String.concat ", "
            (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) e.counters))
@@ -605,12 +618,26 @@ let multires () =
 
 (* ---------- E4: service throughput ---------- *)
 
+(* The journaled run's fsync policy: AA_BENCH_FSYNC=always|interval|never
+   (default never, so the default bench measures engine throughput, not
+   the disk). The chosen policy is recorded in the trajectory JSON —
+   wall times under different policies are not comparable. *)
+let service_fsync =
+  let s = Option.value (Sys.getenv_opt "AA_BENCH_FSYNC") ~default:"never" in
+  match Aa_service.Journal.fsync_of_string s with
+  | Ok p -> p
+  | Error e ->
+      Printf.eprintf "bench: AA_BENCH_FSYNC: %s\n%!" e;
+      exit 2
+
 let service () =
   heading "E4 — service: allocation daemon throughput (m=8, C=1000, mixed workload)";
   let n_requests = 10_000 in
   line "%d requests: ~30%% ADMIT, 30%% DEPART, 15%% UPDATE, 20%% QUERY, plus STATS;"
     n_requests;
   line "SNAPSHOT every 1000 requests, REBALANCE (active-set Algo2) every 1000.";
+  line "journaled run fsync policy: %s"
+    (Aa_service.Journal.fsync_to_string service_fsync);
   (* build the script up front so request generation is not timed *)
   let make_script () =
     let rng = Rng.create ~seed () in
@@ -655,7 +682,10 @@ let service () =
     (Aa_service.Engine.create ~clock:now ~servers:8 ~capacity:1000.0 ())
     script;
   let path = Filename.temp_file "aa_bench_journal" ".log" in
-  (match Aa_service.Journal.create ~path ~servers:8 ~capacity:1000.0 with
+  (match
+     Aa_service.Journal.create ~fsync:service_fsync ~path ~servers:8
+       ~capacity:1000.0 ()
+   with
   | Error e -> line "journaled bench skipped: %s" e
   | Ok j ->
       time_script "journaled"
@@ -686,7 +716,9 @@ let () =
         | Some spec -> series := run_figure spec :: !series
         | None -> ())
     all_ids;
-  let experiment ?jobs id f = if want id then ignore (timed ~id ?jobs f) in
+  let experiment ?jobs ?fsync id f =
+    if want id then ignore (timed ~id ?jobs ?fsync f)
+  in
   experiment "tightness" tightness;
   (* T1 runs on the pool; every other experiment here is sequential *)
   experiment ~jobs "timing" bechamel_timing;
@@ -697,7 +729,9 @@ let () =
   experiment "hetero" hetero;
   experiment "online" online;
   experiment "multires" multires;
-  experiment "service" service;
+  experiment
+    ~fsync:(Aa_service.Journal.fsync_to_string service_fsync)
+    "service" service;
   if want "claims" then claims (List.rev !series);
   line "";
   write_bench_json ();

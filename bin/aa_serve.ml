@@ -27,13 +27,37 @@ let check_flags engine servers capacity =
         (Engine.servers engine)
   | Some _ | None -> ());
   match capacity with
-  | Some c when Util.fne ~eps:1e-9 c (Engine.capacity engine) ->
+  | Some c when Util.fne_rel ~rel:1e-9 c (Engine.capacity engine) ->
       fail "--capacity %g disagrees with the journal header (%g)" c
         (Engine.capacity engine)
   | Some _ | None -> ()
 
-let serve servers capacity journal replay trace =
+(* Fault schedules come from --faults and the AA_FAULTS environment
+   variable (comma-joined, CLI last so it wins on a same-name clash);
+   see doc/fault-injection.md for the spec grammar. *)
+let arm_faults spec =
+  let env = Sys.getenv_opt "AA_FAULTS" in
+  let joined =
+    match (env, spec) with
+    | None, None -> None
+    | Some s, None | None, Some s -> Some s
+    | Some e, Some s -> Some (e ^ "," ^ s)
+  in
+  match joined with
+  | None -> ()
+  | Some s -> (
+      match Aa_fault.Failpoint.arm_spec s with
+      | Ok () -> ()
+      | Error e -> fail "--faults: %s" e)
+
+let serve servers capacity journal replay fsync faults trace =
   if trace then Aa_obs.Control.set_enabled true;
+  arm_faults faults;
+  let fsync =
+    match Journal.fsync_of_string fsync with
+    | Ok p -> p
+    | Error e -> fail "--fsync: %s" e
+  in
   let clock = Aa_obs.Clock.now_s in
   let engine =
     match (journal, replay) with
@@ -44,7 +68,7 @@ let serve servers capacity journal replay trace =
           ~capacity:(Option.value capacity ~default:1000.0)
           ()
     | Some path, true -> (
-        match Engine.of_journal ~clock ~path () with
+        match Engine.of_journal ~clock ~fsync ~path () with
         | Ok engine ->
             check_flags engine servers capacity;
             engine
@@ -52,7 +76,7 @@ let serve servers capacity journal replay trace =
     | Some path, false -> (
         let servers = Option.value servers ~default:8 in
         let capacity = Option.value capacity ~default:1000.0 in
-        match Journal.create ~path ~servers ~capacity with
+        match Journal.create ~fsync ~path ~servers ~capacity () with
         | Ok j -> Engine.create ~clock ~journal:j ~servers ~capacity ()
         | Error e -> fail "%s" e)
   in
@@ -73,7 +97,13 @@ let serve servers capacity journal replay trace =
             flush stdout);
         loop ()
   in
-  loop ();
+  (* An armed crash failpoint simulates a power cut: die without
+     closing the journal (exit 70 = EX_SOFTWARE), so the next --replay
+     exercises the real recovery path. *)
+  (try loop ()
+   with Aa_fault.Failpoint.Crash name ->
+     Printf.eprintf "aa_serve: injected crash at failpoint %s\n%!" name;
+     exit 70);
   match Engine.journal engine with None -> () | Some j -> Journal.close j
 
 let main_cmd =
@@ -99,7 +129,8 @@ let main_cmd =
           ~doc:
             "Write-ahead journal: every accepted mutation is appended to $(docv) \
              before it is applied; SNAPSHOT compacts the file. Without --replay \
-             the file is created or truncated.")
+             the file is created; an existing non-empty journal is refused \
+             (pass --replay to recover it).")
   in
   let replay =
     Arg.(
@@ -117,9 +148,32 @@ let main_cmd =
             "Enable span tracing and counters at startup, so the TRACE request \
              returns per-request phase spans instead of an empty array.")
   in
+  let fsync =
+    Arg.(
+      value & opt string "always"
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:
+            "Journal durability policy: $(b,always) (fsync every append), \
+             $(b,interval) (fsync at most every 0.1 s — a crash can lose up to \
+             that window of acknowledged mutations), or $(b,never) (flush to \
+             the OS only).")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Arm fault-injection schedules, e.g. \
+             $(b,journal.append=nth:3,journal.sys=p:0.01:seed:42). Also read \
+             from the AA_FAULTS environment variable; testing only. See \
+             doc/fault-injection.md.")
+  in
   Cmd.v
     (Cmd.info "aa_serve" ~version:"1.0.0"
        ~doc:"stateful AA allocation daemon (stdin/stdout request loop)")
-    Term.(const serve $ servers $ capacity $ journal $ replay $ trace)
+    Term.(
+      const serve $ servers $ capacity $ journal $ replay $ fsync $ faults
+      $ trace)
 
 let () = exit (Cmd.eval main_cmd)

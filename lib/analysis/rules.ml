@@ -323,12 +323,72 @@ let wall_clock_rule =
     check;
   }
 
+(* --- raw-io ---------------------------------------------------------- *)
+
+(* Module.function pairs that write files or rename paths directly. *)
+let raw_io_targets =
+  [ ("Out_channel", "open_text"); ("Out_channel", "open_bin");
+    ("Out_channel", "open_gen"); ("Sys", "rename") ]
+
+(* Bare stdlib writers (no module prefix). *)
+let raw_io_bare = [ "open_out"; "open_out_bin"; "open_out_gen" ]
+
+let raw_io_rule =
+  let id = "raw-io" in
+  let check ~file toks =
+    (* Journal.ml owns the durability story of lib/service — framing,
+       fsync policy, tmp+rename atomicity, torn-tail repair. Any other
+       module opening output files or renaming paths there is bypassing
+       it, and its writes won't survive the crash tests. *)
+    if not (under "lib/service" file) || Filename.basename file = "journal.ml"
+    then []
+    else
+      let code = Token.code_only toks in
+      let out = ref [] in
+      let flag (t : Token.t) what =
+        out :=
+          v ~rule:id ~file t
+            (Printf.sprintf
+               "raw file I/O %s in lib/service: durability (framing, fsync, \
+                atomic rename) lives in Journal; route writes through it" what)
+          :: !out
+      in
+      Array.iteri
+        (fun i (t : Token.t) ->
+          if
+            t.kind = Token.Uident
+            && i + 2 < Array.length code
+            && List.exists
+                 (fun (m, f) ->
+                   String.equal t.text m
+                   && Token.is_op code.(i + 1) "."
+                   && code.(i + 2).kind = Token.Ident
+                   && String.equal code.(i + 2).text f)
+                 raw_io_targets
+          then flag t (t.text ^ "." ^ code.(i + 2).text)
+          else if
+            t.kind = Token.Ident
+            && List.exists (String.equal t.text) raw_io_bare
+            && not (i > 0 && Token.is_op code.(i - 1) ".")
+          then flag t t.text)
+        code;
+      List.rev !out
+  in
+  {
+    id;
+    summary =
+      "Out_channel.open_* / open_out* / Sys.rename in lib/service outside \
+       journal.ml (route through Journal)";
+    check;
+  }
+
 let all =
   [
     catch_all_rule;
     float_eq_rule;
     no_failwith_rule;
     partial_fn_rule;
+    raw_io_rule;
     todo_format_rule;
     wall_clock_rule;
   ]

@@ -28,6 +28,10 @@ val all : t list
       [Array.get] — match instead, or suppress with a guard rationale.
     - [catch-all]: [try ... with _ ->] swallowing every exception.
     - [no-failwith]: [failwith] in [lib/core] / [lib/alloc] library code.
+    - [raw-io]: [Out_channel.open_*], bare [open_out*] or [Sys.rename]
+      in [lib/service] outside [journal.ml] — file durability (framing,
+      fsync, atomic rename) is Journal's job; writes that bypass it
+      don't survive the crash tests.
     - [todo-format]: TODO/FIXME/XXX comments without a [(owner|#issue)]
       tracking tag.
     - [wall-clock]: [Unix.gettimeofday], [Unix.time] or [Sys.time]

@@ -1,0 +1,191 @@
+(* Named, schedule-driven fault injection points.
+
+   The fast path is the whole design: [fire] on an unarmed process is
+   one atomic load of [active_points] (zero) and a fall-through, so
+   failpoints are compiled into production code unconditionally, the
+   same deal [Aa_obs.Control] gives the observability probes. All the
+   bookkeeping below the switch — registry, hit counters, schedule
+   evaluation — only runs while a test or [--faults] has armed
+   something. *)
+
+type schedule =
+  | Nth of int
+  | Every of int
+  | Bernoulli of { p : float; seed : int }
+
+type t = {
+  pname : string;
+  mutable sched : schedule option; (* guarded by [lock] for writes *)
+  hits : int Atomic.t;
+  nfired : int Atomic.t;
+}
+
+exception Crash of string
+
+(* Number of currently armed points; [fire]'s off-switch. An int (not a
+   bool) so concurrent arm/disarm of distinct points compose. *)
+let active_points = Atomic.make 0
+
+(* Registry of every point ever registered, by name. Registration
+   happens at module-init time of the instrumented libraries; arming
+   happens from tests and CLI parsing — both cold paths, one mutex. *)
+let lock = Mutex.create ()
+let points : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let register pname =
+  locked (fun () ->
+      match Hashtbl.find_opt points pname with
+      | Some p -> p
+      | None ->
+          let p =
+            { pname; sched = None; hits = Atomic.make 0; nfired = Atomic.make 0 }
+          in
+          Hashtbl.add points pname p;
+          p)
+
+let name p = p.pname
+
+let registered () =
+  locked (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) points [])
+  |> List.sort String.compare
+
+(* One 64-bit mix (splitmix64 finalizer) of (seed, hit number): the
+   Bernoulli coin is a pure function of its inputs, so a seeded run
+   replays bit-identically regardless of what else fires. *)
+let coin ~seed ~hit ~p =
+  let z = Int64.of_int ((seed * 0x9E3779B9) + hit) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  let u =
+    Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0 (* 2^53 *)
+  in
+  u < p
+
+let should_fail sched ~hit =
+  match sched with
+  | Nth k -> hit = k
+  | Every n -> n >= 1 && hit mod n = 0
+  | Bernoulli { p; seed } -> coin ~seed ~hit ~p
+
+let fire p =
+  if Atomic.get active_points = 0 then false
+  else
+    match p.sched with
+    | None -> false
+    | Some sched ->
+        let hit = 1 + Atomic.fetch_and_add p.hits 1 in
+        let fail = should_fail sched ~hit in
+        if fail then Atomic.incr p.nfired;
+        fail
+
+let crash_if p = if fire p then raise (Crash p.pname)
+
+let reset_counters p =
+  Atomic.set p.hits 0;
+  Atomic.set p.nfired 0
+
+let arm pname sched =
+  let p = register pname in
+  locked (fun () ->
+      if p.sched = None then Atomic.incr active_points;
+      reset_counters p;
+      p.sched <- Some sched)
+
+let disarm pname =
+  locked (fun () ->
+      match Hashtbl.find_opt points pname with
+      | Some p when p.sched <> None ->
+          p.sched <- None;
+          Atomic.decr active_points
+      | Some _ | None -> ())
+
+let disarm_all () =
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ p ->
+          if p.sched <> None then begin
+            p.sched <- None;
+            Atomic.decr active_points
+          end;
+          reset_counters p)
+        points)
+
+let active () = Atomic.get active_points > 0
+
+let counter_of f pname =
+  locked (fun () ->
+      match Hashtbl.find_opt points pname with
+      | Some p -> Atomic.get (f p)
+      | None -> 0)
+
+let hits pname = counter_of (fun p -> p.hits) pname
+let fired pname = counter_of (fun p -> p.nfired) pname
+
+(* --- spec parsing: name=nth:K | name=every:N | name=p:P:seed:S ------- *)
+
+let print_schedule = function
+  | Nth k -> Printf.sprintf "nth:%d" k
+  | Every n -> Printf.sprintf "every:%d" n
+  | Bernoulli { p; seed } -> Printf.sprintf "p:%g:seed:%d" p seed
+
+let parse_schedule s =
+  let int_arg what tok k =
+    match int_of_string_opt tok with
+    | Some i when i >= 1 -> k i
+    | Some _ | None ->
+        Error (Printf.sprintf "%s wants a positive integer, got %S" what tok)
+  in
+  match String.split_on_char ':' s with
+  | [ "nth"; tok ] -> int_arg "nth" tok (fun k -> Ok (Nth k))
+  | [ "every"; tok ] -> int_arg "every" tok (fun n -> Ok (Every n))
+  | [ "p"; ptok; "seed"; stok ] -> (
+      match (float_of_string_opt ptok, int_of_string_opt stok) with
+      | Some p, Some seed when p >= 0.0 && p <= 1.0 ->
+          Ok (Bernoulli { p; seed })
+      | Some p, Some _ when not (p >= 0.0 && p <= 1.0) ->
+          Error (Printf.sprintf "p wants a probability in [0,1], got %g" p)
+      | _, _ -> Error (Printf.sprintf "malformed bernoulli schedule %S" s))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown schedule %S (want nth:K, every:N or p:P:seed:S)" s)
+
+let parse_spec spec =
+  let clauses =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if clauses = [] then Error "empty fault spec"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | clause :: rest -> (
+          match String.index_opt clause '=' with
+          | None ->
+              Error
+                (Printf.sprintf "clause %S: want <failpoint>=<schedule>" clause)
+          | Some i -> (
+              let pname = String.sub clause 0 i in
+              let sched =
+                String.sub clause (i + 1) (String.length clause - i - 1)
+              in
+              if pname = "" then Error (Printf.sprintf "clause %S: empty failpoint name" clause)
+              else
+                match parse_schedule sched with
+                | Ok s -> go ((pname, s) :: acc) rest
+                | Error e -> Error (Printf.sprintf "%s: %s" pname e)))
+    in
+    go [] clauses
+
+let arm_spec spec =
+  match parse_spec spec with
+  | Error _ as e -> e
+  | Ok clauses ->
+      List.iter (fun (pname, sched) -> arm pname sched) clauses;
+      Ok ()

@@ -1,0 +1,88 @@
+(** Deterministic crash-fault injection points.
+
+    A failpoint is a named site in production code where a fault — an
+    I/O error, a torn write, a process crash — can be injected on a
+    deterministic, seeded schedule. Sites are declared once at module
+    initialization with {!register} and consulted with {!fire}; tests
+    (or [aa_serve --faults] / the [AA_FAULTS] environment variable)
+    {!arm} points by name with a {!schedule}.
+
+    The whole machinery sits behind a process-global switch, mirroring
+    [Aa_obs.Control]: while no point is armed, {!fire} is a single
+    atomic load returning [false] — no counter bump, no allocation —
+    so failpoints can live permanently in hot paths.
+
+    Determinism contract: given the same arm specs and the same
+    sequence of {!fire} calls, the same hits fail. Schedules are pure
+    functions of the per-point hit counter (and, for {!Bernoulli}, of
+    the seed), never of the clock. *)
+
+type schedule =
+  | Nth of int
+      (** Fail exactly on the [k]-th hit (1-based) of this point, once.
+          Models a transient fault: retries and later hits succeed. *)
+  | Every of int
+      (** Fail on every [n]-th hit ([Every 1] = always). Models a
+          persistent fault that survives retries. *)
+  | Bernoulli of { p : float; seed : int }
+      (** Fail each hit independently with probability [p], decided by
+          a hash of [(seed, hit-number)] — replayable, schedule-free. *)
+
+type t
+(** A registered failpoint. *)
+
+exception Crash of string
+(** The simulated process crash raised by {!crash_if}. Production code
+    never catches it; harnesses treat it as the moment the process
+    died and recover from whatever reached the disk. *)
+
+val register : string -> t
+(** Find or register the failpoint with this name (idempotent: one
+    handle per name). Names use dotted lower-case paths naming the
+    guarded operation, e.g. ["journal.append"]. *)
+
+val name : t -> string
+
+val registered : unit -> string list
+(** Every registered point, sorted by name. A recovery sweep iterates
+    this list so that new failpoints are crash-tested automatically. *)
+
+val fire : t -> bool
+(** Record a hit and report whether the armed schedule says this hit
+    must fail. One atomic load (returning [false]) while the global
+    switch is off. *)
+
+val crash_if : t -> unit
+(** [if fire t then raise (Crash (name t))]. *)
+
+val arm : string -> schedule -> unit
+(** Arm the named point (registering it if needed), reset its hit and
+    fired counters, and turn the global switch on. *)
+
+val disarm : string -> unit
+(** Disarm one point; the global switch turns off when no point
+    remains armed. Unknown names are ignored. *)
+
+val disarm_all : unit -> unit
+(** Disarm every point and reset all counters; the switch turns off. *)
+
+val active : unit -> bool
+(** The global switch (true while at least one point is armed). *)
+
+val hits : string -> int
+(** Hits recorded at the named point since it was last armed/reset
+    (0 for unknown names; hits are only counted while armed). *)
+
+val fired : string -> int
+(** How many of those hits failed. *)
+
+val parse_spec : string -> ((string * schedule) list, string) result
+(** Parse an arm spec: comma-separated [name=SCHED] clauses with
+    [SCHED] one of [nth:K], [every:N], [p:P:seed:S]. Example:
+    ["journal.append=nth:3,engine.dispatch=every:2"]. *)
+
+val arm_spec : string -> (unit, string) result
+(** {!parse_spec} then {!arm} each clause. *)
+
+val print_schedule : schedule -> string
+(** The [SCHED] syntax accepted by {!parse_spec} (round-trips). *)

@@ -11,6 +11,12 @@ let approx_equal ?(eps = 1e-9) a b =
 let feq ?eps a b = approx_equal ?eps a b
 let fne ?eps a b = not (approx_equal ?eps a b)
 
+let feq_rel ?(rel = 1e-9) a b =
+  a = b (* also covers equal infinities and +-0 *)
+  || Float.abs (a -. b) <= rel *. Float.max (Float.abs a) (Float.abs b)
+
+let fne_rel ?rel a b = not (feq_rel ?rel a b)
+
 let kahan_sum a =
   let sum = ref 0.0 and comp = ref 0.0 in
   for i = 0 to Array.length a - 1 do

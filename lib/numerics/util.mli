@@ -17,6 +17,19 @@ val feq : ?eps:float -> float -> float -> bool
 val fne : ?eps:float -> float -> float -> bool
 (** Negation of {!feq}, replacing [<>] on floats. *)
 
+val feq_rel : ?rel:float -> float -> float -> bool
+(** Purely {e relative} tolerant equality: [|a - b| <= rel * max |a| |b|]
+    (plus exact equality, covering zeros and equal infinities). [rel]
+    defaults to [1e-9]. Unlike {!feq}, there is no absolute-epsilon
+    branch, so the test scales with the operands at both extremes —
+    [feq ~eps:1e-9 1e-12 2e-12] accepts values 2x apart (the absolute
+    branch swallows them) and at magnitude [1e12] nothing short of bit
+    equality passes the absolute branch alone. Use for quantities with
+    arbitrary scale, e.g. capacity caps. *)
+
+val fne_rel : ?rel:float -> float -> float -> bool
+(** Negation of {!feq_rel}. *)
+
 val kahan_sum : float array -> float
 (** Compensated (Kahan) summation, stable for long sums of small terms. *)
 

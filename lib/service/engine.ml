@@ -1,6 +1,7 @@
 open Aa_numerics
 open Aa_utility
 open Aa_core
+module Failpoint = Aa_fault.Failpoint
 
 let ( let* ) = Result.bind
 
@@ -9,14 +10,36 @@ type t = {
   metrics : Metrics.t;
   clock : unit -> float;
   journal : Journal.t option;
+  journal_retries : int;
+  retry_backoff_s : float;
+  mutable degraded : bool;
 }
 
-let create ?(clock = Aa_obs.Clock.now_s) ?journal ~servers ~capacity () =
+(* Crash points of the dispatch path: [engine.dispatch] fires before a
+   request touches anything, [engine.apply] in the WAL window — after
+   the entry is durable but before the in-memory mutation. *)
+let fp_dispatch = Failpoint.register "engine.dispatch"
+let fp_apply = Failpoint.register "engine.apply"
+
+(* Degradation telemetry, under the Aa_obs determinism contract: these
+   only move on journal failures, which are a pure function of the
+   armed fault schedule (or of real I/O errors — and then determinism
+   across job counts is moot anyway). *)
+let c_retry = Aa_obs.Registry.counter "engine.journal.retries"
+let c_degraded_enter = Aa_obs.Registry.counter "engine.degraded.enter"
+let c_degraded_reject = Aa_obs.Registry.counter "engine.degraded.rejected"
+let c_degraded_exit = Aa_obs.Registry.counter "engine.degraded.exit"
+
+let create ?(clock = Aa_obs.Clock.now_s) ?journal ?(journal_retries = 2)
+    ?(retry_backoff_s = 1e-3) ~servers ~capacity () =
   {
     online = Online.create ~servers ~capacity;
     metrics = Metrics.create ();
     clock;
     journal;
+    journal_retries;
+    retry_backoff_s;
+    degraded = false;
   }
 
 let servers t = Online.servers t.online
@@ -24,6 +47,7 @@ let capacity t = Online.capacity t.online
 let online t = t.online
 let metrics t = t.metrics
 let journal t = t.journal
+let degraded t = t.degraded
 let n_admitted t = Online.n_admitted t.online
 let n_active t = Online.n_active t.online
 let total_utility t = Online.total_utility t.online
@@ -31,7 +55,12 @@ let total_utility t = Online.total_utility t.online
 let err code fmt =
   Printf.ksprintf (fun message -> Protocol.Err { code; message }) fmt
 
-let cap_ok t u = Util.feq ~eps:1e-9 (Utility.cap u) (capacity t)
+(* Relative tolerance: an absolute eps (the old [feq ~eps:1e-9]) is
+   meaningless across capacity scales — at C=1e-9 it accepts caps 2x
+   off (the absolute branch swallows the difference), at C=1e12 its
+   absolute branch demands bit equality from values hundreds of ulps
+   wide. One part in 1e9 of the capacity is the intent. *)
+let cap_ok t u = Util.feq_rel ~rel:1e-9 (Utility.cap u) (capacity t)
 
 let cap_err t u =
   err Bad_spec "utility domain cap %.17g must equal the server capacity %.17g"
@@ -42,9 +71,43 @@ let thread_err t i =
     err No_thread "no thread %d (admitted so far: %d)" i (n_admitted t)
   else err No_thread "thread %d already departed" i
 
+(* Write-ahead append with bounded-backoff retries: transient storage
+   hiccups (and [Nth]-scheduled injected faults) are absorbed here;
+   only an error that survives every retry reaches dispatch, which then
+   degrades the engine instead of failing each mutation independently. *)
 let journal_append t entry =
   Aa_obs.Trace.span "journal" @@ fun () ->
-  match t.journal with None -> Ok () | Some j -> Journal.append j entry
+  match t.journal with
+  | None -> Ok ()
+  | Some j ->
+      let rec go attempt =
+        match Journal.append j entry with
+        | Ok () -> Ok ()
+        | Error _ when attempt < t.journal_retries ->
+            Aa_obs.Registry.Counter.incr c_retry;
+            Unix.sleepf (t.retry_backoff_s *. float_of_int (1 lsl attempt));
+            go (attempt + 1)
+        | Error e -> Error e
+      in
+      go 0
+
+(* An exhausted journal: flip to degraded read-only mode. The WAL
+   discipline makes this safe — the failed mutation was never applied,
+   so memory still equals the journal, and read traffic (QUERY, STATS,
+   REBALANCE, TRACE) keeps being served from it. *)
+let enter_degraded t e =
+  t.degraded <- true;
+  Aa_obs.Registry.Counter.incr c_degraded_enter;
+  err Degraded
+    "journal append failed after %d attempt(s): %s — engine is read-only; \
+     SNAPSHOT to attempt recovery"
+    (1 + t.journal_retries) e
+
+let reject_degraded _t =
+  Aa_obs.Registry.Counter.incr c_degraded_reject;
+  err Degraded
+    "engine is in degraded read-only mode (journal unavailable); mutation \
+     rejected — SNAPSHOT to attempt recovery"
 
 let snapshot_entries t =
   let ol = t.online in
@@ -58,19 +121,22 @@ let snapshot_entries t =
         })
 
 let dispatch t (req : Protocol.request) : Protocol.response =
+  Failpoint.crash_if fp_dispatch;
   let ol = t.online in
   (* The mutating requests trace their three phases — validate (admission
      checks), journal (write-ahead append, inside [journal_append]) and
      apply (the placer mutation) — so a TRACE dump shows where a slow
      request spent its time. *)
   match req with
+  | (Admit _ | Depart _ | Update _) when t.degraded -> reject_degraded t
   | Admit u ->
       if not (Aa_obs.Trace.span "validate" (fun () -> cap_ok t u)) then
         cap_err t u
       else begin
         match journal_append t (Journal.Admit u) with
-        | Error e -> err Journal_failed "%s" e
+        | Error e -> enter_degraded t e
         | Ok () ->
+            Failpoint.crash_if fp_apply;
             Aa_obs.Trace.span "apply" @@ fun () ->
             let server = Online.admit ol u in
             Protocol.Admitted { id = Online.n_admitted ol - 1; server }
@@ -80,8 +146,9 @@ let dispatch t (req : Protocol.request) : Protocol.response =
       then thread_err t i
       else begin
         match journal_append t (Journal.Depart i) with
-        | Error e -> err Journal_failed "%s" e
+        | Error e -> enter_degraded t e
         | Ok () ->
+            Failpoint.crash_if fp_apply;
             Aa_obs.Trace.span "apply" @@ fun () ->
             Online.depart ol i;
             Protocol.Departed { id = i }
@@ -98,8 +165,9 @@ let dispatch t (req : Protocol.request) : Protocol.response =
       | `Bad_cap -> cap_err t u
       | `Ok -> (
           match journal_append t (Journal.Update (i, u)) with
-          | Error e -> err Journal_failed "%s" e
+          | Error e -> enter_degraded t e
           | Ok () ->
+              Failpoint.crash_if fp_apply;
               Aa_obs.Trace.span "apply" @@ fun () ->
               Online.update_utility ol i u;
               Protocol.Updated { id = i; server = Online.server_of ol i }))
@@ -122,6 +190,7 @@ let dispatch t (req : Protocol.request) : Protocol.response =
           ("admitted", string_of_int (Online.n_admitted ol));
           ("active", string_of_int (Online.n_active ol));
           ("utility", Printf.sprintf "%.9g" (Online.total_utility ol));
+          ("degraded", if t.degraded then "1" else "0");
         ]
       in
       Stats_report (gauges @ Metrics.report t.metrics)
@@ -138,8 +207,17 @@ let dispatch t (req : Protocol.request) : Protocol.response =
       match t.journal with
       | None -> done_ false
       | Some j -> (
+          (* served even in degraded mode: compaction rewrites the whole
+             file from in-memory state (which the WAL discipline keeps
+             equal to the durable state), so a successful SNAPSHOT is
+             the recovery path out of degradation *)
           match Journal.compact j (snapshot_entries t) with
-          | Ok () -> done_ true
+          | Ok () ->
+              if t.degraded then begin
+                t.degraded <- false;
+                Aa_obs.Registry.Counter.incr c_degraded_exit
+              end;
+              done_ true
           | Error e -> err Journal_failed "%s" e)
     end
   | Rebalance ->
@@ -238,10 +316,13 @@ let apply t entry =
         Ok ()
       end
 
-let of_journal ?clock ~path () =
-  let* j, entries = Journal.append_to ~path in
+let of_journal ?clock ?fsync ?journal_retries ?retry_backoff_s ~path () =
+  let* j, entries = Journal.append_to ?fsync ~path () in
   let h = Journal.header j in
-  let t = create ?clock ~journal:j ~servers:h.servers ~capacity:h.capacity () in
+  let t =
+    create ?clock ?journal_retries ?retry_backoff_s ~journal:j ~servers:h.servers
+      ~capacity:h.capacity ()
+  in
   let rec go n = function
     | [] -> Ok t
     | e :: rest -> (

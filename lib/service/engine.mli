@@ -25,26 +25,54 @@
       requests record [validate]/[journal]/[apply] phase spans under a
       per-request span named after the request kind.
 
-    No request — well-formed or not — raises. *)
+    {b Degraded mode.} A journal append that fails after
+    [journal_retries] bounded-backoff retries flips the engine into a
+    degraded read-only mode instead of failing each mutation
+    independently: the triggering request and every later mutation get
+    [ERR degraded], while QUERY, STATS, REBALANCE and TRACE keep being
+    served (the WAL discipline guarantees memory still equals the
+    durable state). A successful SNAPSHOT compaction — which rewrites
+    the journal wholesale — heals the engine back to read-write. All
+    transitions are counted in {!Aa_obs.Registry} under
+    [engine.journal.retries], [engine.degraded.enter],
+    [engine.degraded.rejected] and [engine.degraded.exit].
+
+    {b Fault injection.} The failpoints [engine.dispatch] (before a
+    request touches anything) and [engine.apply] (the WAL window: entry
+    durable, mutation not yet applied) simulate process crashes by
+    raising {!Aa_fault.Failpoint.Crash}; see doc/fault-injection.md.
+
+    No request — well-formed or not — raises (except an armed crash
+    failpoint, which is the point). *)
 
 type t
 
 val create :
   ?clock:(unit -> float) ->
   ?journal:Journal.t ->
+  ?journal_retries:int ->
+  ?retry_backoff_s:float ->
   servers:int ->
   capacity:float ->
   unit ->
   t
 (** [clock] (default {!Aa_obs.Clock.now_s}, the sanctioned monotonized
     wall clock) timestamps requests for the latency metrics; tests may
-    pass a fake. *)
+    pass a fake. A failed journal append is retried [journal_retries]
+    times (default 2) with exponential backoff starting at
+    [retry_backoff_s] seconds (default 1e-3) before the engine
+    degrades. *)
 
 val servers : t -> int
 val capacity : t -> float
 val online : t -> Aa_core.Online.t
 val metrics : t -> Metrics.t
 val journal : t -> Journal.t option
+
+val degraded : t -> bool
+(** Whether the engine is in degraded read-only mode (also reported as
+    the [degraded] gauge in STATS). *)
+
 val n_admitted : t -> int
 val n_active : t -> int
 val total_utility : t -> float
@@ -67,6 +95,14 @@ val snapshot_entries : t -> Journal.entry list
     replaying it into a fresh engine reproduces servers, allocations and
     total utility exactly. *)
 
-val of_journal : ?clock:(unit -> float) -> path:string -> unit -> (t, string) result
-(** Crash recovery: load the journal, replay every entry, and keep the
-    journal attached for subsequent appends. *)
+val of_journal :
+  ?clock:(unit -> float) ->
+  ?fsync:Journal.fsync_policy ->
+  ?journal_retries:int ->
+  ?retry_backoff_s:float ->
+  path:string ->
+  unit ->
+  (t, string) result
+(** Crash recovery: load the journal (either format version), replay
+    every entry, and keep the journal attached — rewritten in v2
+    framing under the given [fsync] policy — for subsequent appends. *)

@@ -1,15 +1,24 @@
 (** Append-only write-ahead journal of the allocation daemon.
 
     A journal is a text file: one header line
-    [aa-journal 1 servers <m> capacity <C>] followed by one entry per
-    line. Mutations are logged {e before} they are applied, so a crash
-    between the append and the in-memory commit replays at most the
-    request that was being processed. Replaying every entry through
-    {!Engine.apply} reconstructs the engine state exactly — the
+    [aa-journal 2 servers <m> capacity <C>] followed by one framed
+    entry per line. Mutations are logged {e before} they are applied,
+    so a crash between the append and the in-memory commit replays at
+    most the request that was being processed. Replaying every entry
+    through {!Engine.apply} reconstructs the engine state exactly — the
     [place] entries written by compaction record each thread's
     historical server, so greedy placement decisions survive.
 
-    Entry grammar (utility specs as in instance files):
+    Framing (format version 2): every entry line is
+    [<len> <crc32> <payload>], where [len] is the payload's byte length
+    and [crc32] its IEEE CRC-32 in lowercase hex ({!Crc32}). A torn
+    final line cannot masquerade as a shorter valid entry (the v1
+    hazard: [depart 12] losing its last byte reads as [depart 1]) —
+    both checks must pass before the payload is even parsed. Version 1
+    journals (unframed payload lines) are still read; the first
+    {!append_to} rewrite upgrades them to version 2 on disk.
+
+    Entry payload grammar (utility specs as in instance files):
     {v
     admit <utility-spec>
     depart <id>
@@ -20,11 +29,21 @@
     [place] lines only appear as the snapshot prefix written by
     {!compact}; ids must then be consecutive from 0.
 
-    Durability is line-grained: every {!append} flushes. A final line
-    torn by a crash mid-write (no trailing newline, unparseable) is
-    dropped on {!load}; {!append_to} rewrites the file from the
-    recovered entries (atomically, via a temp file and rename) so the
-    torn bytes cannot corrupt later appends. *)
+    Durability is line-grained: every {!append} flushes, and the
+    {!fsync_policy} chosen at open decides how often the OS is told to
+    reach the platter. A final line torn by a crash mid-write (no
+    trailing newline, failing its frame checks) is dropped on {!load};
+    {!append_to} rewrites the file from the recovered entries
+    (atomically, via a temp file, fsync and rename) so the torn bytes
+    cannot corrupt later appends. A failed in-process append likewise
+    marks the tail dirty, and the next successful append first
+    truncates back to the last durable offset — a retry can never
+    concatenate onto a torn fragment.
+
+    Fault injection: the failpoints [journal.sys], [journal.append],
+    [journal.append.torn], [journal.rewrite] and [journal.compact]
+    ({!Aa_fault.Failpoint}) are compiled into the corresponding
+    operations; see doc/fault-injection.md. *)
 
 type t
 
@@ -36,31 +55,67 @@ type entry =
 
 type header = { servers : int; capacity : float }
 
-val create : path:string -> servers:int -> capacity:float -> (t, string) result
-(** Create or truncate the file and write the header. *)
+type fsync_policy =
+  | Always  (** fsync after every append and around every rewrite. *)
+  | Interval of float
+      (** fsync at most once per the given number of seconds; a crash
+          can lose up to one interval of acknowledged mutations. *)
+  | Never  (** flush to the OS only; survives process death, not power loss. *)
+
+val create :
+  ?fsync:fsync_policy ->
+  path:string ->
+  servers:int ->
+  capacity:float ->
+  unit ->
+  (t, string) result
+(** Create the journal file and write the header ([fsync] defaults to
+    [Always]). Refuses to overwrite an existing non-empty journal —
+    recovery must be explicit ({!append_to} / [--replay]); an existing
+    {e empty} file (e.g. a fresh [Filename.temp_file]) is initialized
+    in place. *)
 
 val load : path:string -> (header * entry list, string) result
-(** Read and parse the whole journal. Fails on a missing file, a bad
-    header, or a malformed entry — except a torn final line (see above),
-    which is silently dropped. *)
+(** Read and parse the whole journal (either format version). Fails on
+    a missing file, a bad header, or a malformed entry — except a torn
+    final line (see above), which is silently dropped. *)
 
-val append_to : path:string -> (t * entry list, string) result
-(** [load], then atomically rewrite the recovered state and reopen for
-    appending: the crash-recovery open. *)
+val load_versioned : path:string -> (int * header * entry list, string) result
+(** {!load}, also reporting the on-disk format version (1 or 2). *)
+
+val append_to :
+  ?fsync:fsync_policy -> path:string -> unit -> (t * entry list, string) result
+(** [load], then atomically rewrite the recovered state (in v2 framing)
+    and reopen for appending: the crash-recovery open. *)
 
 val append : t -> entry -> (unit, string) result
-(** Write one entry and flush. *)
+(** Frame and write one entry, flush, and fsync per policy. Repairs a
+    dirty tail left by a previously failed append first. *)
 
 val compact : t -> entry list -> (unit, string) result
 (** Atomically replace the journal's contents with the given entries
     (normally {!Engine.snapshot_entries}, a [place]-per-thread state
     dump), keeping the same header. The handle stays open for appending
-    the mutations that follow. *)
+    the mutations that follow. On failure the handle reattaches to the
+    surviving file, so append capability is never lost — the journal
+    then still holds the full pre-compaction history. *)
 
 val header : t -> header
 val path : t -> string
+val fsync_policy : t -> fsync_policy
 val close : t -> unit
 
 val print_entry : entry -> string
+(** The unframed payload text of an entry. *)
+
+val frame_entry : entry -> string
+(** The full v2 line for an entry: [<len> <crc32> <payload>]. *)
+
 val parse_entry : cap:float -> string -> (entry option, string) result
-(** [Ok None] for blank or comment lines. *)
+(** Parse an unframed payload. [Ok None] for blank or comment lines. *)
+
+val fsync_of_string : string -> (fsync_policy, string) result
+(** ["always"], ["interval"] (0.1 s) or ["never"] — the [--fsync]
+    grammar of [aa_serve]. *)
+
+val fsync_to_string : fsync_policy -> string

@@ -10,7 +10,7 @@ type request =
   | Rebalance
   | Trace
 
-type error_code = Bad_request | Bad_spec | No_thread | Journal_failed
+type error_code = Bad_request | Bad_spec | No_thread | Journal_failed | Degraded
 
 type response =
   | Admitted of { id : int; server : int }
@@ -39,6 +39,7 @@ let code_name = function
   | Bad_spec -> "bad-spec"
   | No_thread -> "no-thread"
   | Journal_failed -> "journal"
+  | Degraded -> "degraded"
 
 let tokens line =
   let line =

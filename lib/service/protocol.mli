@@ -40,6 +40,11 @@ type error_code =
   | Bad_spec  (** utility spec rejected (grammar, concavity, domain cap) *)
   | No_thread  (** id never admitted, or already departed *)
   | Journal_failed  (** the write-ahead journal could not be written *)
+  | Degraded
+      (** the engine is in degraded read-only mode after exhausting its
+          journal-append retries; mutations are rejected without being
+          attempted until a successful SNAPSHOT compaction heals the
+          journal (QUERY/STATS/REBALANCE/TRACE still work) *)
 
 type response =
   | Admitted of { id : int; server : int }

@@ -159,6 +159,31 @@ let test_wall_clock () =
     "unrelated Sys call ok" []
     (rules_of (lint "let n = Sys.getenv \"HOME\""))
 
+let test_raw_io () =
+  Alcotest.(check (list string))
+    "Out_channel.open_text in lib/service" [ "raw-io" ]
+    (rules_of
+       (lint ~file:"lib/service/engine.ml"
+          "let oc = Out_channel.open_text path"));
+  Alcotest.(check (list string))
+    "Sys.rename in lib/service" [ "raw-io" ]
+    (rules_of (lint ~file:"lib/service/metrics.ml" "let () = Sys.rename a b"));
+  Alcotest.(check (list string))
+    "bare open_out in lib/service" [ "raw-io" ]
+    (rules_of (lint ~file:"lib/service/protocol.ml" "let oc = open_out path"));
+  Alcotest.(check (list string))
+    "journal.ml is exempt" []
+    (rules_of
+       (lint ~file:"lib/service/journal.ml"
+          "let oc = Out_channel.open_text path in Sys.rename a b"));
+  Alcotest.(check (list string))
+    "other trees untouched" []
+    (rules_of (lint ~file:"lib/io/format_text.ml" "let oc = open_out path"));
+  Alcotest.(check (list string))
+    "qualified non-target ok" []
+    (rules_of
+       (lint ~file:"lib/service/engine.ml" "let () = Out_channel.flush oc"))
+
 let test_suppression () =
   Alcotest.(check (list string))
     "same-line id" []
@@ -453,6 +478,7 @@ let () =
           Alcotest.test_case "no-failwith" `Quick test_no_failwith;
           Alcotest.test_case "todo-format" `Quick test_todo_format;
           Alcotest.test_case "wall-clock" `Quick test_wall_clock;
+          Alcotest.test_case "raw-io" `Quick test_raw_io;
           Alcotest.test_case "suppression" `Quick test_suppression;
         ] );
       ( "lint",

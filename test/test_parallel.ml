@@ -178,7 +178,7 @@ let test_bench_smoke () =
       if not (Helpers.contains doc needle) then
         Alcotest.failf "trajectory %s missing %S:\n%s" json needle doc)
     [
-      "\"schema\": \"aa-bench-trajectory/2\"";
+      "\"schema\": \"aa-bench-trajectory/3\"";
       "\"id\": \"fig3c\"";
       "\"id\": \"speedup-fig1a\"";
       "\"speedup_vs_j1\"";

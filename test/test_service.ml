@@ -161,7 +161,7 @@ let test_journal_roundtrip () =
       Journal.Place { id = 1; server = 0; active = true; u = u_log };
     ]
   in
-  let j = or_fail (Journal.create ~path ~servers:2 ~capacity:cap) in
+  let j = or_fail (Journal.create ~path ~servers:2 ~capacity:cap ()) in
   List.iter (fun e -> unit_or_fail (Journal.append j e)) entries;
   Journal.close j;
   let h, got = or_fail (Journal.load ~path) in
@@ -174,7 +174,7 @@ let test_journal_roundtrip () =
 
 let test_journal_torn_tail () =
   let path = Filename.temp_file "aa_journal" ".log" in
-  let j = or_fail (Journal.create ~path ~servers:2 ~capacity:cap) in
+  let j = or_fail (Journal.create ~path ~servers:2 ~capacity:cap ()) in
   unit_or_fail (Journal.append j (Journal.Admit u_pow));
   Journal.close j;
   (* simulate a crash mid-append: a partial final line, no newline *)
@@ -185,7 +185,7 @@ let test_journal_torn_tail () =
   | Error e -> Alcotest.failf "torn tail not tolerated: %s" e
   | Ok (_, got) -> Alcotest.(check int) "torn line dropped" 1 (List.length got));
   (* the recovery open rewrites the file, so appends after it are clean *)
-  let j, got = or_fail (Journal.append_to ~path) in
+  let j, got = or_fail (Journal.append_to ~path ()) in
   Alcotest.(check int) "recovered entries" 1 (List.length got);
   unit_or_fail (Journal.append j (Journal.Depart 0));
   Journal.close j;
@@ -317,7 +317,7 @@ let garbage_line rng =
 let test_fuzz_never_kills_engine () =
   let rng = Rng.create ~seed:99 () in
   let path = Filename.temp_file "aa_fuzz" ".log" in
-  let j = or_fail (Journal.create ~path ~servers:2 ~capacity:cap) in
+  let j = or_fail (Journal.create ~path ~servers:2 ~capacity:cap ()) in
   let e = Engine.create ~journal:j ~servers:2 ~capacity:cap () in
   ignore (expect_ok e "ADMIT power 4 0.5");
   let mutated = ref 1 in
@@ -443,7 +443,7 @@ let test_crash_recovery_every_prefix () =
   let rng = Rng.create ~seed:2024 () in
   let path = Filename.temp_file "aa_crash" ".log" in
   let replay_path = Filename.temp_file "aa_replay" ".log" in
-  let j = or_fail (Journal.create ~path ~servers:3 ~capacity:cap) in
+  let j = or_fail (Journal.create ~path ~servers:3 ~capacity:cap ()) in
   let e = Engine.create ~journal:j ~servers:3 ~capacity:cap () in
   let boundaries = scripted_session e rng 200 in
   Alcotest.(check int) "200 request boundaries" 200 (List.length boundaries);
