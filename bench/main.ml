@@ -62,6 +62,7 @@ type bench_entry = {
   bjobs : int;  (* pool size the experiment ran with (1 = sequential) *)
   btrials : int;
   speedup_vs_j1 : float option;  (* only the SP experiment measures this *)
+  regression : bool;  (* speedup_vs_j1 < 1.0: the pool run was slower than j=1 *)
   counters : (string * int) list;  (* nonzero counter deltas over the experiment *)
   spans : int;  (* raw span events recorded during the experiment *)
   bfsync : string option;
@@ -73,6 +74,13 @@ let bench_entries : bench_entry list ref = ref []
 
 let record ?speedup ?(counters = []) ?(spans = 0) ?fsync ~id ~jobs:bjobs
     ~trials:btrials wall_s =
+  let regression = match speedup with Some s -> s < 1.0 | None -> false in
+  if regression then
+    Printf.eprintf
+      "bench: WARNING %s speedup_vs_j1 = %.2fx < 1.0 — the parallel run was \
+       slower than sequential\n%!"
+      id
+      (Option.value speedup ~default:0.0);
   bench_entries :=
     {
       bid = id;
@@ -80,6 +88,7 @@ let record ?speedup ?(counters = []) ?(spans = 0) ?fsync ~id ~jobs:bjobs
       bjobs;
       btrials;
       speedup_vs_j1 = speedup;
+      regression;
       counters;
       spans;
       bfsync = fsync;
@@ -116,7 +125,7 @@ let bench_json_path =
 let write_bench_json () =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"aa-bench-trajectory/3\",\n";
+  Buffer.add_string b "  \"schema\": \"aa-bench-trajectory/4\",\n";
   Printf.bprintf b "  \"generated_unix\": %.0f,\n" (Aa_obs.Clock.wall_s ());
   Printf.bprintf b "  \"jobs\": %d,\n" jobs;
   Printf.bprintf b "  \"trials\": %d,\n" trials;
@@ -127,9 +136,11 @@ let write_bench_json () =
     (fun i e ->
       Printf.bprintf b
         "    {\"id\": \"%s\", \"wall_s\": %.6f, \"jobs\": %d, \"trials\": %d, \
-         \"speedup_vs_j1\": %s, \"fsync\": %s, \"spans\": %d, \"counters\": {%s}}%s\n"
+         \"speedup_vs_j1\": %s, \"regression\": %b, \"fsync\": %s, \"spans\": %d, \
+         \"counters\": {%s}}%s\n"
         e.bid e.wall_s e.bjobs e.btrials
         (match e.speedup_vs_j1 with None -> "null" | Some s -> Printf.sprintf "%.4f" s)
+        e.regression
         (match e.bfsync with None -> "null" | Some p -> Printf.sprintf "\"%s\"" p)
         e.spans
         (String.concat ", "

@@ -1,67 +1,161 @@
 (* aa_lint: static analysis for the AA solver stack.
 
-   Usage:
-     aa_lint [options] <file-or-dir>...
-   Options:
-     --baseline FILE     read known violations from FILE (default: none)
-     --update-baseline   rewrite the baseline from the current violations
-     --rules             list rules and exit
-     --quiet             print nothing on success
-   Exit codes: 0 clean, 1 fresh violations, 2 usage or I/O error. *)
+   See [help_text] below for the flag reference and the exit-code
+   contract. Exit codes mirror aa_cli's convention: distinct codes for
+   "the code is bad" (1), "the run could not complete" (2) and "the
+   invocation is bad" (124), so CI and scripts can tell them apart. *)
 
-let usage () =
-  prerr_endline
-    "usage: aa_lint [--baseline FILE] [--update-baseline] [--rules] [--quiet] \
-     <file-or-dir>...";
-  exit 2
+module A = Aa_analysis
+
+let help_text =
+  "usage: aa_lint [options] <file-or-dir>...\n\
+   \n\
+   Lints .ml/.mli sources with the Aa_analysis rule set: lexical rules,\n\
+   structural determinism-contract rules (pool-mutation, unguarded-div)\n\
+   and the cross-module unused-export project rule.\n\
+   \n\
+   options:\n\
+  \  --baseline FILE      read known violations from FILE\n\
+  \  --update-baseline    rewrite the baseline from current violations\n\
+  \  --format FMT         output format: text (default), json, sarif\n\
+  \  --enable ID[,ID...]  run only the listed rules (repeatable)\n\
+  \  --disable ID[,ID...] drop rules from the active set (repeatable)\n\
+  \  --severity ID=LEVEL  override a rule's severity: error or warn\n\
+  \  --uses PATH          extra root scanned for references only (repeatable);\n\
+  \                       keeps exports consumed by bin/bench/test out of\n\
+  \                       the unused-export report\n\
+  \  --rules              list rules (id, default severity, summary) and exit\n\
+  \  --quiet              print no summary line on success\n\
+  \  --help               this text\n\
+   \n\
+   exit codes:\n\
+  \  0    clean, or fresh findings are warn-severity only\n\
+  \       (--update-baseline exits 0 once the baseline is written)\n\
+  \  1    fresh error-severity findings\n\
+  \  2    I/O error: a named path could not be read\n\
+  \  124  usage error: unknown flag, unknown rule id, bad --severity or\n\
+  \       --format value, missing operand\n"
+
+let usage_error msg =
+  prerr_endline ("aa_lint: " ^ msg);
+  prerr_endline "usage: aa_lint [options] <file-or-dir>...  (--help for details)";
+  exit 124
 
 let list_rules () =
   List.iter
-    (fun (r : Aa_analysis.Rules.t) -> Printf.printf "%-12s %s\n" r.id r.summary)
-    Aa_analysis.Rules.all;
+    (fun (r : A.Rules.t) ->
+      Printf.printf "%-14s %-6s %s\n" r.id
+        (A.Rules.severity_to_string r.default_severity)
+        r.summary)
+    A.Rules.all;
+  List.iter
+    (fun (p : A.Rules.project) ->
+      Printf.printf "%-14s %-6s %s (project-wide)\n" p.pid
+        (A.Rules.severity_to_string p.pdefault_severity)
+        p.psummary)
+    A.Rules.project_all;
   exit 0
+
+let split_ids s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
+
+let check_rule_id id =
+  if not (List.exists (String.equal id) A.Rules.all_ids) then
+    usage_error (Printf.sprintf "unknown rule id %S (see --rules)" id)
 
 let () =
   let baseline_file = ref None in
   let update = ref false in
   let quiet = ref false in
+  let format = ref A.Report.Text in
+  let enabled = ref None in
+  let disabled = ref [] in
+  let severities = ref [] in
+  let use_paths = ref [] in
   let paths = ref [] in
   let rec parse = function
     | [] -> ()
     | "--rules" :: _ -> list_rules ()
+    | ("--help" | "-h") :: _ ->
+        print_string help_text;
+        exit 0
     | "--baseline" :: file :: rest ->
         baseline_file := Some file;
         parse rest
-    | "--baseline" :: [] -> usage ()
     | "--update-baseline" :: rest ->
         update := true;
         parse rest
     | "--quiet" :: rest ->
         quiet := true;
         parse rest
-    | ("--help" | "-h") :: _ -> usage ()
-    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | "--format" :: fmt :: rest -> (
+        match A.Report.format_of_string fmt with
+        | Some f ->
+            format := f;
+            parse rest
+        | None -> usage_error (Printf.sprintf "bad --format %S (text|json|sarif)" fmt))
+    | "--enable" :: ids :: rest ->
+        let ids = split_ids ids in
+        List.iter check_rule_id ids;
+        enabled := Some (ids @ Option.value ~default:[] !enabled);
+        parse rest
+    | "--disable" :: ids :: rest ->
+        let ids = split_ids ids in
+        List.iter check_rule_id ids;
+        disabled := ids @ !disabled;
+        parse rest
+    | "--severity" :: spec :: rest -> (
+        match String.index_opt spec '=' with
+        | Some i -> (
+            let id = String.sub spec 0 i in
+            let level = String.sub spec (i + 1) (String.length spec - i - 1) in
+            check_rule_id id;
+            match A.Rules.severity_of_string level with
+            | Some s ->
+                severities := (id, s) :: !severities;
+                parse rest
+            | None -> usage_error (Printf.sprintf "bad --severity level %S (error|warn)" level))
+        | None -> usage_error (Printf.sprintf "bad --severity %S (expected ID=LEVEL)" spec))
+    | "--uses" :: path :: rest ->
+        use_paths := path :: !use_paths;
+        parse rest
+    | [ ("--baseline" | "--format" | "--enable" | "--disable" | "--severity" | "--uses") ] ->
+        usage_error "flag needs an operand"
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        usage_error (Printf.sprintf "unknown flag %S" arg)
     | path :: rest ->
         paths := path :: !paths;
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !paths = [] then usage ();
-  if !update && !baseline_file = None then usage ();
+  if !paths = [] then usage_error "no input paths";
+  if !update && !baseline_file = None then
+    usage_error "--update-baseline requires --baseline FILE";
+  let active id =
+    (match !enabled with None -> true | Some ids -> List.exists (String.equal id) ids)
+    && not (List.exists (String.equal id) !disabled)
+  in
+  let rules = List.filter (fun (r : A.Rules.t) -> active r.id) A.Rules.all in
+  let project = List.filter (fun (p : A.Rules.project) -> active p.pid) A.Rules.project_all in
   let baseline =
     match !baseline_file with
-    | Some f when not !update -> Aa_analysis.Lint.load_baseline f
+    | Some f when not !update -> A.Lint.load_baseline f
     | _ -> []
   in
-  match Aa_analysis.Lint.run_with_lines ~baseline (List.rev !paths) with
+  match
+    A.Lint.run_with_lines ~rules ~project ~severities:!severities
+      ~use_paths:(List.rev !use_paths) ~baseline (List.rev !paths)
+  with
   | exception Sys_error msg ->
       prerr_endline ("aa_lint: " ^ msg);
       exit 2
   | outcome, with_lines ->
+      let errors =
+        List.filter (fun (x : A.Rules.violation) -> x.severity = A.Rules.Error) outcome.fresh
+      in
       if !update then begin
         (* aa-lint: ignore partial-fn -- --update-baseline requires --baseline (checked above) *)
         let file = Option.get !baseline_file in
-        let entries = Aa_analysis.Lint.baseline_entries with_lines in
+        let entries = A.Lint.baseline_entries with_lines in
         let oc = open_out file in
         output_string oc "# aa_lint baseline: <rule> <count> <md5> <path>\n";
         output_string oc "# regenerate with: aa_lint --baseline THIS --update-baseline <paths>\n";
@@ -72,17 +166,19 @@ let () =
           file;
         exit 0
       end;
-      List.iter
-        (fun v -> Format.printf "%a@." Aa_analysis.Rules.pp_violation v)
-        outcome.fresh;
-      List.iter
-        (fun fp -> Printf.printf "stale baseline entry (fix it or refresh): %s\n" fp)
-        outcome.stale_baseline;
-      let n_fresh = List.length outcome.fresh in
+      print_string (A.Report.render !format outcome);
+      if !format = A.Report.Text then
+        List.iter
+          (fun fp -> Printf.printf "stale baseline entry (fix it or refresh): %s\n" fp)
+          outcome.stale_baseline;
       if not !quiet then
-        Printf.printf
-          "aa_lint: %d file(s), %d violation(s), %d baselined, %d suppressed\n"
-          outcome.files n_fresh
+        Printf.eprintf
+          "aa_lint: %d file(s), %d violation(s) (%d error, %d warn), %d baselined, \
+           %d suppressed\n"
+          outcome.files
+          (List.length outcome.fresh)
+          (List.length errors)
+          (List.length outcome.fresh - List.length errors)
           (List.length outcome.baselined)
           outcome.suppressed;
-      exit (if n_fresh > 0 then 1 else 0)
+      exit (if errors <> [] then 1 else 0)

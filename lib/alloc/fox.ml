@@ -6,7 +6,9 @@ type result = { alloc : int array; utility : float }
 let utility_of_units ~unit_size f units =
   Utility.eval f (Float.min (float_of_int units *. unit_size) (Utility.cap f))
 
-let max_units ~unit_size f = int_of_float (Float.ceil (Utility.cap f /. unit_size))
+let max_units ~unit_size f =
+  (* aa-lint: ignore-next unguarded-div -- unit_size > 0 enforced by allocate, the only caller *)
+  int_of_float (Float.ceil (Utility.cap f /. unit_size))
 
 (* Heap entries: (marginal gain of the next unit, thread, units held).
    Larger gain first; ties by thread index for determinism. *)

@@ -75,5 +75,5 @@ val violation_class : violation -> string
 (** Stable machine-readable tag ("wrong-arity", "budget-exceeded", …) —
     what tests assert against. *)
 
-val pp_violation : Format.formatter -> violation -> unit
+val pp_violation : Format.formatter -> violation -> unit (* aa-lint: ignore unused-export -- debug printer, kept for toplevel/driver use *)
 val pp_report : Format.formatter -> report -> unit

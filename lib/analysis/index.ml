@@ -1,0 +1,204 @@
+(* Def/use index over .mli exports. All matching is lexical; see the
+   .mli for the over-approximation contract. *)
+
+type export = {
+  e_module : string;
+  e_name : string;
+  e_file : string;
+  e_line : int;
+  e_col : int;
+}
+
+type t = {
+  exports_ : export list;
+  (* (module, value) -> file-modules that reference it qualified *)
+  qualified : (string * string, (string, unit) Hashtbl.t) Hashtbl.t;
+  (* module -> file-modules that open it *)
+  opens : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+  (* module -> file-modules that include it *)
+  includes : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+  (* file-module -> bare lowercase identifiers it mentions *)
+  bare : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+}
+
+let module_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let is_op (t : Token.t) s = t.kind = Token.Op && String.equal t.text s
+let is_kw (t : Token.t) s = t.kind = Token.Keyword && String.equal t.text s
+
+let tbl_add tbl key sub =
+  let inner =
+    match Hashtbl.find_opt tbl key with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 4 in
+        Hashtbl.replace tbl key h;
+        h
+  in
+  Hashtbl.replace inner sub ()
+
+let tbl_mem tbl key sub =
+  match Hashtbl.find_opt tbl key with Some h -> Hashtbl.mem h sub | None -> false
+
+(* --- export collection (one .mli) ------------------------------------ *)
+
+(* Walk the signature maintaining the enclosing-module stack. [`Skip]
+   frames mark [module type ... = sig] bodies, whose vals are interface
+   requirements rather than exports. *)
+let collect_exports ~path code out =
+  let n = Array.length code in
+  let file_mod = module_of_path path in
+  let stack = ref [] in
+  (* the most recent [module X] / [module type X] head awaiting its
+     sig/struct opener *)
+  let pending = ref None in
+  let innermost () =
+    let rec go = function
+      | `Skip :: _ -> None
+      | `Mod m :: _ -> Some m
+      | `Anon :: rest -> go rest
+      | [] -> Some file_mod
+    in
+    go !stack
+  in
+  for i = 0 to n - 1 do
+    let t : Token.t = code.(i) in
+    if is_kw t "module" then begin
+      if i + 1 < n && is_kw code.(i + 1) "type" then pending := Some `Skip
+      else
+        match
+          (* skip past [rec] to the module name *)
+          let j = if i + 1 < n && is_kw code.(i + 1) "rec" then i + 2 else i + 1 in
+          if j < n && code.(j).kind = Token.Uident then Some code.(j).text else None
+        with
+        | Some name -> pending := Some (`Mod name)
+        | None -> pending := Some `Anon
+    end
+    else if is_kw t "sig" || is_kw t "struct" || is_kw t "object" then begin
+      stack := Option.value !pending ~default:`Anon :: !stack;
+      pending := None
+    end
+    else if is_kw t "begin" then stack := `Anon :: !stack
+    else if is_kw t "end" then begin
+      (match !stack with _ :: rest -> stack := rest | [] -> ());
+      pending := None
+    end
+    else if (is_kw t "val" || is_kw t "external") && i + 1 < n then begin
+      match innermost () with
+      | None -> () (* inside a module type *)
+      | Some m ->
+          let d = code.(i + 1) in
+          if d.kind = Token.Ident then
+            out :=
+              { e_module = m; e_name = d.text; e_file = path; e_line = d.line; e_col = d.col }
+              :: !out
+    end
+  done
+
+(* --- use collection (any file) ---------------------------------------- *)
+
+let collect_uses ~path code t =
+  let n = Array.length code in
+  let file_mod = module_of_path path in
+  let bare =
+    match Hashtbl.find_opt t.bare file_mod with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 64 in
+        Hashtbl.replace t.bare file_mod h;
+        h
+  in
+  (* single-file [module X = M] aliases, resolved when recording uses *)
+  let aliases = Hashtbl.create 4 in
+  let resolve m = Option.value (Hashtbl.find_opt aliases m) ~default:m in
+  for i = 0 to n - 1 do
+    let t0 : Token.t = code.(i) in
+    if t0.kind = Token.Ident && not (i > 0 && is_op code.(i - 1) ".") then
+      Hashtbl.replace bare t0.text ()
+    else if t0.kind = Token.Uident then begin
+      (* qualified value use: [M.f] with f lowercase *)
+      if i + 2 < n && is_op code.(i + 1) "." then begin
+        if code.(i + 2).kind = Token.Ident then
+          tbl_add t.qualified (resolve t0.text, code.(i + 2).text) file_mod
+        else if is_op code.(i + 2) "(" then
+          (* local open [M.( ... )] *)
+          tbl_add t.opens (resolve t0.text) file_mod
+      end
+    end
+    else if is_kw t0 "open" || is_kw t0 "include" then begin
+      (* last component of the path being opened/included *)
+      let j = ref (i + 1) in
+      let last = ref None in
+      let continue_ = ref true in
+      while !continue_ && !j < n do
+        if code.(!j).kind = Token.Uident then begin
+          last := Some code.(!j).text;
+          if !j + 1 < n && is_op code.(!j + 1) "." then j := !j + 2 else continue_ := false
+        end
+        else continue_ := false
+      done;
+      match !last with
+      | Some m ->
+          let m = resolve m in
+          tbl_add (if is_kw t0 "open" then t.opens else t.includes) m file_mod
+      | None -> ()
+    end
+    else if
+      is_kw t0 "module"
+      && i + 3 < n
+      && code.(i + 1).kind = Token.Uident
+      && is_op code.(i + 2) "="
+      && code.(i + 3).kind = Token.Uident
+    then begin
+      (* [module X = Path.To.M]: record the alias to the path's tail *)
+      let j = ref (i + 3) in
+      let last = ref code.(i + 3).text in
+      while !j + 2 < n && is_op code.(!j + 1) "." && code.(!j + 2).kind = Token.Uident do
+        j := !j + 2;
+        last := code.(!j).text
+      done;
+      Hashtbl.replace aliases code.(i + 1).text !last
+    end
+  done
+
+let build ~targets ~uses =
+  let t =
+    {
+      exports_ = [];
+      qualified = Hashtbl.create 256;
+      opens = Hashtbl.create 32;
+      includes = Hashtbl.create 8;
+      bare = Hashtbl.create 64;
+    }
+  in
+  let out = ref [] in
+  List.iter
+    (fun (path, toks) ->
+      let code = Token.code_only toks in
+      if Filename.check_suffix path ".mli" then collect_exports ~path code out;
+      collect_uses ~path code t)
+    targets;
+  List.iter (fun (path, toks) -> collect_uses ~path (Token.code_only toks) t) uses;
+  { t with exports_ = List.rev !out }
+
+let exports t = t.exports_
+
+let used t e =
+  let own = module_of_path e.e_file in
+  let other tbl key =
+    match Hashtbl.find_opt tbl key with
+    | None -> false
+    | Some h -> Hashtbl.fold (fun m () acc -> acc || not (String.equal m own)) h false
+  in
+  other t.qualified (e.e_module, e.e_name)
+  || other t.includes e.e_module
+  ||
+  match Hashtbl.find_opt t.opens e.e_module with
+  | None -> false
+  | Some openers ->
+      Hashtbl.fold
+        (fun m () acc ->
+          acc
+          || ((not (String.equal m own)) && tbl_mem t.bare m e.e_name))
+        openers false

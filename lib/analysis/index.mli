@@ -1,0 +1,44 @@
+(** Cross-module def/use index for everything exported through an
+    [.mli].
+
+    [build] scans two file sets: the {e target} files (whose [.mli]
+    declarations become export candidates) and an extra {e use} set
+    scanned for references only — typically [bin/], [bench/] and
+    [test/], so a value consumed only by an executable or a test is not
+    reported unused.
+
+    Use detection is deliberately generous (the same
+    fewer-false-positives bias as {!Syntax}): a value counts as used if
+    any other compilation unit references it qualified ([M.f], through
+    a [module X = M] alias, or via a longer path ending in [M.f]),
+    opens [M] ([open], [let open], [M.(...)]) and mentions the bare
+    name anywhere, or [include]s [M] (which re-exports everything). A
+    module name shared by two files (e.g. two [Trace]s in different
+    libraries) pools their uses, again erring toward "used". *)
+
+type export = {
+  e_module : string;  (** innermost enclosing module, e.g. [Online] for [Stats.Online.t] *)
+  e_name : string;
+  e_file : string;  (** the declaring [.mli] *)
+  e_line : int;
+  e_col : int;
+}
+
+type t
+
+val build : targets:(string * Token.t array) list -> uses:(string * Token.t array) list -> t
+(** [(path, tokens)] pairs; tokens as produced by {!Token.scan}. *)
+
+val exports : t -> export list
+(** [val]/[external] declarations from the target [.mli] files, in
+    file-then-source order. Operator exports ([val ( <| ) : ...]) are
+    omitted — their uses are not traceable lexically. Declarations
+    inside [module type] signatures are omitted too (they are interface
+    requirements, not concrete exports). *)
+
+val used : t -> export -> bool
+(** True when any file other than the export's own compilation unit
+    references it, per the generous matching described above. *)
+
+val module_of_path : string -> string
+(** ["lib/numerics/stats.mli"] → ["Stats"]. *)

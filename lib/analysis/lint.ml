@@ -108,6 +108,22 @@ let ml_files_under path =
   if Sys.file_exists path && not (Sys.is_directory path) then [ path ]
   else List.rev (walk [] path)
 
+let rec walk_src acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "_build" || (String.length entry > 0 && entry.[0] = '.') then acc
+           else walk_src acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then
+    path :: acc
+  else acc
+
+let source_files_under path =
+  if Sys.file_exists path && not (Sys.is_directory path) then [ path ]
+  else List.rev (walk_src [] path)
+
 (* --- running -------------------------------------------------------- *)
 
 let read_file path =
@@ -150,8 +166,46 @@ let baseline_entries pairs =
   Hashtbl.fold (fun (rule, path, fp) count acc -> Printf.sprintf "%s %d %s %s" rule count fp path :: acc) tbl []
   |> List.sort String.compare
 
-let run_with_lines ?rules ?(baseline = []) paths =
-  let files = List.concat_map ml_files_under paths in
+let run_with_lines ?rules ?(project = Rules.project_all) ?(severities = [])
+    ?(use_paths = []) ?(baseline = []) paths =
+  let files = List.concat_map source_files_under paths in
+  (* scan every target once; tokens feed both the per-file rules and the
+     cross-module index *)
+  let scanned =
+    List.map
+      (fun file ->
+        let contents = read_file file in
+        (file, contents, Token.scan contents))
+      files
+  in
+  (* project-rule violations, grouped by file *)
+  let project_viols = Hashtbl.create 16 in
+  if project <> [] then begin
+    let in_targets = Hashtbl.create 64 in
+    List.iter (fun f -> Hashtbl.replace in_targets (normalize_path f) ()) files;
+    let use_files =
+      List.concat_map source_files_under use_paths
+      |> List.filter (fun f -> not (Hashtbl.mem in_targets (normalize_path f)))
+    in
+    let uses = List.map (fun f -> (f, Token.scan (read_file f))) use_files in
+    let index =
+      Index.build ~targets:(List.map (fun (f, _, toks) -> (f, toks)) scanned) ~uses
+    in
+    List.iter
+      (fun (p : Rules.project) ->
+        List.iter
+          (fun (x : Rules.violation) ->
+            let key = normalize_path x.file in
+            Hashtbl.replace project_viols key
+              (x :: Option.value ~default:[] (Hashtbl.find_opt project_viols key)))
+          (p.pcheck index))
+      project
+  end;
+  let override (x : Rules.violation) =
+    match List.assoc_opt x.rule severities with
+    | Some s -> { x with Rules.severity = s }
+    | None -> x
+  in
   let budget = Hashtbl.create 16 in
   List.iter
     (fun (fp, count) ->
@@ -161,11 +215,31 @@ let run_with_lines ?rules ?(baseline = []) paths =
   let with_lines = ref [] in
   let fresh = ref [] and baselined = ref [] in
   List.iter
-    (fun file ->
-      let contents = read_file file in
+    (fun (file, contents, toks) ->
       let lines = Array.of_list (String.split_on_char '\n' contents) in
-      let kept, dropped = check_tokens ?rules ~file (Token.scan contents) in
-      suppressed := !suppressed + dropped;
+      (* per-file rules run on .ml implementations; project rules may
+         attach findings to any target (typically the .mli) *)
+      let raw =
+        if Filename.check_suffix file ".ml" then
+          List.concat_map
+            (fun (r : Rules.t) -> r.Rules.check ~file toks)
+            (Option.value rules ~default:Rules.all)
+        else []
+      in
+      let from_project =
+        List.rev
+          (Option.value ~default:[] (Hashtbl.find_opt project_viols (normalize_path file)))
+      in
+      let tbl = suppressions toks in
+      let kept, dropped =
+        List.partition (fun x -> not (suppressed_at tbl x)) (raw @ from_project)
+      in
+      let kept =
+        List.map override kept
+        |> List.sort (fun (a : Rules.violation) b ->
+               compare (a.line, a.col) (b.line, b.col))
+      in
+      suppressed := !suppressed + List.length dropped;
       List.iter
         (fun (x : Rules.violation) ->
           let line_text =
@@ -179,7 +253,7 @@ let run_with_lines ?rules ?(baseline = []) paths =
               baselined := x :: !baselined
           | _ -> fresh := x :: !fresh)
         kept)
-    files;
+    scanned;
   let stale =
     Hashtbl.fold (fun fp n acc -> if n > 0 then fp :: acc else acc) budget []
     |> List.sort String.compare
@@ -193,4 +267,5 @@ let run_with_lines ?rules ?(baseline = []) paths =
     },
     List.rev !with_lines )
 
-let run ?rules ?baseline paths = fst (run_with_lines ?rules ?baseline paths)
+let run ?rules ?project ?severities ?use_paths ?baseline paths =
+  fst (run_with_lines ?rules ?project ?severities ?use_paths ?baseline paths)

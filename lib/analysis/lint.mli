@@ -40,6 +40,11 @@ val ml_files_under : string -> string list
     [_build] and dot-directories. A path to a regular file is returned
     as-is. *)
 
+val source_files_under : string -> string list
+(** Like {!ml_files_under} but including [.mli] interfaces — the file
+    set the lint engine actually scans, so project rules can attach
+    findings to interface files. *)
+
 val fingerprint : file:string -> line_text:string -> string -> string
 (** [fingerprint ~file ~line_text rule_id] — the baseline hash. *)
 
@@ -56,11 +61,31 @@ val baseline_entries : (string * Rules.violation) list -> string list
     [(line_text, violation)] pairs — for [--update-baseline]. *)
 
 val run :
-  ?rules:Rules.t list -> ?baseline:(string * int) list -> string list -> outcome
-(** Lint files and/or directories. Unreadable paths raise [Sys_error]. *)
+  ?rules:Rules.t list ->
+  ?project:Rules.project list ->
+  ?severities:(string * Rules.severity) list ->
+  ?use_paths:string list ->
+  ?baseline:(string * int) list ->
+  string list ->
+  outcome
+(** Lint files and/or directories ([.ml] and [.mli] are collected;
+    per-file rules run on implementations, project rules run once over
+    the cross-module {!Index} built from every target). Unreadable
+    paths raise [Sys_error].
+
+    [project] defaults to {!Rules.project_all} (pass [[]] to disable).
+    [severities] overrides rule severities by id. [use_paths] names
+    extra roots scanned for {e references only} — typically [bin/],
+    [bench/] and [test/] — so exports consumed solely by executables or
+    tests are not reported unused. Suppression comments apply to
+    project findings the same way they do to per-file ones (place them
+    in the [.mli]). *)
 
 val run_with_lines :
   ?rules:Rules.t list ->
+  ?project:Rules.project list ->
+  ?severities:(string * Rules.severity) list ->
+  ?use_paths:string list ->
   ?baseline:(string * int) list ->
   string list ->
   outcome * (string * Rules.violation) list

@@ -1,0 +1,103 @@
+type format = Text | Json | Sarif
+
+let format_of_string s =
+  match String.lowercase_ascii s with
+  | "text" -> Some Text
+  | "json" -> Some Json
+  | "sarif" -> Some Sarif
+  | _ -> None
+
+(* --- JSON plumbing (stdlib-only, same idiom as Aa_obs.Trace) --------- *)
+
+let js s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let violation_json (x : Rules.violation) =
+  Printf.sprintf "{\"rule\":%s,\"severity\":%s,\"file\":%s,\"line\":%d,\"col\":%d,\"message\":%s}"
+    (js x.rule)
+    (js (Rules.severity_to_string x.severity))
+    (js (Lint.normalize_path x.file))
+    x.line x.col (js x.message)
+
+let count_severity sev xs =
+  List.length (List.filter (fun (x : Rules.violation) -> x.Rules.severity = sev) xs)
+
+(* --- text ------------------------------------------------------------ *)
+
+let render_text (o : Lint.outcome) =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (x : Rules.violation) ->
+      Buffer.add_string b
+        (Format.asprintf "%a%s@." Rules.pp_violation x
+           (match x.Rules.severity with Rules.Warn -> " (warn)" | Rules.Error -> "")))
+    o.Lint.fresh;
+  Buffer.contents b
+
+(* --- json ------------------------------------------------------------ *)
+
+let render_json (o : Lint.outcome) =
+  let arr xs f = "[" ^ String.concat "," (List.map f xs) ^ "]" in
+  Printf.sprintf
+    "{\"schema\":\"aa-lint/1\",\"files\":%d,\"summary\":{\"fresh\":%d,\"errors\":%d,\"warnings\":%d,\"baselined\":%d,\"suppressed\":%d,\"stale_baseline\":%d},\"violations\":%s,\"baselined\":%s,\"stale_baseline\":%s}\n"
+    o.Lint.files
+    (List.length o.Lint.fresh)
+    (count_severity Rules.Error o.Lint.fresh)
+    (count_severity Rules.Warn o.Lint.fresh)
+    (List.length o.Lint.baselined)
+    o.Lint.suppressed
+    (List.length o.Lint.stale_baseline)
+    (arr o.Lint.fresh violation_json)
+    (arr o.Lint.baselined violation_json)
+    (arr o.Lint.stale_baseline js)
+
+(* --- sarif ----------------------------------------------------------- *)
+
+let sarif_level = function Rules.Error -> "error" | Rules.Warn -> "warning"
+
+let render_sarif (o : Lint.outcome) =
+  let rule_meta id summary sev =
+    Printf.sprintf
+      "{\"id\":%s,\"shortDescription\":{\"text\":%s},\"defaultConfiguration\":{\"level\":%s}}"
+      (js id) (js summary)
+      (js (sarif_level sev))
+  in
+  let rules =
+    List.map (fun (r : Rules.t) -> rule_meta r.Rules.id r.Rules.summary r.Rules.default_severity)
+      Rules.all
+    @ List.map
+        (fun (p : Rules.project) ->
+          rule_meta p.Rules.pid p.Rules.psummary p.Rules.pdefault_severity)
+        Rules.project_all
+  in
+  let result (x : Rules.violation) =
+    Printf.sprintf
+      "{\"ruleId\":%s,\"level\":%s,\"message\":{\"text\":%s},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":%s},\"region\":{\"startLine\":%d,\"startColumn\":%d}}}]}"
+      (js x.rule)
+      (js (sarif_level x.severity))
+      (js x.message)
+      (js (Lint.normalize_path x.file))
+      (max 1 x.line) (max 1 x.col)
+  in
+  Printf.sprintf
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"aa_lint\",\"rules\":[%s]}},\"results\":[%s]}]}\n"
+    (String.concat "," rules)
+    (String.concat "," (List.map result o.Lint.fresh))
+
+let render fmt o =
+  match fmt with Text -> render_text o | Json -> render_json o | Sarif -> render_sarif o

@@ -1,0 +1,19 @@
+(** Rendering lint outcomes for people and machines.
+
+    [Text] is the grep/editor-friendly one-line-per-finding format the
+    driver has always printed. [Json] is a stable machine-readable
+    envelope ([aa-lint/1]) with per-severity counts. [Sarif] is SARIF
+    2.1.0, the interchange format GitHub code scanning and most
+    editors ingest — fresh findings only, with rule metadata from
+    {!Rules.all} and {!Rules.project_all}. *)
+
+type format = Text | Json | Sarif
+
+val format_of_string : string -> format option
+(** ["text"] / ["json"] / ["sarif"] (case-insensitive). *)
+
+val render : format -> Lint.outcome -> string
+(** The full report for stdout. [Text] lists fresh findings one per
+    line (warnings tagged [(warn)]) and is empty when there are none;
+    [Json] and [Sarif] always emit a complete document, trailing
+    newline included. *)

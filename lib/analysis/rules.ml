@@ -1,5 +1,15 @@
+type severity = Error | Warn
+
+let severity_to_string = function Error -> "error" | Warn -> "warn"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | _ -> None
+
 type violation = {
   rule : string;
+  severity : severity;
   file : string;
   line : int;
   col : int;
@@ -9,11 +19,19 @@ type violation = {
 type t = {
   id : string;
   summary : string;
+  default_severity : severity;
   check : file:string -> Token.t array -> violation list;
 }
 
-let v ~rule ~file (tok : Token.t) message =
-  { rule; file; line = tok.line; col = tok.col; message }
+type project = {
+  pid : string;
+  psummary : string;
+  pdefault_severity : severity;
+  pcheck : Index.t -> violation list;
+}
+
+let v ?(severity = Error) ~rule ~file (tok : Token.t) message =
+  { rule; severity; file; line = tok.line; col = tok.col; message }
 
 (* Does [path] live under directory [dir] (using / separators, any
    prefix)? Tolerates leading ./ and ../ segments. *)
@@ -33,7 +51,7 @@ let under dir path =
 let rec skip_operand_left (code : Token.t array) j =
   if j < 0 then -1
   else
-    let t = code.(j) in
+    let t : Token.t = code.(j) in
     match t.kind with
     | Token.Ident | Token.Uident | Token.Int_lit | Token.Float_lit
     | Token.String_lit | Token.Char_lit ->
@@ -100,7 +118,12 @@ let float_eq_rule =
       code;
     List.rev !out
   in
-  { id; summary = "float =/<> against a literal (use Util.feq / Util.fne)"; check }
+  {
+    id;
+    summary = "float =/<> against a literal (use Util.feq / Util.fne)";
+    default_severity = Error;
+    check;
+  }
 
 (* --- partial-fn ----------------------------------------------------- *)
 
@@ -141,7 +164,12 @@ let partial_fn_rule =
       code;
     List.rev !out
   in
-  { id; summary = "unguarded partial function (List.hd/nth, Option.get, Array.get)"; check }
+  {
+    id;
+    summary = "unguarded partial function (List.hd/nth, Option.get, Array.get)";
+    default_severity = Error;
+    check;
+  }
 
 (* --- catch-all ------------------------------------------------------ *)
 
@@ -185,7 +213,12 @@ let catch_all_rule =
       code;
     List.rev !out
   in
-  { id; summary = "try ... with _ -> (swallows every exception)"; check }
+  {
+    id;
+    summary = "try ... with _ -> (swallows every exception)";
+    default_severity = Error;
+    check;
+  }
 
 (* --- no-failwith ---------------------------------------------------- *)
 
@@ -207,7 +240,12 @@ let no_failwith_rule =
         code;
       List.rev !out
   in
-  { id; summary = "failwith in lib/core or lib/alloc (use typed exceptions)"; check }
+  {
+    id;
+    summary = "failwith in lib/core or lib/alloc (use typed exceptions)";
+    default_severity = Error;
+    check;
+  }
 
 (* --- todo-format ---------------------------------------------------- *)
 
@@ -256,6 +294,7 @@ let todo_format_rule =
                     out :=
                       {
                         rule = id;
+                        severity = Error;
                         file;
                         line = !line;
                         col = (if !line = t.line then t.col + k else 1);
@@ -276,7 +315,12 @@ let todo_format_rule =
       toks;
     List.rev !out
   in
-  { id; summary = "TODO/FIXME/XXX without a (owner|#issue) tracking tag"; check }
+  {
+    id;
+    summary = "TODO/FIXME/XXX without a (owner|#issue) tracking tag";
+    default_severity = Error;
+    check;
+  }
 
 (* --- wall-clock ------------------------------------------------------ *)
 
@@ -320,6 +364,7 @@ let wall_clock_rule =
   {
     id;
     summary = "Unix.gettimeofday/Unix.time/Sys.time outside lib/obs (use Aa_obs.Clock)";
+    default_severity = Error;
     check;
   }
 
@@ -379,7 +424,483 @@ let raw_io_rule =
     summary =
       "Out_channel.open_* / open_out* / Sys.rename in lib/service outside \
        journal.ml (route through Journal)";
+    default_severity = Error;
     check;
+  }
+
+(* --- pool-mutation --------------------------------------------------- *)
+
+let is_op = Token.is_op
+
+let is_opener (t : Token.t) = is_op t "(" || is_op t "[" || is_op t "{"
+
+(* Worker closures handed to the domain pool run concurrently; the
+   determinism contract allows exactly four mutation shapes inside them:
+   locally-bound state, Atomic operations, registered Algo2.Scratch
+   buffers, and disjoint per-index array slots. Everything else is a
+   cross-domain race that breaks bit-identical replay. *)
+
+let pool_entry_points = [ "run"; "map_chunked" ]
+
+(* (module, function) pairs that mutate their first argument. *)
+let mutator_targets =
+  [
+    ("Array", [ "set"; "unsafe_set"; "fill"; "blit" ]);
+    ("Bytes", [ "set"; "unsafe_set"; "fill"; "blit" ]);
+    ("Hashtbl", [ "add"; "replace"; "remove"; "clear"; "reset"; "filter_map_inplace" ]);
+    ("Buffer",
+     [ "add_char"; "add_string"; "add_bytes"; "add_substring"; "add_buffer";
+       "clear"; "reset"; "truncate" ]);
+    ("Queue", [ "add"; "push"; "pop"; "take"; "clear"; "transfer" ]);
+    ("Stack", [ "push"; "pop"; "clear" ]);
+  ]
+
+let is_mutator m f =
+  match List.assoc_opt m mutator_targets with
+  | Some fns -> List.exists (String.equal f) fns
+  | None -> false
+
+let pool_mutation_rule =
+  let id = "pool-mutation" in
+  let check ~file toks =
+    let syn = Syntax.make toks in
+    let code = Syntax.code syn in
+    let n = Array.length code in
+    let out = ref [] in
+    let is_lit (t : Token.t) =
+      match t.kind with
+      | Token.Int_lit | Token.Float_lit | Token.String_lit | Token.Char_lit -> true
+      | _ -> false
+    in
+    (* One juxtaposed operand starting at [j]: a bracketed group, a
+       literal, a [!]-deref, or an identifier chain with [.x] / [.(e)] /
+       [.[e]] projections. Returns one past its end ([j] if none). *)
+    let rec operand_end j =
+      if j >= n then j
+      else
+        let t : Token.t = code.(j) in
+        if is_opener t then
+          let c = Syntax.matching_close syn j in
+          if c >= n then n else c + 1
+        else if is_lit t then j + 1
+        else if is_op t "!" then (
+          let e = operand_end (j + 1) in
+          if e = j + 1 then j else e)
+        else if t.kind = Token.Ident || t.kind = Token.Uident then begin
+          let k = ref (j + 1) in
+          let continue_ = ref true in
+          while !continue_ && !k < n do
+            if is_op code.(!k) "." && !k + 1 < n then begin
+              let nx : Token.t = code.(!k + 1) in
+              if nx.kind = Token.Ident || nx.kind = Token.Uident then k := !k + 2
+              else if is_op nx "(" || is_op nx "[" then begin
+                let c = Syntax.matching_close syn (!k + 1) in
+                k := (if c >= n then n else c + 1)
+              end
+              else continue_ := false
+            end
+            else continue_ := false
+          done;
+          !k
+        end
+        else j
+    in
+    (* Argument groups of a call whose head ends just before [start]:
+       labelled args ([~x], [~x:e], [?x:e]) and positional operands, up
+       to the first token that cannot start an argument. *)
+    let parse_args start =
+      let args = ref [] in
+      let j = ref start in
+      let continue_ = ref true in
+      while !continue_ && !j < n do
+        let t : Token.t = code.(!j) in
+        if is_op t "~" || is_op t "?" then begin
+          if !j + 1 < n && code.(!j + 1).kind = Token.Ident then
+            if !j + 2 < n && is_op code.(!j + 2) ":" then begin
+              let e = operand_end (!j + 3) in
+              if e = !j + 3 then continue_ := false
+              else begin
+                args := (!j + 3, e) :: !args;
+                j := e
+              end
+            end
+            else j := !j + 2 (* punned label *)
+          else continue_ := false
+        end
+        else
+          let e = operand_end !j in
+          if e = !j then continue_ := false
+          else begin
+            args := (!j, e) :: !args;
+            j := e
+          end
+      done;
+      List.rev !args
+    in
+    (* Is [root]'s binding a registered scratch buffer (rhs mentions
+       [Scratch.create])? *)
+    let scratch_bound root at =
+      match Syntax.def_before syn root at with
+      | None -> false
+      | Some d ->
+          let found = ref false in
+          for k = d.Syntax.rhs_lo to min d.Syntax.rhs_hi (Array.length code) - 1 do
+            if
+              code.(k).kind = Token.Uident
+              && String.equal code.(k).text "Scratch"
+              && k + 2 < n
+              && is_op code.(k + 1) "."
+              && code.(k + 2).kind = Token.Ident
+              && String.equal code.(k + 2).text "create"
+            then found := true
+          done;
+          !found
+    in
+    (* First lowercase identifier in [lo, hi) that is not a projection
+       component — the root of an access path like [t.busy_ns.(i)]. *)
+    let root_in lo hi =
+      let r = ref None in
+      let k = ref lo in
+      while !r = None && !k < hi && !k < n do
+        if code.(!k).kind = Token.Ident && not (!k > 0 && is_op code.(!k - 1) ".") then
+          r := Some (code.(!k), !k);
+        incr k
+      done;
+      !r
+    in
+    (* For an [<-] at [i]: if the lvalue ends in a [.()] / [.[]]
+       subscript, the token range of the subscript's contents. *)
+    let slot_subscript i =
+      if i = 0 then None
+      else
+        let last : Token.t = code.(i - 1) in
+        if not (is_op last ")" || is_op last "]") then None
+        else begin
+          (* walk left to the matching opener *)
+          let opener = if is_op last ")" then "(" else "[" in
+          let depth = ref 1 and k = ref (i - 2) in
+          while !depth > 0 && !k >= 0 do
+            if Token.is_op code.(!k) last.Token.text then incr depth
+            else if Token.is_op code.(!k) opener then decr depth;
+            if !depth > 0 then decr k
+          done;
+          if !k > 0 && is_op code.(!k - 1) "." then Some (!k + 1, i - 1) else None
+        end
+    in
+    let analyze_body ~extra_locals ~body_lo ~body_hi =
+      let body_hi = min body_hi n in
+      let locals = Syntax.locals_in syn ~lo:body_lo ~hi:body_hi in
+      List.iter (fun p -> Hashtbl.replace locals p ()) extra_locals;
+      let local name = Hashtbl.mem locals name in
+      let flag (tok : Token.t) what root =
+        out :=
+          v ~rule:id ~file tok
+            (Printf.sprintf
+               "%s mutates `%s`, which is captured from outside this pool \
+                worker closure; cross-domain mutation breaks deterministic \
+                replay — use a local accumulator, an Atomic, a registered \
+                Scratch buffer, or a disjoint per-index slot"
+               what root)
+          :: !out
+      in
+      let k = ref body_lo in
+      while !k < body_hi do
+        let t : Token.t = code.(!k) in
+        (if is_op t "<-" then begin
+           let before = skip_operand_left code (!k - 1) in
+           match root_in (before + 1) !k with
+           | Some (rt, _) when not (local rt.Token.text) ->
+               if not (scratch_bound rt.Token.text !k) then begin
+                 (* disjoint-slot exemption: subscript made of
+                    closure-local identifiers *)
+                 let slot_ok =
+                   match slot_subscript !k with
+                   | None -> false
+                   | Some (lo, hi) ->
+                       let idents = ref 0 and foreign = ref false in
+                       for p = lo to hi - 1 do
+                         if code.(p).kind = Token.Ident && not (is_op code.(p - 1) ".")
+                         then begin
+                           incr idents;
+                           if not (local code.(p).text) then foreign := true
+                         end
+                       done;
+                       !idents > 0 && not !foreign
+                 in
+                 if not slot_ok then flag rt "assignment `<-`" rt.Token.text
+               end
+           | _ -> ()
+         end
+         else if is_op t ":=" then begin
+           let before = skip_operand_left code (!k - 1) in
+           match root_in (before + 1) !k with
+           | Some (rt, _)
+             when (not (local rt.Token.text)) && not (scratch_bound rt.Token.text !k) ->
+               flag rt "assignment `:=`" rt.Token.text
+           | _ -> ()
+         end
+         else if
+           t.kind = Token.Ident
+           && (String.equal t.text "incr" || String.equal t.text "decr")
+           && not (!k > 0 && is_op code.(!k - 1) ".")
+         then begin
+           match root_in (!k + 1) (operand_end (!k + 1)) with
+           | Some (rt, _)
+             when (not (local rt.Token.text)) && not (scratch_bound rt.Token.text !k) ->
+               flag t (Printf.sprintf "`%s`" t.text) rt.Token.text
+           | _ -> ()
+         end
+         else if
+           t.kind = Token.Uident
+           && (not (String.equal t.text "Atomic"))
+           && !k + 2 < n
+           && is_op code.(!k + 1) "."
+           && code.(!k + 2).kind = Token.Ident
+           && is_mutator t.text code.(!k + 2).text
+         then begin
+           match root_in (!k + 3) (operand_end (!k + 3)) with
+           | Some (rt, _)
+             when (not (local rt.Token.text)) && not (scratch_bound rt.Token.text !k) ->
+               flag t
+                 (Printf.sprintf "`%s.%s`" t.text code.(!k + 2).text)
+                 rt.Token.text
+           | _ -> ()
+         end);
+        incr k
+      done
+    in
+    (* Find qualified [Pool.run] / [Pool.map_chunked] call sites. *)
+    Array.iteri
+      (fun i (t : Token.t) ->
+        if
+          t.kind = Token.Uident
+          && String.equal t.text "Pool"
+          && i + 2 < n
+          && is_op code.(i + 1) "."
+          && code.(i + 2).kind = Token.Ident
+          && List.exists (String.equal code.(i + 2).text) pool_entry_points
+        then begin
+          let args = parse_args (i + 3) in
+          (* literal closures anywhere in the argument list *)
+          List.iter
+            (fun (lo, hi) ->
+              match Syntax.closure_at syn ~lo ~hi with
+              | Some c ->
+                  analyze_body ~extra_locals:c.Syntax.params ~body_lo:c.Syntax.body_lo
+                    ~body_hi:c.Syntax.body_hi
+              | None -> ())
+            args;
+          (* a bare-identifier worker in final position: chase its
+             definition and analyze the rhs as the closure body *)
+          match List.rev args with
+          | (lo, hi) :: _
+            when hi = lo + 1
+                 && code.(lo).kind = Token.Ident
+                 && Syntax.closure_at syn ~lo ~hi = None -> (
+              match Syntax.def_before syn code.(lo).text lo with
+              | Some d when d.Syntax.params <> [] ->
+                  analyze_body ~extra_locals:d.Syntax.params ~body_lo:d.Syntax.rhs_lo
+                    ~body_hi:d.Syntax.rhs_hi
+              | _ -> ())
+          | _ -> ()
+        end)
+      code;
+    List.rev !out
+  in
+  {
+    id;
+    summary =
+      "mutation of captured non-Atomic/non-Scratch state inside a \
+       Pool.run/map_chunked worker closure";
+    default_severity = Error;
+    check;
+  }
+
+(* --- unguarded-div --------------------------------------------------- *)
+
+(* Float division in the numeric kernels whose divisor is not visibly
+   guarded against zero. A silent NaN/inf propagates through utilities
+   and allocation scores and voids the paper's alpha-approximation
+   guarantee, so the guard must be in the same top-level definition. *)
+
+let guard_fns = [ "feq"; "fne"; "feq_rel"; "approx_equal"; "max"; "min"; "abs"; "is_nan" ]
+let guard_cmp_after = [ ">"; ">="; "<"; "<="; "<>"; "=" ]
+let guard_cmp_before = [ ">"; ">="; "<"; "<="; "<>" ]
+
+let unguarded_div_rule =
+  let id = "unguarded-div" in
+  let check ~file toks =
+    if not (under "lib/numerics" file || under "lib/alloc" file) then []
+    else begin
+      let syn = Syntax.make toks in
+      let code = Syntax.code syn in
+      let n = Array.length code in
+      let out = ref [] in
+      let is_lit (t : Token.t) =
+        t.kind = Token.Int_lit || t.kind = Token.Float_lit
+      in
+      (* One simple group: bracketed, literal, or ident chain with
+         projections. *)
+      let group_end j =
+        if j >= n then j
+        else
+          let t : Token.t = code.(j) in
+          if is_opener t then (
+            let c = Syntax.matching_close syn j in
+            if c >= n then n else c + 1)
+          else if is_lit t then j + 1
+          else if t.kind = Token.Ident || t.kind = Token.Uident then begin
+            let k = ref (j + 1) in
+            let continue_ = ref true in
+            while !continue_ && !k < n do
+              if is_op code.(!k) "." && !k + 1 < n then begin
+                let nx : Token.t = code.(!k + 1) in
+                if nx.kind = Token.Ident || nx.kind = Token.Uident then k := !k + 2
+                else if is_op nx "(" || is_op nx "[" then begin
+                  let c = Syntax.matching_close syn (!k + 1) in
+                  k := (if c >= n then n else c + 1)
+                end
+                else continue_ := false
+              end
+              else continue_ := false
+            done;
+            !k
+          end
+          else j
+      in
+      (* The divisor expression right of a [/.] at [i]: an optional
+         prefix sign, then up to three juxtaposed groups (covers
+         [float_of_int (k - 1)]-style applications). *)
+      let divisor_range i =
+        let j = ref (i + 1) in
+        if !j < n && (is_op code.(!j) "-" || is_op code.(!j) "-.") then incr j;
+        let lo = !j in
+        let groups = ref 0 in
+        let continue_ = ref true in
+        while !continue_ && !groups < 3 do
+          let e = group_end !j in
+          if e = !j then continue_ := false
+          else begin
+            j := e;
+            incr groups
+          end
+        done;
+        (lo, !j)
+      in
+      let nonzero_literal lo hi =
+        lo < hi
+        && is_lit code.(lo)
+        && hi = lo + 1
+        &&
+        match float_of_string_opt code.(lo).Token.text with
+        | Some f -> f <> 0.0 (* aa-lint: ignore float-eq *)
+        | None -> true
+      in
+      for i = 0 to n - 1 do
+        if is_op code.(i) "/." then begin
+          let lo, hi = divisor_range i in
+          let hi = min hi n in
+          if not (nonzero_literal lo hi) then begin
+            (* candidate identifiers inside the divisor (including
+               within parens), plus inline safety markers *)
+            let idents = ref [] in
+            let inline_safe = ref false in
+            for k = lo to hi - 1 do
+              let t : Token.t = code.(k) in
+              if t.kind = Token.Ident then begin
+                if List.exists (String.equal t.text) guard_fns
+                   || String.equal t.text "eps" || String.equal t.text "epsilon"
+                then inline_safe := true
+                else idents := t.text :: !idents
+              end
+            done;
+            if not !inline_safe then begin
+              let ilo, ihi = Syntax.item_range syn i in
+              let guarded name =
+                let ok = ref false in
+                for k = ilo to min ihi n - 1 do
+                  if
+                    (k < lo || k >= hi)
+                    && code.(k).kind = Token.Ident
+                    && String.equal code.(k).text name
+                  then begin
+                    (* comparison on either side *)
+                    (if k + 1 < n && code.(k + 1).kind = Token.Op then
+                       let op = code.(k + 1).Token.text in
+                       if
+                         List.exists (String.equal op) guard_cmp_after
+                         && not
+                              (String.equal op "="
+                              && equals_is_binding code (k + 1))
+                       then ok := true);
+                    (if k > 0 && code.(k - 1).kind = Token.Op
+                        && List.exists (String.equal code.(k - 1).Token.text) guard_cmp_before
+                     then ok := true);
+                    (* guard-function application within a few tokens *)
+                    for d = 1 to 4 do
+                      if
+                        k - d >= ilo
+                        && code.(k - d).kind = Token.Ident
+                        && List.exists (String.equal code.(k - d).Token.text) guard_fns
+                      then ok := true
+                    done
+                  end
+                done;
+                !ok
+              in
+              let any_guarded = List.exists guarded !idents in
+              if not any_guarded then
+                out :=
+                  v ~rule:id ~file code.(i)
+                    "float division whose divisor has no zero-guard in this \
+                     definition; compare with Util.fne / clamp with `max eps` \
+                     before dividing (silent NaN voids the alpha guarantee)"
+                  :: !out
+            end
+          end
+        end
+      done;
+      List.rev !out
+    end
+  in
+  {
+    id;
+    summary =
+      "float division without a nearby divisor zero-guard (lib/numerics, lib/alloc)";
+    default_severity = Error;
+    check;
+  }
+
+(* --- unused-export (project rule) ------------------------------------ *)
+
+let unused_export_rule =
+  let pid = "unused-export" in
+  let pcheck index =
+    List.filter_map
+      (fun (e : Index.export) ->
+        if Index.used index e then None
+        else
+          Some
+            {
+              rule = pid;
+              severity = Warn;
+              file = e.Index.e_file;
+              line = e.Index.e_line;
+              col = e.Index.e_col;
+              message =
+                Printf.sprintf
+                  "`%s.%s` is exported by the .mli but never referenced \
+                   outside its module; drop the export (or the value) to keep \
+                   the public surface honest"
+                  e.Index.e_module e.Index.e_name;
+            })
+      (Index.exports index)
+  in
+  {
+    pid;
+    psummary = ".mli export never referenced outside its module";
+    pdefault_severity = Warn;
+    pcheck;
   }
 
 let all =
@@ -388,12 +909,19 @@ let all =
     float_eq_rule;
     no_failwith_rule;
     partial_fn_rule;
+    pool_mutation_rule;
     raw_io_rule;
     todo_format_rule;
+    unguarded_div_rule;
     wall_clock_rule;
   ]
 
+let project_all = [ unused_export_rule ]
+
+let all_ids = List.map (fun r -> r.id) all @ List.map (fun p -> p.pid) project_all
+
 let find id = List.find_opt (fun r -> String.equal r.id id) all
+let find_project id = List.find_opt (fun p -> String.equal p.pid id) project_all
 
 let pp_violation ppf x =
   Format.fprintf ppf "%s:%d:%d: %s [%s]" x.file x.line x.col x.message x.rule

@@ -1,13 +1,29 @@
 (** Lint rules for the AA solver stack.
 
-    Each rule is a pure function from a token stream to violations. The
-    rules are deliberately lexical: they trade type information for a
-    zero-dependency analysis that runs in milliseconds over the whole
-    tree, and rely on per-line suppression ({!Lint}) for the cases a
-    human has reviewed. *)
+    Each per-file rule is a pure function from a token stream to
+    violations. The original rule family is deliberately lexical; the
+    v2 rules ([pool-mutation], [unguarded-div]) layer {!Syntax}'s
+    structural view on top, and {e project rules} ([unused-export]) run
+    once over the cross-module {!Index} instead of per file. All of
+    them trade type information for a zero-dependency analysis that
+    runs in milliseconds over the whole tree, and rely on per-line
+    suppression ({!Lint}) plus the baseline for the cases a human has
+    reviewed. *)
+
+type severity = Error | Warn
+(** [Error] findings fail the build (exit 1); [Warn] findings are
+    reported but do not affect the exit code. Overridable per rule from
+    the driver. *)
+
+val severity_to_string : severity -> string
+(** ["error"] / ["warn"]. *)
+
+val severity_of_string : string -> severity option
+(** Accepts ["error"], ["warn"], ["warning"]. *)
 
 type violation = {
   rule : string;  (** rule id, e.g. ["float-eq"] *)
+  severity : severity;
   file : string;
   line : int;
   col : int;
@@ -17,30 +33,70 @@ type violation = {
 type t = {
   id : string;
   summary : string;  (** one line for [aa_lint --rules] *)
+  default_severity : severity;
   check : file:string -> Token.t array -> violation list;
 }
 
+type project = {
+  pid : string;
+  psummary : string;
+  pdefault_severity : severity;
+  pcheck : Index.t -> violation list;
+      (** runs once over the whole-tree def/use index *)
+}
+
 val all : t list
-(** Every rule, in id order:
+(** Every per-file rule, in id order:
+    - [catch-all]: [try ... with _ ->] swallowing every exception.
     - [float-eq]: [=] / [<>] against a float literal — use [Util.feq] /
       [Util.fne].
+    - [no-failwith]: [failwith] in [lib/core] / [lib/alloc] library code.
     - [partial-fn]: [List.hd], [List.nth], [Option.get], explicit
       [Array.get] — match instead, or suppress with a guard rationale.
-    - [catch-all]: [try ... with _ ->] swallowing every exception.
-    - [no-failwith]: [failwith] in [lib/core] / [lib/alloc] library code.
+    - [pool-mutation]: a closure passed to [Aa_parallel.Pool.run] /
+      [Pool.map_chunked] mutates state captured from outside the
+      closure ([<-], [:=], [incr]/[decr], [Array.set]/[unsafe_set],
+      [Hashtbl]/[Buffer]/[Queue]/[Stack] mutators). The determinism
+      contract sanctions exactly four shapes of worker-side mutation —
+      locally-bound state, [Atomic] operations, buffers registered
+      through [Scratch.create], and disjoint per-index array slots
+      (subscripts built from closure-local identifiers) — and this rule
+      flags everything else.
     - [raw-io]: [Out_channel.open_*], bare [open_out*] or [Sys.rename]
       in [lib/service] outside [journal.ml] — file durability (framing,
       fsync, atomic rename) is Journal's job; writes that bypass it
       don't survive the crash tests.
     - [todo-format]: TODO/FIXME/XXX comments without a [(owner|#issue)]
       tracking tag.
+    - [unguarded-div]: a float division in [lib/numerics] / [lib/alloc]
+      whose divisor is neither a nonzero literal nor visibly guarded
+      (comparison against the divisor's identifiers, [Util.feq]/[fne],
+      [max]/[abs]/[eps] adjacency) within the same top-level
+      definition. A silent NaN propagates into allocation scores and
+      voids the alpha-approximation guarantee.
     - [wall-clock]: [Unix.gettimeofday], [Unix.time] or [Sys.time]
       anywhere except [lib/obs] — clock reads go through [Aa_obs.Clock]
       so deterministic-replay code stays clock-free and all spans share
       one time base. *)
 
+val project_all : project list
+(** Project-wide rules:
+    - [unused-export]: a [val]/[external] declared in a target [.mli]
+      that no other compilation unit references (qualified, via alias,
+      open + bare mention, or include) — see {!Index} for the matching
+      rules and the use-set extension ([--uses]) that keeps
+      entry-point-only API out of the report. Default severity
+      [Warn]. *)
+
+val all_ids : string list
+(** Ids of every rule, per-file then project — the universe for
+    [--enable] / [--disable] / [--severity] validation. *)
+
 val find : string -> t option
-(** Look a rule up by id. *)
+(** Look a per-file rule up by id. *)
+
+val find_project : string -> project option
+(** Look a project rule up by id. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 (** [file:line:col: message [rule]] — one line, grep- and editor-friendly. *)

@@ -1,0 +1,337 @@
+(* Structural surface parsing over the token stream. Everything here is
+   a bounded, tolerant approximation: extents err long, binder
+   collection errs wide, and nothing raises on malformed input. See the
+   .mli for the bias rationale. *)
+
+type def = {
+  name : string;
+  params : string list;
+  head : int;
+  rhs_lo : int;
+  rhs_hi : int;
+}
+
+type t = {
+  code : Token.t array;
+  close : int array;
+  item_starts : int array;
+  all_defs : def array;
+}
+
+let code t = t.code
+let is_kw (t : Token.t) s = t.kind = Token.Keyword && String.equal t.text s
+let is_op (t : Token.t) s = t.kind = Token.Op && String.equal t.text s
+
+let opener_of = function ")" -> Some "(" | "]" -> Some "[" | "}" -> Some "{" | _ -> None
+let is_opener (t : Token.t) = is_op t "(" || is_op t "[" || is_op t "{"
+let is_closer (t : Token.t) = is_op t ")" || is_op t "]" || is_op t "}"
+
+(* --- delimiter matching --------------------------------------------- *)
+
+let compute_close code =
+  let n = Array.length code in
+  let close = Array.init n (fun i -> i) in
+  let stack = ref [] in
+  for i = 0 to n - 1 do
+    let t : Token.t = code.(i) in
+    if is_opener t then begin
+      close.(i) <- n;
+      stack := (t.text, i) :: !stack
+    end
+    else
+      match opener_of t.Token.text with
+      | Some opener when t.kind = Token.Op ->
+          (* pop to the matching opener; skipped (unclosed) openers get
+             this closer too — tolerant of lexing artifacts *)
+          let rec pop () =
+            match !stack with
+            | (o, j) :: rest ->
+                close.(j) <- i;
+                stack := rest;
+                if not (String.equal o opener) then pop ()
+            | [] -> ()
+          in
+          pop ()
+      | _ -> ()
+  done;
+  close
+
+let matching_close t i =
+  if i >= 0 && i < Array.length t.close && is_opener t.code.(i) then t.close.(i) else i
+
+(* --- top-level items ------------------------------------------------- *)
+
+let item_kws =
+  [ "let"; "type"; "module"; "open"; "exception"; "external"; "include"; "val"; "class"; "and" ]
+
+let compute_items code =
+  let starts = ref [ 0 ] in
+  let depth = ref 0 in
+  Array.iteri
+    (fun i (t : Token.t) ->
+      if is_opener t then incr depth
+      else if is_closer t then depth := max 0 (!depth - 1)
+      else if
+        t.kind = Token.Keyword && t.col = 1 && !depth = 0 && i > 0
+        && List.exists (String.equal t.text) item_kws
+      then starts := i :: !starts)
+    code;
+  Array.of_list (List.rev !starts)
+
+let item_range t i =
+  let starts = t.item_starts in
+  let n = Array.length starts in
+  (* greatest start <= i, by binary search *)
+  let rec bs lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if starts.(mid) <= i then bs mid hi else bs lo (mid - 1)
+  in
+  if n = 0 then (0, Array.length t.code)
+  else
+    let k = bs 0 (n - 1) in
+    let lo = if starts.(k) <= i then starts.(k) else 0 in
+    let hi = if k + 1 < n && starts.(k) <= i then starts.(k + 1) else Array.length t.code in
+    (lo, hi)
+
+(* --- binding heads --------------------------------------------------- *)
+
+(* Parse a binding head starting after a [let]/[and] at [i]: collect the
+   bound identifiers up to the [=] at bracket depth 0. Returns
+   [(idents, rhs_lo)] or [None] when this is not a value binding. Once a
+   depth-0 [:] is seen, later identifiers belong to the type annotation
+   and are no longer collected. *)
+let parse_head code i =
+  let n = Array.length code in
+  let j = ref (i + 1) in
+  while
+    !j < n && (is_kw code.(!j) "rec" || (code.(!j).kind = Token.Ident && code.(!j).text = "nonrec"))
+  do
+    incr j
+  done;
+  if !j < n && (is_kw code.(!j) "open" || is_kw code.(!j) "module" || is_kw code.(!j) "exception")
+  then None
+  else begin
+    let idents = ref [] in
+    let depth = ref 0 in
+    let in_annot = ref false in
+    let result = ref None in
+    let stop = ref false in
+    let k = ref !j in
+    while (not !stop) && !k < n && !k - i < 160 do
+      let t : Token.t = code.(!k) in
+      if is_op t "=" && !depth = 0 then begin
+        result := Some (List.rev !idents, !k + 1);
+        stop := true
+      end
+      else if is_opener t then incr depth
+      else if is_closer t then
+        if !depth = 0 then stop := true else decr depth
+      else if is_op t ":" && !depth = 0 then in_annot := true
+      else if
+        t.kind = Token.Keyword
+        && List.exists (String.equal t.text)
+             [ "in"; "let"; "fun"; "function"; "if"; "match"; "try"; "struct"; "sig"; "do" ]
+      then stop := true
+      else if
+        t.kind = Token.Ident && (not !in_annot)
+        && (not (String.equal t.text "_"))
+        && not (!k > 0 && is_op code.(!k - 1) ".")
+      then idents := t.text :: !idents;
+      incr k
+    done;
+    !result
+  end
+
+(* Right-hand-side extent from [rhs_lo]: balanced via the close table,
+   terminated by the [in] that closes this binding, a sibling [and], a
+   closer of an enclosing group, [;;], or the next column-1 item. *)
+let rhs_extent code close rhs_lo =
+  let n = Array.length code in
+  let lets = ref 0 in
+  let blocks = ref 0 in
+  let j = ref rhs_lo in
+  let stop = ref (-1) in
+  while !stop < 0 && !j < n do
+    let t : Token.t = code.(!j) in
+    if
+      t.kind = Token.Keyword && t.col = 1 && !j > rhs_lo
+      && List.exists (String.equal t.text) item_kws
+    then stop := !j
+    else if is_opener t then j := (if close.(!j) >= n then n else close.(!j) + 1)
+    else if is_closer t then stop := !j
+    else if is_kw t "let" then begin
+      incr lets;
+      incr j
+    end
+    else if is_kw t "in" then
+      if !lets > 0 then begin
+        decr lets;
+        incr j
+      end
+      else stop := !j
+    else if is_kw t "and" && !lets = 0 && !blocks = 0 then stop := !j
+    else if
+      is_kw t "struct" || is_kw t "sig" || is_kw t "object" || is_kw t "begin" || is_kw t "do"
+    then begin
+      incr blocks;
+      incr j
+    end
+    else if is_kw t "end" || is_kw t "done" then
+      if !blocks > 0 then begin
+        decr blocks;
+        incr j
+      end
+      else stop := !j
+    else if is_op t ";;" then stop := !j
+    else incr j
+  done;
+  if !stop < 0 then n else !stop
+
+let compute_defs code close =
+  let out = ref [] in
+  Array.iteri
+    (fun i (t : Token.t) ->
+      if is_kw t "let" || is_kw t "and" then
+        match parse_head code i with
+        | Some (name :: params, rhs_lo) ->
+            out :=
+              { name; params; head = i; rhs_lo; rhs_hi = rhs_extent code close rhs_lo }
+              :: !out
+        | Some ([], _) | None -> ())
+    code;
+  Array.of_list (List.rev !out)
+
+let defs t = Array.to_list t.all_defs
+
+let def_before t name i =
+  let best = ref None in
+  Array.iter
+    (fun d -> if d.head < i && String.equal d.name name then best := Some d)
+    t.all_defs;
+  !best
+
+(* --- local binders in a region --------------------------------------- *)
+
+let arm_stop_kws = [ "let"; "fun"; "if"; "then"; "else"; "do"; "in"; "function"; "match"; "try" ]
+
+let locals_in t ~lo ~hi =
+  let code = t.code in
+  let n = Array.length code in
+  let hi = min hi n in
+  let tbl = Hashtbl.create 32 in
+  let add (tok : Token.t) k =
+    if
+      tok.kind = Token.Ident
+      && (not (String.equal tok.text "_"))
+      && not (k > 0 && is_op code.(k - 1) ".")
+    then Hashtbl.replace tbl tok.text ()
+  in
+  (* collect identifiers from [from] until [terminator] at depth 0 (or a
+     stop token); returns the index scanning ended at *)
+  let collect ~terminator ~stops from =
+    let depth = ref 0 in
+    let k = ref from in
+    let fin = ref (-1) in
+    while !fin < 0 && !k < hi && !k - from < 160 do
+      let t : Token.t = code.(!k) in
+      if is_op t terminator && !depth = 0 then fin := !k
+      else if is_opener t then begin
+        incr depth;
+        incr k
+      end
+      else if is_closer t then
+        if !depth = 0 then fin := !k
+        else begin
+          decr depth;
+          incr k
+        end
+      else if
+        (t.kind = Token.Keyword && List.exists (String.equal t.text) stops)
+        || (is_op t ";" && !depth = 0)
+      then fin := !k
+      else begin
+        add t !k;
+        incr k
+      end
+    done;
+    if !fin < 0 then !k else !fin
+  in
+  let i = ref lo in
+  while !i < hi do
+    let t : Token.t = code.(!i) in
+    if is_kw t "let" || is_kw t "and" then
+      (* head idents only; the [=] terminator keeps rhs code out *)
+      i := max (!i + 1) (collect ~terminator:"=" ~stops:arm_stop_kws (!i + 1))
+    else if is_kw t "fun" then
+      i := max (!i + 1) (collect ~terminator:"->" ~stops:[ "in"; "let" ] (!i + 1))
+    else if
+      is_kw t "function" || is_kw t "with"
+      || (is_op t "|"
+         && (not (!i > 0 && is_op code.(!i - 1) "["))
+         && not (!i + 1 < n && is_op code.(!i + 1) "]"))
+    then
+      (* an arm pattern: binders up to [->], none after [when] or [=]
+         (record-[with] fields stop there) *)
+      i := max (!i + 1) (collect ~terminator:"->" ~stops:("when" :: arm_stop_kws) (!i + 1))
+    else if (is_kw t "for" || is_kw t "as") && !i + 1 < hi then begin
+      add code.(!i + 1) (!i + 1);
+      i := !i + 2
+    end
+    else incr i
+  done;
+  tbl
+
+(* --- closures -------------------------------------------------------- *)
+
+type closure = { params : string list; body_lo : int; body_hi : int }
+
+let closure_at t ~lo ~hi =
+  let code = t.code in
+  let hi = min hi (Array.length code) in
+  (* unwrap one or more layers of exactly-enclosing parens *)
+  let rec unwrap lo hi =
+    if lo < hi && is_op code.(lo) "(" && matching_close t lo = hi - 1 then unwrap (lo + 1) (hi - 1)
+    else (lo, hi)
+  in
+  if lo >= hi then None
+  else
+    let lo', hi' = unwrap lo hi in
+    if lo' >= hi' then None
+    else if is_kw code.(lo') "function" then
+      Some { params = []; body_lo = lo' + 1; body_hi = hi' }
+    else if is_kw code.(lo') "fun" then begin
+      (* parameters up to the [->] at depth 0 *)
+      let depth = ref 0 in
+      let arrow = ref (-1) in
+      let k = ref (lo' + 1) in
+      let params = ref [] in
+      while !arrow < 0 && !k < hi' do
+        let tok : Token.t = code.(!k) in
+        if is_op tok "->" && !depth = 0 then arrow := !k
+        else begin
+          if is_opener tok then incr depth
+          else if is_closer tok then decr depth
+          else if
+            tok.kind = Token.Ident
+            && (not (String.equal tok.text "_"))
+            && not (is_op code.(!k - 1) ".")
+          then params := tok.text :: !params;
+          incr k
+        end
+      done;
+      if !arrow < 0 then None
+      else Some { params = List.rev !params; body_lo = !arrow + 1; body_hi = hi' }
+    end
+    else None
+
+let make toks =
+  let code = Token.code_only toks in
+  let close = compute_close code in
+  {
+    code;
+    close;
+    item_starts = compute_items code;
+    all_defs = compute_defs code close;
+  }

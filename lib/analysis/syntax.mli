@@ -1,0 +1,74 @@
+(** A structural surface parser over the {!Token} stream.
+
+    This is the layer between "token soup" and a real AST: it recovers
+    the shapes semantic lint rules need — top-level item boundaries,
+    [let]-binding definitions with their right-hand-side extents,
+    locally-bound names within a region, matched delimiters, and
+    closure literals — without type information or compiler-libs.
+
+    Like the tokenizer it degrades rather than fails: every query is an
+    approximation with a deliberate bias. Binding collection
+    over-approximates (more names count as local), extents err long,
+    and item detection assumes the repo's formatting convention that
+    top-level items start in column 1. The bias is chosen so that
+    rules built on it under-report rather than emit false positives;
+    per-line suppression and the baseline catch the rest. *)
+
+type t
+
+val make : Token.t array -> t
+(** Build the structural view from a raw token stream (comments are
+    dropped internally). Never raises. *)
+
+val code : t -> Token.t array
+(** The comment-free token stream every index below refers to. *)
+
+val matching_close : t -> int -> int
+(** For an opener token at [i] — [( ] [\[] [{] — the index of its
+    matching closer, or [Array.length (code t)] when unclosed. For any
+    other token, [i] itself. *)
+
+val item_range : t -> int -> int * int
+(** [[lo, hi)] code-token range of the top-level structure item
+    containing index [i]. Items are detected at column-1 keywords
+    ([let]/[type]/[module]/[open]/[val]/...) outside brackets — the
+    repo's (and ocamlformat's) layout invariant. Used as the search
+    window for "is there a guard nearby" questions. *)
+
+type def = {
+  name : string;  (** first lowercase identifier of the binding head *)
+  params : string list;  (** remaining head identifiers (over-approx) *)
+  head : int;  (** index of the [let] / [and] keyword *)
+  rhs_lo : int;  (** first token after the head's [=] *)
+  rhs_hi : int;  (** one past the last rhs token (approximate extent) *)
+}
+
+val defs : t -> def list
+(** Every [let]/[and] value binding in the file, any nesting depth, in
+    source order. Pattern bindings contribute their first identifier as
+    [name]. Bindings with no identifier ([let () = ...]) are omitted. *)
+
+val def_before : t -> string -> int -> def option
+(** The closest definition of [name] whose head precedes code index
+    [i] — lexical-scope resolution for "what does this identifier refer
+    to here", good enough to chase a named closure argument or the
+    right-hand side an accumulator was initialized from. *)
+
+val locals_in : t -> lo:int -> hi:int -> (string, unit) Hashtbl.t
+(** Identifiers bound anywhere within the code-token range [[lo, hi)]:
+    [let]/[and] heads, [fun] parameters (labelled and optional
+    included), [function]/[match]/[try] arm patterns, [for] loop
+    variables and [as] aliases. Over-approximates by design. *)
+
+type closure = {
+  params : string list;  (** [] for [function] *)
+  body_lo : int;
+  body_hi : int;  (** one past the end of the closure body *)
+}
+
+val closure_at : t -> lo:int -> hi:int -> closure option
+(** Interpret the code-token range [[lo, hi)] — typically one
+    parenthesized argument group — as a closure literal: a leading
+    [fun ... ->] or [function], possibly wrapped in one layer of
+    parentheses. Returns its parameter names and body extent, or [None]
+    if the range is not a closure literal. *)

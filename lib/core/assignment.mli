@@ -27,4 +27,4 @@ val server_load : Instance.t -> t -> float array
 val threads_on : t -> int -> int list
 (** Threads assigned to the given server, in increasing index order. *)
 
-val pp : Format.formatter -> t -> unit
+val pp : Format.formatter -> t -> unit (* aa-lint: ignore unused-export -- debug printer, kept for toplevel/driver use *)

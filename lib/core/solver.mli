@@ -18,7 +18,7 @@ val name : algo -> string
 val of_name : string -> algo option
 (** Inverse of [name], case-insensitive. *)
 
-val is_randomized : algo -> bool
+val is_randomized : algo -> bool (* aa-lint: ignore unused-export -- driver API: tells callers whether solve needs ~rng *)
 
 val solve : ?rng:Aa_numerics.Rng.t -> ?linearized:Linearized.t -> algo -> Instance.t -> Assignment.t
 (** Runs the chosen algorithm. [rng] is required by the randomized

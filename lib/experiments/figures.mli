@@ -11,35 +11,14 @@ type spec = {
           series is bit-identical for every value. *)
 }
 
-val servers : int
-(** 8, the paper's fixed server count. *)
-
-val capacity : float
-(** 1000, the paper's per-server resource. *)
-
-val fig1a : spec
-(** Uniform distribution, sweep β = n/m in 1..15. *)
-
-val fig1b : spec
-(** Normal(1,1) distribution, sweep β. *)
-
-val fig2a : spec
-(** Power law with α = 2, sweep β. *)
-
-val fig2b : spec
-(** Power law with β = 5, sweep α in 1.5..4. *)
-
-val fig3a : spec
-(** Discrete(γ = 0.85, θ = 5), sweep β. *)
-
-val fig3b : spec
-(** Discrete(θ = 5), β = 5, sweep γ in 0.05..0.95. *)
-
-val fig3c : spec
-(** Discrete(γ = 0.85), β = 5, sweep θ in 1..20. *)
-
 val all : spec list
-(** The seven figures, in paper order. *)
+(** The seven figures, in paper order: fig1a (uniform, sweep β = n/m in
+    1..15), fig1b (normal(1,1), sweep β), fig2a (power law α = 2, sweep
+    β), fig2b (power law β = 5, sweep α in 1.5..4), fig3a (discrete
+    γ = 0.85 θ = 5, sweep β), fig3b (discrete θ = 5 β = 5, sweep γ in
+    0.05..0.95), fig3c (discrete γ = 0.85 β = 5, sweep θ in 1..20).
+    Individual figures are reached through this list or {!find} — the
+    per-figure values are no longer exported. *)
 
 val find : string -> spec option
 (** Look up by id, case-insensitive. *)

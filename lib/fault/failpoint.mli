@@ -41,7 +41,7 @@ val register : string -> t
     handle per name). Names use dotted lower-case paths naming the
     guarded operation, e.g. ["journal.append"]. *)
 
-val name : t -> string
+val name : t -> string (* aa-lint: ignore unused-export -- accessor symmetry with registered () *)
 
 val registered : unit -> string list
 (** Every registered point, sorted by name. A recovery sweep iterates

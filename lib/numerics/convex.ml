@@ -43,6 +43,7 @@ let slopes pts =
   let n = Array.length pts in
   Array.init (max 0 (n - 1)) (fun i ->
       let x0, y0 = pts.(i) and x1, y1 = pts.(i + 1) in
+      (* aa-lint: ignore-next unguarded-div -- callers pass points with distinct xs (envelope output / sorted samples) *)
       (y1 -. y0) /. (x1 -. x0))
 
 let is_concave ?(eps = 1e-9) pts =

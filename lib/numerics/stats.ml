@@ -123,7 +123,9 @@ module Online = struct
       let delta = b.mean -. a.mean in
       {
         count = a.count + b.count;
+        (* aa-lint: ignore-next unguarded-div -- n = count a + count b > 0 in this branch *)
         mean = a.mean +. (delta *. (nb /. n));
+        (* aa-lint: ignore-next unguarded-div -- n > 0, as above *)
         m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. n);
         min = Float.min a.min b.min;
         max = Float.max a.max b.max;

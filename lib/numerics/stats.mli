@@ -28,7 +28,7 @@ val geometric_mean : float array -> float
 
 val summarize : float array -> summary
 
-val pp_summary : Format.formatter -> summary -> unit
+val pp_summary : Format.formatter -> summary -> unit (* aa-lint: ignore unused-export -- debug printer, kept for toplevel/driver use *)
 
 (** Streaming (Welford) accumulator, used by long experiment sweeps to
     avoid retaining every trial. *)

@@ -66,7 +66,7 @@ val create :
 val servers : t -> int
 val capacity : t -> float
 val online : t -> Aa_core.Online.t
-val metrics : t -> Metrics.t
+val metrics : t -> Metrics.t (* aa-lint: ignore unused-export -- service introspection API *)
 val journal : t -> Journal.t option
 
 val degraded : t -> bool
@@ -90,7 +90,7 @@ val apply : t -> Journal.entry -> (unit, string) result
     or re-journaling. [Place] entries must arrive in admission order
     (consecutive ids from the current [n_admitted]). *)
 
-val snapshot_entries : t -> Journal.entry list
+val snapshot_entries : t -> Journal.entry list (* aa-lint: ignore unused-export -- snapshot/restore API, exercised via Journal replay *)
 (** Full-state dump, one [Place] per admitted thread in id order;
     replaying it into a fresh engine reproduces servers, allocations and
     total utility exactly. *)

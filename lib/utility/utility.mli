@@ -68,7 +68,7 @@ val check : ?samples:int -> t -> (unit, string) result
     nondecreasing and concave; returns a description of the first
     violation found. *)
 
-val pp : Format.formatter -> t -> unit
+val pp : Format.formatter -> t -> unit (* aa-lint: ignore unused-export -- debug printer, kept for toplevel/driver use *)
 
 (** Closed-form concave families. All take the domain cap [c] and yield
     functions that satisfy the model assumptions. *)

@@ -24,7 +24,7 @@ type distribution =
           (the paper's ℓ = 1, h = θ, Fig. 3) *)
 
 val name : distribution -> string
-val pp : Format.formatter -> distribution -> unit
+val pp : Format.formatter -> distribution -> unit (* aa-lint: ignore unused-export -- debug printer, kept for toplevel/driver use *)
 
 val draw_pair : Aa_numerics.Rng.t -> distribution -> float * float
 (** Two draws ordered as [(v, w)] with [w <= v]. *)

@@ -47,10 +47,120 @@ let test_scan_positions () =
   Alcotest.(check int) "line" 2 last.line;
   Alcotest.(check int) "col" 3 last.col
 
+(* ---------- surface parser ---------- *)
+
+let syn src = Syntax.make (Token.scan src)
+let unlines = String.concat "\n"
+
+let find_code s text =
+  let code = Syntax.code s in
+  let r = ref (-1) in
+  Array.iteri
+    (fun i (t : Token.t) -> if !r < 0 && String.equal t.text text then r := i)
+    code;
+  if !r < 0 then Alcotest.failf "token %S not found" text;
+  !r
+
+let def_names s = List.map (fun (d : Syntax.def) -> d.Syntax.name) (Syntax.defs s)
+
+let test_syntax_nested_lets () =
+  let s =
+    syn
+      (unlines
+         [
+           "let outer a b =";
+           "  let inner x =";
+           "    let deep = x + 1 in";
+           "    deep";
+           "  in";
+           "  inner (a + b)";
+         ])
+  in
+  Alcotest.(check (list string))
+    "defs in source order" [ "outer"; "inner"; "deep" ] (def_names s);
+  (match Syntax.defs s with
+  | { Syntax.name = "outer"; params; _ } :: _ ->
+      Alcotest.(check (list string)) "outer params" [ "a"; "b" ] params
+  | _ -> Alcotest.fail "outer should come first");
+  match Syntax.def_before s "inner" (Array.length (Syntax.code s)) with
+  | Some d -> Alcotest.(check (list string)) "inner params" [ "x" ] d.Syntax.params
+  | None -> Alcotest.fail "def_before missed inner"
+
+let test_syntax_quoted_strings () =
+  (* binding-shaped text inside string literals must not produce defs *)
+  let s =
+    syn
+      (unlines
+         [
+           {|let s = "let bogus = 1 in"|};
+           {|let q = {x|let phantom = 2|x}|};
+           "let r = s ^ q";
+         ])
+  in
+  Alcotest.(check (list string)) "strings hide nothing" [ "s"; "q"; "r" ] (def_names s)
+
+let test_syntax_functor () =
+  let s =
+    syn
+      (unlines
+         [
+           "module Make (Cfg : CONFIG) = struct";
+           "  let scale x = x * Cfg.factor";
+           "  let table = Hashtbl.create 8";
+           "end";
+         ])
+  in
+  let names = def_names s in
+  Alcotest.(check bool) "scale found inside functor" true (List.mem "scale" names);
+  Alcotest.(check bool) "table found inside functor" true (List.mem "table" names)
+
+let test_syntax_locals () =
+  let s =
+    syn
+      (unlines
+         [
+           "let f x =";
+           "  match x with";
+           "  | Some (a, b) when a > 0 -> a + b";
+           "  | None -> for i = 0 to 3 do ignore i done; 0";
+         ])
+  in
+  let tbl = Syntax.locals_in s ~lo:0 ~hi:(Array.length (Syntax.code s)) in
+  List.iter
+    (fun v -> Alcotest.(check bool) (v ^ " is local") true (Hashtbl.mem tbl v))
+    [ "f"; "x"; "a"; "b"; "i" ];
+  Alcotest.(check bool) "constructors are not locals" false (Hashtbl.mem tbl "Some")
+
+let test_syntax_closures () =
+  let s = syn "let g p = apply p (fun ~lo ~hi -> lo + hi) (worker ctx)" in
+  let lo = find_code s "(" in
+  let hi = Syntax.matching_close s lo + 1 in
+  (match Syntax.closure_at s ~lo ~hi with
+  | Some c -> Alcotest.(check (list string)) "fun params" [ "lo"; "hi" ] c.Syntax.params
+  | None -> Alcotest.fail "parenthesized fun literal not recognized");
+  let wlo = find_code s "worker" - 1 in
+  let whi = Syntax.matching_close s wlo + 1 in
+  Alcotest.(check bool)
+    "partial application is not a closure literal" true
+    (Option.is_none (Syntax.closure_at s ~lo:wlo ~hi:whi));
+  let s2 = syn "let h = function [] -> 0 | x :: _ -> x" in
+  let flo = find_code s2 "function" in
+  match Syntax.closure_at s2 ~lo:flo ~hi:(Array.length (Syntax.code s2)) with
+  | Some c -> Alcotest.(check (list string)) "function binds no params" [] c.Syntax.params
+  | None -> Alcotest.fail "function literal not recognized"
+
 (* ---------- rules ---------- *)
 
 let lint ?(file = "lib/core/fake.ml") src = Lint.check_source ~file src
 let rules_of vs = List.map (fun (x : Rules.violation) -> x.rule) vs
+
+let viols_of rule vs =
+  List.filter (fun (x : Rules.violation) -> String.equal x.rule rule) vs
+
+let contains ~needle hay =
+  let n = String.length hay and k = String.length needle in
+  let rec at i = i + k <= n && (String.sub hay i k = needle || at (i + 1)) in
+  at 0
 
 let test_float_eq_flags_comparisons () =
   Alcotest.(check (list string))
@@ -203,6 +313,214 @@ let test_suppression () =
     (rules_of
        (lint "(* aa-lint: ignore-next partial-fn *)\nlet a = 1\nlet x = List.hd xs"))
 
+(* ---------- pool-mutation ---------- *)
+
+let pool_lint ?file src = viols_of "pool-mutation" (lint ?file src)
+
+let test_pool_mutation_catches_captured_state () =
+  (* the canonical violation: a map_chunked worker folding into a ref
+     captured from the enclosing module *)
+  let fixture =
+    unlines
+      [
+        "let acc = ref 0.0";
+        "let sum pool xs =";
+        "  Pool.map_chunked pool ~n:(Array.length xs) ~chunk:4 (fun ~lo ~hi ->";
+        "    let s = ref 0.0 in";
+        "    for i = lo to hi - 1 do s := !s +. xs.(i) done;";
+        "    acc := !acc +. !s;";
+        "    !s)";
+      ]
+  in
+  match pool_lint fixture with
+  | [ x ] ->
+      Alcotest.(check bool) "names acc" true (contains ~needle:"`acc`" x.message);
+      Alcotest.(check int) "on the mutation line" 6 x.line
+  | vs ->
+      Alcotest.failf "expected exactly the acc mutation, got %d finding(s)"
+        (List.length vs)
+
+let test_pool_mutation_mutator_calls () =
+  (match
+     pool_lint
+       (unlines
+          [
+            "let tbl = Hashtbl.create 8";
+            "let fill pool =";
+            "  Pool.run pool ~n:8 ~chunk:2 (fun ~lo ~hi -> Hashtbl.replace tbl lo hi)";
+          ])
+   with
+  | [ x ] ->
+      Alcotest.(check bool) "names the mutator" true
+        (contains ~needle:"Hashtbl.replace" x.message)
+  | vs -> Alcotest.failf "Hashtbl: expected one finding, got %d" (List.length vs));
+  match
+    pool_lint
+      (unlines
+         [
+           "let best = Array.make 4 0.0";
+           "let f pool =";
+           "  Pool.run pool ~n:4 ~chunk:1 (fun ~lo ~hi -> best.(0) <- float_of_int lo)";
+         ])
+  with
+  | [ x ] ->
+      Alcotest.(check bool) "a constant subscript is not a disjoint slot" true
+        (contains ~needle:"`best`" x.message)
+  | vs -> Alcotest.failf "Array: expected one finding, got %d" (List.length vs)
+
+let test_pool_mutation_sanctioned_shapes () =
+  let clean what src =
+    Alcotest.(check int) what 0 (List.length (pool_lint (unlines src)))
+  in
+  clean "atomic claims pass"
+    [
+      "let hits = Atomic.make 0";
+      "let f pool =";
+      "  Pool.run pool ~n:8 ~chunk:2 (fun ~lo ~hi -> Atomic.incr hits; Atomic.set flag true)";
+    ];
+  clean "registered scratch buffers pass"
+    [
+      "let buf = Scratch.create pool ~len:16";
+      "let f pool =";
+      "  Pool.run pool ~n:16 ~chunk:4 (fun ~lo ~hi -> Array.fill buf lo (hi - lo) 0.0)";
+    ];
+  clean "disjoint per-index slots pass"
+    [
+      "let hits = Array.make 8 0";
+      "let f pool =";
+      "  Pool.run pool ~n:8 ~chunk:2 (fun ~lo ~hi ->";
+      "    for i = lo to hi - 1 do hits.(i) <- hits.(i) + 1 done)";
+    ];
+  clean "local accumulators pass"
+    [
+      "let f pool =";
+      "  Pool.map_chunked pool ~n:8 ~chunk:2 (fun ~lo ~hi ->";
+      "    let s = ref 0 in";
+      "    for i = lo to hi - 1 do s := !s + i done;";
+      "    !s)";
+    ]
+
+let test_pool_mutation_named_worker () =
+  (* a bare-identifier worker in final position is chased to its binding *)
+  (match
+     pool_lint
+       (unlines
+          [
+            "let total = ref 0";
+            "let f pool =";
+            "  let worker ~lo ~hi = total := !total + (hi - lo) in";
+            "  Pool.run pool ~n:8 ~chunk:2 worker";
+          ])
+   with
+  | [ x ] -> Alcotest.(check int) "flagged inside the worker body" 3 x.line
+  | vs -> Alcotest.failf "worker: expected one finding, got %d" (List.length vs));
+  (* pool.ml's own unqualified [run] is not an entry point *)
+  Alcotest.(check int) "unqualified call ignored" 0
+    (List.length
+       (pool_lint
+          (unlines
+             [
+               "let acc = ref 0";
+               "let f pool = run pool ~n:4 ~chunk:1 (fun ~lo ~hi -> acc := lo)";
+             ])))
+
+(* ---------- unguarded-div ---------- *)
+
+let div_lint ?(file = "lib/numerics/fake.ml") src =
+  viols_of "unguarded-div" (lint ~file src)
+
+let test_unguarded_div_flags () =
+  (match div_lint "let density mass volume = mass /. volume" with
+  | [ x ] -> Alcotest.(check string) "rule id" "unguarded-div" x.rule
+  | vs -> Alcotest.failf "bare divisor: expected one finding, got %d" (List.length vs));
+  Alcotest.(check int) "literal zero divisor flagged" 1
+    (List.length (div_lint "let bad x = x /. 0.0"));
+  Alcotest.(check int) "lib/alloc is in scope" 1
+    (List.length
+       (div_lint ~file:"lib/alloc/fake.ml" "let density mass volume = mass /. volume"))
+
+let test_unguarded_div_guards () =
+  let clean what ?file src = Alcotest.(check int) what 0 (List.length (div_lint ?file src)) in
+  clean "nonzero literal divisor" "let half x = x /. 2.0";
+  clean "comparison guard in the same definition"
+    "let safe a b = if b > 0.0 then a /. b else 0.0";
+  clean "clamp with max and eps" "let r x d = x /. (max d 1e-9)";
+  clean "Util.fne guard" "let s a b = if fne b 0.0 then a /. b else 0.0";
+  clean "other trees are out of scope" ~file:"lib/core/fake.ml"
+    "let density mass volume = mass /. volume"
+
+(* ---------- unused-export and the cross-module index ---------- *)
+
+let test_index_def_use () =
+  let t path src = (path, Token.scan src) in
+  let targets =
+    [
+      t "lib/foo/alpha.mli"
+        (unlines
+           [
+             "val used_fn : int -> int";
+             "val dead_fn : int -> int";
+             "module Sub : sig";
+             "  val inner : int";
+             "end";
+             "module type SPEC = sig";
+             "  val spec_only : int";
+             "end";
+           ]);
+      t "lib/foo/alpha.ml"
+        (unlines
+           [
+             "let used_fn x = x";
+             "let dead_fn x = used_fn x + 1";
+             "module Sub = struct let inner = 3 end";
+           ]);
+      t "lib/foo/beta.mli" "val via_open : int";
+    ]
+  in
+  let uses =
+    [
+      t "bin/main.ml" "let a = Alpha.used_fn 3\nlet b = Alpha.Sub.inner";
+      t "lib/foo/gamma.ml" "open Beta\nlet c = via_open + 1";
+    ]
+  in
+  let idx = Index.build ~targets ~uses in
+  let exports = Index.exports idx in
+  Alcotest.(check (list string))
+    "exports in order, module-type members omitted"
+    [ "used_fn"; "dead_fn"; "inner"; "via_open" ]
+    (List.map (fun (e : Index.export) -> e.Index.e_name) exports);
+  let by_name n = List.find (fun (e : Index.export) -> e.Index.e_name = n) exports in
+  Alcotest.(check string) "inner's enclosing module" "Sub" (by_name "inner").Index.e_module;
+  Alcotest.(check bool) "qualified use counts" true (Index.used idx (by_name "used_fn"));
+  Alcotest.(check bool) "nested-path use counts" true (Index.used idx (by_name "inner"));
+  Alcotest.(check bool) "open + bare mention counts" true
+    (Index.used idx (by_name "via_open"));
+  Alcotest.(check bool) "own-module use does not count" false
+    (Index.used idx (by_name "dead_fn"));
+  Alcotest.(check string) "module_of_path" "Stats"
+    (Index.module_of_path "lib/numerics/stats.mli")
+
+let test_unused_export_rule () =
+  (match Rules.find_project "unused-export" with
+  | None -> Alcotest.fail "unused-export should be registered"
+  | Some p ->
+      Alcotest.(check bool) "warn by default" true (p.Rules.pdefault_severity = Rules.Warn);
+      let idx =
+        Index.build ~targets:[ ("lib/foo/omega.mli", Token.scan "val ghost : int") ] ~uses:[]
+      in
+      (match p.Rules.pcheck idx with
+      | [ x ] ->
+          Alcotest.(check string) "attaches to the .mli" "lib/foo/omega.mli" x.Rules.file;
+          Alcotest.(check bool) "warn severity" true (x.Rules.severity = Rules.Warn);
+          Alcotest.(check bool) "names the export" true
+            (contains ~needle:"Omega.ghost" x.Rules.message)
+      | vs -> Alcotest.failf "expected one finding, got %d" (List.length vs)));
+  Alcotest.(check bool) "per-file lookup finds pool-mutation" true
+    (Option.is_some (Rules.find "pool-mutation"));
+  Alcotest.(check bool) "lookups don't cross namespaces" true
+    (Option.is_none (Rules.find "unused-export")
+    && Option.is_none (Rules.find_project "float-eq"))
+
 (* ---------- lint runner: files and baseline ---------- *)
 
 let write_file path contents =
@@ -255,6 +573,40 @@ let test_baseline_survives_line_drift () =
   Alcotest.(check int) "baselined" 1 (List.length outcome.baselined);
   Sys.remove file
 
+let test_severity_override () =
+  let file = "lint_tmp_sev.ml" in
+  write_file file "let x = List.hd xs\n";
+  let outcome = Lint.run ~severities:[ ("partial-fn", Rules.Warn) ] [ file ] in
+  (match outcome.fresh with
+  | [ x ] -> Alcotest.(check bool) "demoted to warn" true (x.Rules.severity = Rules.Warn)
+  | vs -> Alcotest.failf "expected one finding, got %d" (List.length vs));
+  Sys.remove file
+
+let test_unused_export_via_runner () =
+  (* the full loop: .mli targets, --uses-style reference roots, severity *)
+  write_file "lint_uex_t.mli" "val alive : int\nval dead : int\n";
+  write_file "lint_uex_t.ml" "let alive = 1\nlet dead = 2\n";
+  write_file "lint_uex_use.ml" "let x = Lint_uex_t.alive\n";
+  let targets = [ "lint_uex_t.mli"; "lint_uex_t.ml" ] in
+  let without = Lint.run ~rules:[] targets in
+  Alcotest.(check int) "no use root: both exports unused" 2 (List.length without.fresh);
+  let with_uses = Lint.run ~rules:[] ~use_paths:[ "lint_uex_use.ml" ] targets in
+  (match with_uses.fresh with
+  | [ x ] ->
+      Alcotest.(check bool) "dead survives" true (contains ~needle:"dead" x.Rules.message);
+      Alcotest.(check string) "reported on the .mli" "lint_uex_t.mli" x.Rules.file;
+      Alcotest.(check bool) "warn severity" true (x.Rules.severity = Rules.Warn)
+  | vs -> Alcotest.failf "expected one finding, got %d" (List.length vs));
+  (match
+     (Lint.run ~rules:[] ~severities:[ ("unused-export", Rules.Error) ]
+        ~use_paths:[ "lint_uex_use.ml" ] targets)
+       .fresh
+   with
+  | [ x ] ->
+      Alcotest.(check bool) "promoted to error" true (x.Rules.severity = Rules.Error)
+  | vs -> Alcotest.failf "expected one promoted finding, got %d" (List.length vs));
+  List.iter Sys.remove (targets @ [ "lint_uex_use.ml" ])
+
 (* The real tree: zero non-baselined violations over lib/. *)
 let lib_dir =
   List.find_opt Sys.file_exists [ "../lib"; "lib" ] |> Option.value ~default:"../lib"
@@ -263,9 +615,58 @@ let baseline_file =
   List.find_opt Sys.file_exists [ "../aa-lint.baseline"; "aa-lint.baseline" ]
   |> Option.value ~default:"../aa-lint.baseline"
 
+(* bin/, bench/ and test/ are scanned for references only, mirroring the
+   root lint alias: aa_lint --uses bin --uses bench --uses test lib *)
+let use_roots =
+  let root = Filename.dirname lib_dir in
+  List.filter Sys.file_exists
+    [ Filename.concat root "bin"; Filename.concat root "bench"; Filename.concat root "test" ]
+
+let test_source_file_discovery () =
+  let mls = Lint.ml_files_under lib_dir in
+  let all = Lint.source_files_under lib_dir in
+  Alcotest.(check bool) "interfaces add files" true (List.length all > List.length mls);
+  List.iter
+    (fun f -> if not (Filename.check_suffix f ".ml") then Alcotest.failf "%s is not .ml" f)
+    mls;
+  List.iter
+    (fun f ->
+      if not (List.mem f all) then Alcotest.failf "%s missing from the source set" f)
+    mls
+
+let test_fingerprint_stability () =
+  let fp = Lint.fingerprint ~file:"lib/core/x.ml" ~line_text:"let y = List.hd xs" "partial-fn" in
+  Alcotest.(check string) "path and whitespace normalized" fp
+    (Lint.fingerprint ~file:"../lib/core/x.ml" ~line_text:"  let y = List.hd xs  "
+       "partial-fn");
+  Alcotest.(check bool) "rule id is part of the key" true
+    (fp <> Lint.fingerprint ~file:"lib/core/x.ml" ~line_text:"let y = List.hd xs" "float-eq")
+
+let test_pool_mutation_zero_false_positives () =
+  (* acceptance bar: every real Pool.run / map_chunked call site in the
+     tree is clean under the determinism-contract exemptions *)
+  let dirs =
+    List.filter Sys.file_exists
+      [ Filename.concat lib_dir "parallel"; Filename.concat lib_dir "experiments" ]
+  in
+  Alcotest.(check int) "both call-site trees present" 2 (List.length dirs);
+  let rule =
+    match Rules.find "pool-mutation" with
+    | Some r -> r
+    | None -> Alcotest.fail "pool-mutation registered"
+  in
+  let outcome = Lint.run ~rules:[ rule ] ~project:[] dirs in
+  Alcotest.(check bool) "several files scanned" true (outcome.files >= 4);
+  if outcome.fresh <> [] then
+    Alcotest.failf "pool-mutation false positives on real call sites:\n%s"
+      (String.concat "\n"
+         (List.map
+            (fun v -> Format.asprintf "  %a" Rules.pp_violation v)
+            outcome.fresh))
+
 let test_lib_is_lint_clean () =
   let baseline = Lint.load_baseline baseline_file in
-  let outcome = Lint.run ~baseline [ lib_dir ] in
+  let outcome = Lint.run ~use_paths:use_roots ~baseline [ lib_dir ] in
   if outcome.fresh <> [] then
     Alcotest.failf "lib/ has %d non-baselined violation(s):\n%s"
       (List.length outcome.fresh)
@@ -274,9 +675,9 @@ let test_lib_is_lint_clean () =
             (fun v -> Format.asprintf "  %a" Rules.pp_violation v)
             outcome.fresh));
   Alcotest.(check (list string)) "no stale baseline entries" [] outcome.stale_baseline;
-  if outcome.files < 40 then
-    Alcotest.failf "only %d files scanned under %s — wrong directory?" outcome.files
-      lib_dir
+  if outcome.files < 80 then
+    Alcotest.failf "only %d source files scanned under %s — wrong directory?"
+      outcome.files lib_dir
 
 (* ---------- aa_lint executable ---------- *)
 
@@ -286,17 +687,258 @@ let lint_exe =
   |> Option.value ~default:"../bin/aa_lint.exe"
 
 let run_exe args =
-  Sys.command (Filename.quote_command lint_exe args ^ " > lint_exe_out.txt 2>&1")
+  Sys.command
+    (Filename.quote_command lint_exe args ^ " > lint_exe_out.txt 2> lint_exe_err.txt")
+
+let exe_stdout () = In_channel.with_open_text "lint_exe_out.txt" In_channel.input_all
+let exe_stderr () = In_channel.with_open_text "lint_exe_err.txt" In_channel.input_all
 
 let test_exe_exit_codes () =
   let bad = "lint_tmp_exe.ml" in
   write_file bad "let x = try List.nth xs 3 with _ -> 0\n";
   Alcotest.(check int) "violations exit 1" 1 (run_exe [ bad ]);
+  Alcotest.(check int) "warn-only findings exit 0" 0
+    (run_exe [ "--severity"; "partial-fn=warn"; "--severity"; "catch-all=warn"; bad ]);
+  Alcotest.(check int) "disabled rules exit 0" 0
+    (run_exe [ "--disable"; "partial-fn,catch-all"; bad ]);
   write_file bad "let x = match xs with [] -> 0 | y :: _ -> y\n";
   Alcotest.(check int) "clean exit 0" 0 (run_exe [ bad ]);
+  Alcotest.(check string) "clean run prints nothing on stdout" "" (exe_stdout ());
+  Alcotest.(check bool) "summary goes to stderr" true
+    (contains ~needle:"aa_lint:" (exe_stderr ()));
   Alcotest.(check int) "--rules exits 0" 0 (run_exe [ "--rules" ]);
-  Alcotest.(check int) "usage error exits 2" 2 (run_exe [ "--baseline" ]);
+  Alcotest.(check int) "--help exits 0" 0 (run_exe [ "--help" ]);
+  Alcotest.(check bool) "--help documents the exit contract" true
+    (contains ~needle:"exit codes" (exe_stdout ()));
+  Alcotest.(check int) "missing operand exits 124" 124 (run_exe [ "--baseline" ]);
+  Alcotest.(check int) "unknown flag exits 124" 124 (run_exe [ "--frobnicate"; bad ]);
+  Alcotest.(check int) "unknown rule id exits 124" 124
+    (run_exe [ "--enable"; "no-such-rule"; bad ]);
+  Alcotest.(check int) "bad format exits 124" 124 (run_exe [ "--format"; "xml"; bad ]);
+  Alcotest.(check int) "bad severity exits 124" 124
+    (run_exe [ "--severity"; "partial-fn=loud"; bad ]);
+  Alcotest.(check int) "no inputs exits 124" 124 (run_exe []);
   Alcotest.(check int) "missing path exits 2" 2 (run_exe [ "no_such_dir_xyz" ]);
+  Sys.remove bad
+
+(* ---------- output formats ---------- *)
+
+(* A deliberately small JSON parser, enough to validate the machine
+   formats without trusting the renderer's own escaping. *)
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = Alcotest.failf "JSON: %s at offset %d" msg !pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            (if !pos >= n then fail "dangling escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char b '"'
+               | '\\' -> Buffer.add_char b '\\'
+               | '/' -> Buffer.add_char b '/'
+               | 'n' -> Buffer.add_char b '\n'
+               | 't' -> Buffer.add_char b '\t'
+               | 'r' -> Buffer.add_char b '\r'
+               | 'b' -> Buffer.add_char b '\b'
+               | 'f' -> Buffer.add_char b '\012'
+               | 'u' ->
+                   if !pos + 4 >= n then fail "truncated \\u escape";
+                   let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+                   pos := !pos + 4;
+                   Buffer.add_char b (if code < 128 then Char.chr code else '?')
+               | c -> fail (Printf.sprintf "bad escape %C" c));
+            incr pos;
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then (
+          incr pos;
+          Jobj [])
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                members ()
+            | Some '}' -> incr pos
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Jobj (List.rev !fields)
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then (
+          incr pos;
+          Jarr [])
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                elements ()
+            | Some ']' -> incr pos
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          Jarr (List.rev !items)
+        end
+    | Some 't' ->
+        pos := !pos + 4;
+        Jbool true
+    | Some 'f' ->
+        pos := !pos + 5;
+        Jbool false
+    | Some 'n' ->
+        pos := !pos + 4;
+        Jnull
+    | Some _ ->
+        let start = !pos in
+        while
+          !pos < n
+          &&
+          match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+        do
+          incr pos
+        done;
+        if !pos = start then fail "unexpected character";
+        (match float_of_string_opt (String.sub s start (!pos - start)) with
+        | Some f -> Jnum f
+        | None -> fail "bad number")
+    | None -> fail "empty input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function
+  | Jobj fields -> (
+      match List.assoc_opt k fields with
+      | Some v -> v
+      | None -> Alcotest.failf "missing JSON member %S" k)
+  | _ -> Alcotest.failf "not an object while looking for %S" k
+
+let jstr = function Jstr s -> s | _ -> Alcotest.fail "expected a JSON string"
+let jint = function Jnum f -> int_of_float f | _ -> Alcotest.fail "expected a JSON number"
+let jarr = function Jarr xs -> xs | _ -> Alcotest.fail "expected a JSON array"
+
+let test_exe_json_format () =
+  let bad = "lint_tmp_fmt.ml" in
+  write_file bad "let x = List.hd xs\nlet y = if z = 0.0 then 1 else 2\n";
+  Alcotest.(check int) "json run exits 1" 1 (run_exe [ "--format"; "json"; bad ]);
+  let doc = parse_json (exe_stdout ()) in
+  Alcotest.(check string) "schema" "aa-lint/1" (jstr (member "schema" doc));
+  Alcotest.(check int) "files" 1 (jint (member "files" doc));
+  let summary = member "summary" doc in
+  Alcotest.(check int) "fresh" 2 (jint (member "fresh" summary));
+  Alcotest.(check int) "errors" 2 (jint (member "errors" summary));
+  Alcotest.(check int) "warnings" 0 (jint (member "warnings" summary));
+  let vs = jarr (member "violations" doc) in
+  Alcotest.(check (list string))
+    "rule ids in position order" [ "partial-fn"; "float-eq" ]
+    (List.map (fun v -> jstr (member "rule" v)) vs);
+  List.iter
+    (fun v ->
+      Alcotest.(check string) "file" "lint_tmp_fmt.ml" (jstr (member "file" v));
+      Alcotest.(check bool) "line is positive" true (jint (member "line" v) >= 1);
+      Alcotest.(check string) "severity" "error" (jstr (member "severity" v)))
+    vs;
+  Alcotest.(check int) "warn-demoted run exits 0" 0
+    (run_exe
+       [
+         "--severity"; "partial-fn=warn"; "--severity"; "float-eq=warn"; "--format";
+         "json"; bad;
+       ]);
+  let demoted = member "summary" (parse_json (exe_stdout ())) in
+  Alcotest.(check int) "errors after demotion" 0 (jint (member "errors" demoted));
+  Alcotest.(check int) "warnings after demotion" 2 (jint (member "warnings" demoted));
+  Sys.remove bad
+
+let test_exe_sarif_format () =
+  let bad = "lint_tmp_sarif.ml" in
+  write_file bad "let x = List.hd xs\n";
+  Alcotest.(check int) "sarif run exits 1" 1 (run_exe [ "--format"; "sarif"; bad ]);
+  let doc = parse_json (exe_stdout ()) in
+  Alcotest.(check string) "version" "2.1.0" (jstr (member "version" doc));
+  let run0 =
+    match jarr (member "runs" doc) with [ r ] -> r | _ -> Alcotest.fail "expected one run"
+  in
+  let driver = member "driver" (member "tool" run0) in
+  Alcotest.(check string) "driver name" "aa_lint" (jstr (member "name" driver));
+  let rule_ids = List.map (fun r -> jstr (member "id" r)) (jarr (member "rules" driver)) in
+  List.iter
+    (fun id -> Alcotest.(check bool) (id ^ " in rule metadata") true (List.mem id rule_ids))
+    [ "partial-fn"; "pool-mutation"; "unguarded-div"; "unused-export" ];
+  (match jarr (member "results" run0) with
+  | [ r ] ->
+      Alcotest.(check string) "ruleId" "partial-fn" (jstr (member "ruleId" r));
+      Alcotest.(check string) "level" "error" (jstr (member "level" r));
+      let loc =
+        match jarr (member "locations" r) with
+        | [ l ] -> l
+        | _ -> Alcotest.fail "expected one location"
+      in
+      let phys = member "physicalLocation" loc in
+      Alcotest.(check string) "uri" "lint_tmp_sarif.ml"
+        (jstr (member "uri" (member "artifactLocation" phys)));
+      Alcotest.(check int) "startLine" 1 (jint (member "startLine" (member "region" phys)))
+  | rs -> Alcotest.failf "expected one result, got %d" (List.length rs));
   Sys.remove bad
 
 (* ---------- certifier: valid solutions ---------- *)
@@ -469,6 +1111,14 @@ let () =
           Alcotest.test_case "comments" `Quick test_scan_comments;
           Alcotest.test_case "positions" `Quick test_scan_positions;
         ] );
+      ( "syntax",
+        [
+          Alcotest.test_case "nested lets" `Quick test_syntax_nested_lets;
+          Alcotest.test_case "quoted strings" `Quick test_syntax_quoted_strings;
+          Alcotest.test_case "functors" `Quick test_syntax_functor;
+          Alcotest.test_case "locals" `Quick test_syntax_locals;
+          Alcotest.test_case "closures" `Quick test_syntax_closures;
+        ] );
       ( "rules",
         [
           Alcotest.test_case "float-eq comparisons" `Quick test_float_eq_flags_comparisons;
@@ -480,13 +1130,37 @@ let () =
           Alcotest.test_case "wall-clock" `Quick test_wall_clock;
           Alcotest.test_case "raw-io" `Quick test_raw_io;
           Alcotest.test_case "suppression" `Quick test_suppression;
+          Alcotest.test_case "pool-mutation captured state" `Quick
+            test_pool_mutation_catches_captured_state;
+          Alcotest.test_case "pool-mutation mutator calls" `Quick
+            test_pool_mutation_mutator_calls;
+          Alcotest.test_case "pool-mutation sanctioned shapes" `Quick
+            test_pool_mutation_sanctioned_shapes;
+          Alcotest.test_case "pool-mutation named worker" `Quick
+            test_pool_mutation_named_worker;
+          Alcotest.test_case "unguarded-div flags" `Quick test_unguarded_div_flags;
+          Alcotest.test_case "unguarded-div guards" `Quick test_unguarded_div_guards;
+        ] );
+      ( "project",
+        [
+          Alcotest.test_case "index def/use" `Quick test_index_def_use;
+          Alcotest.test_case "unused-export rule" `Quick test_unused_export_rule;
+          Alcotest.test_case "unused-export via runner" `Quick
+            test_unused_export_via_runner;
         ] );
       ( "lint",
         [
           Alcotest.test_case "baseline absorb and stale" `Quick test_run_and_baseline;
           Alcotest.test_case "baseline survives drift" `Quick test_baseline_survives_line_drift;
+          Alcotest.test_case "severity override" `Quick test_severity_override;
+          Alcotest.test_case "source file discovery" `Quick test_source_file_discovery;
+          Alcotest.test_case "fingerprint stability" `Quick test_fingerprint_stability;
+          Alcotest.test_case "pool-mutation zero false positives" `Quick
+            test_pool_mutation_zero_false_positives;
           Alcotest.test_case "lib/ is clean" `Quick test_lib_is_lint_clean;
           Alcotest.test_case "exe exit codes" `Quick test_exe_exit_codes;
+          Alcotest.test_case "json format" `Quick test_exe_json_format;
+          Alcotest.test_case "sarif format" `Quick test_exe_sarif_format;
         ] );
       ( "certify",
         [

@@ -12,6 +12,12 @@ let test_hit_after_load () =
   Alcotest.(check int) "hits" 1 s.hits;
   Alcotest.(check int) "misses" 1 s.misses
 
+let test_geometry_accessors () =
+  let c = Llcache.create ~sets:4 ~ways:2 in
+  Alcotest.(check int) "sets" 4 (Llcache.sets c);
+  Alcotest.(check int) "ways" 2 (Llcache.ways c);
+  Alcotest.(check int) "capacity = sets * ways" 8 (Llcache.capacity_lines c)
+
 let test_lru_eviction_order () =
   (* 1 set, 2 ways: a, b, c evicts a (LRU), not b *)
   let c = Llcache.create ~sets:1 ~ways:2 in
@@ -193,6 +199,7 @@ let () =
       ( "cache",
         [
           Alcotest.test_case "hit after load" `Quick test_hit_after_load;
+          Alcotest.test_case "geometry accessors" `Quick test_geometry_accessors;
           Alcotest.test_case "LRU eviction" `Quick test_lru_eviction_order;
           Alcotest.test_case "LRU refresh" `Quick test_lru_touch_refreshes;
           Alcotest.test_case "independent sets" `Quick test_sets_are_independent;

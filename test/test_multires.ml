@@ -54,6 +54,17 @@ let test_single_resource_matches_plain_aa () =
   in
   Helpers.check_float ~eps:1e-6 "same utility as Algo2+refill" plain r.total
 
+let test_superopt_bound_dominates_solve () =
+  let capacities = [| 10.0 |] in
+  let mk shape = thread ~capacities ~shape [| 1.0 |] in
+  let threads = [| mk (`Capped (2.0, 0.3)); mk (`Capped (1.0, 0.4)); mk (`Linear 0.5) |] in
+  let t = Multires.create ~servers:2 ~capacities threads in
+  Alcotest.(check int) "n_threads" 3 (Multires.n_threads t);
+  let r = Multires.solve t in
+  let bound = Multires.superopt_bound t in
+  Helpers.check_le "solve <= superopt_bound" r.total
+    (bound +. (1e-6 *. Float.max 1.0 bound))
+
 let test_allocate_server_respects_capacities () =
   let threads =
     [|
@@ -160,6 +171,7 @@ let () =
           Alcotest.test_case "validation" `Quick test_create_validation;
           Alcotest.test_case "rate cap" `Quick test_rate_cap;
           Alcotest.test_case "R=1 equivalence" `Quick test_single_resource_matches_plain_aa;
+          Alcotest.test_case "superopt bound dominates" `Quick test_superopt_bound_dominates_solve;
         ] );
       ( "allocation",
         [

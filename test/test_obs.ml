@@ -128,7 +128,10 @@ let test_gauge_basics () =
   Registry.Gauge.set g 2.5;
   Alcotest.(check (float 0.0)) "set" 2.5 (Registry.Gauge.value g);
   Control.with_enabled false (fun () -> Registry.Gauge.set g 9.0);
-  Alcotest.(check (float 0.0)) "no set while off" 2.5 (Registry.Gauge.value g)
+  Alcotest.(check (float 0.0)) "no set while off" 2.5 (Registry.Gauge.value g);
+  Alcotest.(check string) "name" "test.gauge" (Registry.Gauge.name g);
+  Alcotest.(check (float 0.0)) "in gauges snapshot" 2.5
+    (List.assoc "test.gauge" (Registry.gauges ()))
 
 let test_registry_snapshots_sorted () =
   ignore (Registry.counter "test.zz");
@@ -205,6 +208,16 @@ let test_span_nesting_and_text_tree () =
   in
   Alcotest.(check bool) "outer at depth 0" true (contains "\n  outer");
   Alcotest.(check bool) "inner indented" true (contains "\n    inner")
+
+let test_ring_overwrite_counter () =
+  Alcotest.(check int) "starts at zero" 0 (Trace.overwritten ());
+  (* 20k spans = 40k events into a 32768-slot ring: oldest overwritten *)
+  for _ = 1 to 20_000 do
+    Trace.span "w" (fun () -> ())
+  done;
+  Alcotest.(check bool) "counts overwrites" true (Trace.overwritten () > 0);
+  Trace.clear ();
+  Alcotest.(check int) "clear resets" 0 (Trace.overwritten ())
 
 let test_span_exception_safe () =
   (match Trace.span "boom" (fun () -> failwith "x") with
@@ -514,6 +527,7 @@ let () =
         [
           t "nesting and text tree" test_span_nesting_and_text_tree;
           t "exception safe" test_span_exception_safe;
+          t "ring overwrite counter" test_ring_overwrite_counter;
           t "disabled records nothing" test_span_disabled_records_nothing;
           t "open span synthesized end" test_open_span_synthesized_end;
           t "orphan end ignored" test_orphan_end_ignored;

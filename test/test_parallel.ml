@@ -71,6 +71,20 @@ let test_pool_reusable_after_error () =
           got
       done)
 
+let test_pool_explicit_lifecycle () =
+  (* the create/shutdown pair underlying with_pool: usable directly, and
+     shutdown is idempotent as documented *)
+  let pool = Pool.create ~domains:3 () in
+  let n = 100 in
+  let hits = Array.make n 0 in
+  Pool.run pool ~n ~chunk:9 (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  Alcotest.(check (array int)) "covered once" (Array.make n 1) hits;
+  Pool.shutdown pool;
+  Pool.shutdown pool
+
 let test_pool_size_and_validation () =
   Pool.with_pool ~domains:3 (fun pool -> Alcotest.(check int) "size" 3 (Pool.size pool));
   (* <= 1 clamps to the inline sequential pool *)
@@ -178,7 +192,8 @@ let test_bench_smoke () =
       if not (Helpers.contains doc needle) then
         Alcotest.failf "trajectory %s missing %S:\n%s" json needle doc)
     [
-      "\"schema\": \"aa-bench-trajectory/3\"";
+      "\"schema\": \"aa-bench-trajectory/4\"";
+      "\"regression\":";
       "\"id\": \"fig3c\"";
       "\"id\": \"speedup-fig1a\"";
       "\"speedup_vs_j1\"";
@@ -202,6 +217,7 @@ let () =
           Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
           Alcotest.test_case "reusable after error" `Quick test_pool_reusable_after_error;
           Alcotest.test_case "size and validation" `Quick test_pool_size_and_validation;
+          Alcotest.test_case "explicit lifecycle" `Quick test_pool_explicit_lifecycle;
           Alcotest.test_case "AA_JOBS env" `Quick test_default_domains_env;
         ] );
       ( "determinism",

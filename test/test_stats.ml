@@ -43,6 +43,7 @@ let test_online_matches_batch () =
   Alcotest.(check int) "count" 10_000 (Stats.Online.count o);
   Helpers.check_float ~eps:1e-9 "mean" (Stats.mean xs) (Stats.Online.mean o);
   Helpers.check_float ~eps:1e-7 "variance" (Stats.variance xs) (Stats.Online.variance o);
+  Helpers.check_float ~eps:1e-7 "stddev" (Stats.stddev xs) (Stats.Online.stddev o);
   Helpers.check_float "min" (Stats.quantile xs 0.0) (Stats.Online.min o);
   Helpers.check_float "max" (Stats.quantile xs 1.0) (Stats.Online.max o)
 
