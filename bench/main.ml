@@ -38,7 +38,10 @@ let trials =
   | Some s -> ( try max 1 (int_of_string s) with _ -> 300)
   | None -> 300
 
-let jobs = Pool.default_domains ()
+(* Clamped to physical cores: a pool oversubscribed past the core count
+   loses 2-4x to stop-the-world minor-GC syncs, which is a config error,
+   not a measurement. AA_JOBS beyond the core count is ignored here. *)
+let jobs = Pool.auto_domains ()
 let seed = 42
 let line fmt = Format.printf (fmt ^^ "@.")
 
@@ -63,6 +66,7 @@ type bench_entry = {
   btrials : int;
   speedup_vs_j1 : float option;  (* only the SP experiment measures this *)
   regression : bool;  (* speedup_vs_j1 < 1.0: the pool run was slower than j=1 *)
+  rps : float option;  (* requests/s, for the daemon throughput experiments *)
   counters : (string * int) list;  (* nonzero counter deltas over the experiment *)
   spans : int;  (* raw span events recorded during the experiment *)
   bfsync : string option;
@@ -72,7 +76,7 @@ type bench_entry = {
 
 let bench_entries : bench_entry list ref = ref []
 
-let record ?speedup ?(counters = []) ?(spans = 0) ?fsync ~id ~jobs:bjobs
+let record ?speedup ?rps ?(counters = []) ?(spans = 0) ?fsync ~id ~jobs:bjobs
     ~trials:btrials wall_s =
   let regression = match speedup with Some s -> s < 1.0 | None -> false in
   if regression then
@@ -89,6 +93,7 @@ let record ?speedup ?(counters = []) ?(spans = 0) ?fsync ~id ~jobs:bjobs
       btrials;
       speedup_vs_j1 = speedup;
       regression;
+      rps;
       counters;
       spans;
       bfsync = fsync;
@@ -125,9 +130,10 @@ let bench_json_path =
 let write_bench_json () =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"aa-bench-trajectory/4\",\n";
+  Buffer.add_string b "  \"schema\": \"aa-bench-trajectory/5\",\n";
   Printf.bprintf b "  \"generated_unix\": %.0f,\n" (Aa_obs.Clock.wall_s ());
   Printf.bprintf b "  \"jobs\": %d,\n" jobs;
+  Printf.bprintf b "  \"jobs_requested\": %d,\n" (Pool.default_domains ());
   Printf.bprintf b "  \"trials\": %d,\n" trials;
   Printf.bprintf b "  \"obs\": %b,\n" (Aa_obs.Control.on ());
   Buffer.add_string b "  \"experiments\": [\n";
@@ -136,11 +142,12 @@ let write_bench_json () =
     (fun i e ->
       Printf.bprintf b
         "    {\"id\": \"%s\", \"wall_s\": %.6f, \"jobs\": %d, \"trials\": %d, \
-         \"speedup_vs_j1\": %s, \"regression\": %b, \"fsync\": %s, \"spans\": %d, \
-         \"counters\": {%s}}%s\n"
+         \"speedup_vs_j1\": %s, \"regression\": %b, \"rps\": %s, \"fsync\": %s, \
+         \"spans\": %d, \"counters\": {%s}}%s\n"
         e.bid e.wall_s e.bjobs e.btrials
         (match e.speedup_vs_j1 with None -> "null" | Some s -> Printf.sprintf "%.4f" s)
         e.regression
+        (match e.rps with None -> "null" | Some r -> Printf.sprintf "%.1f" r)
         (match e.bfsync with None -> "null" | Some p -> Printf.sprintf "\"%s\"" p)
         e.spans
         (String.concat ", "
@@ -246,7 +253,27 @@ let speedup () =
       line "jobs=1: %.2f s   jobs=%d: %.2f s   speedup: %.2fx" t_seq jobs t_par speedup;
       line "series bit-identical across job counts: %b (must be true)"
         (series_identical sequential parallel);
-      record ~id:"speedup-fig1a" ~jobs ~trials ~speedup t_par
+      record ~id:"speedup-fig1a" ~jobs ~trials ~speedup t_par;
+      (* reference point for the clamp in [Pool.auto_domains]: the same
+         sweep on a deliberately oversubscribed pool. On a machine with
+         fewer cores than [jobs_over] this documents the regression the
+         clamp removes (stop-the-world minor-GC syncs, historically
+         0.49x at 2 domains on 1 core); results stay bit-identical at
+         every pool size regardless. *)
+      let jobs_over = max 2 (2 * Domain.recommended_domain_count ()) in
+      let t0 = now () in
+      let oversub =
+        Aa_obs.Control.with_enabled false (fun () ->
+            spec.run ~jobs:jobs_over ~trials ~seed ())
+      in
+      let t_over = now () -. t0 in
+      let speedup_over = t_seq /. t_over in
+      line "oversubscribed jobs=%d: %.2f s   speedup: %.2fx (clamp reference)"
+        jobs_over t_over speedup_over;
+      line "oversubscribed series bit-identical: %b (must be true)"
+        (series_identical sequential oversub);
+      record ~id:"speedup-fig1a-oversubscribed" ~jobs:jobs_over ~trials
+        ~speedup:speedup_over t_over
 
 (* ---------- T1: timing ---------- *)
 
@@ -641,6 +668,40 @@ let service_fsync =
       Printf.eprintf "bench: AA_BENCH_FSYNC: %s\n%!" e;
       exit 2
 
+(* The mixed-workload request script both daemon experiments drive;
+   built up front so request generation is never timed. Ids are dense
+   in admission order, which the sharded dispatcher preserves (ADMIT k
+   round-robins to shard [k mod n] and gets global id [k] back), so one
+   script serves every shard count. *)
+let make_service_script ~n_requests () =
+  let rng = Rng.create ~seed () in
+  let active = ref [] in
+  let admitted = ref 0 in
+  let spec () =
+    Aa_io.Format_text.print_thread_spec (Gen.utility rng ~cap:1000.0 Gen.Uniform)
+  in
+  let admit () =
+    active := !admitted :: !active;
+    incr admitted;
+    "ADMIT " ^ spec ()
+  in
+  let pick () = List.nth !active (Rng.int rng (List.length !active)) in
+  List.init n_requests (fun step ->
+      if step > 0 && step mod 1000 = 0 then "SNAPSHOT"
+      else if step mod 1000 = 500 then "REBALANCE"
+      else begin
+        let r = Rng.int rng 20 in
+        if r < 6 || !active = [] then admit ()
+        else if r < 12 then begin
+          let i = pick () in
+          active := List.filter (fun x -> x <> i) !active;
+          Printf.sprintf "DEPART %d" i
+        end
+        else if r < 15 then Printf.sprintf "UPDATE %d %s" (pick ()) (spec ())
+        else if r < 19 then Printf.sprintf "QUERY %d" (pick ())
+        else "STATS"
+      end)
+
 let service () =
   heading "E4 — service: allocation daemon throughput (m=8, C=1000, mixed workload)";
   let n_requests = 10_000 in
@@ -649,36 +710,6 @@ let service () =
   line "SNAPSHOT every 1000 requests, REBALANCE (active-set Algo2) every 1000.";
   line "journaled run fsync policy: %s"
     (Aa_service.Journal.fsync_to_string service_fsync);
-  (* build the script up front so request generation is not timed *)
-  let make_script () =
-    let rng = Rng.create ~seed () in
-    let active = ref [] in
-    let admitted = ref 0 in
-    let spec () =
-      Aa_io.Format_text.print_thread_spec (Gen.utility rng ~cap:1000.0 Gen.Uniform)
-    in
-    let admit () =
-      active := !admitted :: !active;
-      incr admitted;
-      "ADMIT " ^ spec ()
-    in
-    let pick () = List.nth !active (Rng.int rng (List.length !active)) in
-    List.init n_requests (fun step ->
-        if step > 0 && step mod 1000 = 0 then "SNAPSHOT"
-        else if step mod 1000 = 500 then "REBALANCE"
-        else begin
-          let r = Rng.int rng 20 in
-          if r < 6 || !active = [] then admit ()
-          else if r < 12 then begin
-            let i = pick () in
-            active := List.filter (fun x -> x <> i) !active;
-            Printf.sprintf "DEPART %d" i
-          end
-          else if r < 15 then Printf.sprintf "UPDATE %d %s" (pick ()) (spec ())
-          else if r < 19 then Printf.sprintf "QUERY %d" (pick ())
-          else "STATS"
-        end)
-  in
   let time_script label engine script =
     let t0 = now () in
     List.iter (fun l -> ignore (Aa_service.Engine.handle_line engine l)) script;
@@ -688,7 +719,7 @@ let service () =
       dt
       (Aa_service.Engine.n_active engine)
   in
-  let script = make_script () in
+  let script = make_service_script ~n_requests () in
   time_script "in-memory"
     (Aa_service.Engine.create ~clock:now ~servers:8 ~capacity:1000.0 ())
     script;
@@ -705,6 +736,79 @@ let service () =
       Aa_service.Journal.close j);
   Sys.remove path
 
+(* ---------- E5: sharded daemon + group commit ---------- *)
+
+(* The same mixed workload through the sharded dispatcher at 1/2/4/8
+   shards, every shard journaled at fsync=always — the policy where
+   group commit matters. Requests are posted pipelined with a bounded
+   in-flight window (the socket reader/writer discipline), so the shard
+   queues see real depth and each drained burst lands under one fsync:
+   the recorded journal.fsyncs stays well below the request count even
+   though every ack names durable state. *)
+let service_shards () =
+  heading
+    "E5 — sharded daemon: requests/s at 1/2/4/8 shards (group commit, fsync=always)";
+  let n_requests = 10_000 in
+  let max_inflight = 64 in
+  let script = make_service_script ~n_requests () in
+  line "%d pipelined requests, in-flight window %d; fsyncs counted per run."
+    n_requests max_inflight;
+  List.iter
+    (fun shards ->
+      let counts = Aa_service.Shard.server_counts ~servers:8 ~shards in
+      let paths =
+        Array.init shards (fun _ -> Filename.temp_file "aa_bench_shard" ".log")
+      in
+      let journals =
+        Array.init shards (fun k ->
+            match
+              Aa_service.Journal.create ~fsync:Aa_service.Journal.Always
+                ~path:paths.(k) ~servers:counts.(k) ~capacity:1000.0 ()
+            with
+            | Ok j -> j
+            | Error e ->
+                Printf.eprintf "bench: shard journal: %s\n%!" e;
+                exit 2)
+      in
+      let engines =
+        Array.init shards (fun k ->
+            Aa_service.Engine.create ~clock:now ~journal:journals.(k)
+              ~servers:counts.(k) ~capacity:1000.0 ())
+      in
+      let sh = Aa_service.Shard.create engines in
+      let inflight = Queue.create () in
+      let await tk =
+        match Aa_service.Shard.await sh tk with
+        | Aa_service.Shard.Reply _ -> ()
+        | Aa_service.Shard.Crashed name ->
+            Printf.eprintf "bench: shard crashed at %s\n%!" name;
+            exit 2
+      in
+      let t0 = now () in
+      List.iter
+        (fun l ->
+          (match Aa_service.Shard.post_line sh l with
+          | `Ticket tk -> Queue.push tk inflight
+          | `Blank | `Immediate _ -> ());
+          if Queue.length inflight > max_inflight then await (Queue.pop inflight))
+        script;
+      Queue.iter await inflight;
+      let dt = now () -. t0 in
+      Aa_service.Shard.shutdown sh;
+      let fsyncs =
+        Array.fold_left (fun a j -> a + Aa_service.Journal.fsyncs j) 0 journals
+      in
+      Array.iter Sys.remove paths;
+      let rps = float_of_int n_requests /. dt in
+      line "shards=%d   %10.0f requests/s   (%.2f s, %d fsyncs for %d requests)"
+        shards rps dt fsyncs n_requests;
+      record
+        ~id:(Printf.sprintf "service-shards-%d" shards)
+        ~jobs:shards ~trials:1 ~fsync:"always" ~rps
+        ~counters:[ ("requests", n_requests); ("journal.fsyncs", fsyncs) ]
+        dt)
+    [ 1; 2; 4; 8 ]
+
 (* ---------- driver ---------- *)
 
 let all_ids = [ "fig1a"; "fig1b"; "fig2a"; "fig2b"; "fig3a"; "fig3b"; "fig3c" ]
@@ -715,7 +819,7 @@ let () =
     if args = [] then
       all_ids
       @ [ "tightness"; "timing"; "speedup"; "ablation"; "resolution"; "beyond"; "hetero";
-          "online"; "multires"; "service"; "claims" ]
+          "online"; "multires"; "service"; "service-shards"; "claims" ]
     else args
   in
   let series = ref [] in
@@ -743,6 +847,8 @@ let () =
   experiment
     ~fsync:(Aa_service.Journal.fsync_to_string service_fsync)
     "service" service;
+  (* records its own per-shard-count entries, like speedup *)
+  if want "service-shards" then service_shards ();
   if want "claims" then claims (List.rev !series);
   line "";
   write_bench_json ();

@@ -1,13 +1,19 @@
 (* aa_serve — the long-running allocation daemon: an Online placer
-   behind a line-oriented request/response protocol on stdin/stdout,
-   with optional write-ahead journaling and crash recovery.
+   behind a line-oriented request/response protocol, on stdin/stdout
+   and/or a socket, with optional write-ahead journaling, crash
+   recovery, engine sharding and group commit.
 
-   A session is one request per line, one response line per request
-   (blank and #-comment lines get none), until EOF:
+   A stdin session is one request per line, one response line per
+   request (blank and #-comment lines get none), until EOF:
 
      $ printf 'ADMIT power 4 0.5\nQUERY 0\nSTATS\n' | aa_serve -m 2 -C 10
 
-   See doc/service-protocol.md for the wire and journal grammars. *)
+   With --listen the same protocol is served to concurrent socket
+   clients (framed or raw lines, see doc/service-protocol.md) while
+   stdin remains a degenerate extra connection — and closing stdin
+   remains the way to stop the daemon. --shards N partitions servers
+   and threads across N engines, each with its own journal
+   (<path>.shardK) and worker domain. *)
 
 open Cmdliner
 open Aa_numerics
@@ -50,15 +56,120 @@ let arm_faults spec =
       | Ok () -> ()
       | Error e -> fail "--faults: %s" e)
 
-let serve servers capacity journal replay fsync faults trace =
+let crash name =
+  Printf.eprintf "aa_serve: injected crash at failpoint %s\n%!" name;
+  exit 70
+
+let string_of_sockaddr = function
+  | Unix.ADDR_UNIX p -> "unix:" ^ p
+  | Unix.ADDR_INET (ip, port) ->
+      Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port
+
+(* The sharded/socket daemon. Engines are built one per shard — servers
+   split in contiguous blocks, journals at <path>.shardK (the bare path
+   for one shard, so --shards 1 reads and writes exactly the same
+   journal as the classic loop) — then a Shard dispatcher serves stdin
+   and, with --listen, every socket client concurrently. *)
+let serve_sharded ~servers ~capacity ~journal ~replay ~fsync ~clock ~listen ~shards
+    ~window =
+  let shard_path path k =
+    if shards = 1 then path else Printf.sprintf "%s.shard%d" path k
+  in
+  let counts m =
+    try Shard.server_counts ~servers:m ~shards
+    with Invalid_argument e -> fail "%s" e
+  in
+  let engines =
+    match (journal, replay) with
+    | None, true -> fail "--replay requires --journal"
+    | None, false ->
+        let counts = counts (Option.value servers ~default:8) in
+        let capacity = Option.value capacity ~default:1000.0 in
+        Array.init shards (fun k ->
+            Engine.create ~clock ~servers:counts.(k) ~capacity ())
+    | Some path, true ->
+        Array.init shards (fun k ->
+            match Engine.of_journal ~clock ~fsync ~path:(shard_path path k) () with
+            | Ok e -> e
+            | Error e -> fail "%s" e)
+    | Some path, false ->
+        let counts = counts (Option.value servers ~default:8) in
+        let capacity = Option.value capacity ~default:1000.0 in
+        Array.init shards (fun k ->
+            match
+              Journal.create ~fsync ~path:(shard_path path k) ~servers:counts.(k)
+                ~capacity ()
+            with
+            | Ok j -> Engine.create ~clock ~journal:j ~servers:counts.(k) ~capacity ()
+            | Error e -> fail "%s" e)
+  in
+  if replay then begin
+    (match servers with
+    | Some m ->
+        let total = Array.fold_left (fun a e -> a + Engine.servers e) 0 engines in
+        if m <> total then
+          fail "--servers %d disagrees with the journal headers (total %d)" m total
+    | None -> ());
+    match capacity with
+    | Some c when Util.fne_rel ~rel:1e-9 c (Engine.capacity engines.(0)) ->
+        fail "--capacity %g disagrees with the journal header (%g)" c
+          (Engine.capacity engines.(0))
+    | Some _ | None -> ()
+  end;
+  let shard = Shard.create ~window_s:window engines in
+  Printf.eprintf
+    "aa_serve: %d server(s), capacity %g, %d shard(s)%s, %d thread(s) active\n%!"
+    (Shard.servers shard) (Shard.capacity shard) shards
+    (match journal with
+    | None -> ""
+    | Some p -> Printf.sprintf ", journal %s%s" p (if shards = 1 then "" else ".shardK"))
+    (Array.fold_left (fun a e -> a + Engine.n_active e) 0 engines);
+  let listener =
+    match listen with
+    | None -> None
+    | Some addrstr -> (
+        match Aa_net.Listener.parse_addr addrstr with
+        | Error e -> fail "--listen: %s" e
+        | Ok addr -> (
+            match Aa_net.Listener.serve ~on_crash:crash ~addr shard with
+            | Error e -> fail "--listen %s: %s" addrstr e
+            | Ok l ->
+                Printf.eprintf "aa_serve: listening on %s\n%!"
+                  (string_of_sockaddr (Aa_net.Listener.sockaddr l));
+                Some l))
+  in
+  let rec loop () =
+    match In_channel.input_line In_channel.stdin with
+    | None -> ()
+    | Some line ->
+        (match Shard.handle_line shard line with
+        | None -> ()
+        | Some (Shard.Reply resp) ->
+            print_endline (Protocol.print_response resp);
+            flush stdout
+        | Some (Shard.Crashed name) -> crash name);
+        loop ()
+  in
+  loop ();
+  (match Shard.crashed shard with Some name -> crash name | None -> ());
+  (match listener with Some l -> Aa_net.Listener.stop l | None -> ());
+  Shard.shutdown shard
+
+let serve servers capacity journal replay fsync faults trace listen shards window =
   if trace then Aa_obs.Control.set_enabled true;
   arm_faults faults;
+  if shards < 1 then fail "--shards must be >= 1";
+  if window < 0.0 then fail "--group-commit-window must be >= 0";
   let fsync =
     match Journal.fsync_of_string fsync with
     | Ok p -> p
     | Error e -> fail "--fsync: %s" e
   in
   let clock = Aa_obs.Clock.now_s in
+  if shards > 1 || listen <> None then
+    serve_sharded ~servers ~capacity ~journal ~replay ~fsync ~clock ~listen ~shards
+      ~window
+  else
   let engine =
     match (journal, replay) with
     | None, true -> fail "--replay requires --journal"
@@ -169,11 +280,43 @@ let main_cmd =
              from the AA_FAULTS environment variable; testing only. See \
              doc/fault-injection.md.")
   in
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Serve concurrent socket clients on $(docv): $(b,HOST:PORT), \
+             $(b,:PORT) (loopback; port 0 picks an ephemeral port, printed \
+             to stderr) or $(b,unix:PATH). Requests are protocol lines, \
+             optionally length-prefix framed (replies mirror the request's \
+             framing). stdin/stdout keeps working as one more connection, \
+             and closing stdin still stops the daemon.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Partition servers and threads across $(docv) engine shards, each \
+             with its own journal ($(b,FILE.shardK)) and worker domain. \
+             Requires at least one server per shard.")
+  in
+  let window =
+    Arg.(
+      value & opt float 0.0
+      & info [ "group-commit-window" ] ~docv:"SECONDS"
+          ~doc:
+            "Let each shard worker wait $(docv) after waking so concurrent \
+             mutations accumulate into one journal write + fsync (group \
+             commit). 0 (default) batches only what is already queued — no \
+             added latency, amortization only under load.")
+  in
   Cmd.v
     (Cmd.info "aa_serve" ~version:"1.0.0"
-       ~doc:"stateful AA allocation daemon (stdin/stdout request loop)")
+       ~doc:"stateful AA allocation daemon (stdin/stdout and socket request loop)")
     Term.(
       const serve $ servers $ capacity $ journal $ replay $ fsync $ faults
-      $ trace)
+      $ trace $ listen $ shards $ window)
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,98 @@
+(* Length-prefixed line framing over a byte stream. One message per
+   line; a framed line is [<len> <payload>\n] with [len] the payload's
+   byte length — the length check rejects a line torn by a dying peer
+   (the protocol payloads themselves are newline-free, so the prefix
+   buys integrity, not delimiting). Lines whose first token is not a
+   decimal length are accepted verbatim as raw protocol lines, which
+   keeps the listener nc-compatible: every [Aa_service.Protocol] verb
+   starts with a letter, so the dispatch is unambiguous. Replies are
+   framed iff the request was. *)
+
+let max_line = 1 lsl 20
+
+type msg = { payload : string; framed : bool }
+
+let encode s = Printf.sprintf "%d %s\n" (String.length s) s
+
+let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+let decode line =
+  match String.index_opt line ' ' with
+  | Some i when is_digits (String.sub line 0 i) -> (
+      match int_of_string_opt (String.sub line 0 i) with
+      | Some len ->
+          let payload = String.sub line (i + 1) (String.length line - i - 1) in
+          if String.length payload <> len then
+            Error
+              (Printf.sprintf "frame length mismatch: prefix says %d, payload has %d" len
+                 (String.length payload))
+          else Ok { payload; framed = true }
+      | None -> Error "frame length prefix out of range")
+  | Some _ | None ->
+      if is_digits line then Error "frame missing payload after length prefix"
+      else Ok { payload = line; framed = false }
+
+(* Buffered line reader over a raw fd. [In_channel.input_line] would be
+   simpler but ties the fd's lifetime to channel finalization; sockets
+   are closed explicitly by the connection teardown, so the buffering
+   is done by hand. *)
+type reader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int; (* consumed prefix of [len] *)
+  mutable len : int; (* valid bytes in [buf] *)
+  acc : Buffer.t;
+}
+
+let reader fd = { fd; buf = Bytes.create 8192; pos = 0; len = 0; acc = Buffer.create 256 }
+
+(* One line, newline stripped (a CR before it too, for telnet-style
+   clients); [None] on EOF — a final unterminated line is returned as a
+   line, matching In_channel.input_line. Raises [Failure] when a line
+   exceeds [max_line] (a client writing an unbounded line would
+   otherwise grow the buffer without limit). *)
+let read_line r =
+  let take () =
+    let n = Buffer.length r.acc in
+    let n = if n > 0 && Buffer.nth r.acc (n - 1) = '\r' then n - 1 else n in
+    let line = Buffer.sub r.acc 0 n in
+    Buffer.clear r.acc;
+    line
+  in
+  let rec go () =
+    if r.pos >= r.len then begin
+      match Unix.read r.fd r.buf 0 (Bytes.length r.buf) with
+      | 0 -> if Buffer.length r.acc = 0 then None else Some (take ())
+      | n ->
+          r.pos <- 0;
+          r.len <- n;
+          go ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+          if Buffer.length r.acc = 0 then None else Some (take ())
+    end
+    else begin
+      match Bytes.index_from_opt r.buf r.pos '\n' with
+      | Some i when i < r.len ->
+          Buffer.add_subbytes r.acc r.buf r.pos (i - r.pos);
+          r.pos <- i + 1;
+          Some (take ())
+      | Some _ | None ->
+          Buffer.add_subbytes r.acc r.buf r.pos (r.len - r.pos);
+          r.pos <- r.len;
+          if Buffer.length r.acc > max_line then failwith "line exceeds 1 MiB frame limit";
+          go ()
+    end
+  in
+  go ()
+
+let read_msg r = Option.map decode (read_line r)
+
+(* Full write: [Unix.write] may be short on sockets. *)
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let write_reply fd ~framed payload =
+  write_all fd (if framed then encode payload else payload ^ "\n")

@@ -1,0 +1,35 @@
+(** Length-prefixed line framing for the socket transport.
+
+    One message per line. A {e framed} line is [<len> <payload>\n]
+    ([len] = payload byte length, checked on decode); a line whose
+    first token is not a decimal number is accepted verbatim as a raw
+    protocol line, so plain [nc]/telnet sessions work unframed. Every
+    {!Aa_service.Protocol} verb starts with a letter, which keeps the
+    two shapes unambiguous. Replies mirror the request's framing. *)
+
+type msg = { payload : string; framed : bool }
+
+val encode : string -> string
+(** [<len> <payload>\n]. *)
+
+val decode : string -> (msg, string) result
+(** Classify and check one received line (newline already stripped). *)
+
+type reader
+
+val reader : Unix.file_descr -> reader
+(** A buffered line reader owning no resources — closing the fd remains
+    the caller's job. *)
+
+val read_line : reader -> string option
+(** Next line, [\n] (and a preceding [\r]) stripped; [None] at EOF.
+    Raises [Failure] if a line exceeds the 1 MiB frame limit. *)
+
+val read_msg : reader -> (msg, string) result option
+(** {!read_line} composed with {!decode}. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string (restarting short writes). *)
+
+val write_reply : Unix.file_descr -> framed:bool -> string -> unit
+(** Send one reply line, framed iff the request was. *)

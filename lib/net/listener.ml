@@ -1,0 +1,192 @@
+open Aa_service
+
+(* Socket front end: an accept loop feeding per-connection reader and
+   writer threads around a {!Shard.t}. The reader parses each incoming
+   line and posts it to the shard dispatch immediately (no await), the
+   writer awaits the tickets in arrival order — so one connection can
+   keep many requests in flight and the shard workers see real queue
+   depth to group-commit over, while responses still come back in
+   request order as the protocol promises.
+
+   Threads, not domains: connection work is parse-and-block, the
+   compute happens on the shard's worker domains. Systhreads share
+   Mutex/Condition with domains in OCaml 5, so the ticket handoff needs
+   nothing special. *)
+
+type pending =
+  | P_ticket of Shard.ticket * bool (* awaiting dispatch; bool = framed *)
+  | P_done of Shard.outcome * bool
+  | P_close
+
+type conn_queue = {
+  q_lock : Mutex.t;
+  q_cond : Condition.t;
+  q : pending Queue.t;
+}
+
+let q_push cq p =
+  Mutex.lock cq.q_lock;
+  Queue.push p cq.q;
+  Condition.signal cq.q_cond;
+  Mutex.unlock cq.q_lock
+
+let q_pop cq =
+  Mutex.lock cq.q_lock;
+  while Queue.is_empty cq.q do
+    Condition.wait cq.q_cond cq.q_lock
+  done;
+  let p = Queue.pop cq.q in
+  Mutex.unlock cq.q_lock;
+  p
+
+type t = {
+  fd : Unix.file_descr;
+  shard : Shard.t;
+  on_crash : string -> unit;
+  sockpath : string option; (* unix-domain path, unlinked on stop *)
+  mutable accept_thread : Thread.t option;
+}
+
+let bad_request message = Protocol.Err { code = Protocol.Bad_request; message }
+
+let safe_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let reader_loop shard fd cq =
+  let r = Frame.reader fd in
+  let rec go () =
+    match Frame.read_msg r with
+    | None -> q_push cq P_close
+    | Some (Error e) ->
+        (* a broken frame was an attempt at framing: mirror it back *)
+        q_push cq (P_done (Shard.Reply (bad_request e), true));
+        go ()
+    | Some (Ok { payload; framed }) -> (
+        match Shard.post_line shard payload with
+        | `Blank -> go ()
+        | `Ticket tk ->
+            q_push cq (P_ticket (tk, framed));
+            go ()
+        | `Immediate out ->
+            q_push cq (P_done (out, framed));
+            go ())
+    | exception Failure e ->
+        q_push cq (P_done (Shard.Reply (bad_request e), false));
+        q_push cq P_close
+  in
+  go ()
+
+let writer_loop t fd cq =
+  let send framed out =
+    match out with
+    | Shard.Reply resp ->
+        Frame.write_reply fd ~framed (Protocol.print_response resp);
+        true
+    | Shard.Crashed name ->
+        (* the simulated process death: the client sees its connection
+           drop with the ack withheld, exactly like a real crash *)
+        safe_close fd;
+        t.on_crash name;
+        false
+  in
+  let rec go () =
+    match q_pop cq with
+    | P_close -> safe_close fd
+    | P_ticket (tk, framed) ->
+        if (try send framed (Shard.await t.shard tk) with Unix.Unix_error _ -> false) then
+          go ()
+        else safe_close fd
+    | P_done (out, framed) ->
+        if (try send framed out with Unix.Unix_error _ -> false) then go ()
+        else safe_close fd
+  in
+  go ()
+
+let serve_conn t fd =
+  let cq = { q_lock = Mutex.create (); q_cond = Condition.create (); q = Queue.create () } in
+  let _reader = Thread.create (fun () -> reader_loop t.shard fd cq) () in
+  let _writer = Thread.create (fun () -> writer_loop t fd cq) () in
+  ()
+
+let accept_loop t () =
+  let rec go () =
+    match Unix.accept t.fd with
+    | fd, _peer ->
+        serve_conn t fd;
+        go ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _) ->
+        (* EBADF/EINVAL: [stop] closed the listening socket *)
+        ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* "unix:PATH" | "HOST:PORT" | ":PORT" (loopback). *)
+let parse_addr s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad listen address %S (want HOST:PORT, :PORT or unix:PATH)" s)
+  | Some i -> (
+      let head = String.sub s 0 i in
+      let tail = String.sub s (i + 1) (String.length s - i - 1) in
+      if head = "unix" then
+        if tail = "" then Error "unix: needs a socket path" else Ok (Unix.ADDR_UNIX tail)
+      else
+        match int_of_string_opt tail with
+        | None -> Error (Printf.sprintf "bad port %S" tail)
+        | Some port when port < 0 || port > 65535 -> Error (Printf.sprintf "bad port %d" port)
+        | Some port -> (
+            let host = if head = "" then "127.0.0.1" else head in
+            match Unix.inet_addr_of_string host with
+            | ip -> Ok (Unix.ADDR_INET (ip, port))
+            | exception Failure _ -> (
+                match Unix.gethostbyname host with
+                | { Unix.h_addr_list = [||]; _ } ->
+                    Error (Printf.sprintf "host %S has no address" host)
+                | { Unix.h_addr_list; _ } -> Ok (Unix.ADDR_INET (h_addr_list.(0), port))
+                | exception Not_found -> Error (Printf.sprintf "unknown host %S" host))))
+
+let serve ?(backlog = 64) ?(on_crash = fun _ -> ()) ~addr shard =
+  (* a client closing mid-write must surface as EPIPE, not kill us *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let domain, sockpath =
+    match addr with
+    | Unix.ADDR_UNIX path ->
+        (* a previous daemon's stale socket file blocks bind *)
+        (match Unix.stat path with
+        | { Unix.st_kind = Unix.S_SOCK; _ } -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+        | _ -> ()
+        | exception Unix.Unix_error _ -> ());
+        (Unix.PF_UNIX, Some path)
+    | Unix.ADDR_INET _ -> (Unix.PF_INET, None)
+  in
+  match Unix.socket domain Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+      match
+        (if sockpath = None then Unix.setsockopt fd Unix.SO_REUSEADDR true);
+        Unix.bind fd addr;
+        Unix.listen fd backlog
+      with
+      | () ->
+          let t = { fd; shard; on_crash; sockpath; accept_thread = None } in
+          t.accept_thread <- Some (Thread.create (accept_loop t) ());
+          Ok t
+      | exception Unix.Unix_error (e, fn, _) ->
+          safe_close fd;
+          Error (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+
+let sockaddr t = Unix.getsockname t.fd
+
+let stop t =
+  (* closing an fd does not wake a thread blocked in accept(2) on
+     Linux; shutdown(2) does — accept fails with EINVAL and the loop
+     exits, making the join below safe *)
+  (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  safe_close t.fd;
+  (match t.sockpath with
+  | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | None -> ());
+  match t.accept_thread with
+  | Some th ->
+      Thread.join th;
+      t.accept_thread <- None
+  | None -> ()

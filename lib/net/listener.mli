@@ -1,0 +1,43 @@
+(** Socket front end of the allocation daemon: a Unix-domain or TCP
+    accept loop feeding per-connection reader/writer threads around an
+    {!Aa_service.Shard.t}.
+
+    Each connection gets one reader thread (parses lines with {!Frame},
+    posts them to the shard dispatch without blocking) and one writer
+    thread (awaits the tickets in arrival order and sends the replies),
+    so a single pipelining client — or many concurrent ones — keeps the
+    shard queues deep enough for group commit to amortize fsyncs, while
+    responses still return in per-connection request order.
+
+    A {!Aa_service.Shard.Crashed} outcome (an armed crash failpoint
+    fired) closes the client's connection with the ack withheld — what
+    a real process death looks like from outside — and invokes
+    [on_crash], which [aa_serve] uses to exit with the injected-crash
+    status (70). *)
+
+type t
+
+val parse_addr : string -> (Unix.sockaddr, string) result
+(** ["unix:PATH"], ["HOST:PORT"] or [":PORT"] (loopback). Numeric IPs
+    resolve without DNS; port [0] binds an ephemeral port (read it back
+    with {!sockaddr}). *)
+
+val serve :
+  ?backlog:int ->
+  ?on_crash:(string -> unit) ->
+  addr:Unix.sockaddr ->
+  Aa_service.Shard.t ->
+  (t, string) result
+(** Bind, listen and start the accept thread. A stale unix-domain
+    socket file at the path is unlinked first; TCP sockets get
+    [SO_REUSEADDR]. [SIGPIPE] is ignored process-wide (a disconnecting
+    client must surface as [EPIPE], not kill the daemon). *)
+
+val sockaddr : t -> Unix.sockaddr
+(** The bound address — the actual port when [serve] was given port 0. *)
+
+val stop : t -> unit
+(** Close the listening socket (the accept thread exits), unlink a
+    unix-domain socket path, and join the accept thread. Established
+    connections finish independently; the caller shuts the shard down
+    after its clients are done. *)

@@ -28,9 +28,66 @@ module Gauge = struct
   let name t = t.name
 end
 
+(* Prometheus-style histogram: cumulative observation counts against a
+   fixed, caller-chosen edge list, plus exact sum and count. Unlike
+   {!Histogram} (log-bucketed latencies), edges here are explicit so a
+   metric over small integers (group-commit batch sizes) exposes
+   meaningful buckets. Observations are schedule-dependent (what lands
+   in one batch depends on arrival timing), so like gauges these are
+   quarantined from the counter determinism contract. *)
+module Hist = struct
+  type t = {
+    name : string;
+    edges : float array; (* strictly increasing upper bounds; +Inf implied *)
+    buckets : int array; (* length edges + 1; non-cumulative *)
+    lock : Mutex.t;
+    mutable n : int;
+    mutable sum : float;
+  }
+
+  let observe t x =
+    if Control.on () then begin
+      Mutex.lock t.lock;
+      let rec find i =
+        if i >= Array.length t.edges then i else if x <= t.edges.(i) then i else find (i + 1)
+      in
+      let b = find 0 in
+      t.buckets.(b) <- t.buckets.(b) + 1;
+      t.n <- t.n + 1;
+      t.sum <- t.sum +. x;
+      Mutex.unlock t.lock
+    end
+
+  let name t = t.name
+
+  type snapshot = { le : (float * int) list; (* cumulative, edges order *) count : int; total : float }
+
+  let snapshot t =
+    Mutex.lock t.lock;
+    let acc = ref 0 in
+    let le =
+      Array.to_list
+        (Array.mapi
+           (fun i e ->
+             acc := !acc + t.buckets.(i);
+             (e, !acc))
+           t.edges)
+    in
+    let s = { le; count = t.n; total = t.sum } in
+    Mutex.unlock t.lock;
+    s
+
+  let count t =
+    Mutex.lock t.lock;
+    let n = t.n in
+    Mutex.unlock t.lock;
+    n
+end
+
 let lock = Mutex.create ()
 let counters_reg : Counter.t list ref = ref []
 let gauges_reg : Gauge.t list ref = ref []
+let hists_reg : Hist.t list ref = ref []
 
 let locked f =
   Mutex.lock lock;
@@ -54,6 +111,30 @@ let gauge name =
           gauges_reg := g :: !gauges_reg;
           g)
 
+let default_edges = [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. |]
+
+let histogram ?(edges = default_edges) name =
+  if Array.length edges = 0 then invalid_arg "Registry.histogram: empty edges";
+  Array.iteri
+    (fun i e -> if i > 0 && e <= edges.(i - 1) then invalid_arg "Registry.histogram: edges not increasing")
+    edges;
+  locked (fun () ->
+      match List.find_opt (fun (h : Hist.t) -> String.equal h.name name) !hists_reg with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              Hist.name;
+              edges = Array.copy edges;
+              buckets = Array.make (Array.length edges + 1) 0;
+              lock = Mutex.create ();
+              n = 0;
+              sum = 0.0;
+            }
+          in
+          hists_reg := h :: !hists_reg;
+          h)
+
 let by_name name_of a b = String.compare (name_of a) (name_of b)
 
 let counters () =
@@ -66,6 +147,11 @@ let gauges () =
   |> List.sort (by_name Gauge.name)
   |> List.map (fun (g : Gauge.t) -> (g.name, Gauge.value g))
 
+let histograms () =
+  locked (fun () -> !hists_reg)
+  |> List.sort (by_name Hist.name)
+  |> List.map (fun (h : Hist.t) -> (h.Hist.name, Hist.snapshot h))
+
 let dump () =
   List.map (fun (k, v) -> (k, string_of_int v)) (counters ())
   @ List.map (fun (k, v) -> (k, Printf.sprintf "%.6g" v)) (gauges ())
@@ -73,7 +159,15 @@ let dump () =
 let reset () =
   locked (fun () ->
       List.iter (fun (c : Counter.t) -> Atomic.set c.v 0) !counters_reg;
-      List.iter (fun (g : Gauge.t) -> Atomic.set g.v 0.0) !gauges_reg)
+      List.iter (fun (g : Gauge.t) -> Atomic.set g.v 0.0) !gauges_reg;
+      List.iter
+        (fun (h : Hist.t) ->
+          Mutex.lock h.Hist.lock;
+          Array.fill h.Hist.buckets 0 (Array.length h.Hist.buckets) 0;
+          h.Hist.n <- 0;
+          h.Hist.sum <- 0.0;
+          Mutex.unlock h.Hist.lock)
+        !hists_reg)
 
 (* Prometheus text exposition: metric names restricted to
    [a-zA-Z0-9_:], so dots and dashes become underscores; every metric
@@ -97,4 +191,15 @@ let expose () =
       let n = "aa_" ^ sanitize name in
       Printf.bprintf b "# TYPE %s gauge\n%s %.9g\n" n n v)
     (gauges ());
+  List.iter
+    (fun (name, (s : Hist.snapshot)) ->
+      let n = "aa_" ^ sanitize name in
+      Printf.bprintf b "# TYPE %s histogram\n" n;
+      List.iter
+        (fun (le, c) -> Printf.bprintf b "%s_bucket{le=\"%.9g\"} %d\n" n le c)
+        s.Hist.le;
+      Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" n s.Hist.count;
+      Printf.bprintf b "%s_sum %.9g\n" n s.Hist.total;
+      Printf.bprintf b "%s_count %d\n" n s.Hist.count)
+    (histograms ());
   Buffer.contents b

@@ -31,17 +31,46 @@ module Gauge : sig
   val name : t -> string
 end
 
+(** Prometheus-style histogram against a fixed, caller-chosen list of
+    bucket upper bounds. Where {!Histogram} is a log-bucketed latency
+    sketch, [Hist] exposes exact counts per explicit edge — the right
+    shape for small-integer distributions such as group-commit batch
+    sizes. Like gauges, observations are schedule-dependent and live
+    outside the counter determinism contract. *)
+module Hist : sig
+  type t
+
+  val observe : t -> float -> unit
+  val name : t -> string
+  val count : t -> int
+
+  type snapshot = { le : (float * int) list; count : int; total : float }
+  (** Cumulative count at each edge (in edge order), total observation
+      count (the implicit [+Inf] bucket) and sum of observed values. *)
+
+  val snapshot : t -> snapshot
+end
+
 val counter : string -> Counter.t
 (** Find or register the counter with this name. Names use dotted
     lower-case paths, e.g. ["algo2.heap_ops"]. *)
 
 val gauge : string -> Gauge.t
 
+val histogram : ?edges:float array -> string -> Hist.t
+(** Find or register the histogram with this name. [edges] must be
+    strictly increasing; the default covers powers of two 1..256. Edges
+    passed on a second lookup of the same name are ignored (the first
+    registration wins). *)
+
 val counters : unit -> (string * int) list
 (** Snapshot of every registered counter, sorted by name. *)
 
 val gauges : unit -> (string * float) list
 (** Snapshot of every registered gauge, sorted by name. *)
+
+val histograms : unit -> (string * Hist.snapshot) list
+(** Snapshot of every registered histogram, sorted by name. *)
 
 val dump : unit -> (string * string) list
 (** Counters then gauges, each sorted by name, values rendered. *)
@@ -53,4 +82,5 @@ val reset : unit -> unit
 val expose : unit -> string
 (** Prometheus text exposition: [# TYPE aa_<name> counter] /
     [aa_<name> <value>] lines, names sanitized to [[a-zA-Z0-9_]] with
-    an [aa_] prefix. *)
+    an [aa_] prefix. Histograms emit cumulative [_bucket{le="..."}]
+    lines plus [_sum] and [_count]. *)

@@ -44,6 +44,13 @@ let default_domains () =
       | Some _ | None -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
+(* With OCaml 5's stop-the-world minor collector, every domain beyond
+   the physical core count makes *all* domains wait longer at each GC
+   sync — on a 1-core host, AA_JOBS=4 ran the fig1a sweep 4x slower
+   than sequential. Results never depend on the domain count (chunk
+   boundaries are fixed by (n, chunk)), so clamping is free. *)
+let auto_domains () = max 1 (min (default_domains ()) (Domain.recommended_domain_count ()))
+
 (* Claim and process chunks until the job is exhausted. Runs on worker
    domains and on the caller's domain alike. The first exception is
    recorded under the lock; later chunks still run (draining is simpler

@@ -30,6 +30,14 @@ val default_domains : unit -> int
 (** Pool size selected by the environment: [AA_JOBS] when set to a
     positive integer, otherwise [Domain.recommended_domain_count ()]. *)
 
+val auto_domains : unit -> int
+(** {!default_domains} clamped to [Domain.recommended_domain_count ()].
+    OCaml 5's minor GC is stop-the-world across domains, so
+    oversubscribing domains beyond physical cores slows every domain
+    down (measured 4x on a 1-core host); automatic sizing should use
+    this, while explicit [~domains] / [AA_JOBS] overrides stay verbatim
+    for tests that deliberately oversubscribe. *)
+
 val run : t -> n:int -> chunk:int -> (lo:int -> hi:int -> unit) -> unit
 (** [run t ~n ~chunk work] executes [work ~lo ~hi] over disjoint ranges
     [lo <= i < hi] that exactly cover [[0, n)]; every range except

@@ -266,6 +266,55 @@ let handle t req =
     ~latency:(t.clock () -. t0);
   resp
 
+(* Batch size distribution of the group-commit path. A histogram, not a
+   counter: how many mutations share one fsync depends on arrival
+   timing, so the values are schedule-dependent and quarantined from
+   the counter determinism contract (like gauges / Pool.stats). *)
+let h_batch = Aa_obs.Registry.histogram "engine.group_commit.batch_size"
+
+let is_mut_ok : Protocol.response -> bool = function
+  | Admitted _ | Departed _ | Updated _ -> true
+  | _ -> false
+
+(* Process a batch of requests under one journal group commit: every
+   mutating entry is buffered by [Journal.append] (requests still run
+   strictly in order, so intra-batch dependencies — DEPART of an id
+   ADMITted earlier in the same batch — behave exactly as sequential
+   dispatch), then [commit_group] lands them in one write + one fsync.
+   Responses must not be released to clients before this returns: the
+   group fsync is the batch's durability barrier.
+
+   If the commit fails, the applied-but-unjournaled mutations leave
+   memory ahead of the durable state; the engine degrades (read-only)
+   and every mutating OK in the batch is rewritten to a Degraded error
+   — nothing is acked that the journal does not hold. A successful
+   SNAPSHOT re-syncs the journal from memory and heals, exactly as for
+   single-append failures. A [Failpoint.Crash] inside the commit window
+   propagates: the process dies with every ack for the batch withheld. *)
+let handle_batch t (reqs : Protocol.request list) : Protocol.response list =
+  let multi = match reqs with [] | [ _ ] -> false | _ -> true in
+  match t.journal with
+  | None -> List.map (handle t) reqs
+  | Some _ when t.degraded || not multi -> List.map (handle t) reqs
+  | Some j -> (
+      match Journal.begin_group j with
+      | Error e ->
+          ignore (enter_degraded t e : Protocol.response);
+          List.map (handle t) reqs
+      | Ok () -> (
+          let resps = List.map (handle t) reqs in
+          let n_mut =
+            List.fold_left (fun n r -> if is_mut_ok r then n + 1 else n) 0 resps
+          in
+          match Journal.commit_group j with
+          | Ok _bytes ->
+              if n_mut > 0 then
+                Aa_obs.Registry.Hist.observe h_batch (float_of_int n_mut);
+              resps
+          | Error e ->
+              let derr = enter_degraded t e in
+              List.map (fun r -> if is_mut_ok r then derr else r) resps))
+
 let handle_line t line =
   match Protocol.tokens line with
   | [] -> None

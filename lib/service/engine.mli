@@ -80,6 +80,21 @@ val total_utility : t -> float
 val handle : t -> Protocol.request -> Protocol.response
 (** Dispatch one request, recording metrics. Never raises. *)
 
+val handle_batch : t -> Protocol.request list -> Protocol.response list
+(** Dispatch the requests strictly in order under {e one} journal group
+    commit: mutations buffer in the journal's group batch and become
+    durable together at a single write + fsync ({!Journal.commit_group})
+    — the batch's durability barrier. Responses must not be released to
+    clients before this returns. On commit failure the engine degrades
+    and every mutating OK in the batch is rewritten to [ERR degraded]
+    (nothing is acked that the journal does not hold); an armed crash
+    failpoint in the commit window ([journal.group.append] /
+    [journal.group.fsync]) raises {!Aa_fault.Failpoint.Crash} with all
+    acks withheld. Batches of length [<= 1], journal-less engines and
+    already-degraded engines fall back to per-request {!handle}.
+    Batch sizes are observed in the (schedule-dependent)
+    [engine.group_commit.batch_size] histogram. *)
+
 val handle_line : t -> string -> Protocol.response option
 (** Parse and dispatch one wire line. [None] for blank/comment lines
     (no response is due); malformed lines yield [Some (Err …)] and are

@@ -22,6 +22,10 @@ type t = {
          beyond it is a torn/failed append awaiting [repair_tail] *)
   mutable dirty_tail : bool;
   mutable last_sync : float; (* Clock.now_s of the last fsync (Interval) *)
+  mutable group : Buffer.t option;
+      (* open group-commit batch: framed lines accumulate here instead
+         of the file; [commit_group] lands them in one write + fsync *)
+  mutable fsyncs : int; (* data-file fsync syscalls issued via this handle *)
 }
 
 (* Failpoints of the storage layer, registered at module init so the
@@ -32,6 +36,13 @@ let fp_append = Failpoint.register "journal.append"
 let fp_append_torn = Failpoint.register "journal.append.torn"
 let fp_rewrite = Failpoint.register "journal.rewrite"
 let fp_compact = Failpoint.register "journal.compact"
+
+(* Crash sites of the group-commit window, both [crash]-style (the
+   process dies, unlike the error-style points above): [.append] tears
+   the batch write itself in half, [.fsync] kills the process after the
+   batch is fully written but before it is synced. *)
+let fp_group_append = Failpoint.register "journal.group.append"
+let fp_group_fsync = Failpoint.register "journal.group.fsync"
 
 let magic = "aa-journal 2"
 
@@ -165,11 +176,14 @@ let fsync_dir path =
 let maybe_sync t =
   match t.fsync with
   | Never -> ()
-  | Always -> fsync_oc t.oc
+  | Always ->
+      fsync_oc t.oc;
+      t.fsyncs <- t.fsyncs + 1
   | Interval s ->
       let now = Aa_obs.Clock.now_s () in
       if now -. t.last_sync >= s then begin
         fsync_oc t.oc;
+        t.fsyncs <- t.fsyncs + 1;
         t.last_sync <- now
       end
 
@@ -204,6 +218,8 @@ let create ?(fsync = Always) ~path ~servers ~capacity () =
           good_pos = String.length hline;
           dirty_tail = false;
           last_sync = 0.0;
+          group = None;
+          fsyncs = 0;
         })
 
 let load_versioned ~path =
@@ -300,6 +316,8 @@ let handle_of ~path ~header ~fsync oc =
     good_pos = file_size path;
     dirty_tail = false;
     last_sync = 0.0;
+    group = None;
+    fsyncs = 0;
   }
 
 let append_to ?(fsync = Always) ~path () =
@@ -325,6 +343,20 @@ let append t entry =
   if Failpoint.fire fp_append then Error "injected fault: journal.append"
   else
     let line = frame_entry entry ^ "\n" in
+    match t.group with
+    | Some buf ->
+        (* group mode: no file I/O here — the entry only reaches the OS
+           at [commit_group]. The torn-write hazard of a single append
+           does not exist (there is no write); journal.append.torn still
+           fires as a plain error so an armed schedule covering every
+           point keeps exercising this path. *)
+        if Failpoint.fire fp_append_torn then
+          Error "injected fault: journal.append.torn"
+        else begin
+          Buffer.add_string buf line;
+          Ok ()
+        end
+    | None ->
     if Failpoint.fire fp_append_torn then begin
       (* simulate a crash mid-write: half the framed line reaches the
          file, the request errors, and the tail is marked for repair *)
@@ -348,6 +380,61 @@ let append t entry =
           t.good_pos <- t.good_pos + String.length line;
           t.dirty_tail <- false)
 
+(* ---------- group commit ---------- *)
+
+let in_group t = t.group <> None
+
+let begin_group t =
+  match t.group with
+  | Some _ -> Error "journal.group: a group is already open"
+  | None ->
+      sys_guard (fun () ->
+          (* repair up front so the batch write below starts at the
+             durable offset even if the last single append tore *)
+          repair_tail t;
+          t.group <- Some (Buffer.create 256))
+
+(* Land the whole open batch as one write + flush + (policy) one fsync,
+   and return the number of bytes committed. Acks must be withheld until
+   this returns [Ok]: the single fsync here is the durability barrier
+   for every entry in the batch. An empty batch commits for free. *)
+let commit_group t =
+  match t.group with
+  | None -> Error "journal.group: no open group"
+  | Some buf ->
+      t.group <- None;
+      let data = Buffer.contents buf in
+      let len = String.length data in
+      if len = 0 then Ok 0
+      else if Failpoint.fire fp_group_append then begin
+        (* the process dies partway through the batch write: a prefix of
+           the batch — generally ending mid-line — reaches the file.
+           Recovery must drop the torn final line and replay only the
+           complete entries, none of which were ever acked. *)
+        (match
+           (Out_channel.output_string t.oc (String.sub data 0 ((len + 1) / 2));
+            Out_channel.flush t.oc)
+         with
+        | () -> ()
+        | exception Sys_error _ -> ());
+        t.dirty_tail <- true;
+        raise (Failpoint.Crash "journal.group.append")
+      end
+      else
+        sys_guard (fun () ->
+            repair_tail t;
+            t.dirty_tail <- true;
+            Out_channel.output_string t.oc data;
+            Out_channel.flush t.oc;
+            (* fully written, not yet synced: an fsync-window crash may
+               keep or lose the tail entries — both replay consistently,
+               and no ack was released either way *)
+            Failpoint.crash_if fp_group_fsync;
+            maybe_sync t;
+            t.good_pos <- t.good_pos + len;
+            t.dirty_tail <- false;
+            len)
+
 let reopen_append ~path =
   sys_guard (fun () ->
       Out_channel.open_gen [ Open_append; Open_wronly; Open_text ] 0o644 path)
@@ -366,6 +453,14 @@ let compact t entries =
         t.oc <- oc;
         t.good_pos <- file_size t.path;
         t.dirty_tail <- false;
+        if t.fsync <> Never then t.fsyncs <- t.fsyncs + 1;
+        (* a batch buffered before this compaction is superseded by it:
+           the snapshot captures the caller's current in-memory state,
+           which (entries being applied as they are buffered) already
+           includes those mutations. Committing them afterwards would
+           replay them twice. Reset to an empty open group; the pending
+           commit_group then acks against the snapshot's durability. *)
+        if t.group <> None then t.group <- Some (Buffer.create 256);
         Ok ()
     | Error e ->
         (* Rewrite failed at an unknown point (before or, in principle,
@@ -386,6 +481,8 @@ let compact t entries =
 let header t = t.header
 let path t = t.path
 let fsync_policy t = t.fsync
+let fsyncs t = t.fsyncs
+let bytes t = t.good_pos
 let close t = safe_close t.oc
 
 let fsync_of_string = function

@@ -40,10 +40,24 @@
     truncates back to the last durable offset — a retry can never
     concatenate onto a torn fragment.
 
+    Group commit: between {!begin_group} and {!commit_group}, appends
+    accumulate framed lines in memory; the commit lands the whole batch
+    as one write and (policy permitting) one fsync — amortizing the
+    [Always] fsync cost across every mutation in the batch. The caller
+    must withhold acknowledgements until [commit_group] returns [Ok]:
+    that single fsync is the durability barrier for the batch. A crash
+    inside the commit window leaves either a prefix of the batch's
+    complete lines (the torn final line is dropped on load) or the whole
+    batch — never an acked-but-absent entry, because nothing was acked.
+
     Fault injection: the failpoints [journal.sys], [journal.append],
     [journal.append.torn], [journal.rewrite] and [journal.compact]
     ({!Aa_fault.Failpoint}) are compiled into the corresponding
-    operations; see doc/fault-injection.md. *)
+    operations as injected errors; [journal.group.append] and
+    [journal.group.fsync] are {e crash}-style points inside the
+    group-commit window (the batch write torn in half / the process
+    dying after the write, before the fsync); see
+    doc/fault-injection.md. *)
 
 type t
 
@@ -90,7 +104,23 @@ val append_to :
 
 val append : t -> entry -> (unit, string) result
 (** Frame and write one entry, flush, and fsync per policy. Repairs a
-    dirty tail left by a previously failed append first. *)
+    dirty tail left by a previously failed append first. Inside an open
+    group (see {!begin_group}) the entry is only buffered; it becomes
+    durable at {!commit_group}. *)
+
+val begin_group : t -> (unit, string) result
+(** Open a group-commit batch: subsequent {!append}s buffer in memory.
+    Repairs a dirty tail first. Fails if a group is already open. *)
+
+val commit_group : t -> (int, string) result
+(** Write the whole open batch as one append + flush + (policy) single
+    fsync; returns the committed byte count (0 for an empty batch —
+    no I/O). The batch's entries are not durable before this returns
+    [Ok], so acks for them must be withheld until then. On [Error] the
+    batch is discarded and the tail marked for repair. *)
+
+val in_group : t -> bool
+(** Whether a group-commit batch is currently open. *)
 
 val compact : t -> entry list -> (unit, string) result
 (** Atomically replace the journal's contents with the given entries
@@ -103,6 +133,16 @@ val compact : t -> entry list -> (unit, string) result
 val header : t -> header
 val path : t -> string
 val fsync_policy : t -> fsync_policy
+
+val fsyncs : t -> int
+(** Data-file fsync syscalls issued through this handle since it was
+    opened — the denominator of the group-commit amortization claim
+    (requests per fsync). *)
+
+val bytes : t -> int
+(** Byte offset just past the last durable entry — the journal's
+    durable size, exported as the [shard.N.journal_bytes] gauge. *)
+
 val close : t -> unit
 
 val print_entry : entry -> string

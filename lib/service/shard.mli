@@ -1,0 +1,100 @@
+(** Sharded multi-engine dispatch: N {!Engine}s — each owning a
+    contiguous block of servers, its own journal and one parked worker
+    domain — behind a single {!Protocol} surface.
+
+    {b Routing.} The thread with shard-local id [l] on shard [s] has
+    global id [g = l*n + s]; [s = g mod n] and [l = g / n] route
+    DEPART/UPDATE/QUERY by pure arithmetic. ADMITs round-robin across
+    shards. Servers map as [global = server_base(s) + local], with
+    shard [s] owning [m/n (+1 for s < m mod n)] servers. With [n = 1]
+    every mapping is the identity and wire output is byte-identical to
+    the plain engine's.
+
+    {b Group commit.} Each worker drains its queue in FIFO bursts and
+    runs every burst of consecutive requests through
+    {!Engine.handle_batch}: one journal write, one fsync, and only then
+    are the burst's responses released — an ack always names durable
+    state. A [window_s > 0] makes the worker sleep that long after
+    waking so a burst can accumulate (fewer fsyncs, bounded added
+    latency); [0] batches only what is already queued.
+
+    {b Barriers.} STATS, SNAPSHOT and REBALANCE fan out to every shard
+    under one lock acquisition and meet at an arrival barrier before
+    computing, so the aggregated report is a consistent cut: every
+    mutation queued before the barrier is flushed, none after it has
+    started. REBALANCE sums per-shard online/offline utilities and
+    reports the global gap; STATS sums gauges and appends per-shard
+    [shard.K.admitted]/[shard.K.active] entries plus the dispatch-layer
+    metrics.
+
+    {b Crashes.} A {!Aa_fault.Failpoint.Crash} raised in any worker
+    (the simulated process death) marks the whole group crashed: every
+    unanswered ticket — including the crashing burst's, whose acks were
+    withheld behind the uncommitted group — resolves to {!Crashed}, and
+    later posts are refused with it. [aa_serve] translates the first
+    {!Crashed} into the injected-crash exit (70).
+
+    {b Observability.} Per-shard gauges [shard.K.active_threads] and
+    [shard.K.journal_bytes] are set after every burst; batch sizes feed
+    the [engine.group_commit.batch_size] histogram. All of these are
+    schedule-dependent and quarantined from the counter determinism
+    contract, like [Pool.stats]. *)
+
+type t
+
+type outcome =
+  | Reply of Protocol.response
+  | Crashed of string  (** the failpoint name that killed the group *)
+
+type ticket
+(** An in-flight request: resolved exactly once, awaitable many times. *)
+
+val server_counts : servers:int -> shards:int -> int array
+(** Contiguous-block partition of [servers] over [shards]:
+    [m/n + (1 if s < m mod n)] per shard. Raises [Invalid_argument]
+    when [servers < shards] (every shard needs at least one server). *)
+
+val create : ?window_s:float -> ?max_batch:int -> Engine.t array -> t
+(** Spawn one worker domain per engine. The engines' server counts
+    define the shard blocks (build them with {!server_counts} for the
+    canonical partition); all engines must share one capacity.
+    [window_s] (default 0) is the group-commit accumulation window;
+    [max_batch] (default 256) caps jobs drained per burst. *)
+
+val shards : t -> int
+val capacity : t -> float
+val servers : t -> int (* aa-lint: ignore unused-export -- introspection symmetry with Engine *)
+
+val engines : t -> Engine.t array
+(** The live engines, shard order. Callers must not mutate them while
+    workers run; meant for post-shutdown inspection (journal fsync
+    counts, replay checks). *)
+
+val crashed : t -> string option
+(** The failpoint that killed the group, once one has. *)
+
+val post : t -> Protocol.request -> ticket
+(** Enqueue a request and return immediately — the pipelining interface
+    (a connection's reader posts while its writer awaits, giving the
+    group-commit window queue depth from one client). *)
+
+val await : t -> ticket -> outcome
+(** Block until the ticket resolves. First await records the request's
+    dispatch-layer latency metric. *)
+
+val submit : t -> Protocol.request -> outcome
+(** [await t (post t req)]. *)
+
+val post_line :
+  t -> string -> [ `Blank | `Ticket of ticket | `Immediate of outcome ]
+(** {!post} for wire lines: parse and enqueue without blocking.
+    [`Blank] for blank/comment lines (no response due), [`Immediate]
+    for malformed ones (counted under the ["malformed"] metrics kind). *)
+
+val handle_line : t -> string -> outcome option
+(** Parse and dispatch one wire line; [None] for blank/comment lines,
+    [Some (Reply (Err …))] for malformed ones. *)
+
+val shutdown : t -> unit
+(** Join the worker domains (after their queues drain), fail any ticket
+    that raced the stop, and close every engine's journal. Idempotent. *)

@@ -133,6 +133,36 @@ let test_gauge_basics () =
   Alcotest.(check (float 0.0)) "in gauges snapshot" 2.5
     (List.assoc "test.gauge" (Registry.gauges ()))
 
+let test_hist_basics () =
+  let h = Registry.histogram ~edges:[| 1.0; 2.0; 4.0 |] "test.hist" in
+  Registry.Hist.observe h 0.5;
+  Registry.Hist.observe h 2.0;
+  Registry.Hist.observe h 3.0;
+  Registry.Hist.observe h 100.0;
+  Control.with_enabled false (fun () -> Registry.Hist.observe h 9.0);
+  Alcotest.(check int) "count" 4 (Registry.Hist.count h);
+  Alcotest.(check string) "name" "test.hist" (Registry.Hist.name h);
+  Alcotest.(check bool) "in histograms snapshot" true
+    (List.mem_assoc "test.hist" (Registry.histograms ()));
+  let s = Registry.Hist.snapshot h in
+  (* cumulative per-edge counts; the 100.0 observation lands past the
+     last edge and shows only in count / the implied +Inf bucket *)
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "cumulative buckets"
+    [ (1.0, 1); (2.0, 2); (4.0, 3) ]
+    s.Registry.Hist.le;
+  Alcotest.(check int) "snapshot count" 4 s.Registry.Hist.count;
+  Alcotest.(check (float 1e-9)) "sum" 105.5 s.Registry.Hist.total;
+  let h' = Registry.histogram ~edges:[| 1.0; 2.0; 4.0 |] "test.hist" in
+  Registry.Hist.observe h' 0.1;
+  Alcotest.(check int) "same handle for same name" 5 (Registry.Hist.count h);
+  Alcotest.check_raises "empty edges rejected"
+    (Invalid_argument "Registry.histogram: empty edges") (fun () ->
+      ignore (Registry.histogram ~edges:[||] "test.hist-bad"));
+  Alcotest.check_raises "non-increasing edges rejected"
+    (Invalid_argument "Registry.histogram: edges not increasing") (fun () ->
+      ignore (Registry.histogram ~edges:[| 2.0; 2.0 |] "test.hist-bad"))
+
 let test_registry_snapshots_sorted () =
   ignore (Registry.counter "test.zz");
   ignore (Registry.counter "test.aa");
@@ -144,6 +174,8 @@ let test_expose_format () =
   Registry.Counter.add c 7;
   let g = Registry.gauge "test.gauge/odd name" in
   Registry.Gauge.set g 1.5;
+  let h = Registry.histogram ~edges:[| 1.0; 8.0 |] "test.expose-hist" in
+  Registry.Hist.observe h 3.0;
   let text = Registry.expose () in
   let contains s =
     let n = String.length text and k = String.length s in
@@ -157,12 +189,26 @@ let test_expose_format () =
   Alcotest.(check bool)
     "gauge sanitized" true
     (contains "# TYPE aa_test_gauge_odd_name gauge");
-  (* exposition must never contain unsanitized metric characters *)
+  Alcotest.(check bool)
+    "histogram TYPE line" true
+    (contains "# TYPE aa_test_expose_hist histogram");
+  Alcotest.(check bool)
+    "histogram bucket line" true
+    (contains "aa_test_expose_hist_bucket{le=\"8\"} 1");
+  Alcotest.(check bool)
+    "histogram +Inf bucket" true
+    (contains "aa_test_expose_hist_bucket{le=\"+Inf\"} 1");
+  Alcotest.(check bool)
+    "histogram count line" true
+    (contains "aa_test_expose_hist_count 1");
+  (* exposition must never contain unsanitized metric characters; the
+     brace/equals/double-quote label syntax of histogram buckets is the
+     one sanctioned exception *)
   String.iter
     (fun ch ->
       match ch with
       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ' ' | '\n' | '#' | '.'
-      | '-' | '+' ->
+      | '-' | '+' | '{' | '}' | '=' | '"' ->
           ()
       | _ -> Alcotest.failf "unexpected character %C in exposition" ch)
     text
@@ -519,6 +565,7 @@ let () =
           t "counter basics" test_counter_basics;
           t "counter disabled no-op" test_counter_disabled_is_noop;
           t "gauge basics" test_gauge_basics;
+          t "histogram basics" test_hist_basics;
           t "snapshots sorted" test_registry_snapshots_sorted;
           t "prometheus exposition" test_expose_format;
           t "reproducible across jobs" test_counters_reproducible_across_jobs;

@@ -192,12 +192,14 @@ let test_bench_smoke () =
       if not (Helpers.contains doc needle) then
         Alcotest.failf "trajectory %s missing %S:\n%s" json needle doc)
     [
-      "\"schema\": \"aa-bench-trajectory/4\"";
+      "\"schema\": \"aa-bench-trajectory/5\"";
       "\"regression\":";
       "\"id\": \"fig3c\"";
       "\"id\": \"speedup-fig1a\"";
+      "\"id\": \"speedup-fig1a-oversubscribed\"";
       "\"speedup_vs_j1\"";
-      "\"jobs\": 2";
+      "\"rps\"";
+      "\"jobs_requested\": 2";
       "\"trials\": 5";
       "\"obs\": true";
       "\"spans\"";
