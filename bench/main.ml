@@ -275,6 +275,124 @@ let speedup () =
       record ~id:"speedup-fig1a-oversubscribed" ~jobs:jobs_over ~trials
         ~speedup:speedup_over t_over
 
+(* ---------- PLC: flat-kernel micro-benchmark ---------- *)
+
+module Plc = Aa_utility.Plc
+
+(* Sort-based reference allocator: the pre-flat-kernel algorithm
+   (materialize every positive-slope piece globally, sort by slope desc
+   / thread asc, pour). Kept here as the baseline the merge kernel is
+   measured — and bit-checked — against; the recorded speedup is
+   reference/merge, so a kernel slowdown shows up as regression:true. *)
+let reference_allocate ~budget fs =
+  let n = Array.length fs in
+  let pieces = ref [] in
+  for i = 0 to n - 1 do
+    Array.iter
+      (fun (s : Plc.segment) ->
+        if s.slope > 0.0 then pieces := (i, s.x1 -. s.x0, s.slope) :: !pieces)
+      (Plc.segments fs.(i))
+  done;
+  let pieces = Array.of_list !pieces in
+  Array.sort
+    (fun (t1, _, s1) (t2, _, s2) ->
+      match compare s2 s1 with 0 -> compare t1 t2 | c -> c)
+    pieces;
+  let alloc = Array.make n 0.0 in
+  let remaining = ref budget in
+  (try
+     Array.iter
+       (fun (t, len, _) ->
+         if !remaining <= 0.0 then raise Exit;
+         let take = Float.min len !remaining in
+         alloc.(t) <- alloc.(t) +. take;
+         remaining := !remaining -. take)
+       pieces
+   with Exit -> ());
+  alloc
+
+(* Random strictly-concave envelope with exactly [k] pieces: adjacent
+   slopes differ by >= 0.6, so canonicalization never merges any. *)
+let synth_plc rng k =
+  let pts = Array.make (k + 1) (0.0, 0.0) in
+  let x = ref 0.0 and y = ref 0.0 in
+  for j = 0 to k - 1 do
+    let dx = Rng.uniform rng ~lo:0.5 ~hi:2.0 in
+    let slope = float_of_int (k - j) +. Rng.uniform rng ~lo:0.0 ~hi:0.4 in
+    x := !x +. dx;
+    y := !y +. (slope *. dx);
+    pts.(j + 1) <- (!x, !y)
+  done;
+  Plc.create pts
+
+let plc_kernel () =
+  heading
+    (Printf.sprintf
+       "PLC — flat kernel: eval/demand/allocate throughput at k pieces (trials=%d)" trials);
+  let threads = 64 in
+  let queries = 200_000 in
+  let solves = max 2 (min 400 trials) in
+  let sink = ref 0.0 in
+  List.iter
+    (fun k ->
+      let rng = Rng.create ~seed () in
+      let fs = Array.init threads (fun _ -> synth_plc rng k) in
+      let budget = 0.5 *. Util.sum_by Plc.cap fs in
+      (* point queries *)
+      let t0 = now () in
+      for i = 0 to queries - 1 do
+        let f = fs.(i mod threads) in
+        sink := !sink +. Plc.eval f (Rng.uniform rng ~lo:0.0 ~hi:(Plc.cap f))
+      done;
+      let t_eval = now () -. t0 in
+      let t0 = now () in
+      for i = 0 to queries - 1 do
+        let f = fs.(i mod threads) in
+        sink := !sink +. Plc.demand f (Rng.uniform rng ~lo:0.0 ~hi:(Plc.max_slope f))
+      done;
+      let t_demand = now () -. t0 in
+      (* full solves: merge kernel on a recycled scratch vs reference *)
+      let scratch = Aa_alloc.Plc_greedy.Scratch.create () in
+      let c0 = Aa_obs.Registry.counters () in
+      let t0 = now () in
+      let merged = ref (Aa_alloc.Plc_greedy.allocate ~scratch ~exhaust:false ~budget fs) in
+      for _ = 2 to solves do
+        merged := Aa_alloc.Plc_greedy.allocate ~scratch ~exhaust:false ~budget fs
+      done;
+      let t_merge = now () -. t0 in
+      let counters = counter_deltas c0 (Aa_obs.Registry.counters ()) in
+      let t0 = now () in
+      let reference = ref (reference_allocate ~budget fs) in
+      for _ = 2 to solves do
+        reference := reference_allocate ~budget fs
+      done;
+      let t_ref = now () -. t0 in
+      let identical = Array.for_all2 fsame (!merged).alloc !reference in
+      let speedup = t_ref /. t_merge in
+      let pos = Util.sum_by (fun f -> float_of_int (Plc.positive_pieces f)) fs in
+      line
+        "k=%-4d (%2.0f%% positive pieces)  eval %8.1f ns/q   demand %8.1f ns/q   \
+         allocate %8.2f us/solve (reference %8.2f us/solve, %.2fx)"
+        (Plc.n_pieces fs.(0))
+        (100.0 *. pos /. float_of_int (threads * k))
+        (1e9 *. t_eval /. float_of_int queries)
+        (1e9 *. t_demand /. float_of_int queries)
+        (1e6 *. t_merge /. float_of_int solves)
+        (1e6 *. t_ref /. float_of_int solves)
+        speedup;
+      line "  merge allocation bit-identical to sort-based reference: %b (must be true)"
+        identical;
+      (* certified coarsening: piece collapse at a utility-relative eps *)
+      let eps = 1e-3 *. Plc.peak fs.(0) in
+      let coarse = Array.map (Plc.coarsen ~eps) fs in
+      line "  coarsen eps=%.3g: %d -> %d pieces per envelope" eps (Plc.n_pieces fs.(0))
+        (Plc.n_pieces coarse.(0));
+      record
+        ~id:(Printf.sprintf "plc-k%d" k)
+        ~jobs:1 ~trials:solves ~speedup ~counters t_merge)
+    [ 8; 64; 512 ];
+  if Float.is_nan !sink then line "(sink nan — unreachable)"
+
 (* ---------- T1: timing ---------- *)
 
 let timing_instance ~threads =
@@ -818,8 +936,8 @@ let () =
   let args =
     if args = [] then
       all_ids
-      @ [ "tightness"; "timing"; "speedup"; "ablation"; "resolution"; "beyond"; "hetero";
-          "online"; "multires"; "service"; "service-shards"; "claims" ]
+      @ [ "tightness"; "plc"; "timing"; "speedup"; "ablation"; "resolution"; "beyond";
+          "hetero"; "online"; "multires"; "service"; "service-shards"; "claims" ]
     else args
   in
   let series = ref [] in
@@ -835,6 +953,8 @@ let () =
     if want id then ignore (timed ~id ?jobs ?fsync f)
   in
   experiment "tightness" tightness;
+  (* records its own per-piece-count entries, like speedup *)
+  if want "plc" then plc_kernel ();
   (* T1 runs on the pool; every other experiment here is sequential *)
   experiment ~jobs "timing" bechamel_timing;
   if want "speedup" then speedup ();

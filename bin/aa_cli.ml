@@ -160,25 +160,39 @@ let solve_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE" ~doc:"Instance file.")
   in
-  let run algo refine file seed out trace counters =
+  let run algo refine coarsen_eps file seed out trace counters =
     with_obs ~trace ~counters @@ fun () ->
     let inst = read_instance file in
     let rng = Rng.create ~seed () in
+    (* Optionally solve a certified eps-coarsened copy (each utility's
+       PLC with near-collinear breakpoints dropped); the result is then
+       checked and certified against the ORIGINAL instance, so the
+       printed ratio reflects any coarsening loss honestly. *)
+    let work_inst =
+      if coarsen_eps > 0.0 then
+        Instance.create ~servers:inst.servers ~capacity:inst.capacity
+          (Array.map
+             (fun u ->
+               Aa_utility.Utility.of_plc
+                 (Aa_utility.Plc.coarsen ~eps:coarsen_eps (Aa_utility.Utility.to_plc u)))
+             inst.utilities)
+      else inst
+    in
     let assignment, label =
       match algo with
-      | `Algo a -> (Solver.solve ~rng a inst, Solver.name a)
-      | `Exact -> ((Exact.solve inst).assignment, "exact")
+      | `Algo a -> (Solver.solve ~rng a work_inst, Solver.name a)
+      | `Exact -> ((Exact.solve work_inst).assignment, "exact")
       | `Online ->
           (* threads are admitted in file order, placed without migration *)
-          ( Online.solve_sequence ~servers:inst.servers ~capacity:inst.capacity
-              inst.utilities,
+          ( Online.solve_sequence ~servers:work_inst.servers ~capacity:work_inst.capacity
+              work_inst.utilities,
             "online" )
       | `Local_search ->
-          let a = Refine.per_server inst (Algo2.solve inst) in
-          (fst (Local_search.improve inst a), "algo2+refill+local-search")
+          let a = Refine.per_server work_inst (Algo2.solve work_inst) in
+          (fst (Local_search.improve work_inst a), "algo2+refill+local-search")
     in
     let assignment =
-      if refine then Refine.per_server inst assignment else assignment
+      if refine then Refine.per_server work_inst assignment else assignment
     in
     (match Assignment.check inst assignment with
     | Ok () -> ()
@@ -197,9 +211,19 @@ let solve_cmd =
       & info [ "refine" ]
           ~doc:"Re-divide each server's capacity optimally after assignment (never hurts).")
   in
+  let coarsen_eps =
+    Arg.(
+      value & opt float 0.0
+      & info [ "coarsen" ] ~docv:"EPS"
+          ~doc:
+            "Solve an eps-coarsened copy of the instance: drop PLC breakpoints whose \
+             removal changes any utility by at most $(docv) (certified pointwise bound). \
+             The assignment is still checked and certified against the original \
+             instance. 0 disables coarsening.")
+  in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve an AA instance; assignment goes to stdout/-o, summary to stderr.")
-    Term.(const run $ algo $ refine $ file $ seed_t $ output_t $ trace_t $ counters_t)
+    Term.(const run $ algo $ refine $ coarsen_eps $ file $ seed_t $ output_t $ trace_t $ counters_t)
 
 (* ---- online ---- *)
 

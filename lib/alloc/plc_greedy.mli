@@ -4,7 +4,14 @@
     [0 <= c_i <= cap f_i], for PLC utilities, by pouring the budget into
     linear segments in order of decreasing slope (the continuous analogue
     of Fox's greedy, and exact here because each segment's marginal value
-    is constant). Runs in [O(S log S)] for [S] total segments.
+    is constant).
+
+    Per-thread slopes are strictly decreasing, so the fill is driven as
+    a k-way merge over per-thread segment cursors on an indexed heap:
+    [O(T log T)] setup plus [O(log T)] per consumed segment for [T]
+    threads, instead of sorting all [S] segments per call. The merge
+    consumes segments in exactly the (slope desc, thread asc) order of
+    the former global sort, so results are bit-identical.
 
     This is the engine behind the paper's super-optimal allocation
     (Definition V.1) in all experiments. *)
@@ -17,8 +24,24 @@ type result = {
           segment; [0] when the budget covers every useful segment *)
 }
 
-val allocate : ?exhaust:bool -> budget:float -> Aa_utility.Plc.t array -> result
+(** Recycled working state (per-thread cursors, slope fronts, and the
+    indexed heap), so same-shape solves allocate nothing. A scratch is
+    owned by one caller at a time — not thread-safe, create one per
+    domain. Reusing a scratch never changes results: every [allocate]
+    fully re-initializes it for the given input. *)
+module Scratch : sig
+  type t
+
+  val create : unit -> t
+end
+
+val allocate :
+  ?scratch:Scratch.t -> ?exhaust:bool -> budget:float -> Aa_utility.Plc.t array -> result
 (** [allocate ~budget fs] returns an optimal allocation.
+
+    [scratch] recycles the allocator's working arrays and heap across
+    calls (heap reuse requires the same thread count to avoid
+    reallocation; correctness never depends on it).
 
     [exhaust] (default [true]) controls what happens to budget left over
     after all positive-slope segments are filled: when true it is handed

@@ -22,11 +22,12 @@ let solve ?samples (inst : Instance.t) =
     done;
     Array.of_list !out
   in
+  let scratch = Plc_greedy.Scratch.create () in
   let value_of mask =
     if Float.is_nan group_value.(mask) then begin
       let ids = members mask in
       let fs = Array.map (fun i -> plc.(i)) ids in
-      let r = Plc_greedy.allocate ~exhaust:false ~budget:inst.capacity fs in
+      let r = Plc_greedy.allocate ~scratch ~exhaust:false ~budget:inst.capacity fs in
       group_value.(mask) <- r.utility;
       group_alloc.(mask) <- r.alloc
     end;

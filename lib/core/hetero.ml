@@ -145,11 +145,12 @@ let exact ?samples t =
   (* per-server pooled values, memoized *)
   let value = Array.init m (fun _ -> Array.make (full + 1) Float.nan) in
   let valloc = Array.init m (fun _ -> Array.make (full + 1) [||]) in
+  let scratch = Plc_greedy.Scratch.create () in
   let value_of j mask =
     if Float.is_nan value.(j).(mask) then begin
       let ids = members mask in
       let fs = Array.map (fun i -> plcs.(i)) ids in
-      let r = Plc_greedy.allocate ~exhaust:false ~budget:t.capacities.(j) fs in
+      let r = Plc_greedy.allocate ~scratch ~exhaust:false ~budget:t.capacities.(j) fs in
       value.(j).(mask) <- r.utility;
       valloc.(j).(mask) <- r.alloc
     end;

@@ -45,6 +45,7 @@ let best_of_random ?samples ~rng ~tries (inst : Instance.t) =
   if tries < 1 then invalid_arg "Heuristics.best_of_random: tries must be >= 1";
   let n = Instance.n_threads inst in
   let plcs = Instance.to_plc ?samples inst in
+  let scratch = Aa_alloc.Plc_greedy.Scratch.create () in
   let best = ref None in
   for _ = 1 to tries do
     let server = random_servers ~rng n inst.servers in
@@ -60,7 +61,7 @@ let best_of_random ?samples ~rng ~tries (inst : Instance.t) =
       | ids ->
           let ids = Array.of_list ids in
           let fs = Array.map (fun i -> plcs.(i)) ids in
-          let r = Aa_alloc.Plc_greedy.allocate ~exhaust:false ~budget:inst.capacity fs in
+          let r = Aa_alloc.Plc_greedy.allocate ~scratch ~exhaust:false ~budget:inst.capacity fs in
           Array.iteri (fun pos i -> alloc.(i) <- r.alloc.(pos)) ids;
           total := !total +. r.utility
     done;

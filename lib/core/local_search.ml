@@ -3,18 +3,22 @@ open Aa_alloc
 type stats = { rounds : int; moves : int; swaps : int; initial : float; final : float }
 
 (* Exact pooled value of one server's thread set. *)
-let server_value ~plcs ~capacity members =
+let server_value ?scratch ~plcs ~capacity members =
   match members with
   | [] -> 0.0
   | _ ->
       let fs = Array.of_list (List.map (fun i -> plcs.(i)) members) in
-      (Plc_greedy.allocate ~exhaust:false ~budget:capacity fs).utility
+      (Plc_greedy.allocate ?scratch ~exhaust:false ~budget:capacity fs).utility
 
 let improve ?samples ?(max_rounds = 50) ?(enable_swaps = true) (inst : Instance.t)
     (a : Assignment.t) =
   let n = Instance.n_threads inst in
   let m = inst.servers in
   let plcs = Instance.to_plc ?samples inst in
+  (* one recycled allocator scratch for the whole climb: candidate
+     evaluation dominates, and every call here is sequential *)
+  let scratch = Plc_greedy.Scratch.create () in
+  let server_value ~plcs ~capacity members = server_value ~scratch ~plcs ~capacity members in
   let server = Array.copy a.server in
   let members = Array.make m [] in
   Array.iteri (fun i j -> members.(j) <- i :: members.(j)) server;
@@ -103,7 +107,7 @@ let improve ?samples ?(max_rounds = 50) ?(enable_swaps = true) (inst : Instance.
     | ms ->
         let ms = Array.of_list ms in
         let fs = Array.map (fun i -> plcs.(i)) ms in
-        let r = Plc_greedy.allocate ~exhaust:false ~budget:inst.capacity fs in
+        let r = Plc_greedy.allocate ~scratch ~exhaust:false ~budget:inst.capacity fs in
         Array.iteri (fun pos i -> alloc.(i) <- r.alloc.(pos)) ms
   done;
   let result = Assignment.make ~server ~alloc in

@@ -13,6 +13,7 @@ type t = {
   utilities : Utility.t Dynvec.t;
   servers_of : int Dynvec.t; (* admission order -> server *)
   departed : bool Dynvec.t;
+  scratch : Plc_greedy.Scratch.t; (* recycled allocator state *)
 }
 
 let create ~servers ~capacity =
@@ -27,6 +28,7 @@ let create ~servers ~capacity =
     utilities = Dynvec.create ();
     servers_of = Dynvec.create ();
     departed = Dynvec.create ();
+    scratch = Plc_greedy.Scratch.create ();
   }
 
 let servers t = t.m
@@ -49,7 +51,7 @@ let commit t j residents =
       t.values.(j) <- 0.0
   | rs ->
       let plcs = Array.of_list (List.map (fun r -> r.plc) rs) in
-      let res = Plc_greedy.allocate ~exhaust:false ~budget:t.c plcs in
+      let res = Plc_greedy.allocate ~scratch:t.scratch ~exhaust:false ~budget:t.c plcs in
       List.iteri (fun k r -> r.alloc <- res.alloc.(k)) rs;
       t.residents.(j) <- rs;
       t.values.(j) <- res.utility
@@ -73,7 +75,7 @@ let admit ?samples t u =
   let best_gain = ref Float.neg_infinity in
   for j = 0 to t.m - 1 do
     let plcs = Array.of_list (p :: List.map (fun r -> r.plc) t.residents.(j)) in
-    let v = (Plc_greedy.allocate ~exhaust:false ~budget:t.c plcs).utility in
+    let v = (Plc_greedy.allocate ~scratch:t.scratch ~exhaust:false ~budget:t.c plcs).utility in
     let gain = v -. t.values.(j) in
     let emptier =
       match !best with

@@ -3,6 +3,7 @@ open Aa_alloc
 let redivide ~plcs ~capacity_of ~servers (a : Assignment.t) =
   let n = Assignment.n_threads a in
   let alloc = Array.make n 0.0 in
+  let scratch = Plc_greedy.Scratch.create () in
   for j = 0 to servers - 1 do
     let ids = ref [] in
     for i = n - 1 downto 0 do
@@ -13,7 +14,7 @@ let redivide ~plcs ~capacity_of ~servers (a : Assignment.t) =
     | ids ->
         let ids = Array.of_list ids in
         let fs = Array.map (fun i -> plcs.(i)) ids in
-        let r = Plc_greedy.allocate ~exhaust:false ~budget:(capacity_of j) fs in
+        let r = Plc_greedy.allocate ~scratch ~exhaust:false ~budget:(capacity_of j) fs in
         Array.iteri (fun pos i -> alloc.(i) <- r.alloc.(pos)) ids
   done;
   Assignment.make ~server:(Array.copy a.server) ~alloc

@@ -145,4 +145,19 @@ module Indexed = struct
       t.heap.(i) <- i;
       t.pos.(i) <- i
     done
+
+  (* Restore the identity arrangement first, then run exactly the
+     bottom-up heapify of [create]: same sift_down sequence from the
+     same start state, so a reset heap is indistinguishable from
+     [create prios] — swap counters included. *)
+  let reset t prios =
+    if Array.length prios <> t.n then invalid_arg "Heap.Indexed.reset: size mismatch";
+    for i = 0 to t.n - 1 do
+      t.prio.(i) <- prios.(i);
+      t.heap.(i) <- i;
+      t.pos.(i) <- i
+    done;
+    for i = (t.n / 2) - 1 downto 0 do
+      sift_down t i
+    done
 end

@@ -54,4 +54,12 @@ module Indexed : sig
       heap identical to [create (Array.make (size t) p)] — in [O(n)]
       with no allocation. Lets Algorithm 2's scratch state reuse one
       heap across trials of the same shape. *)
+
+  val reset : t -> float array -> unit
+  (** [reset t prios] reloads arbitrary priorities and re-heapifies,
+      leaving the heap indistinguishable from [create prios] (same
+      layout, same sift-swap count) — in [O(n)] with no allocation.
+      Raises [Invalid_argument] if [Array.length prios <> size t]. The
+      merge-based greedy allocator uses this to recycle one heap across
+      same-shape solves. *)
 end

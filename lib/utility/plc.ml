@@ -1,13 +1,32 @@
 open Aa_numerics
 
+(* Struct-of-arrays ("flat") representation: three parallel float arrays
+   instead of boxed segment records. [ys.(k)] is the prefix utility
+   accumulated at breakpoint [xs.(k)], and [slopes.(k)] the slope of the
+   segment [xs.(k), xs.(k+1)] — precomputed once at construction with
+   the exact same [seg_slope] expression the queries used to recompute,
+   so every query answer is bit-identical to the former on-the-fly form.
+   Slopes are nonincreasing (strictly decreasing in canonical form), so
+   value, slope and inverse-slope queries are all O(log k) binary
+   searches over flat arrays. *)
 type t = {
-  xs : float array; (* strictly increasing, xs.(0) = 0 *)
-  ys : float array; (* nonnegative, nondecreasing, concave *)
+  xs : float array; (* breakpoints: strictly increasing, xs.(0) = 0 *)
+  ys : float array; (* prefix utility: nonnegative, nondecreasing, concave *)
+  slopes : float array; (* per-segment slopes; length = length xs - 1 *)
 }
 
 type segment = { x0 : float; x1 : float; y0 : float; slope : float }
 
 let seg_slope (x0, y0) (x1, y1) = (y1 -. y0) /. (x1 -. x0)
+
+(* The only way to build a [t]: derives the slope array from the
+   breakpoints so the three arrays can never drift apart. *)
+let of_xs_ys xs ys =
+  let k = Array.length xs - 1 in
+  let slopes =
+    Array.init k (fun i -> seg_slope (xs.(i), ys.(i)) (xs.(i + 1), ys.(i + 1)))
+  in
+  { xs; ys; slopes }
 
 (* Merge consecutive collinear segments so slopes end up strictly
    decreasing; assumes points already concave, sorted, deduped. *)
@@ -20,7 +39,7 @@ let canonicalize pts =
       let p = pts.(i) in
       let rec drop_collinear () =
         match !out with
-        | b :: a :: rest when Util.approx_equal ~eps:1e-12 (seg_slope a b) (seg_slope b p) ->
+        | b :: a :: rest when Util.feq ~eps:1e-12 (seg_slope a b) (seg_slope b p) ->
             out := a :: rest;
             drop_collinear ()
         | _ -> ()
@@ -56,7 +75,11 @@ let sort_dedup pts =
   Array.iter
     (fun (x, y) ->
       match !out with
-      | (x', y') :: rest when x' = x -> out := (x, Float.max y y') :: rest
+      (* exact dedup on the x coordinate, via the monomorphic float
+         compare: a tolerant merge here would silently move breakpoints
+         supplied by the caller (and would swallow infinities before
+         [validate] can reject them) *)
+      | (x', y') :: rest when Float.equal x' x -> out := (x, Float.max y y') :: rest
       | _ -> out := (x, y) :: !out)
     a;
   Array.of_list (List.rev !out)
@@ -75,30 +98,49 @@ let create points =
   let pts = canonicalize pts in
   if Array.length pts < 2 then
     invalid_arg "Plc.create: need at least two distinct points (or use constant)";
-  { xs = Array.map fst pts; ys = Array.map snd pts }
+  of_xs_ys (Array.map fst pts) (Array.map snd pts)
 
 let constant ~cap v =
   if v < 0.0 then invalid_arg "Plc.constant: negative value";
   if not (cap > 0.0) then invalid_arg "Plc.constant: cap must be positive";
-  { xs = [| 0.0; cap |]; ys = [| v; v |] }
+  of_xs_ys [| 0.0; cap |] [| v; v |]
 
 let capped_linear ~cap ~slope ~knee =
   if not (0.0 <= knee && knee <= cap) then invalid_arg "Plc.capped_linear: knee outside [0, cap]";
   if slope < 0.0 then invalid_arg "Plc.capped_linear: negative slope";
   if Util.feq knee 0.0 || Util.feq slope 0.0 then constant ~cap 0.0
-  else if knee = cap then { xs = [| 0.0; cap |]; ys = [| 0.0; slope *. cap |] }
-  else { xs = [| 0.0; knee; cap |]; ys = [| 0.0; slope *. knee; slope *. knee |] }
+  else if knee = cap then of_xs_ys [| 0.0; cap |] [| 0.0; slope *. cap |]
+  else of_xs_ys [| 0.0; knee; cap |] [| 0.0; slope *. knee; slope *. knee |]
 
 let two_piece ~cap ~peak ~chat =
   if not (0.0 <= chat && chat <= cap) then invalid_arg "Plc.two_piece: chat outside [0, cap]";
   if peak < 0.0 then invalid_arg "Plc.two_piece: negative peak";
   if Util.feq chat 0.0 then constant ~cap peak
-  else if chat = cap then { xs = [| 0.0; cap |]; ys = [| 0.0; peak |] }
-  else { xs = [| 0.0; chat; cap |]; ys = [| 0.0; peak; peak |] }
+  else if chat = cap then of_xs_ys [| 0.0; cap |] [| 0.0; peak |]
+  else of_xs_ys [| 0.0; chat; cap |] [| 0.0; peak; peak |]
 
 let cap t = t.xs.(Array.length t.xs - 1)
 
 let last t = Array.length t.xs - 1
+
+let n_pieces t = Array.length t.slopes
+
+(* First segment index with slope <= 0, i.e. the count of
+   positive-slope pieces. Slopes are nonincreasing, so this is a binary
+   search, not a scan. *)
+let positive_pieces t =
+  let k = Array.length t.slopes in
+  if k = 0 || t.slopes.(0) <= 0.0 then 0
+  else if t.slopes.(k - 1) > 0.0 then k
+  else begin
+    (* invariant: slopes.(lo) > 0 >= slopes.(hi) *)
+    let lo = ref 0 and hi = ref (k - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.slopes.(mid) > 0.0 then lo := mid else hi := mid
+    done;
+    !hi
+  end
 
 (* Largest k with xs.(k) <= x, for x within range. *)
 let interval t x =
@@ -114,47 +156,94 @@ let eval t x =
   if x = cap t then t.ys.(last t)
   else begin
     let k = interval t x in
-    let slope = seg_slope (t.xs.(k), t.ys.(k)) (t.xs.(k + 1), t.ys.(k + 1)) in
-    t.ys.(k) +. (slope *. (x -. t.xs.(k)))
+    t.ys.(k) +. (t.slopes.(k) *. (x -. t.xs.(k)))
   end
 
 let peak t = t.ys.(last t)
-let max_slope t = seg_slope (t.xs.(0), t.ys.(0)) (t.xs.(1), t.ys.(1))
+let max_slope t = t.slopes.(0)
 
 let slope_right t x =
   if x >= cap t then 0.0
   else begin
     let x = Float.max 0.0 x in
     (* [interval] returns the segment to the right of a breakpoint hit *)
-    let k = interval t x in
-    seg_slope (t.xs.(k), t.ys.(k)) (t.xs.(k + 1), t.ys.(k + 1))
+    t.slopes.(interval t x)
   end
 
 let demand t lambda =
   if lambda <= 0.0 then cap t
   else begin
-    (* slopes strictly decrease with the segment index: binary-search the
-       first segment priced below lambda. *)
+    (* slopes are nonincreasing in the segment index: binary-search the
+       first segment priced below lambda directly on the flat array. *)
     let k = last t in
-    let slope_of i = seg_slope (t.xs.(i), t.ys.(i)) (t.xs.(i + 1), t.ys.(i + 1)) in
-    if slope_of 0 < lambda then 0.0
+    if t.slopes.(0) < lambda then 0.0
+    else if t.slopes.(k - 1) >= lambda then t.xs.(k)
     else begin
-      let idx = Root.bisect_int ~f:(fun i -> i >= k || slope_of i < lambda) ~lo:0 ~hi:k in
-      (* idx = first segment with slope < lambda, or k if none *)
-      t.xs.(idx)
+      (* invariant: slopes.(lo) >= lambda > slopes.(hi) *)
+      let lo = ref 0 and hi = ref (k - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if t.slopes.(mid) >= lambda then lo := mid else hi := mid
+      done;
+      t.xs.(!hi)
     end
   end
 
 let segments t =
   Array.init (last t) (fun k ->
-      {
-        x0 = t.xs.(k);
-        x1 = t.xs.(k + 1);
-        y0 = t.ys.(k);
-        slope = seg_slope (t.xs.(k), t.ys.(k)) (t.xs.(k + 1), t.ys.(k + 1));
-      })
+      { x0 = t.xs.(k); x1 = t.xs.(k + 1); y0 = t.ys.(k); slope = t.slopes.(k) })
 
 let points t = Array.init (Array.length t.xs) (fun i -> (t.xs.(i), t.ys.(i)))
+
+module Flat = struct
+  let breakpoints t = t.xs
+  let prefix_utility t = t.ys
+  let slopes t = t.slopes
+end
+
+(* Certified envelope coarsening: greedily extend a chord from the last
+   kept breakpoint as far as every skipped interior breakpoint stays
+   within [eps] of it. The chord of a concave function lies below it,
+   and the maximum of (concave - linear) over an interval is attained
+   at a breakpoint, so checking interior breakpoints certifies the
+   whole interval: 0 <= f(x) - f~(x) <= eps for all x. Chord slopes of
+   a concave chain are again strictly decreasing, so the result is a
+   canonical Plc without re-validation. *)
+let coarsen ~eps t =
+  if not (eps >= 0.0) then invalid_arg "Plc.coarsen: eps must be >= 0";
+  let n = Array.length t.xs in
+  if eps <= 0.0 || n <= 2 then t
+  else begin
+    let kept = ref [ 0 ] in
+    let n_kept = ref 1 in
+    let a = ref 0 in
+    (* Every interior i in (a, b) stays within eps of the chord a->b. *)
+    let chord_ok a b =
+      let sl = seg_slope (t.xs.(a), t.ys.(a)) (t.xs.(b), t.ys.(b)) in
+      let ok = ref true in
+      let i = ref (a + 1) in
+      while !ok && !i < b do
+        let dev = t.ys.(!i) -. (t.ys.(a) +. (sl *. (t.xs.(!i) -. t.xs.(a)))) in
+        if dev > eps then ok := false;
+        incr i
+      done;
+      !ok
+    in
+    while !a < n - 1 do
+      let b = ref (!a + 1) in
+      while !b < n - 1 && chord_ok !a (!b + 1) do
+        incr b
+      done;
+      kept := !b :: !kept;
+      incr n_kept;
+      a := !b
+    done;
+    if !n_kept = n then t
+    else begin
+      let idx = Array.of_list (List.rev !kept) in
+      of_xs_ys (Array.map (fun i -> t.xs.(i)) idx) (Array.map (fun i -> t.ys.(i)) idx)
+    end
+  end
 
 let restrict t ~cap:c =
   if not (0.0 < c && c <= cap t) then invalid_arg "Plc.restrict: cap outside (0, cap]";
@@ -167,7 +256,7 @@ let restrict t ~cap:c =
 
 let scale t ~y =
   if y < 0.0 then invalid_arg "Plc.scale: negative factor";
-  { xs = Array.copy t.xs; ys = Array.map (fun v -> v *. y) t.ys }
+  of_xs_ys (Array.copy t.xs) (Array.map (fun v -> v *. y) t.ys)
 
 let equal ?(eps = 1e-9) a b =
   cap a = cap b

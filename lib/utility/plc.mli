@@ -63,6 +63,42 @@ val segments : t -> segment array
 val points : t -> (float * float) array
 (** Breakpoints [(x, y)] in increasing x. *)
 
+val n_pieces : t -> int
+(** Number of linear pieces (segments). At least 1. *)
+
+val positive_pieces : t -> int
+(** Number of leading pieces with strictly positive slope — the only
+    pieces a greedy water-filling allocation can ever consume. O(log k). *)
+
+(** Zero-copy access to the flat struct-of-arrays representation, for
+    kernels (greedy allocation, linearization) that iterate pieces
+    without per-segment boxing. The returned arrays are the internal
+    storage: callers must treat them as read-only. *)
+module Flat : sig
+  val breakpoints : t -> float array
+  (** Strictly increasing, [breakpoints.(0) = 0.], last entry = [cap]. *)
+
+  val prefix_utility : t -> float array
+  (** [prefix_utility.(k) = eval t breakpoints.(k)]; same length as
+      [breakpoints]. *)
+
+  val slopes : t -> float array
+  (** [slopes.(k)] is the slope on
+      [[breakpoints.(k), breakpoints.(k+1)]]; strictly decreasing;
+      length [n_pieces]. *)
+end
+
+val coarsen : eps:float -> t -> t
+(** [coarsen ~eps t] drops breakpoints whose removal changes the
+    function by at most [eps] anywhere: the result [t'] satisfies
+    [0 <= eval t x -. eval t' x <= eps] for every [x] (the coarse
+    envelope is a chord chain of the concave original, hence a pointwise
+    lower bound), has the same [cap] and the same endpoint values, and
+    is again concave with strictly decreasing slopes. [eps = 0.] (or a
+    function with <= 1 piece) returns [t] physically unchanged.
+    Requires [eps >= 0.]. Greedy left-to-right chord extension; O(k^2)
+    worst case, linear on smooth envelopes. *)
+
 val restrict : t -> cap:float -> t
 (** Restriction to a smaller domain [[0, cap]]. Requires
     [0 < cap <= cap t]. *)

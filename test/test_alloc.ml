@@ -228,6 +228,87 @@ let prop_greedy_beats_random_feasible =
       done;
       !ok)
 
+(* The pre-flat-kernel allocator, reimplemented verbatim as a reference:
+   materialize every positive-slope piece, sort globally by (slope desc,
+   thread asc), pour, then optionally exhaust on flat regions. The merge
+   kernel must reproduce it bit for bit. *)
+let sort_based_allocate ~exhaust ~budget fs =
+  let n = Array.length fs in
+  let pieces = ref [] in
+  for i = 0 to n - 1 do
+    Array.iter
+      (fun (s : Plc.segment) ->
+        if s.slope > 0.0 then pieces := (i, s.x1 -. s.x0, s.slope) :: !pieces)
+      (Plc.segments fs.(i))
+  done;
+  let pieces = Array.of_list !pieces in
+  Array.sort
+    (fun (t1, _, s1) (t2, _, s2) ->
+      match compare s2 s1 with 0 -> compare t1 t2 | c -> c)
+    pieces;
+  let alloc = Array.make n 0.0 in
+  let remaining = ref budget in
+  let lambda = ref 0.0 in
+  (try
+     Array.iter
+       (fun (t, len, slope) ->
+         if !remaining <= 0.0 then raise Exit;
+         let take = Float.min len !remaining in
+         alloc.(t) <- alloc.(t) +. take;
+         remaining := !remaining -. take;
+         if take > 0.0 then lambda := slope)
+       pieces
+   with Exit -> ());
+  if exhaust && !remaining > 0.0 then begin
+    let i = ref 0 in
+    while !remaining > 0.0 && !i < n do
+      let headroom = Plc.cap fs.(!i) -. alloc.(!i) in
+      let take = Float.min headroom !remaining in
+      if take > 0.0 then begin
+        alloc.(!i) <- alloc.(!i) +. take;
+        remaining := !remaining -. take
+      end;
+      incr i
+    done
+  end;
+  let lambda = if !remaining > 0.0 then 0.0 else !lambda in
+  (alloc, lambda)
+
+let fsame a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let prop_merge_bit_identical_to_sort =
+  QCheck2.Test.make ~name:"plc greedy: merge kernel bit-identical to sort-based reference"
+    ~count:500
+    QCheck2.Gen.(pair gen_plcs_and_budget bool)
+    (fun ((fs, budget), exhaust) ->
+      let r = Plc_greedy.allocate ~exhaust ~budget fs in
+      let ref_alloc, ref_lambda = sort_based_allocate ~exhaust ~budget fs in
+      Array.for_all2 fsame r.alloc ref_alloc && fsame r.lambda ref_lambda)
+
+let prop_scratch_reuse_bit_identical =
+  QCheck2.Test.make ~name:"plc greedy: recycled scratch bit-identical to fresh state"
+    ~count:200
+    QCheck2.Gen.(pair gen_plcs_and_budget gen_plcs_and_budget)
+    (fun ((fs1, b1), (fs2, b2)) ->
+      let scratch = Plc_greedy.Scratch.create () in
+      (* interleave two different shapes through one scratch, twice *)
+      let runs =
+        List.map
+          (fun (fs, b) -> Plc_greedy.allocate ~scratch ~budget:b fs)
+          [ (fs1, b1); (fs2, b2); (fs1, b1); (fs2, b2) ]
+      in
+      let fresh =
+        List.map (fun (fs, b) -> Plc_greedy.allocate ~budget:b fs) [ (fs1, b1); (fs2, b2) ]
+      in
+      let same (a : Plc_greedy.result) (b : Plc_greedy.result) =
+        Array.for_all2 fsame a.alloc b.alloc && fsame a.lambda b.lambda
+        && fsame a.utility b.utility
+      in
+      match (runs, fresh) with
+      | [ r1; r2; r1'; r2' ], [ f1; f2 ] ->
+          same r1 f1 && same r2 f2 && same r1' f1 && same r2' f2
+      | _ -> false)
+
 let prop_greedy_monotone_in_budget =
   QCheck2.Test.make ~name:"plc greedy: utility nondecreasing in budget" ~count:200
     gen_plcs_and_budget (fun (fs, budget) ->
@@ -291,6 +372,8 @@ let () =
         [
           prop_greedy_feasible;
           prop_greedy_beats_random_feasible;
+          prop_merge_bit_identical_to_sort;
+          prop_scratch_reuse_bit_identical;
           prop_greedy_monotone_in_budget;
           prop_waterfill_close_to_greedy;
           prop_fox_galil_agree;

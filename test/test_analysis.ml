@@ -969,6 +969,43 @@ let prop_heuristics_feasible =
         (fun a -> Certify.ok (Certify.audit ~eps:1e-6 inst a))
         [ Heuristics.uu inst; Heuristics.rr ~rng inst ])
 
+let prop_coarsened_solutions_certify =
+  QCheck2.Test.make
+    ~name:"certifier: solving a coarsened instance still audits clean"
+    ~count:100 ~print:Helpers.print_instance Helpers.gen_instance (fun inst ->
+      let inst = Helpers.plc_instance inst in
+      let peak =
+        Array.fold_left (fun acc u -> Float.max acc (Utility.peak u)) 0.0 inst.utilities
+      in
+      let eps = 1e-3 *. Float.max 1e-6 peak in
+      let coarse =
+        Instance.create ~servers:inst.servers ~capacity:inst.capacity
+          (Array.map
+             (fun u -> Utility.of_plc (Plc.coarsen ~eps (Utility.to_plc u)))
+             inst.utilities)
+      in
+      let a = Algo2.solve coarse in
+      (* the coarsened instance is a legitimate instance in its own
+         right, so the full alpha-ratio certificate must hold on it *)
+      let rc =
+        Certify.audit ~eps:1e-6 ~superopt:(Superopt.compute coarse)
+          ~min_ratio:Bounds.alpha coarse a
+      in
+      if not (Certify.ok rc) then
+        QCheck2.Test.fail_reportf "audit vs coarsened instance: %s"
+          (Format.asprintf "%a" Certify.pp_report rc);
+      (* against the original instance the assignment stays feasible and
+         under the upper bound: coarsening only lowers each utility, so
+         re-evaluating on the original can only raise the achieved value,
+         and any feasible value is at most the original superopt.  (The
+         alpha ratio vs the original only holds up to n*eps slack, so we
+         deliberately skip min_ratio here.) *)
+      let ro = Certify.audit ~eps:1e-6 ~superopt:(Superopt.compute inst) inst a in
+      if not (Certify.ok ro) then
+        QCheck2.Test.fail_reportf "audit vs original instance: %s"
+          (Format.asprintf "%a" Certify.pp_report ro);
+      true)
+
 let test_tightness_certifies () =
   let inst = Tightness.instance () in
   let so = Superopt.compute inst in
@@ -1179,5 +1216,6 @@ let () =
           prop_certifies "Algo1" (fun i -> Algo1.solve i);
           prop_certifies "Algo2" (fun i -> Algo2.solve i);
           prop_heuristics_feasible;
+          prop_coarsened_solutions_certify;
         ];
     ]

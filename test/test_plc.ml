@@ -121,6 +121,36 @@ let test_equal () =
   Alcotest.(check bool) "different" false
     (Plc.equal (simple ()) (Plc.constant ~cap:10.0 1.0))
 
+let test_flat_accessors () =
+  let f = simple () in
+  let xs = Plc.Flat.breakpoints f in
+  let ys = Plc.Flat.prefix_utility f in
+  let slopes = Plc.Flat.slopes f in
+  Alcotest.(check int) "n_pieces" 3 (Plc.n_pieces f);
+  Alcotest.(check int) "positive_pieces" 2 (Plc.positive_pieces f);
+  Alcotest.(check int) "xs/ys same length" (Array.length xs) (Array.length ys);
+  Alcotest.(check int) "one slope per piece" (Array.length xs - 1) (Array.length slopes);
+  Helpers.check_float "first breakpoint" 0.0 xs.(0);
+  Helpers.check_float "last breakpoint is cap" (Plc.cap f) xs.(Array.length xs - 1);
+  Array.iteri
+    (fun i x -> Helpers.check_float "prefix utility = eval at breakpoint" (Plc.eval f x) ys.(i))
+    xs;
+  Array.iteri
+    (fun k (s : Plc.segment) -> Helpers.check_float "slope matches segment" s.slope slopes.(k))
+    (Plc.segments f)
+
+let test_coarsen_basic () =
+  (* near-collinear interior points within eps collapse; well-separated
+     geometry survives *)
+  let f = Plc.create [| (0.0, 0.0); (1.0, 1.0); (2.0, 1.9); (3.0, 2.7); (4.0, 2.7) |] in
+  let g = Plc.coarsen ~eps:0.2 f in
+  Alcotest.(check bool) "fewer pieces" true (Plc.n_pieces g < Plc.n_pieces f);
+  Helpers.check_float "cap preserved" (Plc.cap f) (Plc.cap g);
+  Helpers.check_float "peak preserved" (Plc.peak f) (Plc.peak g);
+  Alcotest.(check bool) "eps = 0 returns the same value" true (Plc.coarsen ~eps:0.0 f == f);
+  Alcotest.check_raises "negative eps" (Invalid_argument "Plc.coarsen: eps must be >= 0")
+    (fun () -> ignore (Plc.coarsen ~eps:(-1.0) f))
+
 (* --- properties --- *)
 
 let prop_eval_concave =
@@ -176,6 +206,101 @@ let prop_eval_matches_segments =
           Util.approx_equal ~eps:1e-9 (Plc.eval f mid) (s.y0 +. (s.slope *. (mid -. s.x0))))
         (Plc.segments f))
 
+(* Reference implementations of the three queries as linear scans over
+   the boxed segment list — the shape the flat kernel replaced. *)
+let ref_eval f x =
+  let segs = Plc.segments f in
+  let n = Array.length segs in
+  let x = Util.clamp ~lo:0.0 ~hi:(Plc.cap f) x in
+  if x >= segs.(n - 1).x1 then Plc.peak f
+  else begin
+    let k = ref 0 in
+    while x >= segs.(!k).x1 do
+      incr k
+    done;
+    let s = segs.(!k) in
+    s.y0 +. (s.slope *. (x -. s.x0))
+  end
+
+let ref_slope_right f x =
+  let segs = Plc.segments f in
+  if x >= Plc.cap f then 0.0
+  else begin
+    let x = Float.max 0.0 x in
+    let k = ref 0 in
+    while x >= segs.(!k).x1 do
+      incr k
+    done;
+    segs.(!k).slope
+  end
+
+let ref_demand f lambda =
+  if lambda <= 0.0 then Plc.cap f
+  else
+    Array.fold_left
+      (fun acc (s : Plc.segment) -> if s.slope >= lambda then s.x1 else acc)
+      0.0 (Plc.segments f)
+
+let prop_flat_queries_match_reference =
+  QCheck2.Test.make ~name:"flat eval/slope_right/demand match segment-scan reference"
+    ~count:300 Helpers.gen_plc (fun f ->
+      let cap = Plc.cap f in
+      let ok = ref true in
+      let check a b = if not (Util.feq ~eps:1e-12 a b) then ok := false in
+      (* probe breakpoints, segment interiors, and off-grid points *)
+      let xs = Plc.Flat.breakpoints f in
+      Array.iter
+        (fun x ->
+          check (Plc.eval f x) (ref_eval f x);
+          check (Plc.slope_right f x) (ref_slope_right f x))
+        xs;
+      for i = 0 to 40 do
+        let x = cap *. float_of_int i /. 40.0 in
+        check (Plc.eval f x) (ref_eval f x);
+        check (Plc.slope_right f x) (ref_slope_right f x)
+      done;
+      let probe_prices =
+        Array.concat
+          [
+            Array.map (fun (s : Plc.segment) -> s.slope) (Plc.segments f);
+            Array.init 20 (fun i ->
+                Plc.max_slope f *. (0.01 +. (float_of_int i /. 19.0)));
+            [| 0.0; -1.0; Plc.max_slope f *. 2.0 |];
+          ]
+      in
+      Array.iter (fun l -> check (Plc.demand f l) (ref_demand f l)) probe_prices;
+      !ok)
+
+let prop_coarsen_certified =
+  QCheck2.Test.make
+    ~name:"coarsen: 0 <= f - f' <= eps pointwise, canonical result"
+    ~count:300
+    QCheck2.Gen.(pair Helpers.gen_plc (float_range 0.0 0.5))
+    (fun (f, eps_frac) ->
+      let eps = eps_frac *. Float.max 1e-6 (Plc.peak f) in
+      let g = Plc.coarsen ~eps f in
+      let ok = ref true in
+      if Plc.n_pieces g > Plc.n_pieces f then ok := false;
+      (* same domain and exact endpoint values *)
+      if Plc.cap g <> Plc.cap f then ok := false;
+      if Plc.peak g <> Plc.peak f then ok := false;
+      (* slopes stay strictly decreasing (canonical form) *)
+      let gs = Plc.Flat.slopes g in
+      for i = 1 to Array.length gs - 1 do
+        if gs.(i) >= gs.(i - 1) then ok := false
+      done;
+      (* certified bound, checked at f's breakpoints (where the max
+         deviation lives) and off-grid *)
+      let dev x =
+        let d = Plc.eval f x -. Plc.eval g x in
+        if d < -1e-9 || d > eps +. 1e-9 then ok := false
+      in
+      Array.iter dev (Plc.Flat.breakpoints f);
+      for i = 0 to 60 do
+        dev (Plc.cap f *. float_of_int i /. 60.0)
+      done;
+      !ok)
+
 let () =
   Alcotest.run "utility-plc"
     [
@@ -196,6 +321,8 @@ let () =
           Alcotest.test_case "restrict" `Quick test_restrict;
           Alcotest.test_case "scale" `Quick test_scale;
           Alcotest.test_case "equal" `Quick test_equal;
+          Alcotest.test_case "flat accessors" `Quick test_flat_accessors;
+          Alcotest.test_case "coarsen" `Quick test_coarsen_basic;
         ] );
       Helpers.qsuite "properties"
         [
@@ -203,5 +330,7 @@ let () =
           prop_demand_inverse;
           prop_slopes_strictly_decreasing;
           prop_eval_matches_segments;
+          prop_flat_queries_match_reference;
+          prop_coarsen_certified;
         ];
     ]
