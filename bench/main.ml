@@ -72,12 +72,16 @@ type bench_entry = {
   bfsync : string option;
       (* journal fsync policy, for experiments whose wall time depends
          on it (the service experiment); None = no journal involved *)
+  noise_bound : bool;
+      (* the timed section stayed under the noise floor (~1 s) even
+         after trial scaling — ratios derived from this entry are
+         timer-noise dominated and must not gate anything *)
 }
 
 let bench_entries : bench_entry list ref = ref []
 
-let record ?speedup ?rps ?(counters = []) ?(spans = 0) ?fsync ~id ~jobs:bjobs
-    ~trials:btrials wall_s =
+let record ?speedup ?rps ?(counters = []) ?(spans = 0) ?fsync
+    ?(noise_bound = false) ~id ~jobs:bjobs ~trials:btrials wall_s =
   let regression = match speedup with Some s -> s < 1.0 | None -> false in
   if regression then
     Printf.eprintf
@@ -97,6 +101,7 @@ let record ?speedup ?rps ?(counters = []) ?(spans = 0) ?fsync ~id ~jobs:bjobs
       counters;
       spans;
       bfsync = fsync;
+      noise_bound;
     }
     :: !bench_entries
 
@@ -130,7 +135,7 @@ let bench_json_path =
 let write_bench_json () =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"aa-bench-trajectory/5\",\n";
+  Buffer.add_string b "  \"schema\": \"aa-bench-trajectory/6\",\n";
   Printf.bprintf b "  \"generated_unix\": %.0f,\n" (Aa_obs.Clock.wall_s ());
   Printf.bprintf b "  \"jobs\": %d,\n" jobs;
   Printf.bprintf b "  \"jobs_requested\": %d,\n" (Pool.default_domains ());
@@ -142,11 +147,11 @@ let write_bench_json () =
     (fun i e ->
       Printf.bprintf b
         "    {\"id\": \"%s\", \"wall_s\": %.6f, \"jobs\": %d, \"trials\": %d, \
-         \"speedup_vs_j1\": %s, \"regression\": %b, \"rps\": %s, \"fsync\": %s, \
-         \"spans\": %d, \"counters\": {%s}}%s\n"
+         \"speedup_vs_j1\": %s, \"regression\": %b, \"noise_bound\": %b, \
+         \"rps\": %s, \"fsync\": %s, \"spans\": %d, \"counters\": {%s}}%s\n"
         e.bid e.wall_s e.bjobs e.btrials
         (match e.speedup_vs_j1 with None -> "null" | Some s -> Printf.sprintf "%.4f" s)
-        e.regression
+        e.regression e.noise_bound
         (match e.rps with None -> "null" | Some r -> Printf.sprintf "%.1f" r)
         (match e.bfsync with None -> "null" | Some p -> Printf.sprintf "\"%s\"" p)
         e.spans
@@ -239,21 +244,45 @@ let speedup () =
   | Some spec ->
       (* probes off for both timed runs: the speedup ratio must compare
          solver work, not instrumentation overhead *)
-      let t0 = now () in
-      let sequential =
-        Aa_obs.Control.with_enabled false (fun () -> spec.run ~jobs:1 ~trials ~seed ())
+      let run ~jobs ~trials =
+        let t0 = now () in
+        let s =
+          Aa_obs.Control.with_enabled false (fun () -> spec.run ~jobs ~trials ~seed ())
+        in
+        (s, now () -. t0)
       in
-      let t_seq = now () -. t0 in
-      let t0 = now () in
-      let parallel =
-        Aa_obs.Control.with_enabled false (fun () -> spec.run ~jobs ~trials ~seed ())
+      (* a speedup ratio of two sub-second timings is timer noise, not a
+         measurement: scale the trial count (both runs use the same
+         scaled count, so the bit-identity check still compares like
+         with like) until the sequential leg clears ~1 s. If the cap is
+         hit first, the entries are flagged noise_bound so downstream
+         consumers do not gate on the ratio. *)
+      let min_timed_s = 1.0 in
+      let max_scaled = trials * 256 in
+      let rec calibrate trials_now (sequential, t_seq) =
+        if t_seq >= min_timed_s || trials_now >= max_scaled then
+          (trials_now, sequential, t_seq)
+        else begin
+          let next = min max_scaled (trials_now * 2) in
+          line "timed section %.3f s < %.1f s — scaling trials %d -> %d" t_seq
+            min_timed_s trials_now next;
+          calibrate next (run ~jobs:1 ~trials:next)
+        end
       in
-      let t_par = now () -. t0 in
+      let trials, sequential, t_seq = calibrate trials (run ~jobs:1 ~trials) in
+      let noise_bound = t_seq < min_timed_s in
+      if noise_bound then
+        line
+          "WARNING: sequential leg still %.3f s after scaling to %d trials — \
+           recording noise_bound"
+          t_seq trials;
+      let parallel, t_par = run ~jobs ~trials in
       let speedup = t_seq /. t_par in
-      line "jobs=1: %.2f s   jobs=%d: %.2f s   speedup: %.2fx" t_seq jobs t_par speedup;
+      line "jobs=1: %.2f s   jobs=%d: %.2f s   speedup: %.2fx (trials=%d)" t_seq
+        jobs t_par speedup trials;
       line "series bit-identical across job counts: %b (must be true)"
         (series_identical sequential parallel);
-      record ~id:"speedup-fig1a" ~jobs ~trials ~speedup t_par;
+      record ~id:"speedup-fig1a" ~jobs ~trials ~speedup ~noise_bound t_par;
       (* reference point for the clamp in [Pool.auto_domains]: the same
          sweep on a deliberately oversubscribed pool. On a machine with
          fewer cores than [jobs_over] this documents the regression the
@@ -261,19 +290,14 @@ let speedup () =
          0.49x at 2 domains on 1 core); results stay bit-identical at
          every pool size regardless. *)
       let jobs_over = max 2 (2 * Domain.recommended_domain_count ()) in
-      let t0 = now () in
-      let oversub =
-        Aa_obs.Control.with_enabled false (fun () ->
-            spec.run ~jobs:jobs_over ~trials ~seed ())
-      in
-      let t_over = now () -. t0 in
+      let oversub, t_over = run ~jobs:jobs_over ~trials in
       let speedup_over = t_seq /. t_over in
       line "oversubscribed jobs=%d: %.2f s   speedup: %.2fx (clamp reference)"
         jobs_over t_over speedup_over;
       line "oversubscribed series bit-identical: %b (must be true)"
         (series_identical sequential oversub);
       record ~id:"speedup-fig1a-oversubscribed" ~jobs:jobs_over ~trials
-        ~speedup:speedup_over t_over
+        ~speedup:speedup_over ~noise_bound t_over
 
 (* ---------- PLC: flat-kernel micro-benchmark ---------- *)
 
@@ -927,6 +951,158 @@ let service_shards () =
         dt)
     [ 1; 2; 4; 8 ]
 
+(* ---------- E5b: telemetry overhead on the sharded daemon ---------- *)
+
+(* The E5 workload in the E5 configuration — 4 shards, every shard
+   journaled at fsync=always, group commit — run twice: telemetry off,
+   then the full request-context layer on — a context minted per
+   request, phases timed, slow capture armed, every ack rendered and
+   written to a structured access log. The on/off rps ratio is the
+   observability tax; the budget is 5% (ratio >= 0.95). Set
+   AA_TEL=noalog or AA_TEL=noslow to ablate the access-log write or the
+   slow-capture arming out of the on leg when attributing a
+   regression. *)
+let service_telemetry () =
+  heading
+    "E5b — telemetry overhead: requests/s with request contexts + access log on \
+     vs off (4 shards, group commit, fsync=always)";
+  let n_requests = 10_000 in
+  let max_inflight = 64 in
+  let shards = 4 in
+  let run ~telemetry =
+    let script = make_service_script ~n_requests () in
+    let counts = Aa_service.Shard.server_counts ~servers:8 ~shards in
+    let paths =
+      Array.init shards (fun _ -> Filename.temp_file "aa_bench_tel" ".log")
+    in
+    let journals =
+      Array.init shards (fun k ->
+          match
+            Aa_service.Journal.create ~fsync:Aa_service.Journal.Always
+              ~path:paths.(k) ~servers:counts.(k) ~capacity:1000.0 ()
+          with
+          | Ok j -> j
+          | Error e ->
+              Printf.eprintf "bench: shard journal: %s\n%!" e;
+              exit 2)
+    in
+    let engines =
+      Array.init shards (fun k ->
+          Aa_service.Engine.create ~clock:now ~journal:journals.(k)
+            ~servers:counts.(k) ~capacity:1000.0 ())
+    in
+    let sh = Aa_service.Shard.create engines in
+    let alog_path = Filename.temp_file "aa_bench_alog" ".jsonl" in
+    let variant = Option.value (Sys.getenv_opt "AA_TEL") ~default:"full" in
+    let alog =
+      if not telemetry then None
+      else begin
+        Aa_obs.Rctx.set_enabled true;
+        if variant <> "noslow" then Aa_obs.Rctx.set_slow_ms 1000.0;
+        if variant = "noalog" then None
+        else
+          match Aa_service.Access_log.create ~path:alog_path with
+          | Ok a -> Some a
+          | Error e ->
+              Printf.eprintf "bench: access log: %s\n%!" e;
+              exit 2
+      end
+    in
+    let inflight = Queue.create () in
+    let await tk =
+      match Aa_service.Shard.await sh tk with
+      | Aa_service.Shard.Crashed name ->
+          Printf.eprintf "bench: shard crashed at %s\n%!" name;
+          exit 2
+      | Aa_service.Shard.Reply resp -> (
+          (* render the ack in both runs — the wire write the daemon
+             pays either way must not be billed to telemetry *)
+          let text = Aa_service.Protocol.print_response resp in
+          match Aa_service.Shard.rctx tk with
+          | None -> ()
+          | Some c ->
+              let outcome =
+                match resp with
+                | Aa_service.Protocol.Err { code; _ } ->
+                    "err:" ^ Aa_service.Protocol.code_name code
+                | _ -> "ok"
+              in
+              ignore (Aa_obs.Rctx.finish c ~outcome);
+              Option.iter
+                (fun a ->
+                  Aa_service.Access_log.log a c ~outcome
+                    ~bytes:(String.length text + 1))
+                alog)
+    in
+    let t0 = now () in
+    List.iter
+      (fun l ->
+        (match Aa_service.Shard.post_line ~conn:0 sh l with
+        | `Ticket tk -> Queue.push tk inflight
+        | `Blank | `Immediate _ -> ());
+        if Queue.length inflight > max_inflight then await (Queue.pop inflight))
+      script;
+    Queue.iter await inflight;
+    let dt = now () -. t0 in
+    Aa_service.Shard.shutdown sh;
+    Array.iter Sys.remove paths;
+    Option.iter Aa_service.Access_log.close alog;
+    if telemetry then begin
+      Aa_obs.Rctx.set_slow_ms (-1.0);
+      Aa_obs.Rctx.slow_clear ();
+      Aa_obs.Rctx.set_enabled false
+    end;
+    Sys.remove alog_path;
+    dt
+  in
+  (* Discarded warm-ups, then the median-ratio pair of N adjacent
+     (off, on) runs. A single pair on a loaded machine is scheduler
+     noise (observed spread 0.87x..1.5x), and independent best-of legs
+     drift apart when the background load changes between them; pairing
+     adjacent runs makes each ratio a load-matched sample, and the
+     median is robust to the outliers. The leg order alternates per
+     pair so a monotonic drift (cache warm-up, CPU governor, a suite
+     of experiments heating the box) cannot systematically penalize
+     whichever leg runs second. The recorded entries are the median
+     pair's, so the ratio a consumer derives from the JSON is the
+     median ratio. *)
+  let reps = 7 in
+  ignore (run ~telemetry:false);
+  ignore (run ~telemetry:true);
+  let pairs =
+    List.init reps (fun i ->
+        if i mod 2 = 0 then
+          let dt_off = run ~telemetry:false in
+          let dt_on = run ~telemetry:true in
+          (dt_off, dt_on)
+        else
+          let dt_on = run ~telemetry:true in
+          let dt_off = run ~telemetry:false in
+          (dt_off, dt_on))
+  in
+  let by_ratio =
+    List.sort
+      (fun (o1, n1) (o2, n2) -> Float.compare (o1 /. n1) (o2 /. n2))
+      pairs
+  in
+  let dt_off, dt_on = List.nth by_ratio (reps / 2) in
+  let rps_off = float_of_int n_requests /. dt_off in
+  let rps_on = float_of_int n_requests /. dt_on in
+  let ratio = rps_on /. rps_off in
+  line
+    "off: %10.0f requests/s   on: %10.0f requests/s   on/off = %.3f (median of %d \
+     pairs)"
+    rps_off rps_on ratio reps;
+  if ratio < 0.95 then
+    Printf.eprintf
+      "bench: WARNING telemetry-on throughput is %.1f%% of telemetry-off — over \
+       the 5%% budget\n%!"
+      (100. *. ratio);
+  record ~id:"service-telemetry-off" ~jobs:shards ~trials:1 ~fsync:"always"
+    ~rps:rps_off dt_off;
+  record ~id:"service-telemetry-on" ~jobs:shards ~trials:1 ~fsync:"always"
+    ~rps:rps_on dt_on
+
 (* ---------- driver ---------- *)
 
 let all_ids = [ "fig1a"; "fig1b"; "fig2a"; "fig2b"; "fig3a"; "fig3b"; "fig3c" ]
@@ -937,7 +1113,8 @@ let () =
     if args = [] then
       all_ids
       @ [ "tightness"; "plc"; "timing"; "speedup"; "ablation"; "resolution"; "beyond";
-          "hetero"; "online"; "multires"; "service"; "service-shards"; "claims" ]
+          "hetero"; "online"; "multires"; "service"; "service-shards";
+          "service-telemetry"; "claims" ]
     else args
   in
   let series = ref [] in
@@ -969,6 +1146,8 @@ let () =
     "service" service;
   (* records its own per-shard-count entries, like speedup *)
   if want "service-shards" then service_shards ();
+  (* records its own on/off entry pair *)
+  if want "service-telemetry" then service_telemetry ();
   if want "claims" then claims (List.rev !series);
   line "";
   write_bench_json ();

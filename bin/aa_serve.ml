@@ -71,7 +71,15 @@ let string_of_sockaddr = function
    journal as the classic loop) — then a Shard dispatcher serves stdin
    and, with --listen, every socket client concurrently. *)
 let serve_sharded ~servers ~capacity ~journal ~replay ~fsync ~clock ~listen ~shards
-    ~window =
+    ~window ~access_log ~coarsen_eps =
+  let alog =
+    match access_log with
+    | None -> None
+    | Some path -> (
+        match Access_log.create ~path with
+        | Ok al -> Some al
+        | Error e -> fail "--access-log %s: %s" path e)
+  in
   let shard_path path k =
     if shards = 1 then path else Printf.sprintf "%s.shard%d" path k
   in
@@ -86,10 +94,10 @@ let serve_sharded ~servers ~capacity ~journal ~replay ~fsync ~clock ~listen ~sha
         let counts = counts (Option.value servers ~default:8) in
         let capacity = Option.value capacity ~default:1000.0 in
         Array.init shards (fun k ->
-            Engine.create ~clock ~servers:counts.(k) ~capacity ())
+            Engine.create ~clock ~coarsen_eps ~servers:counts.(k) ~capacity ())
     | Some path, true ->
         Array.init shards (fun k ->
-            match Engine.of_journal ~clock ~fsync ~path:(shard_path path k) () with
+            match Engine.of_journal ~clock ~fsync ~coarsen_eps ~path:(shard_path path k) () with
             | Ok e -> e
             | Error e -> fail "%s" e)
     | Some path, false ->
@@ -100,7 +108,8 @@ let serve_sharded ~servers ~capacity ~journal ~replay ~fsync ~clock ~listen ~sha
               Journal.create ~fsync ~path:(shard_path path k) ~servers:counts.(k)
                 ~capacity ()
             with
-            | Ok j -> Engine.create ~clock ~journal:j ~servers:counts.(k) ~capacity ()
+            | Ok j ->
+                Engine.create ~clock ~journal:j ~coarsen_eps ~servers:counts.(k) ~capacity ()
             | Error e -> fail "%s" e)
   in
   if replay then begin
@@ -131,55 +140,92 @@ let serve_sharded ~servers ~capacity ~journal ~replay ~fsync ~clock ~listen ~sha
         match Aa_net.Listener.parse_addr addrstr with
         | Error e -> fail "--listen: %s" e
         | Ok addr -> (
-            match Aa_net.Listener.serve ~on_crash:crash ~addr shard with
+            match Aa_net.Listener.serve ~on_crash:crash ?access_log:alog ~addr shard with
             | Error e -> fail "--listen %s: %s" addrstr e
             | Ok l ->
                 Printf.eprintf "aa_serve: listening on %s\n%!"
                   (string_of_sockaddr (Aa_net.Listener.sockaddr l));
                 Some l))
   in
+  (* stdin is connection 0: post (not handle_line) so the ticket keeps
+     its request context and this loop can finish/log it like the
+     listener's writer thread does for socket clients *)
+  let finish tk ~resp ~bytes =
+    match Shard.rctx tk with
+    | None -> ()
+    | Some c -> (
+        let outcome =
+          match resp with
+          | Some (Protocol.Err { code; _ }) -> "err:" ^ Protocol.code_name code
+          | Some _ -> "ok"
+          | None -> "crashed"
+        in
+        ignore (Aa_obs.Rctx.finish c ~outcome);
+        match alog with Some al -> Access_log.log al c ~outcome ~bytes | None -> ())
+  in
   let rec loop () =
     match In_channel.input_line In_channel.stdin with
     | None -> ()
     | Some line ->
-        (match Shard.handle_line shard line with
-        | None -> ()
-        | Some (Shard.Reply resp) ->
+        (match Shard.post_line ~conn:0 shard line with
+        | `Blank -> ()
+        | `Ticket tk -> (
+            match Shard.await shard tk with
+            | Shard.Reply resp ->
+                let text = Protocol.print_response resp in
+                print_endline text;
+                flush stdout;
+                finish tk ~resp:(Some resp) ~bytes:(String.length text + 1)
+            | Shard.Crashed name ->
+                finish tk ~resp:None ~bytes:0;
+                crash name)
+        | `Immediate (Shard.Reply resp) ->
             print_endline (Protocol.print_response resp);
             flush stdout
-        | Some (Shard.Crashed name) -> crash name);
+        | `Immediate (Shard.Crashed name) -> crash name);
         loop ()
   in
   loop ();
   (match Shard.crashed shard with Some name -> crash name | None -> ());
   (match listener with Some l -> Aa_net.Listener.stop l | None -> ());
-  Shard.shutdown shard
+  Shard.shutdown shard;
+  match alog with Some al -> Access_log.close al | None -> ()
 
-let serve servers capacity journal replay fsync faults trace listen shards window =
+let serve servers capacity journal replay fsync faults trace listen shards window
+    access_log slow_ms coarsen =
   if trace then Aa_obs.Control.set_enabled true;
+  (* request contexts ride along with any of the telemetry surfaces *)
+  if trace || access_log <> None || slow_ms <> None then Aa_obs.Rctx.set_enabled true;
+  Option.iter Aa_obs.Rctx.set_slow_ms slow_ms;
   arm_faults faults;
   if shards < 1 then fail "--shards must be >= 1";
   if window < 0.0 then fail "--group-commit-window must be >= 0";
+  let coarsen_eps = Option.value coarsen ~default:0.0 in
+  if coarsen_eps < 0.0 || not (Float.is_finite coarsen_eps) then
+    fail "--coarsen must be a finite non-negative eps";
   let fsync =
     match Journal.fsync_of_string fsync with
     | Ok p -> p
     | Error e -> fail "--fsync: %s" e
   in
   let clock = Aa_obs.Clock.now_s in
-  if shards > 1 || listen <> None then
+  (* telemetry needs tickets that carry request contexts, which only
+     the sharded dispatch mints — route through it (n = 1 is
+     wire-identical to the classic loop) *)
+  if shards > 1 || listen <> None || access_log <> None || slow_ms <> None then
     serve_sharded ~servers ~capacity ~journal ~replay ~fsync ~clock ~listen ~shards
-      ~window
+      ~window ~access_log ~coarsen_eps
   else
   let engine =
     match (journal, replay) with
     | None, true -> fail "--replay requires --journal"
     | None, false ->
-        Engine.create ~clock
+        Engine.create ~clock ~coarsen_eps
           ~servers:(Option.value servers ~default:8)
           ~capacity:(Option.value capacity ~default:1000.0)
           ()
     | Some path, true -> (
-        match Engine.of_journal ~clock ~fsync ~path () with
+        match Engine.of_journal ~clock ~fsync ~coarsen_eps ~path () with
         | Ok engine ->
             check_flags engine servers capacity;
             engine
@@ -188,7 +234,7 @@ let serve servers capacity journal replay fsync faults trace listen shards windo
         let servers = Option.value servers ~default:8 in
         let capacity = Option.value capacity ~default:1000.0 in
         match Journal.create ~fsync ~path ~servers ~capacity () with
-        | Ok j -> Engine.create ~clock ~journal:j ~servers ~capacity ()
+        | Ok j -> Engine.create ~clock ~journal:j ~coarsen_eps ~servers ~capacity ()
         | Error e -> fail "%s" e)
   in
   Printf.eprintf "aa_serve: %d server(s), capacity %g%s, %d thread(s) active\n%!"
@@ -312,11 +358,44 @@ let main_cmd =
              commit). 0 (default) batches only what is already queued — no \
              added latency, amortization only under load.")
   in
+  let access_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSON line per acked request to $(docv): rid, kind, \
+             shard, outcome, reply bytes, total and per-phase latencies \
+             (validate/journal/apply) and group-commit wait. Written by the \
+             acking thread, flushed per line; see doc/observability.md.")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Capture any request slower than $(docv) milliseconds into a \
+             bounded keep-list: the SLOW request returns it as JSON, TRACE \
+             splices the kept spans into its export, and GET /tracez renders \
+             it as text. 0 captures every request.")
+  in
+  let coarsen =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "coarsen" ] ~docv:"EPS"
+          ~doc:
+            "Solve REBALANCE on an $(docv)-coarsened copy of the active \
+             instance (certified: each utility drops by at most $(docv)). \
+             STATS and /metrics then carry the guaranteed utility interval \
+             [utility_lower, utility_upper] and the alpha_bound_gap gauge.")
+  in
   Cmd.v
     (Cmd.info "aa_serve" ~version:"1.0.0"
        ~doc:"stateful AA allocation daemon (stdin/stdout and socket request loop)")
     Term.(
       const serve $ servers $ capacity $ journal $ replay $ fsync $ faults
-      $ trace $ listen $ shards $ window)
+      $ trace $ listen $ shards $ window $ access_log $ slow_ms $ coarsen)
 
 let () = exit (Cmd.eval main_cmd)

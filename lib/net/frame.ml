@@ -93,6 +93,3 @@ let write_all fd s =
   let n = Bytes.length b in
   let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
   go 0
-
-let write_reply fd ~framed payload =
-  write_all fd (if framed then encode payload else payload ^ "\n")

@@ -30,6 +30,3 @@ val read_msg : reader -> (msg, string) result option
 
 val write_all : Unix.file_descr -> string -> unit
 (** Write the whole string (restarting short writes). *)
-
-val write_reply : Unix.file_descr -> framed:bool -> string -> unit
-(** Send one reply line, framed iff the request was. *)

@@ -16,6 +16,7 @@ open Aa_service
 type pending =
   | P_ticket of Shard.ticket * bool (* awaiting dispatch; bool = framed *)
   | P_done of Shard.outcome * bool
+  | P_raw of string (* pre-rendered bytes (HTTP ops responses) *)
   | P_close
 
 type conn_queue = {
@@ -43,15 +44,86 @@ type t = {
   fd : Unix.file_descr;
   shard : Shard.t;
   on_crash : string -> unit;
+  access_log : Access_log.t option;
   sockpath : string option; (* unix-domain path, unlinked on stop *)
   mutable accept_thread : Thread.t option;
 }
+
+(* Connection ids tag request contexts and access-log records; 0 is the
+   daemon's stdin pseudo-connection, so sockets start at 1. *)
+let conn_ids = Atomic.make 1
 
 let bad_request message = Protocol.Err { code = Protocol.Bad_request; message }
 
 let safe_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let reader_loop shard fd cq =
+(* ---------- HTTP ops surface ---------- *)
+
+(* A plain-text protocol line never starts with "GET " (verbs are
+   single upper-case words), so an HTTP request line is detected inside
+   the existing raw/framed auto-detection at zero cost to the normal
+   path. One request per connection, [Connection: close] — the ops
+   surface is for curl and scrapers, not keep-alive browsers. *)
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let healthz shard =
+  let rows = Shard.health shard in
+  let crashed = Shard.crashed shard in
+  let degraded = Array.exists (fun h -> h.Shard.h_degraded) rows in
+  let status =
+    match crashed with Some _ -> "crashed" | None -> if degraded then "degraded" else "ok"
+  in
+  let b = Buffer.create 256 in
+  Printf.bprintf b "{\"status\":\"%s\"" status;
+  (match crashed with
+  | Some name -> Printf.bprintf b ",\"crash\":\"%s\"" (String.escaped name)
+  | None -> ());
+  Printf.bprintf b ",\"shards\":%d,\"shard_health\":[" (Array.length rows);
+  Array.iteri
+    (fun i h ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b
+        "{\"shard\":%d,\"active\":%d,\"degraded\":%b,\"journal_bytes\":%d,\"journal_lag\":%d}"
+        i h.Shard.h_active h.Shard.h_degraded h.Shard.h_journal_bytes h.Shard.h_journal_lag)
+    rows;
+  Buffer.add_string b "]}";
+  (crashed = None && not degraded, Buffer.contents b)
+
+let ops_response shard target =
+  match target with
+  | "/metrics" ->
+      http_response ~status:"200 OK" ~content_type:"text/plain; version=0.0.4"
+        (Aa_obs.Registry.expose ())
+  | "/healthz" ->
+      let live, body = healthz shard in
+      http_response
+        ~status:(if live then "200 OK" else "503 Service Unavailable")
+        ~content_type:"application/json" body
+  | "/tracez" ->
+      http_response ~status:"200 OK" ~content_type:"text/plain" (Aa_obs.Rctx.slow_text ())
+  | _ -> http_response ~status:"404 Not Found" ~content_type:"text/plain" "not found\n"
+
+let serve_http r shard cq request_line =
+  let target =
+    match String.split_on_char ' ' request_line with
+    | "GET" :: target :: _ -> target
+    | _ -> "/"
+  in
+  (* drain the header block; a torn or oversized header just ends it *)
+  (try
+     let rec drain () =
+       match Frame.read_line r with None | Some "" -> () | Some _ -> drain ()
+     in
+     drain ()
+   with Failure _ -> ());
+  q_push cq (P_raw (ops_response shard target));
+  q_push cq P_close
+
+let reader_loop shard ~conn fd cq =
   let r = Frame.reader fd in
   let rec go () =
     match Frame.read_msg r with
@@ -60,8 +132,11 @@ let reader_loop shard fd cq =
         (* a broken frame was an attempt at framing: mirror it back *)
         q_push cq (P_done (Shard.Reply (bad_request e), true));
         go ()
+    | Some (Ok { payload; framed = false })
+      when String.length payload >= 4 && String.sub payload 0 4 = "GET " ->
+        serve_http r shard cq payload
     | Some (Ok { payload; framed }) -> (
-        match Shard.post_line shard payload with
+        match Shard.post_line ~conn shard payload with
         | `Blank -> go ()
         | `Ticket tk ->
             q_push cq (P_ticket (tk, framed));
@@ -75,35 +150,68 @@ let reader_loop shard fd cq =
   in
   go ()
 
+let outcome_of : Protocol.response -> string = function
+  | Protocol.Err { code; _ } -> "err:" ^ Protocol.code_name code
+  | _ -> "ok"
+
+(* Close a ticket's request context from the acking side: finish stamps
+   total latency (and feeds slow capture), then the access log gets its
+   one record per request. Exactly once per ticket — the writer is the
+   only consumer. *)
+let finish_ticket t tk ~outcome ~bytes =
+  match Shard.rctx tk with
+  | None -> ()
+  | Some c -> (
+      ignore (Aa_obs.Rctx.finish c ~outcome);
+      match t.access_log with
+      | Some al -> Access_log.log al c ~outcome ~bytes
+      | None -> ())
+
 let writer_loop t fd cq =
+  (* send returns (keep_going, outcome, wire bytes) *)
   let send framed out =
     match out with
     | Shard.Reply resp ->
-        Frame.write_reply fd ~framed (Protocol.print_response resp);
-        true
+        let text = Protocol.print_response resp in
+        let wire = if framed then Frame.encode text else text ^ "\n" in
+        Frame.write_all fd wire;
+        (true, outcome_of resp, String.length wire)
     | Shard.Crashed name ->
         (* the simulated process death: the client sees its connection
            drop with the ack withheld, exactly like a real crash *)
         safe_close fd;
         t.on_crash name;
-        false
+        (false, "crashed", 0)
   in
   let rec go () =
     match q_pop cq with
     | P_close -> safe_close fd
+    | P_raw bytes ->
+        (try Frame.write_all fd bytes with Unix.Unix_error _ -> ());
+        go ()
     | P_ticket (tk, framed) ->
-        if (try send framed (Shard.await t.shard tk) with Unix.Unix_error _ -> false) then
-          go ()
-        else safe_close fd
+        let cont =
+          match send framed (Shard.await t.shard tk) with
+          | ok, outcome, bytes ->
+              finish_ticket t tk ~outcome ~bytes;
+              ok
+          | exception Unix.Unix_error _ ->
+              (* client went away mid-write: the request still ran *)
+              finish_ticket t tk ~outcome:"dropped" ~bytes:0;
+              false
+        in
+        if cont then go () else safe_close fd
     | P_done (out, framed) ->
-        if (try send framed out with Unix.Unix_error _ -> false) then go ()
+        if (try match send framed out with ok, _, _ -> ok with Unix.Unix_error _ -> false)
+        then go ()
         else safe_close fd
   in
   go ()
 
 let serve_conn t fd =
   let cq = { q_lock = Mutex.create (); q_cond = Condition.create (); q = Queue.create () } in
-  let _reader = Thread.create (fun () -> reader_loop t.shard fd cq) () in
+  let conn = Atomic.fetch_and_add conn_ids 1 in
+  let _reader = Thread.create (fun () -> reader_loop t.shard ~conn fd cq) () in
   let _writer = Thread.create (fun () -> writer_loop t fd cq) () in
   ()
 
@@ -144,7 +252,7 @@ let parse_addr s =
                 | { Unix.h_addr_list; _ } -> Ok (Unix.ADDR_INET (h_addr_list.(0), port))
                 | exception Not_found -> Error (Printf.sprintf "unknown host %S" host))))
 
-let serve ?(backlog = 64) ?(on_crash = fun _ -> ()) ~addr shard =
+let serve ?(backlog = 64) ?(on_crash = fun _ -> ()) ?access_log ~addr shard =
   (* a client closing mid-write must surface as EPIPE, not kill us *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let domain, sockpath =
@@ -167,7 +275,7 @@ let serve ?(backlog = 64) ?(on_crash = fun _ -> ()) ~addr shard =
         Unix.listen fd backlog
       with
       | () ->
-          let t = { fd; shard; on_crash; sockpath; accept_thread = None } in
+          let t = { fd; shard; on_crash; access_log; sockpath; accept_thread = None } in
           t.accept_thread <- Some (Thread.create (accept_loop t) ());
           Ok t
       | exception Unix.Unix_error (e, fn, _) ->

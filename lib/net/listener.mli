@@ -13,7 +13,24 @@
     fired) closes the client's connection with the ack withheld — what
     a real process death looks like from outside — and invokes
     [on_crash], which [aa_serve] uses to exit with the injected-crash
-    status (70). *)
+    status (70).
+
+    {b Ops surface.} The same port speaks just enough HTTP for
+    scrapers: a raw first line starting with ["GET "] (impossible as a
+    protocol line — verbs never parse as that token sequence) switches
+    the connection into one-shot HTTP mode. [GET /metrics] answers the
+    Prometheus exposition ({!Aa_obs.Registry.expose}), [GET /healthz] a
+    liveness JSON (503 when crashed or degraded; per-shard active
+    counts, degraded flags and journal lag), [GET /tracez] the
+    slow-request text tree ({!Aa_obs.Rctx.slow_text}); anything else is
+    404. One request per connection, [Connection: close].
+
+    {b Request contexts.} When {!Aa_obs.Rctx.enabled}, every posted
+    line carries a context tagged with this connection's id; the writer
+    thread finishes it after sending the reply (outcome ["ok"],
+    ["err:<code>"], ["dropped"] or ["crashed"]) and appends one
+    {!Aa_service.Access_log} record per acked request when the listener
+    was given a log. *)
 
 type t
 
@@ -25,13 +42,15 @@ val parse_addr : string -> (Unix.sockaddr, string) result
 val serve :
   ?backlog:int ->
   ?on_crash:(string -> unit) ->
+  ?access_log:Aa_service.Access_log.t ->
   addr:Unix.sockaddr ->
   Aa_service.Shard.t ->
   (t, string) result
 (** Bind, listen and start the accept thread. A stale unix-domain
     socket file at the path is unlinked first; TCP sockets get
     [SO_REUSEADDR]. [SIGPIPE] is ignored process-wide (a disconnecting
-    client must surface as [EPIPE], not kill the daemon). *)
+    client must surface as [EPIPE], not kill the daemon). [access_log]
+    receives one record per acked request (writer-thread side). *)
 
 val sockaddr : t -> Unix.sockaddr
 (** The bound address — the actual port when [serve] was given port 0. *)

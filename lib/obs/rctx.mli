@@ -1,0 +1,120 @@
+(** Request contexts: per-request identity carried through the daemon.
+
+    A context — [(rid, conn, kind)] plus routing and timing state — is
+    created once where a request enters the process and handed down by
+    value through shard routing, engine dispatch and group commit. A
+    domain working on behalf of a request scopes itself with
+    {!with_current}: the context lands in domain-local storage and the
+    {!Trace} per-domain tag, so every span recorded in scope carries
+    [(rid, shard, conn)]. Cross-shard barrier operations share one
+    context across N worker domains (each re-scoped with its own shard
+    id), which is what makes STATS/SNAPSHOT/REBALANCE export as a
+    single rid-linked trace.
+
+    {b Determinism contract}: rids, phase timings and slow captures are
+    schedule-dependent diagnostics — gauge/log side only, never
+    counters. Nothing here writes to stdout.
+
+    Overhead: with the layer disabled ({!enabled} false) no context is
+    created and {!phase} degrades to [Trace.span] (one atomic load when
+    tracing is also off). With contexts on, a phase costs two clock
+    samples and one mutex-guarded list update on its request's own
+    context. *)
+
+type t
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Master switch for context creation at the edges (listener, stdin
+    loop). Off by default; [aa_serve] turns it on when any of
+    [--access-log], [--slow-ms] or [--trace] is given. *)
+
+val create : kind:string -> conn:int -> t
+(** New context with the next request id (process-wide monotonic
+    counter) and a start timestamp. [kind] is the protocol verb
+    lower-cased ("admit", "stats", …); [conn] the transport connection
+    id (0 for stdin). *)
+
+val set_shard : t -> int -> unit
+(** Record the owning shard, set at routing time. Stays [-1] for
+    cross-shard barrier operations. *)
+
+val rid : t -> int
+val conn : t -> int
+val kind : t -> string
+val shard : t -> int
+
+val with_current : ?shard:int -> t -> (unit -> 'a) -> 'a
+(** Scope the calling domain to this context (exception-safe, restores
+    the previous scope — nesting works). [?shard] overrides the trace
+    shard tag for the scope: barrier workers pass their own shard id so
+    one rid spans N shards. *)
+
+val current : unit -> t option
+(** The calling domain's scoped context, if any. *)
+
+val phase : string -> (unit -> 'a) -> 'a
+(** [phase name f] times [f] against the current context: the duration
+    is accumulated under [name] (repeat phases sum), recorded as a
+    {!Trace} span, and — when slow capture is armed — kept as a span
+    tuple for the keep-list. Without a scoped context this is exactly
+    [Trace.span name f]. *)
+
+val mark_handled : t -> unit
+(** Stamp "engine dispatch finished" — the writer-visible latency after
+    this point is group-commit wait. *)
+
+val mark_committed : t -> unit
+(** Stamp "group commit durable"; sets {!commit_wait_ns} to the gap
+    since {!mark_handled}. No-op if [mark_handled] was never called
+    (non-mutating requests). *)
+
+val finish : t -> outcome:string -> int
+(** Close the context: stamps and returns total ns since creation, and
+    pushes a slow entry onto the keep-list when slow capture is armed
+    and the total meets the threshold. Call exactly once per request,
+    from the thread that acks it (listener writer / stdin loop). *)
+
+val total_ns : t -> int
+(** Total stamped by {!finish}, or elapsed-so-far before it. *)
+
+val commit_wait_ns : t -> int
+
+val phases : t -> (string * int) list
+(** Accumulated phase durations, sorted by name. *)
+
+val phase_ns : t -> string -> int
+(** One phase's accumulated ns (0 if never entered). *)
+
+(** {2 Slow-request capture} *)
+
+val set_slow_ms : float -> unit
+(** Arm slow capture: a finished request whose total latency is at
+    least this many milliseconds has its span subtree preserved into a
+    bounded keep-list. [0.] captures everything; negative disarms
+    (the default). *)
+
+val slow_armed : unit -> bool
+
+val set_slow_keep : int -> unit
+(** Keep-list bound (default 64, minimum 1); oldest entries drop
+    first. *)
+
+val slow_count : unit -> int
+val slow_clear : unit -> unit
+
+val slow_json : unit -> string
+(** One-line JSON array of kept slow requests, most recent first:
+    [{rid,kind,conn,shard,outcome,total_ns,spans:[{name,t0_ns,dur_ns,
+    shard}]}] — the SLOW verb's payload. *)
+
+val slow_chrome_events : unit -> string
+(** The kept spans as Chrome [trace_event] complete events (ph "X"),
+    comma-joined without surrounding brackets, for splicing into
+    {!Trace.to_chrome_json} output ([pid] 2, [tid] = shard). Empty
+    string when nothing is kept. *)
+
+val slow_text : unit -> string
+(** Human-readable rendering for [/tracez]: one block per kept request,
+    spans indented with shard tags and millisecond durations. *)

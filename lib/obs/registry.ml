@@ -89,12 +89,26 @@ let counters_reg : Counter.t list ref = ref []
 let gauges_reg : Gauge.t list ref = ref []
 let hists_reg : Hist.t list ref = ref []
 
+(* Callback gauges: sampled at snapshot time instead of stored. Used for
+   values another module already tracks (ring overwrite totals) without
+   a write on its hot path. Keyed by name; re-registration replaces. *)
+let gauge_fns_reg : (string * (unit -> float)) list ref = ref []
+
+(* HELP text per metric name (first registration wins, like edges). *)
+let helps : (string, string) Hashtbl.t = Hashtbl.create 16
+
 let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let counter name =
+let set_help name help =
+  match help with
+  | None -> ()
+  | Some h -> if not (Hashtbl.mem helps name) then Hashtbl.add helps name h
+
+let counter ?help name =
   locked (fun () ->
+      set_help name help;
       match List.find_opt (fun (c : Counter.t) -> String.equal c.name name) !counters_reg with
       | Some c -> c
       | None ->
@@ -102,8 +116,9 @@ let counter name =
           counters_reg := c :: !counters_reg;
           c)
 
-let gauge name =
+let gauge ?help name =
   locked (fun () ->
+      set_help name help;
       match List.find_opt (fun (g : Gauge.t) -> String.equal g.name name) !gauges_reg with
       | Some g -> g
       | None ->
@@ -111,14 +126,20 @@ let gauge name =
           gauges_reg := g :: !gauges_reg;
           g)
 
+let gauge_fn ?help name f =
+  locked (fun () ->
+      set_help name help;
+      gauge_fns_reg := (name, f) :: List.remove_assoc name !gauge_fns_reg)
+
 let default_edges = [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. |]
 
-let histogram ?(edges = default_edges) name =
+let histogram ?(edges = default_edges) ?help name =
   if Array.length edges = 0 then invalid_arg "Registry.histogram: empty edges";
   Array.iteri
     (fun i e -> if i > 0 && e <= edges.(i - 1) then invalid_arg "Registry.histogram: edges not increasing")
     edges;
   locked (fun () ->
+      set_help name help;
       match List.find_opt (fun (h : Hist.t) -> String.equal h.name name) !hists_reg with
       | Some h -> h
       | None ->
@@ -143,9 +164,15 @@ let counters () =
   |> List.map (fun (c : Counter.t) -> (c.name, Counter.value c))
 
 let gauges () =
-  locked (fun () -> !gauges_reg)
-  |> List.sort (by_name Gauge.name)
-  |> List.map (fun (g : Gauge.t) -> (g.name, Gauge.value g))
+  let stored =
+    locked (fun () -> !gauges_reg)
+    |> List.map (fun (g : Gauge.t) -> (g.name, Gauge.value g))
+  in
+  (* Sample callbacks outside the registry lock: a callback may itself
+     take locks (ring buffers), and must not deadlock registration. *)
+  let fns = locked (fun () -> !gauge_fns_reg) in
+  let sampled = List.map (fun (name, f) -> (name, f ())) fns in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) (stored @ sampled)
 
 let histograms () =
   locked (fun () -> !hists_reg)
@@ -179,21 +206,42 @@ let sanitize name =
       else '_')
     name
 
+(* HELP text escaping per the Prometheus text format: backslash first
+   (so escaped newlines are not double-escaped), then newline. *)
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let help_line b name n =
+  match locked (fun () -> Hashtbl.find_opt helps name) with
+  | None -> ()
+  | Some h -> Printf.bprintf b "# HELP %s %s\n" n (escape_help h)
+
 let expose () =
   let b = Buffer.create 1024 in
   List.iter
     (fun (name, v) ->
       let n = "aa_" ^ sanitize name in
+      help_line b name n;
       Printf.bprintf b "# TYPE %s counter\n%s %d\n" n n v)
     (counters ());
   List.iter
     (fun (name, v) ->
       let n = "aa_" ^ sanitize name in
+      help_line b name n;
       Printf.bprintf b "# TYPE %s gauge\n%s %.9g\n" n n v)
     (gauges ());
   List.iter
     (fun (name, (s : Hist.snapshot)) ->
       let n = "aa_" ^ sanitize name in
+      help_line b name n;
       Printf.bprintf b "# TYPE %s histogram\n" n;
       List.iter
         (fun (le, c) -> Printf.bprintf b "%s_bucket{le=\"%.9g\"} %d\n" n le c)

@@ -51,13 +51,23 @@ module Hist : sig
   val snapshot : t -> snapshot
 end
 
-val counter : string -> Counter.t
+val counter : ?help:string -> string -> Counter.t
 (** Find or register the counter with this name. Names use dotted
-    lower-case paths, e.g. ["algo2.heap_ops"]. *)
+    lower-case paths, e.g. ["algo2.heap_ops"]. [help], when given on the
+    first registration, becomes the metric's [# HELP] line in
+    {!expose}; later helps for the same name are ignored. *)
 
-val gauge : string -> Gauge.t
+val gauge : ?help:string -> string -> Gauge.t
 
-val histogram : ?edges:float array -> string -> Hist.t
+val gauge_fn : ?help:string -> string -> (unit -> float) -> unit
+(** Register a callback gauge: the function is sampled each time
+    {!gauges} (and hence {!dump} / {!expose}) takes a snapshot, instead
+    of storing a value. Re-registering the same name replaces the
+    callback. Callback gauges are skipped by {!reset} — they carry no
+    state of their own. The callback runs outside the registry lock and
+    must not call back into registration. *)
+
+val histogram : ?edges:float array -> ?help:string -> string -> Hist.t
 (** Find or register the histogram with this name. [edges] must be
     strictly increasing; the default covers powers of two 1..256. Edges
     passed on a second lookup of the same name are ignored (the first
@@ -67,7 +77,8 @@ val counters : unit -> (string * int) list
 (** Snapshot of every registered counter, sorted by name. *)
 
 val gauges : unit -> (string * float) list
-(** Snapshot of every registered gauge, sorted by name. *)
+(** Snapshot of every registered gauge, sorted by name. Callback gauges
+    ({!gauge_fn}) are sampled at snapshot time and merged in. *)
 
 val histograms : unit -> (string * Hist.snapshot) list
 (** Snapshot of every registered histogram, sorted by name. *)
@@ -83,4 +94,6 @@ val expose : unit -> string
 (** Prometheus text exposition: [# TYPE aa_<name> counter] /
     [aa_<name> <value>] lines, names sanitized to [[a-zA-Z0-9_]] with
     an [aa_] prefix. Histograms emit cumulative [_bucket{le="..."}]
-    lines plus [_sum] and [_count]. *)
+    lines plus [_sum] and [_count]. Metrics registered with [?help] get
+    a [# HELP] line first, with backslash and newline escaped per the
+    text-format rules ([\ ] → [\\ ], LF → [\n]). *)

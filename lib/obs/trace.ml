@@ -18,15 +18,38 @@
    they never crash on a torn read, but a span recorded concurrently
    with the dump may be missing from it. *)
 
-let capacity = 1 lsl 15
+let default_capacity = 1 lsl 15
+
+(* Ring size from the environment (AA_TRACE_RING): rounded up to a
+   power of two (slot indexing is a mask), clamped to [16, 2^26].
+   Unparseable or non-positive values fall back to the default — a bad
+   env var must never take the daemon down. *)
+let ring_capacity_of = function
+  | None -> default_capacity
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | None -> default_capacity
+      | Some n when n <= 0 -> default_capacity
+      | Some n ->
+          let n = min n (1 lsl 26) in
+          let rec pow2 p = if p >= n then p else pow2 (p * 2) in
+          pow2 16)
+
+let capacity = ring_capacity_of (Sys.getenv_opt "AA_TRACE_RING")
 
 type buf = {
   dom : int;
   names : string array;
   ts : int array;
   is_begin : bool array;
+  rids : int array;  (* request ctx per slot; -1 = untagged *)
+  shards : int array;
+  conns : int array;
   mutable head : int;  (* total events ever written; slot = head mod capacity *)
   mutable depth : int;  (* spans currently open on this domain *)
+  mutable cur_rid : int;  (* ctx applied to subsequent records *)
+  mutable cur_shard : int;
+  mutable cur_conn : int;
 }
 
 let reg_lock = Mutex.create ()
@@ -39,8 +62,14 @@ let make_buf () =
       names = Array.make capacity "";
       ts = Array.make capacity 0;
       is_begin = Array.make capacity false;
+      rids = Array.make capacity (-1);
+      shards = Array.make capacity (-1);
+      conns = Array.make capacity (-1);
       head = 0;
       depth = 0;
+      cur_rid = -1;
+      cur_shard = -1;
+      cur_conn = -1;
     }
   in
   Mutex.lock reg_lock;
@@ -50,12 +79,23 @@ let make_buf () =
 
 let key = Domain.DLS.new_key make_buf
 
+let set_ctx ~rid ~shard ~conn =
+  let b = Domain.DLS.get key in
+  b.cur_rid <- rid;
+  b.cur_shard <- shard;
+  b.cur_conn <- conn
+
+let clear_ctx () = set_ctx ~rid:(-1) ~shard:(-1) ~conn:(-1)
+
 let record name is_begin =
   let b = Domain.DLS.get key in
   let i = b.head land (capacity - 1) in
   b.names.(i) <- name;
   b.is_begin.(i) <- is_begin;
   b.ts.(i) <- Clock.now_ns ();
+  b.rids.(i) <- b.cur_rid;
+  b.shards.(i) <- b.cur_shard;
+  b.conns.(i) <- b.cur_conn;
   b.head <- b.head + 1;
   b
 
@@ -86,7 +126,15 @@ let span name f =
 
 (* --- export --------------------------------------------------------- *)
 
-type event = { domain : int; name : string; is_begin : bool; ts_ns : int }
+type event = {
+  domain : int;
+  name : string;
+  is_begin : bool;
+  ts_ns : int;
+  rid : int;  (* request ctx at record time; -1 = untagged *)
+  shard : int;
+  conn : int;
+}
 
 let all_buffers () =
   Mutex.lock reg_lock;
@@ -106,21 +154,26 @@ let buffer_events (b : buf) =
     let s = i land (capacity - 1) in
     let ts = b.ts.(s) in
     if ts > !last_ts then last_ts := ts;
+    let ctx = (b.rids.(s), b.shards.(s), b.conns.(s)) in
     if b.is_begin.(s) then begin
-      stack := b.names.(s) :: !stack;
-      out := { domain = b.dom; name = b.names.(s); is_begin = true; ts_ns = ts } :: !out
+      stack := (b.names.(s), ctx) :: !stack;
+      let rid, shard, conn = ctx in
+      out :=
+        { domain = b.dom; name = b.names.(s); is_begin = true; ts_ns = ts; rid; shard; conn }
+        :: !out
     end
     else
       match !stack with
       | [] -> () (* orphan end: its begin was overwritten *)
-      | n :: rest ->
+      | (n, (rid, shard, conn)) :: rest ->
           stack := rest;
-          out := { domain = b.dom; name = n; is_begin = false; ts_ns = ts } :: !out
+          out := { domain = b.dom; name = n; is_begin = false; ts_ns = ts; rid; shard; conn } :: !out
   done;
   (* spans still open at dump time: synthesize their ends *)
   List.iter
-    (fun n ->
-      out := { domain = b.dom; name = n; is_begin = false; ts_ns = !last_ts } :: !out)
+    (fun (n, (rid, shard, conn)) ->
+      out :=
+        { domain = b.dom; name = n; is_begin = false; ts_ns = !last_ts; rid; shard; conn } :: !out)
     !stack;
   List.rev !out
 
@@ -130,6 +183,16 @@ let recorded () = List.fold_left (fun acc b -> acc + b.head) 0 (all_buffers ())
 
 let overwritten () =
   List.fold_left (fun acc b -> acc + max 0 (b.head - capacity)) 0 (all_buffers ())
+
+(* Silent event loss must be visible: a callback gauge so /metrics
+   always carries the current overwrite total without a store on the
+   span hot path. Registered here (Trace already depends on Registry),
+   sampled at exposition time. *)
+let () =
+  Registry.gauge_fn
+    ~help:"Span ring events overwritten across all per-domain trace buffers"
+    "obs.trace.overwritten"
+    (fun () -> float_of_int (overwritten ()))
 
 let unbalanced () = List.fold_left (fun acc b -> acc + b.depth) 0 (all_buffers ())
 
@@ -167,10 +230,13 @@ let to_chrome_json ?(compact = false) () =
       Buffer.add_string b sep;
       Buffer.add_string b "{\"name\":\"";
       add_escaped b e.name;
-      Printf.bprintf b "\",\"cat\":\"aa\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+      Printf.bprintf b "\",\"cat\":\"aa\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d"
         (if e.is_begin then "B" else "E")
         (float_of_int e.ts_ns /. 1000.0)
-        e.domain)
+        e.domain;
+      if e.rid >= 0 then
+        Printf.bprintf b ",\"args\":{\"rid\":%d,\"shard\":%d,\"conn\":%d}" e.rid e.shard e.conn;
+      Buffer.add_char b '}')
     evs;
   Buffer.add_string b sep;
   Buffer.add_char b ']';

@@ -12,7 +12,14 @@ type t = {
   journal : Journal.t option;
   journal_retries : int;
   retry_backoff_s : float;
+  coarsen_eps : float;  (* REBALANCE coarsening budget; 0 = full resolution *)
   mutable degraded : bool;
+  mutable interval : (float * float * float) option;
+      (* last REBALANCE's certified (lower, upper, alpha_gap): the
+         coarsened solution's exact utility F(x') lies in
+         [F'(x'), F'(x') + n_active*eps]; alpha_gap = F̂ - online
+         (distance of the serving allocation from the superopt
+         certificate). Reported in STATS and the engine.* gauges. *)
 }
 
 (* Crash points of the dispatch path: [engine.dispatch] fires before a
@@ -30,8 +37,19 @@ let c_degraded_enter = Aa_obs.Registry.counter "engine.degraded.enter"
 let c_degraded_reject = Aa_obs.Registry.counter "engine.degraded.rejected"
 let c_degraded_exit = Aa_obs.Registry.counter "engine.degraded.exit"
 
+(* Certified-quality gauges, refreshed by REBALANCE (and by the sharded
+   barrier aggregate, which overwrites them with the global sums).
+   Schedule-dependent — the active set depends on arrival order — so
+   gauges, never counters. *)
+let g_utility = Aa_obs.Registry.gauge ~help:"Online utility of the serving allocation at the last REBALANCE" "engine.utility"
+let g_ulower = Aa_obs.Registry.gauge ~help:"Certified lower bound on the offline re-solve utility" "engine.utility_lower"
+let g_uupper = Aa_obs.Registry.gauge ~help:"Certified upper bound on the offline re-solve utility" "engine.utility_upper"
+let g_alpha = Aa_obs.Registry.gauge ~help:"Superopt certificate utility minus online utility at the last REBALANCE" "engine.alpha_bound_gap"
+
 let create ?(clock = Aa_obs.Clock.now_s) ?journal ?(journal_retries = 2)
-    ?(retry_backoff_s = 1e-3) ~servers ~capacity () =
+    ?(retry_backoff_s = 1e-3) ?(coarsen_eps = 0.0) ~servers ~capacity () =
+  if coarsen_eps < 0.0 || not (Float.is_finite coarsen_eps) then
+    invalid_arg "Engine.create: coarsen_eps must be finite and >= 0";
   {
     online = Online.create ~servers ~capacity;
     metrics = Metrics.create ();
@@ -39,7 +57,9 @@ let create ?(clock = Aa_obs.Clock.now_s) ?journal ?(journal_retries = 2)
     journal;
     journal_retries;
     retry_backoff_s;
+    coarsen_eps;
     degraded = false;
+    interval = None;
   }
 
 let servers t = Online.servers t.online
@@ -51,6 +71,7 @@ let degraded t = t.degraded
 let n_admitted t = Online.n_admitted t.online
 let n_active t = Online.n_active t.online
 let total_utility t = Online.total_utility t.online
+let utility_interval t = t.interval
 
 let err code fmt =
   Printf.ksprintf (fun message -> Protocol.Err { code; message }) fmt
@@ -76,7 +97,7 @@ let thread_err t i =
    only an error that survives every retry reaches dispatch, which then
    degrades the engine instead of failing each mutation independently. *)
 let journal_append t entry =
-  Aa_obs.Trace.span "journal" @@ fun () ->
+  Aa_obs.Rctx.phase "journal" @@ fun () ->
   match t.journal with
   | None -> Ok ()
   | Some j ->
@@ -130,32 +151,32 @@ let dispatch t (req : Protocol.request) : Protocol.response =
   match req with
   | (Admit _ | Depart _ | Update _) when t.degraded -> reject_degraded t
   | Admit u ->
-      if not (Aa_obs.Trace.span "validate" (fun () -> cap_ok t u)) then
+      if not (Aa_obs.Rctx.phase "validate" (fun () -> cap_ok t u)) then
         cap_err t u
       else begin
         match journal_append t (Journal.Admit u) with
         | Error e -> enter_degraded t e
         | Ok () ->
             Failpoint.crash_if fp_apply;
-            Aa_obs.Trace.span "apply" @@ fun () ->
+            Aa_obs.Rctx.phase "apply" @@ fun () ->
             let server = Online.admit ol u in
             Protocol.Admitted { id = Online.n_admitted ol - 1; server }
       end
   | Depart i ->
-      if not (Aa_obs.Trace.span "validate" (fun () -> Online.is_active ol i))
+      if not (Aa_obs.Rctx.phase "validate" (fun () -> Online.is_active ol i))
       then thread_err t i
       else begin
         match journal_append t (Journal.Depart i) with
         | Error e -> enter_degraded t e
         | Ok () ->
             Failpoint.crash_if fp_apply;
-            Aa_obs.Trace.span "apply" @@ fun () ->
+            Aa_obs.Rctx.phase "apply" @@ fun () ->
             Online.depart ol i;
             Protocol.Departed { id = i }
       end
   | Update (i, u) ->
       let valid =
-        Aa_obs.Trace.span "validate" @@ fun () ->
+        Aa_obs.Rctx.phase "validate" @@ fun () ->
         if not (Online.is_active ol i) then `No_thread
         else if not (cap_ok t u) then `Bad_cap
         else `Ok
@@ -168,7 +189,7 @@ let dispatch t (req : Protocol.request) : Protocol.response =
           | Error e -> enter_degraded t e
           | Ok () ->
               Failpoint.crash_if fp_apply;
-              Aa_obs.Trace.span "apply" @@ fun () ->
+              Aa_obs.Rctx.phase "apply" @@ fun () ->
               Online.update_utility ol i u;
               Protocol.Updated { id = i; server = Online.server_of ol i }))
   | Query i ->
@@ -193,7 +214,17 @@ let dispatch t (req : Protocol.request) : Protocol.response =
           ("degraded", if t.degraded then "1" else "0");
         ]
       in
-      Stats_report (gauges @ Metrics.report t.metrics)
+      let interval =
+        match t.interval with
+        | None -> []
+        | Some (lo, hi, alpha) ->
+            [
+              ("utility_lower", Printf.sprintf "%.9g" lo);
+              ("utility_upper", Printf.sprintf "%.9g" hi);
+              ("alpha_gap", Printf.sprintf "%.9g" alpha);
+            ]
+      in
+      Stats_report (gauges @ interval @ Metrics.report t.metrics)
   | Snapshot -> begin
       let done_ compacted =
         Protocol.Snapshot_done
@@ -223,12 +254,47 @@ let dispatch t (req : Protocol.request) : Protocol.response =
   | Rebalance ->
       if Online.n_active ol = 0 then begin
         Metrics.note_gap t.metrics 1.0;
+        t.interval <- Some (0.0, 0.0, 0.0);
         Rebalance_report { online = 0.0; offline = 0.0; gap = 1.0 }
       end
       else begin
         let inst = Online.active_instance ol in
         let online_u = Assignment.utility inst (Online.active_assignment ol) in
-        let offline_u = Assignment.utility inst (Algo2.solve inst) in
+        (* Offline re-solve, optionally on a certified eps-coarsened copy
+           of the instance (Plc.coarsen guarantees 0 <= f - f' <= eps
+           pointwise). The reported utility is always the EXACT utility
+           of the solved assignment, so coarsening loss is reflected
+           honestly; the certified interval brackets it:
+           F'(x') <= F(x') <= F'(x') + n_active*eps. *)
+        let x', lower =
+          if t.coarsen_eps > 0.0 then begin
+            let coarse =
+              Instance.create ~servers:inst.servers ~capacity:inst.capacity
+                (Array.map
+                   (fun u ->
+                     Utility.of_plc
+                       (Plc.coarsen ~eps:t.coarsen_eps (Utility.to_plc u)))
+                   inst.utilities)
+            in
+            let x' = Algo2.solve coarse in
+            (x', Assignment.utility coarse x')
+          end
+          else begin
+            let x' = Algo2.solve inst in
+            (x', Assignment.utility inst x')
+          end
+        in
+        let offline_u = Assignment.utility inst x' in
+        let upper = lower +. (float_of_int (Online.n_active ol) *. t.coarsen_eps) in
+        (* Superopt's F̂ upper-bounds ANY assignment's utility (Lemma
+           V.2): how far the serving allocation sits from that
+           certificate. *)
+        let alpha_gap = (Superopt.compute inst).Superopt.utility -. online_u in
+        t.interval <- Some (lower, upper, alpha_gap);
+        Aa_obs.Registry.Gauge.set g_utility online_u;
+        Aa_obs.Registry.Gauge.set g_ulower lower;
+        Aa_obs.Registry.Gauge.set g_uupper upper;
+        Aa_obs.Registry.Gauge.set g_alpha alpha_gap;
         let gap = if offline_u > 0.0 then online_u /. offline_u else 1.0 in
         Metrics.note_gap t.metrics gap;
         Rebalance_report { online = online_u; offline = offline_u; gap }
@@ -237,7 +303,19 @@ let dispatch t (req : Protocol.request) : Protocol.response =
       (* count then dump: a span recorded between the two calls can make
          the count lag the array by an entry — harmless for telemetry *)
       let events = Aa_obs.Trace.n_events () in
-      Trace_dump { events; json = Aa_obs.Trace.to_chrome_json ~compact:true () }
+      let json = Aa_obs.Trace.to_chrome_json ~compact:true () in
+      (* splice the preserved slow-request subtrees (complete events,
+         pid 2) into the array: a dump holds both the live ring and the
+         keep-list. "[]" stays "[]" when neither has anything. *)
+      let slow = Aa_obs.Rctx.slow_chrome_events () in
+      let json =
+        if slow = "" then json
+        else if json = "[]" then "[" ^ slow ^ "]"
+        else String.sub json 0 (String.length json - 1) ^ "," ^ slow ^ "]"
+      in
+      Trace_dump { events; json }
+  | Slow ->
+      Slow_dump { count = Aa_obs.Rctx.slow_count (); json = Aa_obs.Rctx.slow_json () }
 
 let kind_of : Protocol.request -> string = function
   | Admit _ -> "admit"
@@ -248,6 +326,7 @@ let kind_of : Protocol.request -> string = function
   | Snapshot -> "snapshot"
   | Rebalance -> "rebalance"
   | Trace -> "trace"
+  | Slow -> "slow"
 
 let response_ok : Protocol.response -> bool = function
   | Err _ -> false
@@ -291,23 +370,48 @@ let is_mut_ok : Protocol.response -> bool = function
    SNAPSHOT re-syncs the journal from memory and heals, exactly as for
    single-append failures. A [Failpoint.Crash] inside the commit window
    propagates: the process dies with every ack for the batch withheld. *)
-let handle_batch t (reqs : Protocol.request list) : Protocol.response list =
+let handle_batch ?ctxs t (reqs : Protocol.request list) : Protocol.response list =
+  let ctx i =
+    match ctxs with Some a when i < Array.length a -> a.(i) | Some _ | None -> None
+  in
+  (* Dispatch one request inside its context scope: spans recorded
+     during the dispatch are tagged (rid, shard, conn), and the
+     handled-mark starts the group-commit wait clock. *)
+  let run i req =
+    match ctx i with
+    | None -> handle t req
+    | Some c ->
+        Aa_obs.Rctx.with_current c (fun () ->
+            let r = handle t req in
+            Aa_obs.Rctx.mark_handled c;
+            r)
+  in
+  let run_all () = List.mapi run reqs in
+  let mark_committed () =
+    match ctxs with
+    | None -> ()
+    | Some a ->
+        Array.iter
+          (function Some c -> Aa_obs.Rctx.mark_committed c | None -> ())
+          a
+  in
   let multi = match reqs with [] | [ _ ] -> false | _ -> true in
   match t.journal with
-  | None -> List.map (handle t) reqs
-  | Some _ when t.degraded || not multi -> List.map (handle t) reqs
+  | None -> run_all ()
+  | Some _ when t.degraded || not multi -> run_all ()
   | Some j -> (
       match Journal.begin_group j with
       | Error e ->
           ignore (enter_degraded t e : Protocol.response);
-          List.map (handle t) reqs
+          run_all ()
       | Ok () -> (
-          let resps = List.map (handle t) reqs in
+          let resps = run_all () in
           let n_mut =
             List.fold_left (fun n r -> if is_mut_ok r then n + 1 else n) 0 resps
           in
           match Journal.commit_group j with
           | Ok _bytes ->
+              mark_committed ();
               if n_mut > 0 then
                 Aa_obs.Registry.Hist.observe h_batch (float_of_int n_mut);
               resps
@@ -365,12 +469,12 @@ let apply t entry =
         Ok ()
       end
 
-let of_journal ?clock ?fsync ?journal_retries ?retry_backoff_s ~path () =
+let of_journal ?clock ?fsync ?journal_retries ?retry_backoff_s ?coarsen_eps ~path () =
   let* j, entries = Journal.append_to ?fsync ~path () in
   let h = Journal.header j in
   let t =
-    create ?clock ?journal_retries ?retry_backoff_s ~journal:j ~servers:h.servers
-      ~capacity:h.capacity ()
+    create ?clock ?journal_retries ?retry_backoff_s ?coarsen_eps ~journal:j
+      ~servers:h.servers ~capacity:h.capacity ()
   in
   let rec go n = function
     | [] -> Ok t

@@ -52,6 +52,7 @@ val create :
   ?journal:Journal.t ->
   ?journal_retries:int ->
   ?retry_backoff_s:float ->
+  ?coarsen_eps:float ->
   servers:int ->
   capacity:float ->
   unit ->
@@ -61,7 +62,11 @@ val create :
     pass a fake. A failed journal append is retried [journal_retries]
     times (default 2) with exponential backoff starting at
     [retry_backoff_s] seconds (default 1e-3) before the engine
-    degrades. *)
+    degrades. [coarsen_eps > 0] makes REBALANCE solve a certified
+    eps-coarsened copy of the active instance ({!Aa_utility.Plc.coarsen})
+    and report the guaranteed utility interval; 0 (default) solves at
+    full resolution. Raises [Invalid_argument] on a negative or
+    non-finite eps. *)
 
 val servers : t -> int
 val capacity : t -> float
@@ -77,10 +82,20 @@ val n_admitted : t -> int
 val n_active : t -> int
 val total_utility : t -> float
 
+val utility_interval : t -> (float * float * float) option
+(** The last REBALANCE's certified [(lower, upper, alpha_gap)]: the
+    offline re-solve's exact utility lies in [[lower, upper]]
+    ([lower = upper] without coarsening), and [alpha_gap] is the
+    superopt certificate utility F̂ minus the online utility. [None]
+    until a REBALANCE has run. Also exported as the [engine.utility*]
+    and [engine.alpha_bound_gap] gauges and the
+    [utility_lower]/[utility_upper]/[alpha_gap] STATS keys. *)
+
 val handle : t -> Protocol.request -> Protocol.response
 (** Dispatch one request, recording metrics. Never raises. *)
 
-val handle_batch : t -> Protocol.request list -> Protocol.response list
+val handle_batch :
+  ?ctxs:Aa_obs.Rctx.t option array -> t -> Protocol.request list -> Protocol.response list
 (** Dispatch the requests strictly in order under {e one} journal group
     commit: mutations buffer in the journal's group batch and become
     durable together at a single write + fsync ({!Journal.commit_group})
@@ -93,7 +108,13 @@ val handle_batch : t -> Protocol.request list -> Protocol.response list
     acks withheld. Batches of length [<= 1], journal-less engines and
     already-degraded engines fall back to per-request {!handle}.
     Batch sizes are observed in the (schedule-dependent)
-    [engine.group_commit.batch_size] histogram. *)
+    [engine.group_commit.batch_size] histogram.
+
+    [ctxs], when given, is parallel to the request list: request [i]
+    dispatches inside [Rctx.with_current ctxs.(i)] (its spans tagged
+    with the request id), is marked handled when dispatch returns, and
+    marked committed after the group's fsync barrier — the gap is the
+    context's group-commit wait. *)
 
 val handle_line : t -> string -> Protocol.response option
 (** Parse and dispatch one wire line. [None] for blank/comment lines
@@ -115,6 +136,7 @@ val of_journal :
   ?fsync:Journal.fsync_policy ->
   ?journal_retries:int ->
   ?retry_backoff_s:float ->
+  ?coarsen_eps:float ->
   path:string ->
   unit ->
   (t, string) result

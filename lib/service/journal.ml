@@ -483,6 +483,7 @@ let path t = t.path
 let fsync_policy t = t.fsync
 let fsyncs t = t.fsyncs
 let bytes t = t.good_pos
+let pending_bytes t = match t.group with Some b -> Buffer.length b | None -> 0
 let close t = safe_close t.oc
 
 let fsync_of_string = function

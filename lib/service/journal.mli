@@ -143,6 +143,11 @@ val bytes : t -> int
 (** Byte offset just past the last durable entry — the journal's
     durable size, exported as the [shard.N.journal_bytes] gauge. *)
 
+val pending_bytes : t -> int
+(** Bytes buffered in the open group-commit batch, not yet durable —
+    the per-shard journal lag the /healthz ops endpoint reports. 0 when
+    no group is open. *)
+
 val close : t -> unit
 
 val print_entry : entry -> string

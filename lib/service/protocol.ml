@@ -9,6 +9,7 @@ type request =
   | Snapshot
   | Rebalance
   | Trace
+  | Slow
 
 type error_code = Bad_request | Bad_spec | No_thread | Journal_failed | Degraded
 
@@ -32,6 +33,7 @@ type response =
     }
   | Rebalance_report of { online : float; offline : float; gap : float }
   | Trace_dump of { events : int; json : string }
+  | Slow_dump of { count : int; json : string }
   | Err of { code : error_code; message : string }
 
 let code_name = function
@@ -71,6 +73,7 @@ let parse_request ~cap line =
   | [ "SNAPSHOT" ] -> Ok Snapshot
   | [ "REBALANCE" ] -> Ok Rebalance
   | [ "TRACE" ] -> Ok Trace
+  | [ "SLOW" ] -> Ok Slow
   | "ADMIT" :: (_ :: _ as spec) -> spec_of spec (fun u -> Ok (Admit u))
   | [ "ADMIT" ] -> fail Bad_request "usage: ADMIT <utility-spec>"
   | [ "DEPART"; tok ] -> id_of "DEPART" tok (fun i -> Ok (Depart i))
@@ -80,8 +83,8 @@ let parse_request ~cap line =
   | "UPDATE" :: _ -> fail Bad_request "usage: UPDATE <id> <utility-spec>"
   | [ "QUERY"; tok ] -> id_of "QUERY" tok (fun i -> Ok (Query i))
   | "QUERY" :: _ -> fail Bad_request "usage: QUERY <id>"
-  | ("STATS" | "SNAPSHOT" | "REBALANCE" | "TRACE") :: _ ->
-      fail Bad_request "STATS, SNAPSHOT, REBALANCE and TRACE take no arguments"
+  | ("STATS" | "SNAPSHOT" | "REBALANCE" | "TRACE" | "SLOW") :: _ ->
+      fail Bad_request "STATS, SNAPSHOT, REBALANCE, TRACE and SLOW take no arguments"
   | verb :: _ -> fail Bad_request "unknown request: %s" verb
 
 let print_request = function
@@ -94,6 +97,7 @@ let print_request = function
   | Snapshot -> "SNAPSHOT"
   | Rebalance -> "REBALANCE"
   | Trace -> "TRACE"
+  | Slow -> "SLOW"
 
 let one_line s = String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
 let flag b = if b then 1 else 0
@@ -116,5 +120,7 @@ let print_response = function
         offline gap
   | Trace_dump { events; json } ->
       Printf.sprintf "OK trace events %d %s" events (one_line json)
+  | Slow_dump { count; json } ->
+      Printf.sprintf "OK slow count %d %s" count (one_line json)
   | Err { code; message } ->
       Printf.sprintf "ERR %s %s" (code_name code) (one_line message)

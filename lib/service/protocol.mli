@@ -18,7 +18,11 @@
                                 set; reports the online/offline gap
     TRACE                       dump the in-process span buffer as one
                                 line of Chrome trace JSON (empty when
-                                tracing is off)
+                                tracing is off); slow-request captures
+                                are spliced in when armed
+    SLOW                        dump the slow-request keep-list as one
+                                line of JSON (empty when --slow-ms is
+                                not armed)
     v}
 
     Responses are a single [OK …] or [ERR <code> <message>] line; see
@@ -34,6 +38,7 @@ type request =
   | Snapshot
   | Rebalance
   | Trace
+  | Slow
 
 type error_code =
   | Bad_request  (** unknown verb or malformed arguments *)
@@ -69,6 +74,11 @@ type response =
       (** [json] is a compact (single-line) Chrome trace array; [events]
           counts its entries, [0] with an empty [[]] array when tracing
           is disabled *)
+  | Slow_dump of { count : int; json : string }
+      (** [json] is the compact {!Aa_obs.Rctx.slow_json} array of kept
+          slow requests, most recent first; [count] its length ([0] and
+          [[]] when slow capture is disarmed or nothing crossed the
+          threshold) *)
   | Err of { code : error_code; message : string }
 
 val tokens : string -> string list

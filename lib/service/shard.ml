@@ -24,6 +24,7 @@ type ticket = {
   t_cond : Condition.t;
   t_kind : string;
   t_t0 : float;
+  t_rctx : Aa_obs.Rctx.t option;  (* request context, when the Rctx layer is on *)
   mutable t_out : outcome option;
   mutable t_recorded : bool;
 }
@@ -31,7 +32,13 @@ type ticket = {
 (* Per-shard barrier contributions, kept typed so aggregation never
    re-parses a printed response. *)
 type bres =
-  | R_stats of { admitted : int; active : int; utility : float; degraded : bool }
+  | R_stats of {
+      admitted : int;
+      active : int;
+      utility : float;
+      degraded : bool;
+      interval : (float * float * float) option;
+    }
   | R_resp of Protocol.response
 
 type bkind = B_stats | B_snapshot | B_rebalance
@@ -76,6 +83,7 @@ let kind_of : Protocol.request -> string = function
   | Snapshot -> "snapshot"
   | Rebalance -> "rebalance"
   | Trace -> "trace"
+  | Slow -> "slow"
 
 let server_counts ~servers ~shards =
   if shards < 1 then invalid_arg "Shard.server_counts: shards must be >= 1";
@@ -87,15 +95,18 @@ let server_counts ~servers ~shards =
 
 (* ---------- tickets ---------- *)
 
-let ticket ~kind ~t0 =
+let ticket ~kind ~t0 ~rctx =
   {
     t_lock = Mutex.create ();
     t_cond = Condition.create ();
     t_kind = kind;
     t_t0 = t0;
+    t_rctx = rctx;
     t_out = None;
     t_recorded = false;
   }
+
+let rctx tk = tk.t_rctx
 
 (* Fill-once: a barrier ticket is shared by every shard's worker and a
    crash may race a normal delivery — the first outcome wins. *)
@@ -164,9 +175,18 @@ let rewrite_out t ~shard (r : Protocol.response) : Protocol.response =
           }
     | Err { code; message } ->
         Err { code; message = Printf.sprintf "%s [shard %d]" message shard }
-    | (Stats_report _ | Snapshot_done _ | Rebalance_report _ | Trace_dump _) as r -> r
+    | (Stats_report _ | Snapshot_done _ | Rebalance_report _ | Trace_dump _ | Slow_dump _) as r
+      -> r
 
 (* ---------- barriers ---------- *)
+
+(* Same registry slots engine.ml writes at REBALANCE; the barrier
+   aggregate overwrites them with fleet-wide sums so /metrics shows the
+   global certified interval, not the last shard's local one. *)
+let g_utility = Aa_obs.Registry.gauge "engine.utility"
+let g_ulower = Aa_obs.Registry.gauge "engine.utility_lower"
+let g_uupper = Aa_obs.Registry.gauge "engine.utility_upper"
+let g_alpha = Aa_obs.Registry.gauge "engine.alpha_bound_gap"
 
 let local_barrier eng = function
   | B_stats ->
@@ -176,6 +196,7 @@ let local_barrier eng = function
           active = Engine.n_active eng;
           utility = Engine.total_utility eng;
           degraded = Engine.degraded eng;
+          interval = Engine.utility_interval eng;
         }
   | B_snapshot -> R_resp (Engine.handle eng Protocol.Snapshot)
   | B_rebalance -> R_resp (Engine.handle eng Protocol.Rebalance)
@@ -221,10 +242,33 @@ let aggregate t (b : barrier) : Protocol.response =
           ("shards", string_of_int t.n);
         ]
       in
+      (* Certified-interval keys appear only once every shard has a
+         REBALANCE behind it: a partial sum would understate the global
+         bounds, so mixed Some/None drops the keys entirely. *)
+      let acc = ref (Some (0.0, 0.0, 0.0)) in
+      Array.iter
+        (function
+          | R_stats { interval = Some (lo, hi, a); _ } -> (
+              match !acc with
+              | Some (l, h, g) -> acc := Some (l +. lo, h +. hi, g +. a)
+              | None -> ())
+          | R_stats { interval = None; _ } -> acc := None
+          | R_resp _ -> ())
+        results;
+      let interval =
+        match !acc with
+        | Some (lo, hi, a) ->
+            [
+              ("utility_lower", Printf.sprintf "%.9g" lo);
+              ("utility_upper", Printf.sprintf "%.9g" hi);
+              ("alpha_gap", Printf.sprintf "%.9g" a);
+            ]
+        | None -> []
+      in
       Mutex.lock t.mlock;
       let m = Metrics.report t.metrics in
       Mutex.unlock t.mlock;
-      Stats_report (head @ per_shard @ m)
+      Stats_report (head @ interval @ per_shard @ m)
   | B_snapshot -> (
       let err = ref None in
       let active = ref 0 and admitted = ref 0 and utility = ref 0.0 and compacted = ref true in
@@ -257,6 +301,22 @@ let aggregate t (b : barrier) : Protocol.response =
       match !err with
       | Some e -> e
       | None ->
+          (let lo = ref 0.0 and hi = ref 0.0 and alpha = ref 0.0 and all = ref true in
+           Array.iter
+             (fun e ->
+               match Engine.utility_interval e with
+               | Some (l, h, a) ->
+                   lo := !lo +. l;
+                   hi := !hi +. h;
+                   alpha := !alpha +. a
+               | None -> all := false)
+             t.engines;
+           if !all then begin
+             Aa_obs.Registry.Gauge.set g_utility !online;
+             Aa_obs.Registry.Gauge.set g_ulower !lo;
+             Aa_obs.Registry.Gauge.set g_uupper !hi;
+             Aa_obs.Registry.Gauge.set g_alpha !alpha
+           end);
           let gap = if !offline > 0.0 then !online /. !offline else 1.0 in
           Rebalance_report { online = !online; offline = !offline; gap })
 
@@ -276,7 +336,13 @@ let do_barrier t ~shard eng (b : barrier) =
   match crashed with
   | Some name -> deliver b.b_ticket (Crashed name)
   | None ->
-      let res = local_barrier eng b.bkind in
+      (* one shared context, re-scoped per worker with its own shard id:
+         the exported trace shows a single rid spanning all shards *)
+      let res =
+        match b.b_ticket.t_rctx with
+        | Some c -> Aa_obs.Rctx.with_current ~shard c (fun () -> local_barrier eng b.bkind)
+        | None -> local_barrier eng b.bkind
+      in
       Mutex.lock t.lock;
       b.b_results.(shard) <- Some res;
       b.b_done <- b.b_done + 1;
@@ -301,7 +367,8 @@ let process t ~shard eng jobs =
     | [] -> ()
     | run ->
         pending := [];
-        let resps = Engine.handle_batch eng (List.map fst run) in
+        let ctxs = Array.of_list (List.map (fun (_, tk) -> tk.t_rctx) run) in
+        let resps = Engine.handle_batch ~ctxs eng (List.map fst run) in
         List.iter2
           (fun (_, tk) r -> deliver tk (Reply (rewrite_out t ~shard r)))
           run resps
@@ -420,6 +487,35 @@ let servers t = Array.fold_left (fun a e -> a + Engine.servers e) 0 t.engines
 let engines t = t.engines
 let crashed t = t.crashed
 
+(* ---------- health (diagnostic reads) ---------- *)
+
+type shard_health = {
+  h_active : int;
+  h_degraded : bool;
+  h_journal_bytes : int;
+  h_journal_lag : int;
+}
+
+(* Unsynchronized reads against live engines: each field is a single
+   load (or a Buffer length), so a concurrent burst can make the row
+   momentarily inconsistent — fine for the /healthz diagnostic, which
+   never feeds a counter. *)
+let health t =
+  Array.map
+    (fun e ->
+      let jb, lag =
+        match Engine.journal e with
+        | Some j -> (Journal.bytes j, Journal.pending_bytes j)
+        | None -> (0, 0)
+      in
+      {
+        h_active = Engine.n_active e;
+        h_degraded = Engine.degraded e;
+        h_journal_bytes = jb;
+        h_journal_lag = lag;
+      })
+    t.engines
+
 (* ---------- dispatch ---------- *)
 
 let enqueue_one t s job =
@@ -432,9 +528,17 @@ let enqueue_one t s job =
    can never interleave their per-shard ordering — the deadlock-freedom
    argument for the arrival phase); TRACE reads the process-global span
    buffer and rides shard 0's queue. *)
-let post t (req : Protocol.request) : ticket =
-  let tk = ticket ~kind:(kind_of req) ~t0:(t.clock ()) in
-  let local ~shard req = Request { req; ticket = tk } |> enqueue_one t shard in
+let post ?conn t (req : Protocol.request) : ticket =
+  let rctx =
+    if Aa_obs.Rctx.enabled () then
+      Some (Aa_obs.Rctx.create ~kind:(kind_of req) ~conn:(Option.value conn ~default:0))
+    else None
+  in
+  let tk = ticket ~kind:(kind_of req) ~t0:(t.clock ()) ~rctx in
+  let local ~shard req =
+    (match rctx with Some c -> Aa_obs.Rctx.set_shard c shard | None -> ());
+    Request { req; ticket = tk } |> enqueue_one t shard
+  in
   let barrier bkind =
     let b =
       { bkind; b_ticket = tk; b_results = Array.make t.n None; b_arrived = 0; b_done = 0 }
@@ -462,6 +566,7 @@ let post t (req : Protocol.request) : ticket =
              validation will reject with its usual message *)
           local ~shard:0 req
       | Trace -> local ~shard:0 Trace
+      | Slow -> local ~shard:0 Slow
       | Stats -> barrier B_stats
       | Snapshot -> barrier B_snapshot
       | Rebalance -> barrier B_rebalance);
@@ -470,13 +575,13 @@ let post t (req : Protocol.request) : ticket =
 
 let submit t req = await t (post t req)
 
-let post_line t line =
+let post_line ?conn t line =
   match Protocol.tokens line with
   | [] -> `Blank
   | _ :: _ -> (
       let t0 = t.clock () in
       match Protocol.parse_request ~cap:(capacity t) line with
-      | Ok req -> `Ticket (post t req)
+      | Ok req -> `Ticket (post ?conn t req)
       | Error resp ->
           Mutex.lock t.mlock;
           Metrics.record t.metrics ~kind:"malformed" ~ok:false ~latency:(t.clock () -. t0);

@@ -36,7 +36,16 @@
 
     {b Observability.} Per-shard gauges [shard.K.active_threads] and
     [shard.K.journal_bytes] are set after every burst; batch sizes feed
-    the [engine.group_commit.batch_size] histogram. All of these are
+    the [engine.group_commit.batch_size] histogram. When the
+    {!Aa_obs.Rctx} layer is enabled, {!post} mints a request context
+    per request: the owning shard is stamped at routing, engine
+    dispatch runs the request's phases under its scope
+    ({!Engine.handle_batch}'s [ctxs]), and barrier operations re-scope
+    the one shared context per worker — STATS/SNAPSHOT/REBALANCE export
+    as a single rid spanning every shard. The REBALANCE aggregate also
+    overwrites the [engine.utility*] / [engine.alpha_bound_gap] gauges
+    with fleet-wide sums, and STATS reports the summed certified
+    interval once every shard has rebalanced. All of these are
     schedule-dependent and quarantined from the counter determinism
     contract, like [Pool.stats]. *)
 
@@ -73,10 +82,31 @@ val engines : t -> Engine.t array
 val crashed : t -> string option
 (** The failpoint that killed the group, once one has. *)
 
-val post : t -> Protocol.request -> ticket
+type shard_health = {
+  h_active : int;
+  h_degraded : bool;
+  h_journal_bytes : int;  (** durable journal size ({!Journal.bytes}) *)
+  h_journal_lag : int;
+      (** bytes buffered in an open group commit, not yet durable *)
+}
+
+val health : t -> shard_health array
+(** One row per shard, read {e unsynchronized} against the live
+    engines: a concurrent burst can make a row momentarily
+    inconsistent. Diagnostic only (the /healthz ops endpoint); never
+    feed these into counters. *)
+
+val post : ?conn:int -> t -> Protocol.request -> ticket
 (** Enqueue a request and return immediately — the pipelining interface
     (a connection's reader posts while its writer awaits, giving the
-    group-commit window queue depth from one client). *)
+    group-commit window queue depth from one client). When
+    {!Aa_obs.Rctx.enabled}, a fresh request context is attached to the
+    ticket, tagged with [conn] (default 0, the stdin pseudo-connection). *)
+
+val rctx : ticket -> Aa_obs.Rctx.t option
+(** The ticket's request context, for the acking thread to
+    {!Aa_obs.Rctx.finish} (and access-log) after the reply is sent.
+    [None] when the Rctx layer was off at {!post} time. *)
 
 val await : t -> ticket -> outcome
 (** Block until the ticket resolves. First await records the request's
@@ -86,7 +116,7 @@ val submit : t -> Protocol.request -> outcome
 (** [await t (post t req)]. *)
 
 val post_line :
-  t -> string -> [ `Blank | `Ticket of ticket | `Immediate of outcome ]
+  ?conn:int -> t -> string -> [ `Blank | `Ticket of ticket | `Immediate of outcome ]
 (** {!post} for wire lines: parse and enqueue without blocking.
     [`Blank] for blank/comment lines (no response due), [`Immediate]
     for malformed ones (counted under the ["malformed"] metrics kind). *)

@@ -248,6 +248,50 @@ let test_listener_concurrent_clients () =
   if not (contains ~needle:(Printf.sprintf "admitted=%d" (2 * n_each)) reply)
   then Alcotest.failf "STATS after 2 clients x %d admits: %s" n_each reply
 
+(* ---------- rid-linked cross-shard traces ---------- *)
+
+let test_rebalance_rid_trace () =
+  (* a REBALANCE over 4 shards is one request context shared by all
+     barrier workers: every per-shard rebalance span must carry the
+     same rid while naming its own shard *)
+  let module Trace = Aa_obs.Trace in
+  Aa_obs.Control.set_enabled true;
+  Aa_obs.Rctx.set_enabled true;
+  Trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Aa_obs.Rctx.set_enabled false;
+      Aa_obs.Control.set_enabled false;
+      Trace.clear ())
+  @@ fun () ->
+  let sh = make_shard ~servers:8 ~shards:4 () in
+  for _ = 1 to 8 do
+    ignore (submit_ok sh (Protocol.Admit u_pow))
+  done;
+  (match submit_ok sh Protocol.Rebalance with
+  | Protocol.Rebalance_report _ -> ()
+  | r -> Alcotest.failf "unexpected %s" (Protocol.print_response r));
+  (* shutdown joins the worker domains: the rings are quiescent *)
+  Shard.shutdown sh;
+  let evs =
+    List.filter
+      (fun (e : Trace.event) -> e.name = "rebalance" && e.is_begin)
+      (Trace.events ())
+  in
+  if List.length evs < 4 then
+    Alcotest.failf "want >= 4 per-shard rebalance spans, got %d"
+      (List.length evs);
+  let uniq f = List.sort_uniq compare (List.map f evs) in
+  (match uniq (fun (e : Trace.event) -> e.rid) with
+  | [ rid ] when rid >= 0 -> ()
+  | rids ->
+      Alcotest.failf "rebalance spans carry %d distinct rids, want 1"
+        (List.length rids));
+  let shards_seen = uniq (fun (e : Trace.event) -> e.shard) in
+  if List.length shards_seen < 2 then
+    Alcotest.failf "rebalance trace names %d shard(s), want >= 2"
+      (List.length shards_seen)
+
 (* ---------- end-to-end: aa_serve --listen ---------- *)
 
 let serve_bin =
@@ -345,6 +389,241 @@ let test_e2e_two_clients () =
   if not (contains ~needle:"listening on unix:" err) then
     Alcotest.failf "startup banner missing: %s" err
 
+(* ---------- end-to-end: HTTP ops surface ---------- *)
+
+(* One-shot HTTP GET against the daemon's protocol port: write the
+   request, read to EOF (the ops surface closes after one response),
+   return (status code, header block, body). *)
+let http_get addr target =
+  with_client addr @@ fun fd _r ->
+  Frame.write_all fd
+    (Printf.sprintf "GET %s HTTP/1.1\r\nHost: aa\r\nAccept: */*\r\n\r\n" target);
+  let b = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes b chunk 0 n;
+        drain ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  in
+  drain ();
+  let resp = Buffer.contents b in
+  let split = "\r\n\r\n" in
+  let cut =
+    let n = String.length split and h = String.length resp in
+    let rec at i =
+      if i + n > h then
+        Alcotest.failf "no header/body split in %S" (String.sub resp 0 (min h 80))
+      else if String.sub resp i n = split then i
+      else at (i + 1)
+    in
+    at 0
+  in
+  let head = String.sub resp 0 cut in
+  let body = String.sub resp (cut + 4) (String.length resp - cut - 4) in
+  let code =
+    match String.split_on_char ' ' head with
+    | "HTTP/1.1" :: c :: _ -> int_of_string c
+    | _ -> Alcotest.failf "bad status line: %S" head
+  in
+  (code, head, body)
+
+(* Minimal Prometheus text-format check: every line is a # comment or
+   [name value] with a sane metric name and a parseable value. *)
+let check_prometheus_exposition body =
+  String.split_on_char '\n' body
+  |> List.iter (fun line ->
+         if line <> "" && line.[0] <> '#' then
+           match String.split_on_char ' ' line with
+           | [ name; value ] ->
+               let name_ok =
+                 name <> ""
+                 && String.for_all
+                      (function
+                        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '{'
+                        | '}' | '=' | '"' | '+' | '.' | '-' ->
+                            true
+                        | _ -> false)
+                      name
+               in
+               if not name_ok then Alcotest.failf "bad metric name: %S" line;
+               if float_of_string_opt value = None then
+                 Alcotest.failf "unparseable sample value: %S" line
+           | _ -> Alcotest.failf "not a [name value] sample line: %S" line)
+
+let test_e2e_ops_endpoints () =
+  let code, _err =
+    with_daemon
+      [ "-m"; "4"; "-C"; "10"; "--shards"; "2"; "--trace"; "--coarsen"; "0.1" ]
+      (fun addr _close ->
+        (* populate, then REBALANCE so the certified gauges are live *)
+        (with_client addr @@ fun fd r ->
+         for i = 0 to 3 do
+           let reply =
+             roundtrip ~framed:false fd r "ADMIT power 4 0.5"
+           in
+           if not (contains ~needle:"OK admit" reply) then
+             Alcotest.failf "admit %d: %s" i reply
+         done;
+         let reply = roundtrip ~framed:false fd r "REBALANCE" in
+         if not (contains ~needle:"OK rebalance" reply) then
+           Alcotest.failf "REBALANCE: %s" reply);
+        (* /metrics: Prometheus exposition with the utility-interval
+           gauges, scraped over the same port as the protocol *)
+        let code, head, body = http_get addr "/metrics" in
+        Alcotest.(check int) "/metrics status" 200 code;
+        if not (contains ~needle:"Content-Type: text/plain" head) then
+          Alcotest.failf "/metrics content type: %s" head;
+        check_prometheus_exposition body;
+        List.iter
+          (fun needle ->
+            if not (contains ~needle body) then
+              Alcotest.failf "/metrics missing %s" needle)
+          [
+            "# TYPE aa_engine_utility gauge"; "aa_engine_utility_lower";
+            "aa_engine_utility_upper"; "aa_engine_alpha_bound_gap";
+            "aa_obs_trace_overwritten";
+          ];
+        String.split_on_char '\n' body
+        |> List.iter (fun line ->
+               match String.split_on_char ' ' line with
+               | [ "aa_engine_utility"; v ] ->
+                   if not (float_of_string v > 0.0) then
+                     Alcotest.failf "utility gauge not live: %s" line
+               | _ -> ());
+        (* /healthz: liveness JSON with per-shard rows *)
+        let code, head, body = http_get addr "/healthz" in
+        Alcotest.(check int) "/healthz status" 200 code;
+        if not (contains ~needle:"application/json" head) then
+          Alcotest.failf "/healthz content type: %s" head;
+        List.iter
+          (fun needle ->
+            if not (contains ~needle body) then
+              Alcotest.failf "/healthz missing %s: %s" needle body)
+          [ "\"status\":\"ok\""; "\"shards\":2"; "\"shard_health\"" ];
+        (* /tracez always answers, even with nothing captured *)
+        let code, _, _ = http_get addr "/tracez" in
+        Alcotest.(check int) "/tracez status" 200 code;
+        let code, _, _ = http_get addr "/nope" in
+        Alcotest.(check int) "unknown path" 404 code)
+  in
+  Alcotest.(check int) "clean exit" 0 code
+
+(* ---------- end-to-end: access log ---------- *)
+
+let alog_keys =
+  [
+    "\"ts\":"; "\"rid\":"; "\"conn\":"; "\"kind\":"; "\"shard\":";
+    "\"outcome\":"; "\"bytes\":"; "\"total_ns\":"; "\"validate_ns\":";
+    "\"journal_ns\":"; "\"apply_ns\":"; "\"commit_wait_ns\":";
+  ]
+
+let alog_int_field line key =
+  let tag = "\"" ^ key ^ "\":" in
+  let n = String.length tag and h = String.length line in
+  let rec at i =
+    if i + n > h then Alcotest.failf "no %s in %S" key line
+    else if String.sub line i n = tag then i + n
+    else at (i + 1)
+  in
+  let start = at 0 in
+  let stop = ref start in
+  while
+    !stop < h && (match line.[!stop] with '0' .. '9' | '-' -> true | _ -> false)
+  do
+    incr stop
+  done;
+  int_of_string (String.sub line start (!stop - start))
+
+let test_e2e_access_log () =
+  let log_path = Filename.temp_file "aa_net_alog" ".jsonl" in
+  let n_each = 8 in
+  let code, _err =
+    with_daemon
+      [ "-m"; "4"; "-C"; "10"; "--shards"; "2"; "--access-log"; log_path ]
+      (fun addr _close ->
+        let errors = Mutex.create () and errs = ref [] in
+        (* two clients pipeline their bursts concurrently — the log must
+           still come out one complete record per acked request *)
+        let client framed () =
+          try
+            with_client addr @@ fun fd r ->
+            let lines = List.init n_each (fun _ -> "ADMIT power 4 0.5") in
+            String.concat ""
+              (List.map
+                 (fun s -> if framed then Frame.encode s else s ^ "\n")
+                 lines)
+            |> Frame.write_all fd;
+            List.iter
+              (fun _ ->
+                match Frame.read_msg r with
+                | Some (Ok m) ->
+                    if not (contains ~needle:"OK admit" m.payload) then
+                      failwith ("not an ack: " ^ m.payload)
+                | Some (Error e) -> failwith e
+                | None -> failwith "closed early")
+              lines
+          with e ->
+            Mutex.lock errors;
+            errs := Printexc.to_string e :: !errs;
+            Mutex.unlock errors
+        in
+        let t1 = Thread.create (client false) () in
+        let t2 = Thread.create (client true) () in
+        Thread.join t1;
+        Thread.join t2;
+        (match !errs with [] -> () | e :: _ -> Alcotest.fail e);
+        with_client addr @@ fun fd r ->
+        let reply = roundtrip ~framed:false fd r "STATS" in
+        if not (contains ~needle:(Printf.sprintf "admitted=%d" (2 * n_each)) reply)
+        then Alcotest.failf "STATS: %s" reply)
+  in
+  Alcotest.(check int) "clean exit" 0 code;
+  let raw = In_channel.with_open_text log_path In_channel.input_all in
+  Sys.remove log_path;
+  (* JSONL with a tolerated torn tail: complete records are exactly the
+     newline-terminated lines; anything after the last newline is a torn
+     fragment a crash may leave and readers must skip *)
+  let records =
+    String.split_on_char '\n' raw
+    |> List.filteri (fun i line ->
+           let complete = contains ~needle:"}" line in
+           if (not complete) && line <> "" then begin
+             let n_lines = List.length (String.split_on_char '\n' raw) in
+             if i <> n_lines - 1 then
+               Alcotest.failf "torn record not at the tail: %S" line
+           end;
+           complete)
+  in
+  Alcotest.(check int) "one record per acked request"
+    ((2 * n_each) + 1)
+    (List.length records);
+  List.iter
+    (fun line ->
+      if line.[0] <> '{' || line.[String.length line - 1] <> '}' then
+        Alcotest.failf "not a JSON object line: %S" line;
+      List.iter
+        (fun key ->
+          if not (contains ~needle:key line) then
+            Alcotest.failf "record missing %s: %S" key line)
+        alog_keys;
+      if not (contains ~needle:"\"outcome\":\"ok\"" line) then
+        Alcotest.failf "outcome not ok: %S" line;
+      if alog_int_field line "total_ns" <= 0 then
+        Alcotest.failf "total_ns not stamped: %S" line)
+    records;
+  let rids = List.map (fun l -> alog_int_field l "rid") records in
+  Alcotest.(check int) "rids unique"
+    (List.length rids)
+    (List.length (List.sort_uniq compare rids));
+  let kinds k =
+    List.length (List.filter (contains ~needle:(Printf.sprintf "\"kind\":%S" k)) records)
+  in
+  Alcotest.(check int) "admit records" (2 * n_each) (kinds "admit");
+  Alcotest.(check int) "stats records" 1 (kinds "stats")
+
 let test_e2e_group_commit_crash_exits_70 () =
   (* a crash failpoint inside the group-commit window: the daemon dies
      with acks withheld and the injected-crash status, exactly like the
@@ -397,6 +676,8 @@ let () =
           Alcotest.test_case "routing" `Quick test_shard_routing;
           Alcotest.test_case "n=1 wire identity" `Quick
             test_single_shard_wire_identity;
+          Alcotest.test_case "rebalance rid-linked trace" `Quick
+            test_rebalance_rid_trace;
         ] );
       ( "listener",
         [
@@ -406,6 +687,9 @@ let () =
       ( "daemon",
         [
           Alcotest.test_case "two clients e2e" `Quick test_e2e_two_clients;
+          Alcotest.test_case "ops endpoints over the socket" `Quick
+            test_e2e_ops_endpoints;
+          Alcotest.test_case "access log e2e" `Quick test_e2e_access_log;
           Alcotest.test_case "group-commit crash exits 70" `Quick
             test_e2e_group_commit_crash_exits_70;
         ] );

@@ -10,15 +10,23 @@ open Aa_parallel
 (* Every test starts from a clean, enabled observability state and
    leaves the switch off; span buffers persist per domain, so clear
    them too. *)
+let reset_rctx () =
+  Rctx.set_enabled false;
+  Rctx.set_slow_ms (-1.0);
+  Rctx.slow_clear ();
+  Rctx.set_slow_keep 64
+
 let with_obs f () =
   Control.set_enabled false;
   Registry.reset ();
   Trace.clear ();
+  reset_rctx ();
   Fun.protect
     ~finally:(fun () ->
       Control.set_enabled false;
       Registry.reset ();
-      Trace.clear ())
+      Trace.clear ();
+      reset_rctx ())
     (fun () ->
       Control.set_enabled true;
       f ())
@@ -202,16 +210,72 @@ let test_expose_format () =
     "histogram count line" true
     (contains "aa_test_expose_hist_count 1");
   (* exposition must never contain unsanitized metric characters; the
-     brace/equals/double-quote label syntax of histogram buckets is the
-     one sanctioned exception *)
+     brace/equals/double-quote label syntax of histogram buckets and
+     the backslash of HELP-text escaping are the sanctioned
+     exceptions *)
   String.iter
     (fun ch ->
       match ch with
       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ' ' | '\n' | '#' | '.'
-      | '-' | '+' | '{' | '}' | '=' | '"' ->
+      | '-' | '+' | '{' | '}' | '=' | '"' | '\\' ->
           ()
       | _ -> Alcotest.failf "unexpected character %C in exposition" ch)
     text
+
+let contains_in hay s =
+  let n = String.length hay and k = String.length s in
+  let rec at i = i + k <= n && (String.sub hay i k = s || at (i + 1)) in
+  at 0
+
+let test_help_lines_and_escaping () =
+  ignore (Registry.counter ~help:"plain help text" "test.help-c");
+  let text = Registry.expose () in
+  Alcotest.(check bool)
+    "HELP precedes TYPE" true
+    (contains_in text "# HELP aa_test_help_c plain help text\n# TYPE aa_test_help_c counter");
+  (* first registration wins, like histogram edges *)
+  ignore (Registry.counter ~help:"usurper" "test.help-c");
+  Alcotest.(check bool)
+    "first help wins" true
+    (contains_in (Registry.expose ()) "# HELP aa_test_help_c plain help text");
+  Alcotest.(check bool) "no usurper" false (contains_in (Registry.expose ()) "usurper");
+  (* no help registered -> no HELP line *)
+  ignore (Registry.counter "test.help-none");
+  Alcotest.(check bool)
+    "helpless metric has no HELP line" false
+    (contains_in (Registry.expose ()) "# HELP aa_test_help_none")
+
+let test_help_hostile_text () =
+  (* backslashes and newlines in help must be escaped per the
+     Prometheus text format: \\ first, then \n — the exposition stays
+     one logical line per HELP *)
+  ignore (Registry.gauge ~help:"back\\slash\nsecond line" "test.help-hostile");
+  let text = Registry.expose () in
+  Alcotest.(check bool)
+    "escaped backslash then newline" true
+    (contains_in text "# HELP aa_test_help_hostile back\\\\slash\\nsecond line\n");
+  (* hostile metric NAME is sanitized in the HELP line too *)
+  ignore (Registry.counter ~help:"odd name" "test.help oh/no");
+  Alcotest.(check bool)
+    "sanitized name in HELP" true
+    (contains_in (Registry.expose ()) "# HELP aa_test_help_oh_no odd name")
+
+let test_gauge_fn () =
+  let v = ref 2.5 in
+  Registry.gauge_fn ~help:"callback gauge" "test.fn-gauge" (fun () -> !v);
+  let lookup () = List.assoc_opt "test.fn-gauge" (Registry.gauges ()) in
+  Alcotest.(check (option (float 0.0))) "sampled" (Some 2.5) (lookup ());
+  v := 7.0;
+  Alcotest.(check (option (float 0.0))) "live" (Some 7.0) (lookup ());
+  (* reset clears stored gauges but cannot clear a callback *)
+  Registry.reset ();
+  Alcotest.(check (option (float 0.0))) "survives reset" (Some 7.0) (lookup ());
+  (* re-registration replaces *)
+  Registry.gauge_fn "test.fn-gauge" (fun () -> 1.0);
+  Alcotest.(check (option (float 0.0))) "replaced" (Some 1.0) (lookup ());
+  Alcotest.(check bool)
+    "exposed as a gauge" true
+    (contains_in (Registry.expose ()) "# TYPE aa_test_fn_gauge gauge")
 
 (* ---------- solver counters: deterministic across job counts ---------- *)
 
@@ -257,13 +321,36 @@ let test_span_nesting_and_text_tree () =
 
 let test_ring_overwrite_counter () =
   Alcotest.(check int) "starts at zero" 0 (Trace.overwritten ());
-  (* 20k spans = 40k events into a 32768-slot ring: oldest overwritten *)
-  for _ = 1 to 20_000 do
+  (* capacity spans = 2*capacity events into a capacity-slot ring:
+     oldest overwritten *)
+  for _ = 1 to Trace.capacity do
     Trace.span "w" (fun () -> ())
   done;
   Alcotest.(check bool) "counts overwrites" true (Trace.overwritten () > 0);
+  (* the registry mirrors the total through a callback gauge *)
+  (match List.assoc_opt "obs.trace.overwritten" (Registry.gauges ()) with
+  | Some v -> Alcotest.(check bool) "gauge mirrors count" true (v > 0.0)
+  | None -> Alcotest.fail "obs.trace.overwritten gauge missing");
+  Alcotest.(check bool)
+    "in the exposition" true
+    (contains_in (Registry.expose ()) "# TYPE aa_obs_trace_overwritten gauge");
   Trace.clear ();
   Alcotest.(check int) "clear resets" 0 (Trace.overwritten ())
+
+let test_ring_capacity_of () =
+  let cap s = Trace.ring_capacity_of s in
+  Alcotest.(check int) "unset = default" 32768 (cap None);
+  Alcotest.(check int) "garbage = default" 32768 (cap (Some "lots"));
+  Alcotest.(check int) "zero = default" 32768 (cap (Some "0"));
+  Alcotest.(check int) "negative = default" 32768 (cap (Some "-4"));
+  Alcotest.(check int) "floor 16" 16 (cap (Some "3"));
+  Alcotest.(check int) "rounded up to a power of two" 4096 (cap (Some "3000"));
+  Alcotest.(check int) "exact power kept" 65536 (cap (Some "65536"));
+  Alcotest.(check int) "whitespace tolerated" 1024 (cap (Some " 1024 "));
+  Alcotest.(check int) "clamped to 2^26" (1 lsl 26) (cap (Some "999999999999"));
+  Alcotest.(check bool)
+    "live capacity is a power of two" true
+    (Trace.capacity >= 16 && Trace.capacity land (Trace.capacity - 1) = 0)
 
 let test_span_exception_safe () =
   (match Trace.span "boom" (fun () -> failwith "x") with
@@ -426,24 +513,40 @@ let test_chrome_json_escaping () =
 let test_spans_across_pool_domains () =
   let domains = 4 in
   let seen = Array.make 64 0 in
-  Pool.with_pool ~domains (fun pool ->
-      Pool.run pool ~n:512 ~chunk:4 (fun ~lo ~hi ->
-          Trace.span "work" (fun () ->
-              (* spread real work so several domains claim chunks *)
-              let acc = ref 0.0 in
-              for i = lo to hi - 1 do
-                for k = 0 to 5_000 do
-                  acc := !acc +. Float.of_int (i + k)
-                done
-              done;
-              ignore (Sys.opaque_identity !acc);
-              let d = (Domain.self () :> int) in
-              seen.(d mod 64) <- 1)));
+  let run_once () =
+    Pool.with_pool ~domains (fun pool ->
+        Pool.run pool ~n:512 ~chunk:4 (fun ~lo ~hi ->
+            Trace.span "work" (fun () ->
+                (* spread real work so several domains claim chunks *)
+                let acc = ref 0.0 in
+                for i = lo to hi - 1 do
+                  for k = 0 to 5_000 do
+                    acc := !acc +. Float.of_int (i + k)
+                  done
+                done;
+                ignore (Sys.opaque_identity !acc);
+                let d = (Domain.self () :> int) in
+                seen.(d mod 64) <- 1)))
+  in
+  let module IS = Set.Make (Int) in
+  let domains_seen () =
+    List.fold_left
+      (fun s (e : Trace.event) -> IS.add e.domain s)
+      IS.empty (Trace.events ())
+  in
+  (* On a loaded 1-core box the caller can occasionally drain all 128
+     chunks before any worker domain wakes; retry a few times — the
+     events accumulate in the ring, so one multi-domain run suffices. *)
+  let attempts = ref 0 in
+  run_once ();
+  while IS.cardinal (domains_seen ()) < 2 && !attempts < 4 do
+    incr attempts;
+    run_once ()
+  done;
   Alcotest.(check int) "balanced at quiescence" 0 (Trace.unbalanced ());
   let json = Trace.to_chrome_json () in
   validate_json json;
   let events = Trace.events () in
-  let module IS = Set.Make (Int) in
   let doms =
     List.fold_left (fun s (e : Trace.event) -> IS.add e.domain s) IS.empty events
   in
@@ -498,6 +601,143 @@ let test_pool_stats_zero_when_disabled () =
             Array.fold_left (fun acc (s : Pool.stat) -> acc + s.chunks) 0 (Pool.stats pool)
           in
           Alcotest.(check int) "no attribution while off" 0 chunks))
+
+(* ---------- request contexts ---------- *)
+
+let test_rctx_rid_monotonic () =
+  let a = Rctx.create ~kind:"admit" ~conn:1 in
+  let b = Rctx.create ~kind:"stats" ~conn:2 in
+  let c = Rctx.create ~kind:"query" ~conn:1 in
+  Alcotest.(check bool) "rids strictly increase" true
+    (Rctx.rid a < Rctx.rid b && Rctx.rid b < Rctx.rid c);
+  Alcotest.(check string) "kind kept" "stats" (Rctx.kind b);
+  Alcotest.(check int) "conn kept" 2 (Rctx.conn b);
+  Alcotest.(check int) "unrouted shard" (-1) (Rctx.shard a);
+  Rctx.set_shard a 3;
+  Alcotest.(check int) "routed shard" 3 (Rctx.shard a)
+
+let test_rctx_phase_accumulation () =
+  let c = Rctx.create ~kind:"admit" ~conn:0 in
+  (* the clock has ~1 us resolution: spin until it advances so every
+     phase measures strictly positive *)
+  let spin () =
+    let t0 = Aa_obs.Clock.now_ns () in
+    while Aa_obs.Clock.now_ns () - t0 = 0 do
+      ignore (Sys.opaque_identity 1)
+    done
+  in
+  Rctx.with_current c (fun () ->
+      Rctx.phase "validate" spin;
+      Rctx.phase "apply" spin;
+      Rctx.phase "validate" spin);
+  Alcotest.(check bool) "repeat phases accumulate" true (Rctx.phase_ns c "validate" > 0);
+  Alcotest.(check bool) "apply timed" true (Rctx.phase_ns c "apply" > 0);
+  Alcotest.(check int) "unentered phase is 0" 0 (Rctx.phase_ns c "journal");
+  Alcotest.(check (list string))
+    "phases sorted by name" [ "apply"; "validate" ]
+    (List.map fst (Rctx.phases c));
+  (* without a scoped context, phase is exactly Trace.span *)
+  Rctx.phase "solo" (fun () -> ());
+  let names =
+    List.filter_map
+      (fun (e : Trace.event) -> if e.is_begin then Some e.name else None)
+      (Trace.events ())
+  in
+  Alcotest.(check bool) "ctx-less phase still spans" true (List.mem "solo" names)
+
+let test_rctx_scoping_and_span_tags () =
+  Alcotest.(check bool) "no current at rest" true (Rctx.current () = None);
+  let outer = Rctx.create ~kind:"stats" ~conn:7 in
+  let inner = Rctx.create ~kind:"admit" ~conn:8 in
+  Rctx.with_current ~shard:2 outer (fun () ->
+      Trace.span "outer-span" (fun () -> ());
+      Rctx.with_current ~shard:5 inner (fun () ->
+          Alcotest.(check bool) "inner is current" true (Rctx.current () = Some inner);
+          Trace.span "inner-span" (fun () -> ()));
+      Alcotest.(check bool) "outer restored" true (Rctx.current () = Some outer);
+      Trace.span "outer-again" (fun () -> ()));
+  Alcotest.(check bool) "scope cleared" true (Rctx.current () = None);
+  Trace.span "untagged" (fun () -> ());
+  let find name =
+    match
+      List.find_opt
+        (fun (e : Trace.event) -> e.is_begin && e.name = name)
+        (Trace.events ())
+    with
+    | Some e -> e
+    | None -> Alcotest.failf "span %s not recorded" name
+  in
+  let o = find "outer-span" and i = find "inner-span" in
+  Alcotest.(check int) "outer rid" (Rctx.rid outer) o.rid;
+  Alcotest.(check int) "outer shard tag" 2 o.shard;
+  Alcotest.(check int) "outer conn" 7 o.conn;
+  Alcotest.(check int) "inner rid" (Rctx.rid inner) i.rid;
+  Alcotest.(check int) "inner shard tag" 5 i.shard;
+  let oa = find "outer-again" in
+  Alcotest.(check int) "outer ctx restored on ring" (Rctx.rid outer) oa.rid;
+  Alcotest.(check int) "untagged rid is -1" (-1) (find "untagged").rid;
+  (* exception safety: the scope must unwind *)
+  (match Rctx.with_current outer (fun () -> failwith "boom") with
+  | () -> Alcotest.fail "expected escape"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "cleared after exception" true (Rctx.current () = None)
+
+let test_rctx_commit_wait () =
+  let c = Rctx.create ~kind:"admit" ~conn:0 in
+  Alcotest.(check int) "no wait before marks" 0 (Rctx.commit_wait_ns c);
+  Rctx.mark_handled c;
+  Rctx.mark_committed c;
+  Alcotest.(check bool) "wait stamped" true (Rctx.commit_wait_ns c >= 0);
+  (* mark_committed without mark_handled must not go negative *)
+  let d = Rctx.create ~kind:"query" ~conn:0 in
+  Rctx.mark_committed d;
+  Alcotest.(check int) "no handled, no wait" 0 (Rctx.commit_wait_ns d)
+
+let test_rctx_slow_capture () =
+  Alcotest.(check bool) "disarmed by default" false (Rctx.slow_armed ());
+  Rctx.set_slow_ms 0.0;
+  Alcotest.(check bool) "0 arms" true (Rctx.slow_armed ());
+  let run kind =
+    let c = Rctx.create ~kind ~conn:4 in
+    Rctx.set_shard c 1;
+    Rctx.with_current c (fun () ->
+        Rctx.phase "validate" (fun () -> ignore (Sys.opaque_identity 1)));
+    ignore (Rctx.finish c ~outcome:"ok")
+  in
+  run "admit";
+  Alcotest.(check int) "captured" 1 (Rctx.slow_count ());
+  let json = Rctx.slow_json () in
+  validate_json json;
+  Alcotest.(check bool) "has the span" true (contains_in json "\"name\":\"validate\"");
+  Alcotest.(check bool) "has the kind" true (contains_in json "\"kind\":\"admit\"");
+  Alcotest.(check bool) "has the outcome" true (contains_in json "\"outcome\":\"ok\"");
+  String.iter (fun ch -> if ch = '\n' then Alcotest.fail "newline in slow json") json;
+  (* chrome splice fragment must be valid events when bracketed *)
+  let frag = Rctx.slow_chrome_events () in
+  Alcotest.(check bool) "fragment non-empty" true (String.length frag > 0);
+  validate_json ("[" ^ frag ^ "]");
+  (* text rendering for /tracez *)
+  let txt = Rctx.slow_text () in
+  Alcotest.(check bool) "text mentions the rid" true (contains_in txt "rid ");
+  Alcotest.(check bool) "text mentions shard tag" true (contains_in txt "[shard 1]");
+  (* the keep-list is bounded, oldest first out *)
+  Rctx.set_slow_keep 2;
+  run "depart";
+  run "update";
+  run "query";
+  Alcotest.(check int) "bounded" 2 (Rctx.slow_count ());
+  Alcotest.(check bool) "newest kept" true (contains_in (Rctx.slow_json ()) "query");
+  Alcotest.(check bool) "oldest dropped" false (contains_in (Rctx.slow_json ()) "admit");
+  Rctx.slow_clear ();
+  Alcotest.(check int) "clear empties" 0 (Rctx.slow_count ());
+  Alcotest.(check string) "empty json" "[]" (Rctx.slow_json ());
+  Alcotest.(check string) "empty fragment" "" (Rctx.slow_chrome_events ());
+  (* threshold actually filters: nothing finishes above 10 minutes *)
+  Rctx.set_slow_ms 600_000.0;
+  run "admit";
+  Alcotest.(check int) "fast request not kept" 0 (Rctx.slow_count ());
+  Rctx.set_slow_ms (-1.0);
+  Alcotest.(check bool) "negative disarms" false (Rctx.slow_armed ())
 
 (* ---------- engine phase spans ---------- *)
 
@@ -568,6 +808,9 @@ let () =
           t "histogram basics" test_hist_basics;
           t "snapshots sorted" test_registry_snapshots_sorted;
           t "prometheus exposition" test_expose_format;
+          t "HELP lines" test_help_lines_and_escaping;
+          t "HELP hostile text" test_help_hostile_text;
+          t "callback gauges" test_gauge_fn;
           t "reproducible across jobs" test_counters_reproducible_across_jobs;
         ] );
       ( "spans",
@@ -575,6 +818,7 @@ let () =
           t "nesting and text tree" test_span_nesting_and_text_tree;
           t "exception safe" test_span_exception_safe;
           t "ring overwrite counter" test_ring_overwrite_counter;
+          t "ring capacity env grammar" test_ring_capacity_of;
           t "disabled records nothing" test_span_disabled_records_nothing;
           t "open span synthesized end" test_open_span_synthesized_end;
           t "orphan end ignored" test_orphan_end_ignored;
@@ -585,6 +829,14 @@ let () =
         [
           t "stats and utilization" test_pool_stats_and_utilization;
           t "stats zero when disabled" test_pool_stats_zero_when_disabled;
+        ] );
+      ( "rctx",
+        [
+          t "rid monotonic" test_rctx_rid_monotonic;
+          t "phase accumulation" test_rctx_phase_accumulation;
+          t "scoping and span tags" test_rctx_scoping_and_span_tags;
+          t "commit wait marks" test_rctx_commit_wait;
+          t "slow capture" test_rctx_slow_capture;
         ] );
       ( "engine",
         [

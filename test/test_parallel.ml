@@ -192,8 +192,9 @@ let test_bench_smoke () =
       if not (Helpers.contains doc needle) then
         Alcotest.failf "trajectory %s missing %S:\n%s" json needle doc)
     [
-      "\"schema\": \"aa-bench-trajectory/5\"";
+      "\"schema\": \"aa-bench-trajectory/6\"";
       "\"regression\":";
+      "\"noise_bound\":";
       "\"id\": \"fig3c\"";
       "\"id\": \"speedup-fig1a\"";
       "\"id\": \"speedup-fig1a-oversubscribed\"";

@@ -33,6 +33,7 @@ let test_request_roundtrip () =
       Protocol.Snapshot;
       Protocol.Rebalance;
       Protocol.Trace;
+      Protocol.Slow;
     ]
   in
   List.iter
@@ -57,6 +58,7 @@ let test_request_errors () =
       ("bad-request", "QUERY");
       ("bad-request", "STATS now");
       ("bad-request", "TRACE all");
+      ("bad-request", "SLOW now");
       ("bad-request", "SNAPSHOT --force");
       ("bad-request", "UPDATE 0");
       ("bad-request", "UPDATE x linear 1");
@@ -79,7 +81,9 @@ let test_response_print () =
   Alcotest.(check string) "trace dump is one line"
     "OK trace events 2 [{\"ph\":\"B\"} {\"ph\":\"E\"}]"
     (Protocol.print_response
-       (Protocol.Trace_dump { events = 2; json = "[{\"ph\":\"B\"}\n{\"ph\":\"E\"}]" }))
+       (Protocol.Trace_dump { events = 2; json = "[{\"ph\":\"B\"}\n{\"ph\":\"E\"}]" }));
+  Alcotest.(check string) "slow dump" "OK slow count 2 [{},{}]"
+    (Protocol.print_response (Protocol.Slow_dump { count = 2; json = "[{},{}]" }))
 
 let prop_parse_total =
   QCheck2.Test.make ~name:"parse_request is total on arbitrary input" ~count:500
@@ -307,6 +311,79 @@ let test_engine_rebalance_gap () =
       Helpers.check_ge "some quality" gap 0.5;
       Helpers.check_float ~eps:1e-9 "gap consistent" (online /. offline) gap
   | r -> Alcotest.failf "unexpected %s" (Protocol.print_response r)
+
+let test_engine_slow_verb () =
+  let module Rctx = Aa_obs.Rctx in
+  Rctx.slow_clear ();
+  Rctx.set_slow_ms 0.0;
+  Fun.protect
+    ~finally:(fun () ->
+      Rctx.set_slow_ms (-1.0);
+      Rctx.slow_clear ())
+    (fun () ->
+      let e = Engine.create ~servers:2 ~capacity:cap () in
+      (match Engine.handle e Protocol.Slow with
+      | Protocol.Slow_dump { count = 0; json = "[]" } -> ()
+      | Protocol.Slow_dump { count; json } ->
+          Alcotest.failf "expected an empty dump, got count %d json %s" count json
+      | r -> Alcotest.failf "unexpected %s" (Protocol.print_response r));
+      (* a request dispatched under a context and finished lands in the
+         keep-list (threshold 0 captures everything) *)
+      let c = Rctx.create ~kind:"admit" ~conn:0 in
+      (match Engine.handle_batch ~ctxs:[| Some c |] e [ Protocol.Admit u_pow ] with
+      | [ Protocol.Admitted _ ] -> ()
+      | rs ->
+          Alcotest.failf "unexpected batch: %s"
+            (String.concat " / " (List.map Protocol.print_response rs)));
+      ignore (Rctx.finish c ~outcome:"ok");
+      match Engine.handle e Protocol.Slow with
+      | Protocol.Slow_dump { count; json } ->
+          Alcotest.(check int) "captured" 1 count;
+          Alcotest.(check bool) "phase spans kept" true (Helpers.contains json "validate");
+          Alcotest.(check bool) "kind recorded" true (Helpers.contains json "admit")
+      | r -> Alcotest.failf "unexpected %s" (Protocol.print_response r))
+
+let test_engine_coarsen_interval () =
+  let e = Engine.create ~servers:2 ~capacity:cap ~coarsen_eps:0.25 () in
+  Alcotest.(check bool)
+    "no interval before REBALANCE" true
+    (Engine.utility_interval e = None);
+  for _ = 1 to 6 do
+    ignore (expect_ok e "ADMIT power 2 0.5")
+  done;
+  (match expect_ok e "REBALANCE" with
+  | Protocol.Rebalance_report { offline; _ } -> (
+      match Engine.utility_interval e with
+      | None -> Alcotest.fail "interval missing after REBALANCE"
+      | Some (lo, hi, alpha) ->
+          (* the exact utility of the coarse-solved assignment sits in
+             the certified envelope, whose width is n_active * eps *)
+          Helpers.check_ge "offline >= lower" offline (lo -. 1e-9);
+          Helpers.check_ge "upper >= offline" hi (offline -. 1e-9);
+          Helpers.check_float ~eps:1e-9 "width = n_active * eps" (6.0 *. 0.25) (hi -. lo);
+          Helpers.check_ge "alpha gap >= 0" alpha (-1e-6))
+  | r -> Alcotest.failf "unexpected %s" (Protocol.print_response r));
+  (match expect_ok e "STATS" with
+  | Protocol.Stats_report kvs ->
+      List.iter
+        (fun k ->
+          if List.assoc_opt k kvs = None then Alcotest.failf "STATS missing %s" k)
+        [ "utility_lower"; "utility_upper"; "alpha_gap" ]
+  | r -> Alcotest.failf "unexpected %s" (Protocol.print_response r));
+  (* eps = 0 (the default) degenerates to the exact point interval *)
+  let e0 = Engine.create ~servers:2 ~capacity:cap () in
+  ignore (expect_ok e0 "ADMIT capped 1 10");
+  (match expect_ok e0 "REBALANCE" with
+  | Protocol.Rebalance_report { offline; _ } -> (
+      match Engine.utility_interval e0 with
+      | Some (lo, hi, _) ->
+          Helpers.check_float ~eps:1e-9 "lower = exact" offline lo;
+          Helpers.check_float ~eps:1e-9 "upper = exact" offline hi
+      | None -> Alcotest.fail "interval missing")
+  | r -> Alcotest.failf "unexpected %s" (Protocol.print_response r));
+  Alcotest.check_raises "negative eps rejected"
+    (Invalid_argument "Engine.create: coarsen_eps must be finite and >= 0") (fun () ->
+      ignore (Engine.create ~servers:2 ~capacity:cap ~coarsen_eps:(-1.0) ()))
 
 (* ---------- malformed-input fuzz ---------- *)
 
@@ -536,6 +613,56 @@ let test_daemon_journal_replay () =
   | ls -> Alcotest.failf "expected 1 response, got %d" (List.length ls));
   Sys.remove path
 
+let test_daemon_telemetry_flags () =
+  (* --slow-ms routes through the sharded dispatch (wire-identical for
+     n = 1) and arms the keep-list the SLOW verb reads back *)
+  let out =
+    run_serve
+      [ "-m"; "2"; "-C"; "10"; "--slow-ms"; "0" ]
+      "ADMIT capped 1 10\nSLOW\n"
+  in
+  (match response_lines out with
+  | [ admit; slow ] ->
+      check_prefix "admit" "OK admit id 0" admit;
+      check_prefix "slow" "OK slow count 1" slow
+  | ls -> Alcotest.failf "expected 2 responses, got %d:\n%s" (List.length ls) out);
+  (* --coarsen: REBALANCE certifies, STATS reports the interval *)
+  let out =
+    run_serve
+      [ "-m"; "2"; "-C"; "10"; "--coarsen"; "0.1" ]
+      "ADMIT capped 1 10\nREBALANCE\nSTATS\n"
+  in
+  (match response_lines out with
+  | [ _; _; stats ] ->
+      Alcotest.(check bool) "lower bound" true (Helpers.contains stats "utility_lower=");
+      Alcotest.(check bool) "upper bound" true (Helpers.contains stats "utility_upper=");
+      Alcotest.(check bool) "alpha gap" true (Helpers.contains stats "alpha_gap=")
+  | ls -> Alcotest.failf "expected 3 responses, got %d:\n%s" (List.length ls) out);
+  ignore (run_serve ~expect:1 [ "--coarsen=-0.5" ] "");
+  (* --access-log: one JSONL record per acked request *)
+  let log = Filename.temp_file "aa_access" ".jsonl" in
+  let _ =
+    run_serve
+      [ "-m"; "2"; "-C"; "10"; "--access-log"; log ]
+      "ADMIT capped 1 10\nQUERY 0\nNOPE\nSTATS\n"
+  in
+  let records =
+    In_channel.with_open_text log In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  (* NOPE is rejected at parse (no ticket, no record): 3 acked requests *)
+  Alcotest.(check int) "one record per acked request" 3 (List.length records);
+  List.iter
+    (fun r ->
+      List.iter
+        (fun key ->
+          if not (Helpers.contains r key) then
+            Alcotest.failf "record %s missing %s" r key)
+        [ "\"rid\":"; "\"kind\":"; "\"shard\":"; "\"outcome\":"; "\"total_ns\":" ])
+    records;
+  Sys.remove log
+
 let test_daemon_flag_validation () =
   ignore (run_serve ~expect:1 [ "--replay" ] "");
   let path = Filename.temp_file "aa_daemon" ".log" in
@@ -574,6 +701,8 @@ let () =
           Alcotest.test_case "session" `Quick test_engine_session;
           Alcotest.test_case "errors" `Quick test_engine_errors;
           Alcotest.test_case "rebalance gap" `Quick test_engine_rebalance_gap;
+          Alcotest.test_case "SLOW verb" `Quick test_engine_slow_verb;
+          Alcotest.test_case "coarsen interval" `Quick test_engine_coarsen_interval;
           Alcotest.test_case "malformed fuzz" `Quick test_fuzz_never_kills_engine;
         ] );
       ( "recovery",
@@ -585,6 +714,7 @@ let () =
         [
           Alcotest.test_case "session" `Quick test_daemon_session;
           Alcotest.test_case "journal + replay" `Quick test_daemon_journal_replay;
+          Alcotest.test_case "telemetry flags" `Quick test_daemon_telemetry_flags;
           Alcotest.test_case "flag validation" `Quick test_daemon_flag_validation;
         ] );
       Helpers.qsuite "properties" [ prop_parse_total ];
