@@ -750,7 +750,61 @@ let online () =
         Stats.Online.add acc_so (online_u /. lin.superopt.utility)
       done;
       line "%-8d %14.4f %14.4f" beta (Stats.Online.mean acc) (Stats.Online.mean acc_so))
-    [ 1; 2; 5; 10; 15 ]
+    [ 1; 2; 5; 10; 15 ];
+  (* Incremental vs full per-request maintenance: the same n arrivals
+     through both policies. The incremental engine keeps each server's
+     merged piece order alive between requests, so ADMIT runs no
+     allocator calls at all; the two runs must agree bit for bit. The
+     incremental entry's speedup field is the p99 ADMIT latency ratio,
+     so a p99 regression raises the trajectory's regression flag. *)
+  let n_arr = 1000 in
+  let inst =
+    Gen.instance (Rng.create ~seed ()) ~servers:8 ~capacity:1000.0 ~threads:n_arr
+      Gen.Uniform
+  in
+  let calls_now () =
+    Option.value
+      (List.assoc_opt "plc_greedy.calls" (Aa_obs.Registry.counters ()))
+      ~default:0
+  in
+  let run_policy policy =
+    let h = Aa_obs.Histogram.create () in
+    let t = Online.create ~policy ~servers:8 ~capacity:1000.0 () in
+    let calls0 = calls_now () in
+    let t0 = now () in
+    Array.iter
+      (fun u ->
+        let a0 = now () in
+        ignore (Online.admit t u);
+        Aa_obs.Histogram.add h (now () -. a0))
+      inst.utilities;
+    let wall = now () -. t0 in
+    ( Online.total_utility t,
+      Aa_obs.Histogram.quantile h 0.99 *. 1e9,
+      wall,
+      calls_now () - calls0 )
+  in
+  let u_full, p99_full, wall_full, calls_full = run_policy Online.Full in
+  let u_inc, p99_inc, wall_inc, calls_inc = run_policy Online.Incremental in
+  if not (Int64.equal (Int64.bits_of_float u_full) (Int64.bits_of_float u_inc)) then begin
+    Printf.eprintf
+      "bench: ERROR online incremental maintenance diverged from full: %.17g <> %.17g\n%!"
+      u_inc u_full;
+    exit 1
+  end;
+  line "admit maintenance (n=%d, m=8): p99 full %.0f ns, incremental %.0f ns (%.1fx);"
+    n_arr p99_full p99_inc
+    (p99_full /. Float.max 1.0 p99_inc);
+  line "plc_greedy.calls %d -> %d; totals bit-identical" calls_full calls_inc;
+  record ~id:"online-admit-full" ~jobs:1 ~trials:n_arr
+    ~counters:
+      [ ("plc_greedy.calls", calls_full); ("p99_admit_ns", int_of_float p99_full) ]
+    wall_full;
+  record ~id:"online-admit-incremental" ~jobs:1 ~trials:n_arr
+    ~speedup:(p99_full /. Float.max 1.0 p99_inc)
+    ~counters:
+      [ ("plc_greedy.calls", calls_inc); ("p99_admit_ns", int_of_float p99_inc) ]
+    wall_inc
 
 (* ---------- E3: multi-resource extension ---------- *)
 

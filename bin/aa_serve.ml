@@ -71,7 +71,7 @@ let string_of_sockaddr = function
    journal as the classic loop) — then a Shard dispatcher serves stdin
    and, with --listen, every socket client concurrently. *)
 let serve_sharded ~servers ~capacity ~journal ~replay ~fsync ~clock ~listen ~shards
-    ~window ~access_log ~coarsen_eps =
+    ~window ~access_log ~coarsen_eps ~policy =
   let alog =
     match access_log with
     | None -> None
@@ -94,10 +94,13 @@ let serve_sharded ~servers ~capacity ~journal ~replay ~fsync ~clock ~listen ~sha
         let counts = counts (Option.value servers ~default:8) in
         let capacity = Option.value capacity ~default:1000.0 in
         Array.init shards (fun k ->
-            Engine.create ~clock ~coarsen_eps ~servers:counts.(k) ~capacity ())
+            Engine.create ~clock ~coarsen_eps ~policy ~servers:counts.(k) ~capacity ())
     | Some path, true ->
         Array.init shards (fun k ->
-            match Engine.of_journal ~clock ~fsync ~coarsen_eps ~path:(shard_path path k) () with
+            match
+              Engine.of_journal ~clock ~fsync ~coarsen_eps ~policy
+                ~path:(shard_path path k) ()
+            with
             | Ok e -> e
             | Error e -> fail "%s" e)
     | Some path, false ->
@@ -109,7 +112,8 @@ let serve_sharded ~servers ~capacity ~journal ~replay ~fsync ~clock ~listen ~sha
                 ~capacity ()
             with
             | Ok j ->
-                Engine.create ~clock ~journal:j ~coarsen_eps ~servers:counts.(k) ~capacity ()
+                Engine.create ~clock ~journal:j ~coarsen_eps ~policy
+                  ~servers:counts.(k) ~capacity ()
             | Error e -> fail "%s" e)
   in
   if replay then begin
@@ -192,7 +196,7 @@ let serve_sharded ~servers ~capacity ~journal ~replay ~fsync ~clock ~listen ~sha
   match alog with Some al -> Access_log.close al | None -> ()
 
 let serve servers capacity journal replay fsync faults trace listen shards window
-    access_log slow_ms coarsen =
+    access_log slow_ms coarsen rebalance_policy drift_frac =
   if trace then Aa_obs.Control.set_enabled true;
   (* request contexts ride along with any of the telemetry surfaces *)
   if trace || access_log <> None || slow_ms <> None then Aa_obs.Rctx.set_enabled true;
@@ -203,6 +207,15 @@ let serve servers capacity journal replay fsync faults trace listen shards windo
   let coarsen_eps = Option.value coarsen ~default:0.0 in
   if coarsen_eps < 0.0 || not (Float.is_finite coarsen_eps) then
     fail "--coarsen must be a finite non-negative eps";
+  if not (drift_frac >= 0.0 && drift_frac <= 1.0) then
+    fail "--drift-frac must be in [0, 1]";
+  let policy =
+    match rebalance_policy with
+    | "incremental" -> Aa_core.Online.Incremental
+    | "full" -> Aa_core.Online.Full
+    | "auto" -> Aa_core.Online.Auto { frac = drift_frac }
+    | s -> fail "--rebalance-policy: unknown policy %S (expected incremental|full|auto)" s
+  in
   let fsync =
     match Journal.fsync_of_string fsync with
     | Ok p -> p
@@ -214,18 +227,18 @@ let serve servers capacity journal replay fsync faults trace listen shards windo
      wire-identical to the classic loop) *)
   if shards > 1 || listen <> None || access_log <> None || slow_ms <> None then
     serve_sharded ~servers ~capacity ~journal ~replay ~fsync ~clock ~listen ~shards
-      ~window ~access_log ~coarsen_eps
+      ~window ~access_log ~coarsen_eps ~policy
   else
   let engine =
     match (journal, replay) with
     | None, true -> fail "--replay requires --journal"
     | None, false ->
-        Engine.create ~clock ~coarsen_eps
+        Engine.create ~clock ~coarsen_eps ~policy
           ~servers:(Option.value servers ~default:8)
           ~capacity:(Option.value capacity ~default:1000.0)
           ()
     | Some path, true -> (
-        match Engine.of_journal ~clock ~fsync ~coarsen_eps ~path () with
+        match Engine.of_journal ~clock ~fsync ~coarsen_eps ~policy ~path () with
         | Ok engine ->
             check_flags engine servers capacity;
             engine
@@ -234,7 +247,8 @@ let serve servers capacity journal replay fsync faults trace listen shards windo
         let servers = Option.value servers ~default:8 in
         let capacity = Option.value capacity ~default:1000.0 in
         match Journal.create ~fsync ~path ~servers ~capacity () with
-        | Ok j -> Engine.create ~clock ~journal:j ~coarsen_eps ~servers ~capacity ()
+        | Ok j ->
+            Engine.create ~clock ~journal:j ~coarsen_eps ~policy ~servers ~capacity ()
         | Error e -> fail "%s" e)
   in
   Printf.eprintf "aa_serve: %d server(s), capacity %g%s, %d thread(s) active\n%!"
@@ -391,11 +405,36 @@ let main_cmd =
              STATS and /metrics then carry the guaranteed utility interval \
              [utility_lower, utility_upper] and the alpha_bound_gap gauge.")
   in
+  let rebalance_policy =
+    Arg.(
+      value & opt string "incremental"
+      & info [ "rebalance-policy" ] ~docv:"POLICY"
+          ~doc:
+            "Online maintenance strategy: $(b,incremental) (default — splice \
+             piece orders between requests; bit-identical placements to \
+             $(b,full) without its per-request allocator runs), $(b,full) \
+             (re-run the water-filling allocator from scratch on every \
+             candidate server), or $(b,auto) (incremental plus a certified \
+             drift trigger: once the online utility decays below \
+             --drift-frac of the certified bound, re-solve the active set \
+             with Algorithm 2, migrating threads).")
+  in
+  let drift_frac =
+    Arg.(
+      value & opt float 0.5
+      & info [ "drift-frac" ] ~docv:"FRAC"
+          ~doc:
+            "Re-solve trigger fraction for --rebalance-policy auto, in \
+             [0, 1] (default 0.5): re-solve when the online utility U \
+             falls below $(docv) * (U + drift_bound). 0 never re-solves; \
+             1 re-solves on any certified loss.")
+  in
   Cmd.v
     (Cmd.info "aa_serve" ~version:"1.0.0"
        ~doc:"stateful AA allocation daemon (stdin/stdout and socket request loop)")
     Term.(
       const serve $ servers $ capacity $ journal $ replay $ fsync $ faults
-      $ trace $ listen $ shards $ window $ access_log $ slow_ms $ coarsen)
+      $ trace $ listen $ shards $ window $ access_log $ slow_ms $ coarsen
+      $ rebalance_policy $ drift_frac)
 
 let () = exit (Cmd.eval main_cmd)

@@ -46,7 +46,7 @@ let () =
 
   (* ---- part 2: online arrivals on a homogeneous cluster ---- *)
   let servers = 4 and capacity = 100.0 in
-  let state = Online.create ~servers ~capacity in
+  let state = Online.create ~servers ~capacity () in
   Format.printf "online arrivals: %d machines x %.0f units@." servers capacity;
   for k = 1 to 20 do
     let u = Gen.utility rng ~cap:capacity Gen.Uniform in

@@ -7,8 +7,29 @@
     The policy is marginal-gain greedy: for each server, compute the
     optimal (water-filling) value of its resident threads with and
     without the newcomer, and place the thread where the increase is
-    largest — ties to the emptier server. Each admission costs
-    [O(m · S log S)] where [S] bounds a server's total PLC segments.
+    largest — ties to the emptier server.
+
+    Two maintenance strategies produce bit-identical placements and
+    allocations:
+
+    - {!Full} re-runs {!Aa_alloc.Plc_greedy.allocate} from scratch on
+      every candidate server of every admission — [O(m · S log S)] per
+      admission where [S] bounds a server's total PLC segments.
+    - {!Incremental} (the default) keeps each server's merged piece
+      order alive between requests: ADMIT evaluates candidates with an
+      allocator-free two-stream merge walk and splices the winner's
+      pieces in, DEPART/UPDATE re-fill only the affected server —
+      [O(m · S)] per admission with no allocator calls at all. Because
+      resident lists are newest-first, the merged (slope desc, admission
+      id desc) order replays the from-scratch k-way merge bit for bit.
+
+    Every mutation also accrues a {e certified drift bound}: an upper
+    bound on [F̂ − U], the gap between the pooled super-optimal bound
+    (Lemma V.2) and the online utility — exact for PLC utilities,
+    relative to the PLC-minorant forms for smooth ones. {!Auto} uses it
+    to trigger a full re-solve (Algorithm 2 with migration) once the
+    online value certifiably decays below a configured fraction of what
+    the bound says might be attainable.
 
     There is no constant competitive ratio for this problem (an
     adversary can fill servers with low-value threads first); the bench's
@@ -17,16 +38,31 @@
 
 type t
 
-val create : servers:int -> capacity:float -> t
+type policy =
+  | Full  (** from-scratch allocator run per candidate server (reference) *)
+  | Incremental  (** splice-maintained piece orders; never migrates *)
+  | Auto of { frac : float }
+      (** incremental maintenance plus a certified decay trigger: after
+          any mutation, if [U < frac · (U + drift)] a full re-solve
+          (with migration) runs at the mutation boundary. [frac = 0.]
+          never re-solves; [frac = 1.] re-solves on any certified loss. *)
+
+val create : ?policy:policy -> servers:int -> capacity:float -> unit -> t
+(** [policy] defaults to {!Incremental}. Raises [Invalid_argument] for
+    [servers < 1], a non-positive [capacity], or an {!Auto} fraction
+    outside [[0, 1]]. *)
 
 val servers : t -> int
 val capacity : t -> float
 val n_admitted : t -> int
+val policy : t -> policy
 
 val admit : ?samples:int -> t -> Aa_utility.Utility.t -> int
-(** Places one thread, returning the chosen server. The thread's utility
-    must have domain cap equal to the server capacity. Allocations of
-    the chosen server's resident threads are re-optimized. *)
+(** Places one thread, returning its server. The thread's utility must
+    have domain cap equal to the server capacity. Allocations of the
+    chosen server's resident threads are re-optimized. Under {!Auto} the
+    admission may trigger a re-solve, in which case the returned server
+    is the thread's post-migration home. *)
 
 val admit_to : ?samples:int -> t -> server:int -> Aa_utility.Utility.t -> int
 (** [admit_to t ~server u] admits a thread onto an explicit server,
@@ -47,13 +83,43 @@ val update_utility : ?samples:int -> t -> int -> Aa_utility.Utility.t -> unit
 (** [update_utility t i u] replaces thread [i]'s utility — the paper's
     "utility functions … may change over time; integrate online
     performance measurements" (§VIII). The thread stays on its server
-    (no migration); that server's allocations are re-optimized under the
-    new curve. Raises for unknown/departed threads or cap mismatch. *)
+    (no migration, unless an {!Auto} re-solve fires); that server's
+    allocations are re-optimized under the new curve. Raises for
+    unknown/departed threads or cap mismatch. *)
 
 val n_active : t -> int
 (** Admitted and not departed. *)
 
 val is_active : t -> int -> bool
+
+val drift_bound : t -> float
+(** Certified upper bound on [F̂ − U] for the current active set: how far
+    the online utility may certifiably sit below the pooled
+    super-optimal bound (and hence below any assignment, offline
+    re-solves included). Accrued per mutation, tightened by
+    {!note_bound}, reset exactly by {!resolve}. *)
+
+val splices : t -> int
+(** Incremental piece-order splices performed (admissions and utility
+    updates under {!Incremental}/{!Auto}); [0] under {!Full}. *)
+
+val resolves : t -> int
+(** Full re-solves performed ({!resolve} calls, including {!Auto}
+    triggers). *)
+
+val resolve : t -> unit
+(** Re-solve the active set from scratch with Algorithm 2 — the one
+    operation allowed to migrate threads — then recompute the exact
+    pooled bound and reset the drift certificate to [max 0 (F̂ − U)].
+    With no active threads, clears all servers and zeroes the drift. *)
+
+val note_bound : t -> upper:float -> unit
+(** [note_bound t ~upper] tightens the published {!drift_bound} given a
+    freshly computed pooled upper bound (e.g. the service REBALANCE
+    already runs {!Superopt.compute}); keeps whichever certificate is
+    smaller. Never loosens the bound, and never affects {!Auto}
+    triggering — re-solve points stay a pure function of the mutation
+    sequence so journal replay reproduces them. *)
 
 val assignment : t -> Assignment.t
 (** Current assignment of all admitted threads, in admission order.
@@ -70,8 +136,8 @@ val server_of : t -> int -> int
     threads). Raises [Invalid_argument] for unknown ids. *)
 
 val alloc_of : t -> int -> float
-(** The thread's current allocation; [0.] for departed threads. Raises
-    [Invalid_argument] for unknown ids. *)
+(** The thread's current allocation; [0.] for departed threads. O(1) via
+    the admission-id index. Raises [Invalid_argument] for unknown ids. *)
 
 val thread_utility : t -> int -> Aa_utility.Utility.t
 (** The utility most recently registered for a thread (admission value,
@@ -96,6 +162,7 @@ val total_utility : t -> float
 
 val solve_sequence :
   ?samples:int ->
+  ?policy:policy ->
   servers:int ->
   capacity:float ->
   Aa_utility.Utility.t array ->

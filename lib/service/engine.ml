@@ -46,12 +46,28 @@ let g_ulower = Aa_obs.Registry.gauge ~help:"Certified lower bound on the offline
 let g_uupper = Aa_obs.Registry.gauge ~help:"Certified upper bound on the offline re-solve utility" "engine.utility_upper"
 let g_alpha = Aa_obs.Registry.gauge ~help:"Superopt certificate utility minus online utility at the last REBALANCE" "engine.alpha_bound_gap"
 
+(* Incremental-engine telemetry: the drift certificate and maintenance
+   volumes depend on the arrival order, so gauges, never counters. *)
+let g_drift = Aa_obs.Registry.gauge ~help:"Certified upper bound on superopt utility minus online utility" "engine.drift_bound"
+let g_splices = Aa_obs.Registry.gauge ~help:"Incremental piece-order splices performed by the online placer" "engine.incremental.splices"
+let g_resolves = Aa_obs.Registry.gauge ~help:"Full re-solves performed by the online placer" "engine.incremental.resolves"
+
+let publish_incremental ol =
+  Aa_obs.Registry.Gauge.set g_drift (Online.drift_bound ol);
+  Aa_obs.Registry.Gauge.set g_splices (float_of_int (Online.splices ol));
+  Aa_obs.Registry.Gauge.set g_resolves (float_of_int (Online.resolves ol))
+
+let policy_name : Online.policy -> string = function
+  | Online.Full -> "full"
+  | Online.Incremental -> "incremental"
+  | Online.Auto _ -> "auto"
+
 let create ?(clock = Aa_obs.Clock.now_s) ?journal ?(journal_retries = 2)
-    ?(retry_backoff_s = 1e-3) ?(coarsen_eps = 0.0) ~servers ~capacity () =
+    ?(retry_backoff_s = 1e-3) ?(coarsen_eps = 0.0) ?policy ~servers ~capacity () =
   if coarsen_eps < 0.0 || not (Float.is_finite coarsen_eps) then
     invalid_arg "Engine.create: coarsen_eps must be finite and >= 0";
   {
-    online = Online.create ~servers ~capacity;
+    online = Online.create ?policy ~servers ~capacity ();
     metrics = Metrics.create ();
     clock;
     journal;
@@ -72,6 +88,10 @@ let n_admitted t = Online.n_admitted t.online
 let n_active t = Online.n_active t.online
 let total_utility t = Online.total_utility t.online
 let utility_interval t = t.interval
+let policy t = Online.policy t.online
+let drift_bound t = Online.drift_bound t.online
+let splices t = Online.splices t.online
+let resolves t = Online.resolves t.online
 
 let err code fmt =
   Printf.ksprintf (fun message -> Protocol.Err { code; message }) fmt
@@ -160,6 +180,7 @@ let dispatch t (req : Protocol.request) : Protocol.response =
             Failpoint.crash_if fp_apply;
             Aa_obs.Rctx.phase "apply" @@ fun () ->
             let server = Online.admit ol u in
+            publish_incremental ol;
             Protocol.Admitted { id = Online.n_admitted ol - 1; server }
       end
   | Depart i ->
@@ -172,6 +193,7 @@ let dispatch t (req : Protocol.request) : Protocol.response =
             Failpoint.crash_if fp_apply;
             Aa_obs.Rctx.phase "apply" @@ fun () ->
             Online.depart ol i;
+            publish_incremental ol;
             Protocol.Departed { id = i }
       end
   | Update (i, u) ->
@@ -191,6 +213,7 @@ let dispatch t (req : Protocol.request) : Protocol.response =
               Failpoint.crash_if fp_apply;
               Aa_obs.Rctx.phase "apply" @@ fun () ->
               Online.update_utility ol i u;
+              publish_incremental ol;
               Protocol.Updated { id = i; server = Online.server_of ol i }))
   | Query i ->
       if i < 0 || i >= Online.n_admitted ol then thread_err t i
@@ -212,6 +235,10 @@ let dispatch t (req : Protocol.request) : Protocol.response =
           ("active", string_of_int (Online.n_active ol));
           ("utility", Printf.sprintf "%.9g" (Online.total_utility ol));
           ("degraded", if t.degraded then "1" else "0");
+          ("policy", policy_name (Online.policy ol));
+          ("drift_bound", Printf.sprintf "%.9g" (Online.drift_bound ol));
+          ("incremental.splices", string_of_int (Online.splices ol));
+          ("incremental.resolves", string_of_int (Online.resolves ol));
         ]
       in
       let interval =
@@ -255,6 +282,9 @@ let dispatch t (req : Protocol.request) : Protocol.response =
       if Online.n_active ol = 0 then begin
         Metrics.note_gap t.metrics 1.0;
         t.interval <- Some (0.0, 0.0, 0.0);
+        (* the empty set's pooled bound is 0, so the certificate closes *)
+        Online.note_bound ol ~upper:0.0;
+        publish_incremental ol;
         Rebalance_report { online = 0.0; offline = 0.0; gap = 1.0 }
       end
       else begin
@@ -289,7 +319,12 @@ let dispatch t (req : Protocol.request) : Protocol.response =
         (* Superopt's F̂ upper-bounds ANY assignment's utility (Lemma
            V.2): how far the serving allocation sits from that
            certificate. *)
-        let alpha_gap = (Superopt.compute inst).Superopt.utility -. online_u in
+        let fhat = (Superopt.compute inst).Superopt.utility in
+        let alpha_gap = fhat -. online_u in
+        (* the freshly computed pooled bound re-certifies the drift gauge
+           (tightening only — Auto re-solve points stay replay-exact) *)
+        Online.note_bound ol ~upper:fhat;
+        publish_incremental ol;
         t.interval <- Some (lower, upper, alpha_gap);
         Aa_obs.Registry.Gauge.set g_utility online_u;
         Aa_obs.Registry.Gauge.set g_ulower lower;
@@ -469,12 +504,13 @@ let apply t entry =
         Ok ()
       end
 
-let of_journal ?clock ?fsync ?journal_retries ?retry_backoff_s ?coarsen_eps ~path () =
+let of_journal ?clock ?fsync ?journal_retries ?retry_backoff_s ?coarsen_eps
+    ?policy ~path () =
   let* j, entries = Journal.append_to ?fsync ~path () in
   let h = Journal.header j in
   let t =
-    create ?clock ?journal_retries ?retry_backoff_s ?coarsen_eps ~journal:j
-      ~servers:h.servers ~capacity:h.capacity ()
+    create ?clock ?journal_retries ?retry_backoff_s ?coarsen_eps ?policy
+      ~journal:j ~servers:h.servers ~capacity:h.capacity ()
   in
   let rec go n = function
     | [] -> Ok t

@@ -53,6 +53,7 @@ val create :
   ?journal_retries:int ->
   ?retry_backoff_s:float ->
   ?coarsen_eps:float ->
+  ?policy:Aa_core.Online.policy ->
   servers:int ->
   capacity:float ->
   unit ->
@@ -65,8 +66,10 @@ val create :
     degrades. [coarsen_eps > 0] makes REBALANCE solve a certified
     eps-coarsened copy of the active instance ({!Aa_utility.Plc.coarsen})
     and report the guaranteed utility interval; 0 (default) solves at
-    full resolution. Raises [Invalid_argument] on a negative or
-    non-finite eps. *)
+    full resolution. [policy] selects the online maintenance strategy
+    ({!Aa_core.Online.policy}, default [Incremental] — bit-identical to
+    [Full], without the per-request allocator runs). Raises
+    [Invalid_argument] on a negative or non-finite eps. *)
 
 val servers : t -> int
 val capacity : t -> float
@@ -81,6 +84,25 @@ val degraded : t -> bool
 val n_admitted : t -> int
 val n_active : t -> int
 val total_utility : t -> float
+
+val policy : t -> Aa_core.Online.policy (* aa-lint: ignore unused-export -- service introspection API *)
+(** The online maintenance policy the engine was created with (also the
+    [policy] STATS key). *)
+
+val drift_bound : t -> float
+(** {!Aa_core.Online.drift_bound} of the underlying placer: certified
+    upper bound on how far the serving utility sits below the pooled
+    superopt bound. Exported as the [engine.drift_bound] gauge and the
+    [drift_bound] STATS key; REBALANCE re-certifies (tightens) it. *)
+
+val splices : t -> int
+(** Incremental piece-order splices performed by the placer
+    ([engine.incremental.splices] gauge, [incremental.splices] STATS). *)
+
+val resolves : t -> int
+(** Full re-solves performed by the placer — {!Aa_core.Online.Auto}
+    triggers ([engine.incremental.resolves] gauge,
+    [incremental.resolves] STATS). *)
 
 val utility_interval : t -> (float * float * float) option
 (** The last REBALANCE's certified [(lower, upper, alpha_gap)]: the
@@ -137,9 +159,14 @@ val of_journal :
   ?journal_retries:int ->
   ?retry_backoff_s:float ->
   ?coarsen_eps:float ->
+  ?policy:Aa_core.Online.policy ->
   path:string ->
   unit ->
   (t, string) result
 (** Crash recovery: load the journal (either format version), replay
     every entry, and keep the journal attached — rewritten in v2
-    framing under the given [fsync] policy — for subsequent appends. *)
+    framing under the given [fsync] policy — for subsequent appends.
+    Replay runs under [policy]; [Auto] re-solve points are a pure
+    function of the journaled mutation sequence, so recovering with the
+    same policy the journal was written under reproduces the engine
+    exactly. *)

@@ -38,6 +38,9 @@ type bres =
       utility : float;
       degraded : bool;
       interval : (float * float * float) option;
+      drift : float;
+      splices : int;
+      resolves : int;
     }
   | R_resp of Protocol.response
 
@@ -187,6 +190,9 @@ let g_utility = Aa_obs.Registry.gauge "engine.utility"
 let g_ulower = Aa_obs.Registry.gauge "engine.utility_lower"
 let g_uupper = Aa_obs.Registry.gauge "engine.utility_upper"
 let g_alpha = Aa_obs.Registry.gauge "engine.alpha_bound_gap"
+let g_drift = Aa_obs.Registry.gauge "engine.drift_bound"
+let g_splices = Aa_obs.Registry.gauge "engine.incremental.splices"
+let g_resolves = Aa_obs.Registry.gauge "engine.incremental.resolves"
 
 let local_barrier eng = function
   | B_stats ->
@@ -197,6 +203,9 @@ let local_barrier eng = function
           utility = Engine.total_utility eng;
           degraded = Engine.degraded eng;
           interval = Engine.utility_interval eng;
+          drift = Engine.drift_bound eng;
+          splices = Engine.splices eng;
+          resolves = Engine.resolves eng;
         }
   | B_snapshot -> R_resp (Engine.handle eng Protocol.Snapshot)
   | B_rebalance -> R_resp (Engine.handle eng Protocol.Rebalance)
@@ -213,13 +222,17 @@ let aggregate t (b : barrier) : Protocol.response =
   match b.bkind with
   | B_stats ->
       let admitted = ref 0 and active = ref 0 and utility = ref 0.0 and degraded = ref false in
+      let drift = ref 0.0 and splices = ref 0 and resolves = ref 0 in
       Array.iter
         (function
           | R_stats s ->
               admitted := !admitted + s.admitted;
               active := !active + s.active;
               utility := !utility +. s.utility;
-              degraded := !degraded || s.degraded
+              degraded := !degraded || s.degraded;
+              drift := !drift +. s.drift;
+              splices := !splices + s.splices;
+              resolves := !resolves + s.resolves
           | R_resp _ -> ())
         results;
       let per_shard =
@@ -233,12 +246,21 @@ let aggregate t (b : barrier) : Protocol.response =
                    ]
                | R_resp _ -> []))
       in
+      (* fleet sums of the drift certificate and incremental-maintenance
+         volumes; the barrier cut makes them a consistent snapshot, and
+         the gauges are overwritten so /metrics shows the global view *)
+      Aa_obs.Registry.Gauge.set g_drift !drift;
+      Aa_obs.Registry.Gauge.set g_splices (float_of_int !splices);
+      Aa_obs.Registry.Gauge.set g_resolves (float_of_int !resolves);
       let head =
         [
           ("admitted", string_of_int !admitted);
           ("active", string_of_int !active);
           ("utility", Printf.sprintf "%.9g" !utility);
           ("degraded", (if !degraded then "1" else "0"));
+          ("drift_bound", Printf.sprintf "%.9g" !drift);
+          ("incremental.splices", string_of_int !splices);
+          ("incremental.resolves", string_of_int !resolves);
           ("shards", string_of_int t.n);
         ]
       in

@@ -6,13 +6,13 @@ let cap = 10.0
 
 let test_create_validation () =
   Alcotest.check_raises "servers" (Invalid_argument "Online.create: need at least one server")
-    (fun () -> ignore (Online.create ~servers:0 ~capacity:1.0));
+    (fun () -> ignore (Online.create ~servers:0 ~capacity:1.0 ()));
   Alcotest.check_raises "capacity"
     (Invalid_argument "Online.create: capacity must be positive") (fun () ->
-      ignore (Online.create ~servers:1 ~capacity:0.0))
+      ignore (Online.create ~servers:1 ~capacity:0.0 ()))
 
 let test_first_thread_gets_everything_useful () =
-  let t = Online.create ~servers:2 ~capacity:cap in
+  let t = Online.create ~servers:2 ~capacity:cap () in
   let j = Online.admit t (Utility.Shapes.capped_linear ~cap ~slope:1.0 ~knee:4.0) in
   Alcotest.(check bool) "a server" true (j = 0 || j = 1);
   let a = Online.assignment t in
@@ -22,7 +22,7 @@ let test_first_thread_gets_everything_useful () =
 let test_spreads_identical_threads () =
   (* two identical full-capacity threads: the second must go to the other
      server (higher marginal gain there) *)
-  let t = Online.create ~servers:2 ~capacity:cap in
+  let t = Online.create ~servers:2 ~capacity:cap () in
   let u () = Utility.Shapes.capped_linear ~cap ~slope:1.0 ~knee:10.0 in
   let j1 = Online.admit t (u ()) in
   let j2 = Online.admit t (u ()) in
@@ -31,7 +31,7 @@ let test_spreads_identical_threads () =
 
 let test_reallocates_within_server () =
   (* a steep newcomer displaces resources of a resident on its server *)
-  let t = Online.create ~servers:1 ~capacity:cap in
+  let t = Online.create ~servers:1 ~capacity:cap () in
   ignore (Online.admit t (Utility.Shapes.linear ~cap ~slope:1.0));
   let a1 = Online.assignment t in
   Helpers.check_float "resident had it all" cap a1.alloc.(0);
@@ -43,7 +43,7 @@ let test_reallocates_within_server () =
 
 let test_assignment_feasible_and_counts () =
   let rng = Rng.create ~seed:3 () in
-  let t = Online.create ~servers:3 ~capacity:cap in
+  let t = Online.create ~servers:3 ~capacity:cap () in
   for _ = 1 to 10 do
     ignore (Online.admit t (Helpers.plc_u rng))
   done;
@@ -57,7 +57,7 @@ let test_solve_sequence_matches_incremental () =
   let rng = Rng.create ~seed:7 () in
   let us = Array.init 8 (fun _ -> Helpers.plc_u rng) in
   let a = Online.solve_sequence ~servers:2 ~capacity:cap us in
-  let t = Online.create ~servers:2 ~capacity:cap in
+  let t = Online.create ~servers:2 ~capacity:cap () in
   Array.iter (fun u -> ignore (Online.admit t u)) us;
   let b = Online.assignment t in
   Alcotest.(check (array int)) "same servers" b.server a.server;
@@ -85,7 +85,7 @@ let test_online_close_to_offline_on_random () =
 
 let test_admission_never_decreases_value () =
   let rng = Rng.create ~seed:21 () in
-  let t = Online.create ~servers:3 ~capacity:cap in
+  let t = Online.create ~servers:3 ~capacity:cap () in
   let prev = ref 0.0 in
   for _ = 1 to 12 do
     ignore (Online.admit t (Helpers.plc_u rng));
@@ -95,7 +95,7 @@ let test_admission_never_decreases_value () =
   done
 
 let test_departure_frees_resources () =
-  let t = Online.create ~servers:1 ~capacity:cap in
+  let t = Online.create ~servers:1 ~capacity:cap () in
   let i0 = Online.admit t (Utility.Shapes.capped_linear ~cap ~slope:5.0 ~knee:4.0) in
   ignore i0;
   ignore (Online.admit t (Utility.Shapes.linear ~cap ~slope:1.0));
@@ -111,7 +111,7 @@ let test_departure_frees_resources () =
   Helpers.check_float "survivor grew" 10.0 a.alloc.(1)
 
 let test_depart_errors () =
-  let t = Online.create ~servers:1 ~capacity:cap in
+  let t = Online.create ~servers:1 ~capacity:cap () in
   ignore (Online.admit t (Utility.Shapes.linear ~cap ~slope:1.0));
   Online.depart t 0;
   Alcotest.check_raises "double departure"
@@ -121,7 +121,7 @@ let test_depart_errors () =
     (fun () -> Online.depart t 5)
 
 let test_update_utility_reallocates () =
-  let t = Online.create ~servers:1 ~capacity:cap in
+  let t = Online.create ~servers:1 ~capacity:cap () in
   ignore (Online.admit t (Utility.Shapes.capped_linear ~cap ~slope:2.0 ~knee:5.0));
   ignore (Online.admit t (Utility.Shapes.linear ~cap ~slope:1.0));
   (* capped thread holds its knee 5, linear the rest: 10 + 5 *)
@@ -136,7 +136,7 @@ let test_update_utility_reallocates () =
 
 let test_churn_stays_feasible () =
   let rng = Rng.create ~seed:31 () in
-  let t = Online.create ~servers:3 ~capacity:cap in
+  let t = Online.create ~servers:3 ~capacity:cap () in
   let active = ref [] in
   for step = 1 to 60 do
     if Rng.float rng 1.0 < 0.6 || !active = [] then begin
@@ -159,7 +159,7 @@ let test_churn_stays_feasible () =
   Alcotest.(check int) "active bookkeeping" (List.length !active) (Online.n_active t)
 
 let test_active_views_after_departure () =
-  let t = Online.create ~servers:2 ~capacity:cap in
+  let t = Online.create ~servers:2 ~capacity:cap () in
   let u () = Utility.Shapes.capped_linear ~cap ~slope:1.0 ~knee:10.0 in
   ignore (Online.admit t (u ()));
   ignore (Online.admit t (u ()));
@@ -177,7 +177,7 @@ let test_active_views_after_departure () =
     (Assignment.utility inst a)
 
 let test_active_views_errors () =
-  let t = Online.create ~servers:1 ~capacity:cap in
+  let t = Online.create ~servers:1 ~capacity:cap () in
   Alcotest.check_raises "empty instance"
     (Invalid_argument "Online.active_instance: no active threads") (fun () ->
       ignore (Online.active_instance t));
@@ -196,14 +196,14 @@ let test_active_views_errors () =
 
 let test_admit_to_replays_placement () =
   let rng = Rng.create ~seed:7 () in
-  let t = Online.create ~servers:3 ~capacity:cap in
+  let t = Online.create ~servers:3 ~capacity:cap () in
   for _ = 1 to 15 do
     ignore (Online.admit t (Helpers.plc_u rng))
   done;
   Online.depart t 3;
   Online.depart t 8;
   (* re-enacting the same placements with admit_to reproduces the state *)
-  let t2 = Online.create ~servers:3 ~capacity:cap in
+  let t2 = Online.create ~servers:3 ~capacity:cap () in
   for i = 0 to Online.n_admitted t - 1 do
     let j = Online.admit_to t2 ~server:(Online.server_of t i) (Online.thread_utility t i) in
     Alcotest.(check int) "ids count up" i j
@@ -222,6 +222,166 @@ let test_admit_to_replays_placement () =
     (Invalid_argument
        "Online.admit_to: utility domain cap must equal the server capacity")
     (fun () -> ignore (Online.admit_to t2 ~server:0 (Helpers.plc_u ~cap:5.0 rng)))
+
+let test_tiebreak_window_does_not_creep () =
+  (* Three servers whose admission gains for the newcomer are exactly
+     1, 1 - 2^-40 and 1 - 2^-39: pairwise inside the 1e-12 tie window,
+     but 2^-39 > 1e-12 apart end to end. Every float op in the gain
+     computation is exact here (Sterbenz), so the gains are these exact
+     values. The emptier-server tie rule may move the pick from server 0
+     to server 1, but the window is anchored at the best gain seen, so
+     it must not creep on to server 2. *)
+  List.iter
+    (fun policy ->
+      let c = 2.0 in
+      let t = Online.create ~policy ~servers:3 ~capacity:c () in
+      let steep d =
+        Utility.Shapes.capped_linear ~cap:c ~slope:5.0 ~knee:(1.0 +. d)
+      in
+      let filler () = Utility.of_plc (Plc.constant ~cap:c 0.0) in
+      ignore (Online.admit_to t ~server:0 (steep 0.0));
+      ignore (Online.admit_to t ~server:1 (steep (Float.ldexp 1.0 (-40))));
+      ignore (Online.admit_to t ~server:2 (steep (Float.ldexp 1.0 (-39))));
+      (* resident counts 3 / 2 / 1: each tie candidate is emptier than
+         the incumbent, so a creeping window would walk to server 2 *)
+      ignore (Online.admit_to t ~server:0 (filler ()));
+      ignore (Online.admit_to t ~server:0 (filler ()));
+      ignore (Online.admit_to t ~server:1 (filler ()));
+      let j = Online.admit t (Utility.Shapes.linear ~cap:c ~slope:1.0) in
+      Alcotest.(check int) "tie window anchored at the best gain" 1 j)
+    [ Online.Full; Online.Incremental ]
+
+let test_auto_policy_resolves () =
+  let t = Online.create ~policy:(Online.Auto { frac = 0.9 }) ~servers:2 ~capacity:cap () in
+  let u () = Utility.Shapes.linear ~cap ~slope:1.0 in
+  ignore (Online.admit_to t ~server:0 (u ()));
+  (* forcing the second full-capacity thread onto the same server strands
+     a certified [cap] of value: 10 < 0.9 * (10 + 10) trips the trigger *)
+  ignore (Online.admit_to t ~server:0 (u ()));
+  Alcotest.(check int) "auto re-solved once" 1 (Online.resolves t);
+  Alcotest.(check bool) "threads migrated apart" true
+    (Online.server_of t 0 <> Online.server_of t 1);
+  Helpers.check_float "full utility recovered" 20.0 (Online.total_utility t);
+  Helpers.check_float "certificate closed by the re-solve" 0.0 (Online.drift_bound t);
+  (* Full / Incremental never re-solve on their own *)
+  let t2 = Online.create ~servers:2 ~capacity:cap () in
+  ignore (Online.admit_to t2 ~server:0 (u ()));
+  ignore (Online.admit_to t2 ~server:0 (u ()));
+  Alcotest.(check int) "incremental never auto-resolves" 0 (Online.resolves t2);
+  Helpers.check_ge "but carries the drift certificate" (Online.drift_bound t2) cap
+
+let test_auto_frac_validation () =
+  Alcotest.check_raises "frac"
+    (Invalid_argument "Online.create: Auto fraction must be in [0, 1]") (fun () ->
+      ignore (Online.create ~policy:(Online.Auto { frac = 1.5 }) ~servers:1 ~capacity:cap ()))
+
+let test_index_consistent_after_churn_and_resolve () =
+  let rng = Rng.create ~seed:91 () in
+  let t = Online.create ~servers:3 ~capacity:cap () in
+  for _ = 1 to 20 do
+    ignore (Online.admit t (Helpers.plc_u rng))
+  done;
+  Online.depart t 5;
+  Online.depart t 11;
+  Online.update_utility t 3 (Helpers.plc_u rng);
+  Alcotest.(check bool) "incremental path spliced" true (Online.splices t > 0);
+  Online.resolve t;
+  Alcotest.(check int) "explicit resolve counted" 1 (Online.resolves t);
+  (* the O(1) per-thread index agrees with the bulk snapshot everywhere *)
+  let a = Online.assignment t in
+  for i = 0 to Online.n_admitted t - 1 do
+    Alcotest.(check int) "server index" a.server.(i) (Online.server_of t i);
+    Helpers.check_float "alloc index" a.alloc.(i) (Online.alloc_of t i)
+  done;
+  Helpers.check_float "departed thread still holds nothing" 0.0 (Online.alloc_of t 5);
+  (match Assignment.check (Online.active_instance t) (Online.active_assignment t) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "post-resolve snapshot infeasible: %s" e);
+  (* a resolve re-certifies against the pooled bound *)
+  Helpers.check_ge "drift bound nonnegative" (Online.drift_bound t) 0.0
+
+(* Random ADMIT/DEPART/UPDATE sequences driven in lockstep through a Full
+   and an Incremental instance: placements, per-thread allocations and
+   totals must match bit for bit; each server must also match a
+   from-scratch [Plc_greedy.allocate] over its residents; and the
+   certified drift bound must upper-bound what a full re-solve recovers. *)
+let prop_incremental_matches_full =
+  QCheck2.Test.make ~name:"online: incremental = full, bit-identical; drift sound"
+    ~count:500
+    QCheck2.Gen.(
+      let* m = int_range 1 4 in
+      let* capv = float_range 2.0 40.0 in
+      let* ops =
+        list_size (int_range 1 30)
+          (let* kind = int_range 0 4 in
+           let* pick = int_range 0 1000 in
+           let* u = Helpers.gen_utility_with_cap capv in
+           return (kind, pick, u))
+      in
+      return (m, capv, ops))
+    (fun (m, capv, ops) ->
+      let ti = Online.create ~policy:Online.Incremental ~servers:m ~capacity:capv () in
+      let tf = Online.create ~policy:Online.Full ~servers:m ~capacity:capv () in
+      let bits = Int64.bits_of_float in
+      let same a b = Int64.equal (bits a) (bits b) in
+      let ok = ref true in
+      let check_states () =
+        for i = 0 to Online.n_admitted ti - 1 do
+          if Online.server_of ti i <> Online.server_of tf i then ok := false;
+          if not (same (Online.alloc_of ti i) (Online.alloc_of tf i)) then ok := false
+        done;
+        if not (same (Online.total_utility ti) (Online.total_utility tf)) then
+          ok := false
+      in
+      List.iter
+        (fun (kind, pick, u) ->
+          let ids = Online.active_ids ti in
+          let n_act = Array.length ids in
+          if kind <= 2 || n_act = 0 then begin
+            let ji = Online.admit ti u in
+            let jf = Online.admit tf u in
+            if ji <> jf then ok := false
+          end
+          else begin
+            let i = ids.(pick mod n_act) in
+            if kind = 3 then begin
+              Online.depart ti i;
+              Online.depart tf i
+            end
+            else begin
+              Online.update_utility ti i u;
+              Online.update_utility tf i u
+            end
+          end;
+          check_states ())
+        ops;
+      (* from-scratch allocator reference, per server, over the residents
+         in the engine's newest-first order *)
+      let ids = Online.active_ids ti in
+      for j = 0 to m - 1 do
+        let mine =
+          Array.to_list ids
+          |> List.filter (fun i -> Online.server_of ti i = j)
+          |> List.rev
+        in
+        if mine <> [] then begin
+          let plcs =
+            Array.of_list
+              (List.map (fun i -> Utility.to_plc (Online.thread_utility ti i)) mine)
+          in
+          let res = Aa_alloc.Plc_greedy.allocate ~exhaust:false ~budget:capv plcs in
+          List.iteri
+            (fun k i -> if not (same res.alloc.(k) (Online.alloc_of ti i)) then ok := false)
+            mine
+        end
+      done;
+      (* drift certificate: a full re-solve cannot beat U + drift *)
+      let d = Online.drift_bound ti in
+      let u0 = Online.total_utility ti in
+      Online.resolve ti;
+      let u1 = Online.total_utility ti in
+      if u1 > u0 +. d +. (1e-6 *. Float.max 1.0 (Float.abs u1)) then ok := false;
+      !ok)
 
 let prop_online_feasible =
   QCheck2.Test.make ~name:"online: always feasible" ~count:150
@@ -273,8 +433,14 @@ let () =
           Alcotest.test_case "active views" `Quick test_active_views_after_departure;
           Alcotest.test_case "active view errors" `Quick test_active_views_errors;
           Alcotest.test_case "admit_to replay" `Quick test_admit_to_replays_placement;
+          Alcotest.test_case "tie-break window" `Quick test_tiebreak_window_does_not_creep;
+          Alcotest.test_case "auto policy" `Quick test_auto_policy_resolves;
+          Alcotest.test_case "auto validation" `Quick test_auto_frac_validation;
+          Alcotest.test_case "index after churn" `Quick
+            test_index_consistent_after_churn_and_resolve;
         ] );
       ( "quality",
         [ Alcotest.test_case "close to offline" `Slow test_online_close_to_offline_on_random ] );
-      Helpers.qsuite "properties" [ prop_online_feasible; prop_online_below_superopt ];
+      Helpers.qsuite "properties"
+        [ prop_online_feasible; prop_online_below_superopt; prop_incremental_matches_full ];
     ]

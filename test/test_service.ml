@@ -312,6 +312,65 @@ let test_engine_rebalance_gap () =
       Helpers.check_float ~eps:1e-9 "gap consistent" (online /. offline) gap
   | r -> Alcotest.failf "unexpected %s" (Protocol.print_response r)
 
+let test_engine_policy_and_drift_stats () =
+  let e = Engine.create ~servers:2 ~capacity:cap () in
+  ignore (expect_ok e "ADMIT linear 1");
+  ignore (expect_ok e "ADMIT linear 1");
+  (match expect_ok e "STATS" with
+  | Protocol.Stats_report kvs ->
+      let get k =
+        match List.assoc_opt k kvs with
+        | Some v -> v
+        | None -> Alcotest.failf "STATS missing %s" k
+      in
+      Alcotest.(check string) "policy" "incremental" (get "policy");
+      Alcotest.(check string) "no auto re-solves" "0" (get "incremental.resolves");
+      Alcotest.(check bool) "splices counted" true
+        (int_of_string (get "incremental.splices") >= 2);
+      Alcotest.(check bool) "drift bound exported" true (get "drift_bound" <> "")
+  | r -> Alcotest.failf "unexpected %s" (Protocol.print_response r));
+  Alcotest.(check bool) "policy accessor" true (Engine.policy e = Online.Incremental);
+  (* a Full-policy engine reaches the identical state *)
+  let ef = Engine.create ~policy:Online.Full ~servers:2 ~capacity:cap () in
+  ignore (expect_ok ef "ADMIT linear 1");
+  ignore (expect_ok ef "ADMIT linear 1");
+  Helpers.check_float "bit-identical totals" (Engine.total_utility ef)
+    (Engine.total_utility e);
+  (* REBALANCE re-certifies the published drift bound; this placement is
+     offline-optimal, so the certificate closes completely *)
+  ignore (expect_ok e "REBALANCE");
+  Helpers.check_float ~eps:1e-9 "bound closed by rebalance" 0.0 (Engine.drift_bound e)
+
+let test_engine_auto_policy_replay () =
+  let path = Filename.temp_file "aa_auto" ".log" in
+  let policy = Online.Auto { frac = 0.9 } in
+  let j = or_fail (Journal.create ~path ~servers:2 ~capacity:cap ()) in
+  let e = Engine.create ~journal:j ~policy ~servers:2 ~capacity:cap () in
+  (* a steep full-capacity arrival starves a resident, and a departure
+     strands a server: the decayed-value trigger re-solves and migrates *)
+  ignore (expect_ok e "ADMIT capped 1 10");
+  ignore (expect_ok e "ADMIT capped 1 10");
+  ignore (expect_ok e "ADMIT capped 2 10");
+  ignore (expect_ok e "DEPART 1");
+  Alcotest.(check bool) "auto re-solved" true (Engine.resolves e >= 1);
+  Helpers.check_float "regret recovered" 30.0 (Engine.total_utility e);
+  (* recovery under the same policy replays the same re-solve points:
+     counts, placements and totals all reproduce *)
+  (match Engine.of_journal ~policy ~path () with
+  | Error msg -> Alcotest.failf "replay: %s" msg
+  | Ok e2 ->
+      Alcotest.(check int) "replayed re-solves" (Engine.resolves e) (Engine.resolves e2);
+      Helpers.check_float "replayed total" (Engine.total_utility e)
+        (Engine.total_utility e2);
+      let ol = Engine.online e and ol2 = Engine.online e2 in
+      for i = 0 to Engine.n_admitted e - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "server of %d" i)
+          (Online.server_of ol i) (Online.server_of ol2 i)
+      done);
+  Journal.close j;
+  Sys.remove path
+
 let test_engine_slow_verb () =
   let module Rctx = Aa_obs.Rctx in
   Rctx.slow_clear ();
@@ -663,6 +722,44 @@ let test_daemon_telemetry_flags () =
     records;
   Sys.remove log
 
+let test_daemon_rebalance_policy_flags () =
+  let out =
+    run_serve
+      [ "-m"; "2"; "-C"; "10"; "--rebalance-policy"; "full" ]
+      "ADMIT capped 1 10\nSTATS\n"
+  in
+  (match response_lines out with
+  | [ _; stats ] ->
+      Alcotest.(check bool) "policy reported" true (Helpers.contains stats "policy=full")
+  | ls -> Alcotest.failf "expected 2 responses, got %d:\n%s" (List.length ls) out);
+  let out =
+    run_serve
+      [ "-m"; "2"; "-C"; "10"; "--rebalance-policy"; "auto"; "--drift-frac"; "0.8" ]
+      "ADMIT capped 1 10\nSTATS\n"
+  in
+  (match response_lines out with
+  | [ _; stats ] ->
+      Alcotest.(check bool) "auto reported" true (Helpers.contains stats "policy=auto");
+      Alcotest.(check bool) "drift bound exported" true
+        (Helpers.contains stats "drift_bound=")
+  | ls -> Alcotest.failf "expected 2 responses, got %d:\n%s" (List.length ls) out);
+  (* the sharded dispatcher aggregates the certificate across the fleet *)
+  let out =
+    run_serve
+      [ "-m"; "2"; "-C"; "10"; "--shards"; "2" ]
+      "ADMIT capped 1 10\nADMIT capped 1 10\nSTATS\n"
+  in
+  (match response_lines out with
+  | [ _; _; stats ] ->
+      Alcotest.(check bool) "fleet drift" true (Helpers.contains stats "drift_bound=");
+      Alcotest.(check bool) "fleet splices" true
+        (Helpers.contains stats "incremental.splices=");
+      Alcotest.(check bool) "fleet resolves" true
+        (Helpers.contains stats "incremental.resolves=")
+  | ls -> Alcotest.failf "expected 3 responses, got %d:\n%s" (List.length ls) out);
+  ignore (run_serve ~expect:1 [ "--rebalance-policy"; "sometimes" ] "");
+  ignore (run_serve ~expect:1 [ "--drift-frac"; "1.5" ] "")
+
 let test_daemon_flag_validation () =
   ignore (run_serve ~expect:1 [ "--replay" ] "");
   let path = Filename.temp_file "aa_daemon" ".log" in
@@ -701,6 +798,9 @@ let () =
           Alcotest.test_case "session" `Quick test_engine_session;
           Alcotest.test_case "errors" `Quick test_engine_errors;
           Alcotest.test_case "rebalance gap" `Quick test_engine_rebalance_gap;
+          Alcotest.test_case "policy + drift stats" `Quick
+            test_engine_policy_and_drift_stats;
+          Alcotest.test_case "auto policy replay" `Quick test_engine_auto_policy_replay;
           Alcotest.test_case "SLOW verb" `Quick test_engine_slow_verb;
           Alcotest.test_case "coarsen interval" `Quick test_engine_coarsen_interval;
           Alcotest.test_case "malformed fuzz" `Quick test_fuzz_never_kills_engine;
@@ -715,6 +815,8 @@ let () =
           Alcotest.test_case "session" `Quick test_daemon_session;
           Alcotest.test_case "journal + replay" `Quick test_daemon_journal_replay;
           Alcotest.test_case "telemetry flags" `Quick test_daemon_telemetry_flags;
+          Alcotest.test_case "rebalance policy flags" `Quick
+            test_daemon_rebalance_policy_flags;
           Alcotest.test_case "flag validation" `Quick test_daemon_flag_validation;
         ] );
       Helpers.qsuite "properties" [ prop_parse_total ];
